@@ -1,0 +1,93 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the experiment (once — the expensive fixtures are session-scoped), writes
+the figure/table data under ``benchmark_results/``, prints a summary, and
+times a representative kernel with pytest-benchmark.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import table1
+from repro.config.layouts import validation_machine
+from repro.core.calibration import calibrate, emulate, measure_run
+from repro.machine.server import SimulatedServer
+from repro.machine.workloads import (
+    MixedBenchmark,
+    cpu_microbenchmark,
+    disk_microbenchmark,
+)
+
+#: The one physical machine every section 3.1 experiment runs on.
+MACHINE_SEED = 11
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def emit(name: str, text: str) -> None:
+    """Write a result table under benchmark_results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n[{name}] written to {path}")
+    print(text)
+
+
+def series_rows(times, *columns, header=(), every=60):
+    """Format aligned time-series rows, sampled every N seconds."""
+    lines = []
+    if header:
+        lines.append("  ".join(f"{h:>12}" for h in header))
+    for idx in range(0, len(times), every):
+        row = [f"{times[idx]:>12.0f}"]
+        row += [f"{column[idx]:>12.3f}" for column in columns]
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def validation_layout():
+    """The Table 1 server layout."""
+    return validation_machine()
+
+
+@pytest.fixture(scope="session")
+def calibration_runs(validation_layout):
+    """The Figure 5/6 calibration recordings (paper-length runs)."""
+    cpu_server = SimulatedServer(
+        validation_layout, workload=cpu_microbenchmark(), seed=MACHINE_SEED
+    )
+    cpu_run = measure_run(
+        cpu_server, duration=cpu_microbenchmark().duration, interval=1.0
+    )
+    disk_server = SimulatedServer(
+        validation_layout, workload=disk_microbenchmark(), seed=MACHINE_SEED
+    )
+    disk_run = measure_run(
+        disk_server, duration=disk_microbenchmark().duration, interval=1.0
+    )
+    return cpu_run, disk_run
+
+
+@pytest.fixture(scope="session")
+def calibrated_fit(validation_layout, calibration_runs):
+    """Mercury's constants fitted against the calibration recordings."""
+    cpu_run, disk_run = calibration_runs
+    return calibrate(validation_layout, [cpu_run, disk_run], dt=5.0)
+
+
+@pytest.fixture(scope="session")
+def mixed_validation(validation_layout, calibrated_fit):
+    """The Figure 7/8 validation run: mixed benchmark, no re-tuning."""
+    server = SimulatedServer(
+        validation_layout, workload=MixedBenchmark(duration=5000.0),
+        seed=MACHINE_SEED,
+    )
+    run = measure_run(server, duration=5000.0, interval=1.0)
+    emulated = emulate(
+        validation_layout, run, k_overrides=calibrated_fit.k_overrides, dt=1.0
+    )
+    return run, emulated

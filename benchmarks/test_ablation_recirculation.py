@@ -1,0 +1,67 @@
+"""Ablation: inter-machine air recirculation (section 2.2's "more
+complex graphs").
+
+Figure 1(c) assumes "the ideal situation in which there is no air
+recirculation across the machines"; the paper notes recirculation "can
+also be represented using more complex graphs".  This sweep builds ring
+clusters where each machine re-ingests a fraction of its neighbour's
+exhaust and measures how inlet and CPU temperatures climb with that
+fraction — the effect data-center designers fight with hot/cold aisles.
+"""
+
+import pytest
+
+from repro.config import table1
+from repro.config.layouts import recirculating_cluster, validation_cluster
+from repro.core.solver import Solver
+
+from .conftest import emit
+
+FRACTIONS = (0.0, 0.1, 0.25)
+UTILIZATION = 0.8
+
+
+def run_cluster(recirculation):
+    if recirculation == 0.0:
+        cluster = validation_cluster()
+    else:
+        cluster = recirculating_cluster(recirculation=recirculation)
+    solver = Solver(
+        list(cluster.machines.values()), cluster=cluster, record=False
+    )
+    for machine in solver.machines:
+        solver.set_utilization(machine, table1.CPU, UTILIZATION)
+        solver.set_utilization(machine, table1.DISK_PLATTERS, 0.4)
+    solver.run(6000)
+    machine = next(iter(solver.machines))
+    return (
+        solver.temperature(machine, "inlet"),
+        solver.temperature(machine, table1.CPU),
+    )
+
+
+def test_ablation_recirculation(benchmark):
+    rows = [f"{'recirc':>7} {'inlet (C)':>10} {'CPU (C)':>9}"]
+    measured = {}
+    for fraction in FRACTIONS:
+        inlet, cpu = run_cluster(fraction)
+        measured[fraction] = (inlet, cpu)
+        rows.append(f"{fraction:>7.2f} {inlet:>10.2f} {cpu:>9.2f}")
+
+    summary = (
+        "Ablation — inter-machine recirculation (ring of 4 machines at "
+        f"{UTILIZATION:.0%} CPU)\n" + "\n".join(rows)
+        + "\n\nInterpretation: recirculated exhaust raises every inlet "
+        "above the AC supply and the CPUs with it — the graph-level "
+        "mechanism behind rack-top hot spots, expressible in Mercury by "
+        "adding two edges per machine."
+    )
+    emit("ablation_recirculation", summary)
+
+    # Monotone: more recirculation, hotter inlets and CPUs.
+    assert measured[0.0][0] == pytest.approx(table1.INLET_TEMPERATURE, abs=0.05)
+    assert measured[0.1][0] > measured[0.0][0] + 0.2
+    assert measured[0.25][0] > measured[0.1][0] + 0.2
+    assert measured[0.25][1] > measured[0.0][1] + 0.5
+
+    benchmark.pedantic(run_cluster, args=(0.1,), iterations=1, rounds=1)

@@ -1,0 +1,104 @@
+"""Ablation: the two-stage content-aware policy (section 4.3).
+
+"In the face of a hot CPU, the system could distribute requests in such
+a way that only memory or I/O-bound requests were sent to it.  Lower
+weights and connection limits would only be used if this strategy did
+not reduce the CPU temperature enough."  LVS could not do this; our
+content-aware balancer can.  This experiment compares, for the same hot
+server:
+
+* **stage-1 / content-aware**: halve only the dynamic-request weight;
+* **classic / whole-load**: halve the server's share of *all* requests.
+
+Both reach a similar CPU utilization cut; the content-aware variant
+keeps nearly all the server's static (disk) throughput, i.e. it sheds
+less total work for the same cooling.
+"""
+
+import pytest
+
+from repro.cluster.content_aware import (
+    DYNAMIC,
+    STATIC,
+    ContentAwareBalancer,
+    TwoStageFreon,
+    classed_load,
+)
+from repro.cluster.webserver import RequestMix
+
+from .conftest import emit
+
+SERVERS = ["m1", "m2", "m3", "m4"]
+OFFERED = {DYNAMIC: 96.0, STATIC: 224.0}  # the paper's 30/70 mix at ~70% load
+CAPACITY = {s: 400.0 for s in SERVERS}
+
+
+def hot_server_load(balancer):
+    rates, _ = balancer.allocate(OFFERED, CAPACITY)
+    load = classed_load(rates["m1"][DYNAMIC], rates["m1"][STATIC])
+    return load, rates["m1"]
+
+
+def test_ablation_two_stage_policy(benchmark):
+    mix = RequestMix()
+
+    # Baseline share.
+    base_balancer = ContentAwareBalancer(SERVERS)
+    base_load, base_rates = hot_server_load(base_balancer)
+
+    # Stage 1: content-aware — two halvings of the dynamic weight.
+    ca_balancer = ContentAwareBalancer(SERVERS)
+    policy = TwoStageFreon(ca_balancer)
+    policy.observe("m1", 70.0, now=60.0)
+    policy.observe("m1", 70.0, now=120.0)
+    ca_load, ca_rates = hot_server_load(ca_balancer)
+
+    # Classic: the same weight cut applied to both classes.
+    classic_balancer = ContentAwareBalancer(SERVERS)
+    classic_balancer.set_weight("m1", DYNAMIC, 0.25)
+    classic_balancer.set_weight("m1", STATIC, 0.25)
+    classic_load, classic_rates = hot_server_load(classic_balancer)
+
+    def row(label, load, rates):
+        total = rates[DYNAMIC] + rates[STATIC]
+        return (
+            f"{label:<16} {load.cpu_utilization:>8.3f} "
+            f"{load.disk_utilization:>9.3f} {rates[DYNAMIC]:>9.2f} "
+            f"{rates[STATIC]:>9.2f} {total:>9.2f}"
+        )
+
+    rows = [
+        f"{'variant':<16} {'cpu util':>8} {'disk util':>9} {'dyn r/s':>9} "
+        f"{'stat r/s':>9} {'total':>9}",
+        row("baseline", base_load, base_rates),
+        row("content-aware", ca_load, ca_rates),
+        row("classic weights", classic_load, classic_rates),
+    ]
+    summary = (
+        "Ablation — two-stage content-aware policy vs classic weight cut "
+        "(hot server m1, 30% dynamic mix)\n" + "\n".join(rows)
+        + "\n\nInterpretation: both variants cut the hot CPU's utilization "
+        "by a similar factor, but the content-aware stage keeps the "
+        "server's static throughput — less total work shed for the same "
+        "thermal relief, which is why section 4.3 wants content-aware "
+        "balancers."
+    )
+    emit("ablation_two_stage", summary)
+
+    # Comparable CPU relief...
+    assert ca_load.cpu_utilization < base_load.cpu_utilization * 0.75
+    assert classic_load.cpu_utilization < base_load.cpu_utilization * 0.75
+    # ...but the content-aware server keeps its static throughput while
+    # the classic cut sheds most of it.
+    assert ca_rates[STATIC] > 0.9 * base_rates[STATIC]
+    assert classic_rates[STATIC] < 0.5 * base_rates[STATIC]
+    # Total work kept is strictly higher under the content-aware stage.
+    assert sum(ca_rates.values()) > sum(classic_rates.values()) * 1.5
+
+    def kernel():
+        balancer = ContentAwareBalancer(SERVERS)
+        policy2 = TwoStageFreon(balancer)
+        policy2.observe("m1", 70.0, now=60.0)
+        return balancer.allocate(OFFERED, CAPACITY)
+
+    benchmark(kernel)

@@ -1,0 +1,67 @@
+"""Extension experiment: Freon on a multi-tier service (section 7).
+
+A four-server web tier fronts a four-server application tier; 30% of
+served web requests spawn an app-tier call.  An inlet emergency hits one
+application server mid-run.  Expected shape: per-tier Freon contains the
+emergency inside the application tier (one adjustment, temperature held
+at T_h, siblings absorb the load) and the pipeline serves every end-user
+request; unmanaged, the hot back end sails past the red line.
+"""
+
+import pytest
+
+from repro.cluster.multitier import MultiTierSimulation
+from repro.config import table1
+
+from .conftest import emit
+
+EMERGENCY = "sleep 480\nfiddle app1 temperature inlet 38.6\n"
+
+
+@pytest.fixture(scope="module")
+def runs():
+    results = {}
+    for policy in ("none", "freon"):
+        sim = MultiTierSimulation(policy=policy, fiddle_script=EMERGENCY)
+        results[policy] = sim.run(2000)
+    return results
+
+
+def test_ext_multitier_freon(benchmark, runs):
+    rows = [
+        f"{'policy':<8} {'app1 peak':>10} {'app2 peak':>10} {'web1 peak':>10} "
+        f"{'e2e drops %':>12} {'adjustments':>12}"
+    ]
+    for policy, result in runs.items():
+        adjustments = sum(len(v) for v in result.adjustments.values())
+        rows.append(
+            f"{policy:<8} {result.max_temperature('app', 'app1'):>10.2f} "
+            f"{result.max_temperature('app', 'app2'):>10.2f} "
+            f"{result.max_temperature('web', 'web1'):>10.2f} "
+            f"{result.end_to_end_drop_fraction * 100:>12.2f} "
+            f"{adjustments:>12d}"
+        )
+    freon = runs["freon"]
+    summary = (
+        "Extension — multi-tier service under Freon (web tier -> app "
+        "tier, emergency on app1 at t=480 s)\n" + "\n".join(rows)
+        + f"\nfreon adjustments per tier: "
+        f"{ {k: [(t, m) for t, m, _ in v] for k, v in freon.adjustments.items()} }\n"
+        "\nInterpretation: per-tier Freon contains the emergency inside "
+        "the application tier — the web tier never acts — and the "
+        "pipeline serves every end-user request."
+    )
+    emit("ext_multitier", summary)
+
+    unmanaged = runs["none"]
+    assert unmanaged.max_temperature("app", "app1") > table1.T_RED_CPU
+    assert freon.max_temperature("app", "app1") < table1.T_HIGH_CPU + 1.0
+    assert freon.end_to_end_drop_fraction == 0.0
+    assert freon.adjustments["web"] == []
+    assert any(m == "app1" for _, m, _ in freon.adjustments["app"])
+
+    def run_experiment():
+        sim = MultiTierSimulation(policy="freon", fiddle_script=EMERGENCY)
+        return sim.run(2000)
+
+    benchmark.pedantic(run_experiment, iterations=1, rounds=1)

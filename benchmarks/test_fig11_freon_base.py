@@ -1,0 +1,76 @@
+"""Figure 11: base Freon under two simultaneous inlet emergencies.
+
+Four Apache-style servers behind LVS, the diurnal trace peaking at 70%
+utilization, fiddle raising machine 1's inlet to 38.6 C and machine 3's
+to 35.6 C at t=480 s.  Expected shape (paper): the hot CPUs cross T_h
+near the load peak, Freon shifts load away and pins them just under the
+threshold, the healthy machines absorb the difference, and not a single
+request is dropped.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, emergency_script
+from repro.config import table1
+
+from .conftest import emit, series_rows
+
+
+@pytest.fixture(scope="module")
+def freon_result():
+    sim = ClusterSimulation(policy="freon", fiddle_script=emergency_script())
+    return sim, sim.run(2000)
+
+
+def test_fig11_freon_base_policy(benchmark, freon_result):
+    sim, result = freon_result
+    times = result.times()
+
+    temp_table = series_rows(
+        times,
+        *[result.series(m, "cpu_temperature") for m in sim.machines],
+        header=("time(s)", "m1 (C)", "m2 (C)", "m3 (C)", "m4 (C)"),
+        every=120,
+    )
+    util_table = series_rows(
+        times,
+        *[
+            [u * 100 for u in result.series(m, "cpu_utilization")]
+            for m in sim.machines
+        ],
+        header=("time(s)", "m1 %", "m2 %", "m3 %", "m4 %"),
+        every=120,
+    )
+    summary = (
+        "Figure 11 — Freon base policy: CPU temperatures (top) and "
+        "utilizations (bottom)\n"
+        f"T_h^CPU = {table1.T_HIGH_CPU} C; emergencies at t=480 s "
+        f"(m1 inlet -> 38.6 C, m3 inlet -> 35.6 C)\n"
+        f"adjustments: {[(t, m, round(o, 3)) for t, m, o in result.adjustments]}\n"
+        f"releases:    {result.releases}\n"
+        f"dropped requests: {result.drop_fraction * 100:.2f}% "
+        f"(paper: 0%)\n"
+        f"peak CPU temps: "
+        f"{ {m: round(result.max_temperature(m), 2) for m in sim.machines} }\n\n"
+        "CPU temperature (C):\n" + temp_table + "\n\nCPU utilization (%):\n"
+        + util_table
+    )
+    emit("fig11_freon_base", summary)
+
+    # Shape assertions (see EXPERIMENTS.md).
+    assert result.drop_fraction == 0.0
+    adjusted = {m for _, m, _ in result.adjustments}
+    assert adjusted == {"machine1", "machine3"}
+    for machine in ("machine1", "machine3"):
+        assert result.max_temperature(machine) < table1.T_RED_CPU
+    for machine in ("machine2", "machine4"):
+        assert result.max_temperature(machine) < table1.T_HIGH_CPU
+
+    # Timed kernel: one full 2000 s Freon experiment.
+    def run_experiment():
+        sim2 = ClusterSimulation(
+            policy="freon", fiddle_script=emergency_script()
+        )
+        return sim2.run(2000)
+
+    benchmark.pedantic(run_experiment, iterations=1, rounds=1)

@@ -1,0 +1,84 @@
+"""Figure 12: Freon-EC — combined energy conservation and thermal
+management.
+
+Same trace and emergencies as Figure 11, machines 1 and 3 in region 0
+and the others in region 1.  Expected shape (paper): the active
+configuration shrinks to a single server in the overnight valley (by
+60 s), grows back to four as load rises without dropping requests,
+machines cool ~10 C while off, the peak-time emergencies are handled by
+the base policy, and the configuration shrinks again as load subsides.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, emergency_script
+from repro.config import table1
+
+from .conftest import emit, series_rows
+
+
+@pytest.fixture(scope="module")
+def ec_result():
+    sim = ClusterSimulation(policy="freon-ec", fiddle_script=emergency_script())
+    return sim, sim.run(2000)
+
+
+def test_fig12_freon_ec(benchmark, ec_result):
+    sim, result = ec_result
+    times = result.times()
+
+    temp_table = series_rows(
+        times,
+        *[result.series(m, "cpu_temperature") for m in sim.machines],
+        header=("time(s)", "m1 (C)", "m2 (C)", "m3 (C)", "m4 (C)"),
+        every=120,
+    )
+    util_table = series_rows(
+        times,
+        *(
+            [
+                [u * 100 for u in result.series(m, "cpu_utilization")]
+                for m in sim.machines
+            ]
+            + [[float(a) for a in result.active_series()]]
+        ),
+        header=("time(s)", "m1 %", "m2 %", "m3 %", "m4 %", "active"),
+        every=120,
+    )
+    active = result.active_series()
+    transitions = [(0, active[0])] + [
+        (idx, b)
+        for idx, (a, b) in enumerate(zip(active, active[1:]), start=1)
+        if a != b
+    ]
+    summary = (
+        "Figure 12 — Freon-EC: CPU temperatures (top), utilizations and "
+        "active-server count (bottom)\n"
+        f"regions: m1+m3 in region0, m2+m4 in region1; U_h={table1.EC_UTIL_HIGH},"
+        f" U_l={table1.EC_UTIL_LOW}\n"
+        f"reconfigurations: "
+        f"{[(e.time, e.action, e.machine, e.reason) for e in result.ec_events]}\n"
+        f"active-server transitions (t, count): {transitions}\n"
+        f"adjustments: {[(t, m, round(o, 3)) for t, m, o in result.adjustments]}\n"
+        f"dropped requests: {result.drop_fraction * 100:.2f}% (paper: 0%)\n\n"
+        "CPU temperature (C):\n" + temp_table
+        + "\n\nCPU utilization (%) and active servers:\n" + util_table
+    )
+    emit("fig12_freon_ec", summary)
+
+    # Shape assertions.
+    assert result.drop_fraction == 0.0
+    assert min(active[:300]) == 1          # valley: down to one server
+    assert max(active) == 4                # peak: everything on
+    assert result.records[-1].active_servers < 4  # evening shrink
+    assert {m for _, m, _ in result.adjustments} & {"machine1", "machine3"}
+    for machine in sim.machines:
+        assert result.max_temperature(machine) < table1.T_RED_CPU
+
+    def run_experiment():
+        sim2 = ClusterSimulation(
+            policy="freon-ec", fiddle_script=emergency_script()
+        )
+        return sim2.run(2000)
+
+    benchmark.pedantic(run_experiment, iterations=1, rounds=1)

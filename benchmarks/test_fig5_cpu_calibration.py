@@ -1,0 +1,61 @@
+"""Figure 5: calibrating Mercury for CPU usage and temperature.
+
+Regenerates the paper's Figure 5 series — CPU utilization, "real"
+(simulated-machine sensor) CPU-air temperature, and Mercury's emulated
+CPU-air temperature over the ~14,000 s CPU microbenchmark — and reports
+how closely the calibrated emulation tracks the measurement.
+"""
+
+import numpy as np
+
+from repro.config import table1
+from repro.core.calibration import emulate, smooth_series
+
+from .conftest import emit, series_rows
+
+
+def test_fig5_cpu_calibration(
+    benchmark, validation_layout, calibration_runs, calibrated_fit
+):
+    cpu_run, _ = calibration_runs
+
+    emulated = emulate(
+        validation_layout,
+        cpu_run,
+        k_overrides=calibrated_fit.k_overrides,
+        dt=1.0,
+    )
+
+    measured = cpu_run.temperatures[table1.CPU_AIR]
+    smoothed = smooth_series(measured)
+    series = emulated[table1.CPU_AIR]
+    warmup = 120
+    err = np.abs(np.asarray(smoothed[warmup:]) - np.asarray(series[warmup:]))
+
+    table = series_rows(
+        cpu_run.times,
+        [u * 100 for u in cpu_run.utilizations[table1.CPU]],
+        measured,
+        series,
+        header=("time(s)", "cpu util %", "real (C)", "emulated (C)"),
+        every=300,
+    )
+    summary = (
+        f"Figure 5 — CPU calibration run ({cpu_run.duration:.0f} s)\n"
+        f"calibrated fit: {calibrated_fit.describe()}\n"
+        f"CPU-air tracking vs smoothed sensor: "
+        f"rmse={np.sqrt((err**2).mean()):.3f} C, max={err.max():.3f} C "
+        f"(paper: within ~1 C)\n\n" + table
+    )
+    emit("fig5_cpu_calibration", summary)
+
+    assert err.max() < 1.0
+
+    # Timed kernel: replaying the full calibration run through Mercury.
+    benchmark.pedantic(
+        emulate,
+        args=(validation_layout, cpu_run),
+        kwargs={"k_overrides": calibrated_fit.k_overrides, "dt": 1.0},
+        iterations=1,
+        rounds=1,
+    )

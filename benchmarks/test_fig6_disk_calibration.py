@@ -1,0 +1,58 @@
+"""Figure 6: calibrating Mercury for disk usage and temperature.
+
+Regenerates Figure 6 — disk utilization, the in-disk sensor reading, and
+Mercury's emulated disk temperature over the disk microbenchmark.
+"""
+
+import numpy as np
+
+from repro.config import table1
+from repro.core.calibration import emulate, smooth_series
+
+from .conftest import emit, series_rows
+
+
+def test_fig6_disk_calibration(
+    benchmark, validation_layout, calibration_runs, calibrated_fit
+):
+    _, disk_run = calibration_runs
+
+    emulated = emulate(
+        validation_layout,
+        disk_run,
+        k_overrides=calibrated_fit.k_overrides,
+        dt=1.0,
+    )
+
+    measured = disk_run.temperatures[table1.DISK_PLATTERS]
+    smoothed = smooth_series(measured)
+    series = emulated[table1.DISK_PLATTERS]
+    warmup = 120
+    err = np.abs(np.asarray(smoothed[warmup:]) - np.asarray(series[warmup:]))
+
+    table = series_rows(
+        disk_run.times,
+        [u * 100 for u in disk_run.utilizations[table1.DISK_PLATTERS]],
+        measured,
+        series,
+        header=("time(s)", "disk util %", "real (C)", "emulated (C)"),
+        every=300,
+    )
+    summary = (
+        f"Figure 6 — disk calibration run ({disk_run.duration:.0f} s)\n"
+        f"disk tracking vs smoothed in-disk sensor: "
+        f"rmse={np.sqrt((err**2).mean()):.3f} C, max={err.max():.3f} C "
+        f"(paper: within ~1 C; in-disk sensor itself is 3 C / 1 C-step)\n\n"
+        + table
+    )
+    emit("fig6_disk_calibration", summary)
+
+    assert err.max() < 1.0
+
+    benchmark.pedantic(
+        emulate,
+        args=(validation_layout, disk_run),
+        kwargs={"k_overrides": calibrated_fit.k_overrides, "dt": 1.0},
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,51 @@
+"""Figure 8: real-system disk validation on the mixed benchmark.
+
+Same run as Figure 7, comparing the disk temperature instead.
+"""
+
+import numpy as np
+
+from repro.config import table1
+from repro.core.calibration import smooth_series
+
+from .conftest import emit, series_rows
+
+
+def test_fig8_disk_validation(benchmark, mixed_validation):
+    run, emulated = mixed_validation
+
+    measured = run.temperatures[table1.DISK_PLATTERS]
+    smoothed = smooth_series(measured)
+    series = emulated[table1.DISK_PLATTERS]
+    warmup = 120
+    err = np.abs(np.asarray(smoothed[warmup:]) - np.asarray(series[warmup:]))
+
+    table = series_rows(
+        run.times,
+        [u * 100 for u in run.utilizations[table1.DISK_PLATTERS]],
+        measured,
+        series,
+        header=("time(s)", "disk util %", "real (C)", "emulated (C)"),
+        every=120,
+    )
+    corr = float(np.corrcoef(
+        np.asarray(smoothed[warmup:]), np.asarray(series[warmup:])
+    )[0, 1])
+    summary = (
+        f"Figure 8 — disk validation, mixed benchmark ({run.duration:.0f} s), "
+        f"no input adjustments\n"
+        f"rmse={np.sqrt((err**2).mean()):.3f} C, max={err.max():.3f} C, "
+        f"trend correlation={corr:.4f}\n"
+        f"paper: within 1 C at all times (in-disk sensor accuracy 3 C)\n\n"
+        + table
+    )
+    emit("fig8_disk_validation", summary)
+
+    assert err.max() < 1.0
+    assert corr > 0.98
+
+    def kernel():
+        e = np.abs(np.asarray(smoothed[warmup:]) - np.asarray(series[warmup:]))
+        return float(e.max())
+
+    benchmark(kernel)

@@ -1,0 +1,95 @@
+"""Section 2.3 timing claims: solver iteration and readsensor latency.
+
+The paper reports the solver taking "roughly 100 usec on average to
+compute each iteration" on the Figure 1 graphs, and readsensor() having
+"an average response time of 300 usec", beating the 500 usec access time
+of the real SCSI in-disk sensor.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.config import table1
+from repro.config.layouts import validation_cluster, validation_machine
+from repro.core.solver import Solver
+from repro.sensors.api import SensorConnection
+from repro.sensors.server import SensorService, UdpSensorServer
+
+from .conftest import emit
+
+#: The real SCSI in-disk sensor's average access time (paper).
+SCSI_SENSOR_LATENCY = 500e-6
+
+
+def test_sec23_solver_iteration_time(benchmark):
+    layout = validation_machine()
+    solver = Solver([layout], record=False)
+    solver.set_utilization("machine1", table1.CPU, 0.7)
+    solver.set_utilization("machine1", table1.DISK_PLATTERS, 0.4)
+
+    result = benchmark(solver.step)
+
+    mean = benchmark.stats.stats.mean
+    emit(
+        "sec23_solver_iteration",
+        f"Section 2.3 — solver iteration time (Figure 1 graphs)\n"
+        f"measured mean: {mean * 1e6:.1f} usec per iteration\n"
+        f"paper: ~100 usec per iteration\n",
+    )
+    # Same order of magnitude as the paper's C implementation.
+    assert mean < 1e-3
+
+
+def test_sec23_cluster_iteration_time(benchmark):
+    cluster = validation_cluster()
+    solver = Solver(list(cluster.machines.values()), cluster=cluster,
+                    record=False)
+    for machine in solver.machines:
+        solver.set_utilization(machine, table1.CPU, 0.7)
+
+    benchmark(solver.step)
+    mean = benchmark.stats.stats.mean
+    emit(
+        "sec23_cluster_iteration",
+        f"Section 2.3 — solver iteration time, 4-machine cluster\n"
+        f"measured mean: {mean * 1e6:.1f} usec per iteration\n",
+    )
+    assert mean < 4e-3
+
+
+def test_sec23_readsensor_inprocess_latency(benchmark):
+    layout = validation_machine()
+    service = SensorService(Solver([layout], record=False),
+                            aliases=table1.sensor_map())
+    with SensorConnection(service, component="disk") as sensor:
+        benchmark(sensor.read)
+    mean = benchmark.stats.stats.mean
+    emit(
+        "sec23_readsensor_inprocess",
+        f"Section 2.3 — readsensor() latency, in-process transport\n"
+        f"measured mean: {mean * 1e6:.1f} usec\n"
+        f"real SCSI in-disk sensor: {SCSI_SENSOR_LATENCY * 1e6:.0f} usec\n",
+    )
+    assert mean < SCSI_SENSOR_LATENCY
+
+
+def test_sec23_readsensor_udp_latency(benchmark):
+    layout = validation_machine()
+    service = SensorService(Solver([layout], record=False),
+                            aliases=table1.sensor_map())
+    with UdpSensorServer(service) as server:
+        host, port = server.address
+        with SensorConnection(host, port, component="disk") as sensor:
+            sensor.read()  # warm both ends
+            benchmark.pedantic(sensor.read, iterations=50, rounds=10)
+    mean = benchmark.stats.stats.mean
+    emit(
+        "sec23_readsensor_udp",
+        f"Section 2.3 — readsensor() latency, UDP loopback transport\n"
+        f"measured mean: {mean * 1e6:.1f} usec\n"
+        f"paper: ~300 usec over the network; real SCSI sensor ~500 usec\n",
+    )
+    # Localhost UDP should comfortably beat the physical disk sensor.
+    assert mean < 5e-3

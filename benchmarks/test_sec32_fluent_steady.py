@@ -1,0 +1,62 @@
+"""Section 3.2: Mercury vs. the reference (Fluent-substitute) simulator.
+
+Fourteen steady-state experiments over different CPU/disk power
+combinations on the 2-D server case.  The paper reports Mercury within
+0.25 C (disk) and 0.32 C (CPU) of Fluent after calibration.
+"""
+
+import pytest
+
+from repro.reference.lumped import (
+    DEFAULT_POWER_POINTS,
+    calibrate_from_reference,
+    comparison_table,
+)
+from repro.reference.mesh import standard_case
+from repro.reference.steady import solve_steady
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def lumped_calibration():
+    return calibrate_from_reference()
+
+
+def test_sec32_steady_state_comparison(benchmark, lumped_calibration):
+    rows = comparison_table(
+        DEFAULT_POWER_POINTS, calibration=lumped_calibration
+    )
+
+    lines = [
+        f"{'cpu W':>6} {'disk W':>7} {'ref cpu':>9} {'merc cpu':>9} "
+        f"{'err':>7} {'ref disk':>9} {'merc disk':>10} {'err':>7}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.cpu_power:>6.0f} {row.disk_power:>7.0f} "
+            f"{row.reference_cpu:>9.2f} {row.mercury_cpu:>9.2f} "
+            f"{row.cpu_error:>+7.3f} {row.reference_disk:>9.2f} "
+            f"{row.mercury_disk:>10.2f} {row.disk_error:>+7.3f}"
+        )
+    max_cpu = max(abs(row.cpu_error) for row in rows)
+    max_disk = max(abs(row.disk_error) for row in rows)
+    summary = (
+        f"Section 3.2 — Mercury vs reference 2-D steady-state solver, "
+        f"{len(rows)} experiments\n"
+        f"calibration fit rmse: {lumped_calibration.rmse:.3f} C\n"
+        f"fitted k (W/K): "
+        f"{ {k: round(v, 2) for k, v in lumped_calibration.k_values.items()} }\n"
+        f"max |CPU error| = {max_cpu:.3f} C (paper: 0.32 C)\n"
+        f"max |disk error| = {max_disk:.3f} C (paper: 0.25 C)\n\n"
+        + "\n".join(lines)
+    )
+    emit("sec32_fluent_steady", summary)
+
+    assert max_cpu < 0.32
+    assert max_disk < 0.25
+
+    # Timed kernel: one reference steady-state solve (what Fluent took
+    # "several hours to days" for on real geometry).
+    mesh = standard_case(cpu_power=25.0, disk_power=10.0)
+    benchmark.pedantic(solve_steady, args=(mesh,), iterations=1, rounds=3)

@@ -1,0 +1,66 @@
+"""Section 5.1 baseline: the traditional red-line shutdown policy.
+
+Same trace and emergencies as Figure 11, but servers are simply turned
+off when a CPU crosses T_r.  The paper: machine 1 went down at 1440 s,
+machine 3 just before 1500 s, and the cluster dropped 14% of the trace;
+Freon served everything.  The reproduced shape: both hot machines shut
+down mid-peak and a double-digit share of peak-period requests is lost,
+versus zero under Freon.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, emergency_script
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def runs():
+    freon = ClusterSimulation(policy="freon", fiddle_script=emergency_script())
+    freon_result = freon.run(2000)
+    trad = ClusterSimulation(
+        policy="traditional", fiddle_script=emergency_script()
+    )
+    trad_result = trad.run(2000)
+    return freon_result, trad_result
+
+
+def test_sec51_traditional_vs_freon(benchmark, runs):
+    freon_result, trad_result = runs
+
+    # Drops concentrated in the post-shutdown peak window.
+    peak_offered = sum(
+        r.offered_rate for r in trad_result.records if 1200 <= r.time <= 1800
+    )
+    peak_dropped = sum(
+        r.dropped_rate for r in trad_result.records if 1200 <= r.time <= 1800
+    )
+    summary = (
+        "Section 5.1 — traditional (red-line shutdown) vs Freon\n"
+        f"traditional shutdowns: "
+        f"{[(s.time, s.machine, round(s.temperature, 1)) for s in trad_result.shutdowns]}\n"
+        f"traditional dropped: {trad_result.drop_fraction * 100:.2f}% of the "
+        f"whole trace (paper: 14%)\n"
+        f"traditional dropped during the peak window (1200-1800 s): "
+        f"{peak_dropped / peak_offered * 100:.1f}%\n"
+        f"Freon dropped: {freon_result.drop_fraction * 100:.2f}% (paper: 0%)\n"
+    )
+    emit("sec51_traditional", summary)
+
+    # Shape: the traditional policy loses both hot machines and a
+    # significant share of requests; Freon loses none.
+    assert [s.machine for s in trad_result.shutdowns] == [
+        "machine1", "machine3"
+    ]
+    assert trad_result.drop_fraction > 0.03
+    assert peak_dropped / peak_offered > 0.10
+    assert freon_result.drop_fraction == 0.0
+
+    def run_experiment():
+        sim = ClusterSimulation(
+            policy="traditional", fiddle_script=emergency_script()
+        )
+        return sim.run(2000)
+
+    benchmark.pedantic(run_experiment, iterations=1, rounds=1)

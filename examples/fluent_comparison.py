@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Mercury as a replacement for slow CFD (the section 3.2 study).
+
+Solves the 2-D server case with the fine-grained reference simulator (the
+stand-in for Fluent), derives Mercury's lumped constants from it, and
+compares steady-state temperatures at several power points — then shows
+the speed gap that motivates Mercury in the first place.
+
+Run:  python examples/fluent_comparison.py
+"""
+
+import time
+
+from repro.reference.lumped import (
+    calibrate_from_reference,
+    comparison_table,
+    lumped_case_layout,
+    steady_temperatures,
+)
+from repro.reference.mesh import standard_case
+from repro.reference.steady import solve_steady
+
+POWER_POINTS = [(10.0, 8.0), (20.0, 10.0), (30.0, 12.0), (40.0, 14.0)]
+
+
+def main():
+    print("Calibrating Mercury's lumped model against the reference "
+          "solver...")
+    calibration = calibrate_from_reference()
+    print(f"  fitted conductances (W/K): "
+          f"{ {k: round(v, 2) for k, v in calibration.k_values.items()} }")
+    print(f"  fitted air routing:        "
+          f"{ {k: round(v, 2) for k, v in calibration.fractions.items()} }")
+
+    print("\nSteady-state comparison (CPU power, disk power -> block temps):")
+    rows = comparison_table(POWER_POINTS, calibration=calibration)
+    print(f"{'cpu W':>6} {'disk W':>7} {'ref cpu':>9} {'mercury':>9} "
+          f"{'err':>7}   {'ref disk':>9} {'mercury':>9} {'err':>7}")
+    for row in rows:
+        print(
+            f"{row.cpu_power:>6.0f} {row.disk_power:>7.0f} "
+            f"{row.reference_cpu:>9.2f} {row.mercury_cpu:>9.2f} "
+            f"{row.cpu_error:>+7.3f}   {row.reference_disk:>9.2f} "
+            f"{row.mercury_disk:>9.2f} {row.disk_error:>+7.3f}"
+        )
+
+    # The punchline: per-experiment cost of each tool.
+    mesh = standard_case(cpu_power=25.0, disk_power=10.0)
+    start = time.perf_counter()
+    solve_steady(mesh)
+    reference_time = time.perf_counter() - start
+
+    layout = lumped_case_layout(
+        calibration.k_values, fractions=calibration.fractions
+    )
+    start = time.perf_counter()
+    steady_temperatures(layout, {"cpu": 25.0, "disk": 10.0, "psu": 40.0})
+    mercury_time = time.perf_counter() - start
+
+    print(
+        f"\nreference solve: {reference_time * 1e3:7.1f} ms per steady state"
+        f"\nmercury solve:   {mercury_time * 1e3:7.1f} ms per steady state"
+        f"\n(and real CFD on real geometry takes hours to days — while "
+        f"Mercury runs the whole software stack live)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: emulate one server's temperatures with Mercury.
+
+Builds the paper's Table 1 server, runs it through a simple load pattern,
+and reads temperatures the same way an application would — through the
+opensensor()/readsensor()/closesensor() API of Figure 3.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Solver, validation_machine
+from repro.config import table1
+from repro.sensors.api import closesensor, opensensor, readsensor
+from repro.sensors.server import SensorService
+
+
+def print_table1(layout):
+    print("Table 1 constants (as loaded):")
+    print(f"  inlet temperature: {layout.inlet_temperature} C")
+    print(f"  fan speed:         {layout.fan_cfm} ft^3/min")
+    for name, component in layout.components.items():
+        model = component.power_model
+        print(
+            f"  {name:<14} mass={component.mass:<6} kg  "
+            f"c={component.specific_heat:<6} J/(K kg)  "
+            f"power={model.idle_power:g}..{model.max_power:g} W"
+        )
+    for edge in layout.heat_edges:
+        print(f"  k[{edge.a} -- {edge.b}] = {edge.k} W/K")
+
+
+def main():
+    layout = validation_machine()
+    print_table1(layout)
+
+    solver = Solver([layout])
+    service = SensorService(solver, aliases=table1.sensor_map())
+
+    # Open sensors exactly like the paper's Figure 3 example.
+    cpu_sd = opensensor(service, 8367, "cpu")
+    disk_sd = opensensor(service, 8367, "disk")
+
+    print("\nWarming up: 20 minutes at 80% CPU / 40% disk load...")
+    solver.set_utilization("machine1", table1.CPU, 0.8)
+    solver.set_utilization("machine1", table1.DISK_PLATTERS, 0.4)
+    for minute in range(0, 21, 5):
+        print(
+            f"  t={minute:>3} min  CPU={readsensor(cpu_sd):6.2f} C  "
+            f"disk={readsensor(disk_sd):6.2f} C"
+        )
+        solver.run(300)
+
+    print("Load removed: cooling for 20 minutes...")
+    solver.set_utilization("machine1", table1.CPU, 0.0)
+    solver.set_utilization("machine1", table1.DISK_PLATTERS, 0.0)
+    solver.run(1200)
+    print(
+        f"  final     CPU={readsensor(cpu_sd):6.2f} C  "
+        f"disk={readsensor(disk_sd):6.2f} C"
+    )
+
+    closesensor(cpu_sd)
+    closesensor(disk_sd)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Thermal emergencies with fiddle, offline traces, and mdot graphs.
+
+Demonstrates three more Mercury capabilities on one scenario:
+
+1. the machine layout is round-tripped through the **mdot** language
+   (and exported to graphviz dot for visualization);
+2. a recorded utilization trace is **replicated** onto four machines to
+   emulate a small cluster offline ("replicating these traces allows
+   Mercury to emulate large cluster installations");
+3. a Figure 4-style **fiddle script** breaks one machine's cooling
+   mid-run and repairs it later — the repeatable-emergency experiment
+   that would damage real hardware.
+
+Run:  python examples/thermal_emergency.py
+"""
+
+from repro.config import table1
+from repro.config.layouts import validation_cluster
+from repro.core.trace import TracePoint, UtilizationTrace, run_offline
+from repro.fiddle.script import events_from_script
+from repro.mdot.loader import loads
+from repro.mdot.writer import dumps, to_graphviz
+
+EMERGENCY_SCRIPT = """#!/bin/bash
+# An air conditioner serving machine2 fails 10 minutes in and the
+# facilities team fixes it 40 minutes later.
+sleep 600
+fiddle machine2 temperature inlet 34
+sleep 2400
+fiddle machine2 restore
+"""
+
+
+def main():
+    cluster = validation_cluster()
+
+    # -- 1. the layouts as mdot text --------------------------------------
+    source = dumps(list(cluster.machines.values()), cluster)
+    machines, loaded_cluster = loads(source)
+    print(
+        f"mdot round-trip: {len(source.splitlines())} lines describing "
+        f"{len(machines)} machines + 1 cluster block"
+    )
+    dot = to_graphviz(machines[0])
+    print(f"graphviz export: {len(dot.splitlines())} lines "
+          f"(render with `dot -Tpng`)\n")
+
+    # -- 2. one recorded trace, replicated onto every machine -------------
+    base_trace = UtilizationTrace(
+        "recorded",
+        [
+            TracePoint(0.0, {table1.CPU: 0.30, table1.DISK_PLATTERS: 0.15}),
+            TracePoint(900.0, {table1.CPU: 0.75, table1.DISK_PLATTERS: 0.35}),
+            TracePoint(2700.0, {table1.CPU: 0.45, table1.DISK_PLATTERS: 0.20}),
+        ],
+    )
+    traces = base_trace.replicate(list(loaded_cluster.machines))
+
+    # -- 3. offline run with the scripted emergency -----------------------
+    history = run_offline(
+        machines,
+        traces,
+        cluster=loaded_cluster,
+        duration=3600.0,
+        events=events_from_script(EMERGENCY_SCRIPT),
+    )
+
+    print("CPU temperature (C) every 10 minutes:")
+    times = history.times("machine1")
+    header = ["t(min)"] + list(loaded_cluster.machines)
+    print("  ".join(f"{h:>9}" for h in header))
+    for minute in range(0, 61, 10):
+        idx = times.index(float(minute * 60))
+        row = [f"{minute:>9}"]
+        for machine in loaded_cluster.machines:
+            temp = history.samples(machine)[idx].temperatures[table1.CPU]
+            row.append(f"{temp:>9.2f}")
+        print("  ".join(row))
+
+    hot_peak = max(history.series("machine2", table1.CPU))
+    normal_peak = max(history.series("machine1", table1.CPU))
+    print(
+        f"\nmachine2 peaked {hot_peak - normal_peak:.1f} C above its "
+        f"identical siblings during the emergency, then recovered — a "
+        f"repeatable experiment no real machine room would enjoy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The section 3.1 validation study, condensed.
+
+1. Run CPU and disk calibration microbenchmarks on the simulated
+   physical server and record what its (imperfect) sensors report.
+2. Fit Mercury's heat-transfer constants to those recordings.
+3. Validate on the "challenging" mixed benchmark without touching the
+   inputs, and report the tracking error (the paper's claim: <= 1 C).
+
+Durations are trimmed so the whole study runs in ~15 seconds; the
+benchmark suite (benchmarks/test_fig5...fig8) runs the full-length
+version.
+
+Run:  python examples/validation_study.py
+"""
+
+import numpy as np
+
+from repro import validation_machine
+from repro.config import table1
+from repro.core.calibration import (
+    calibrate,
+    emulate,
+    measure_run,
+    smooth_series,
+)
+from repro.machine.server import SimulatedServer
+from repro.machine.workloads import (
+    MixedBenchmark,
+    cpu_microbenchmark,
+    disk_microbenchmark,
+)
+
+SEED = 11  # the one physical machine under test
+
+
+def main():
+    layout = validation_machine()
+
+    print("Step 1: calibration microbenchmarks on the physical machine...")
+    cpu_server = SimulatedServer(
+        layout,
+        workload=cpu_microbenchmark(
+            levels=(0.3, 0.7, 1.0), busy_length=900.0, idle_length=500.0
+        ),
+        seed=SEED,
+    )
+    cpu_run = measure_run(cpu_server, duration=4200.0, interval=1.0)
+    disk_server = SimulatedServer(
+        layout,
+        workload=disk_microbenchmark(
+            levels=(0.4, 0.8, 1.0), busy_length=900.0, idle_length=500.0
+        ),
+        seed=SEED,
+    )
+    disk_run = measure_run(disk_server, duration=4200.0, interval=1.0)
+
+    print("Step 2: fitting Mercury's constants to the recordings...")
+    fit = calibrate(layout, [cpu_run, disk_run], dt=5.0)
+    print(fit.describe())
+
+    print("\nStep 3: validation on the mixed benchmark (no re-tuning)...")
+    mixed_server = SimulatedServer(
+        layout, workload=MixedBenchmark(duration=3000.0), seed=SEED
+    )
+    mixed_run = measure_run(mixed_server, duration=3000.0, interval=1.0)
+    emulated = emulate(layout, mixed_run, k_overrides=fit.k_overrides, dt=1.0)
+
+    warmup = 120
+    for node, label in (
+        (table1.CPU_AIR, "CPU air"),
+        (table1.DISK_PLATTERS, "disk"),
+    ):
+        smoothed = np.asarray(
+            smooth_series(mixed_run.temperatures[node])[warmup:]
+        )
+        series = np.asarray(emulated[node][warmup:])
+        err = np.abs(smoothed - series)
+        verdict = "OK" if err.max() < 1.0 else "MISS"
+        print(
+            f"  {label:<8} rmse={np.sqrt((err**2).mean()):.3f} C  "
+            f"max={err.max():.3f} C  (paper claim: <= 1 C)  [{verdict}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

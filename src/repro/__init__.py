@@ -1,0 +1,93 @@
+"""Mercury & Freon: temperature emulation and management for server systems.
+
+A from-scratch Python reproduction of Heath et al., ASPLOS 2006:
+
+* **Mercury** (:mod:`repro.core`, :mod:`repro.sensors`,
+  :mod:`repro.daemons`, :mod:`repro.fiddle`, :mod:`repro.mdot`) — a
+  temperature *emulation* suite: a coarse-grained graph-based
+  finite-element solver fed by component utilizations, exposing
+  temperatures through a sensor-device-style API, with runtime
+  "fiddling" to inject thermal emergencies.
+* **Freon** (:mod:`repro.freon`) — thermal-emergency management for a
+  web-server cluster behind a weighted least-connections balancer, plus
+  Freon-EC, which combines energy conservation with thermal management.
+* **Substrates** (:mod:`repro.machine`, :mod:`repro.reference`,
+  :mod:`repro.cluster`) — the simulated physical server, the 2-D
+  reference thermal simulator standing in for Fluent, and the LVS +
+  Apache-style cluster model the evaluation needs.
+
+Quickstart::
+
+    from repro import validation_machine, Solver
+
+    layout = validation_machine()
+    solver = Solver([layout])
+    solver.set_utilization("machine1", "CPU", 0.8)
+    solver.run(600)
+    print(solver.temperature("machine1", "CPU"))
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from .config.layouts import validation_cluster, validation_machine
+from .core.calibration import calibrate, compare, emulate, measure_run
+from .core.graph import (
+    AirEdge,
+    AirRegion,
+    ClusterAirEdge,
+    ClusterLayout,
+    Component,
+    CoolingSource,
+    HeatEdge,
+    MachineLayout,
+)
+from .core.power import (
+    ConstantPowerModel,
+    LinearPowerModel,
+    PowerModel,
+    ScaledPowerModel,
+    TablePowerModel,
+)
+from .core.solver import Solver
+from .core.trace import UtilizationTrace, load_traces, run_offline, save_traces
+from .errors import ReproError
+from .fiddle.tool import Fiddle
+from .sensors.api import SensorConnection, closesensor, opensensor, readsensor
+from .sensors.server import SensorService, UdpSensorServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AirEdge",
+    "AirRegion",
+    "ClusterAirEdge",
+    "ClusterLayout",
+    "Component",
+    "ConstantPowerModel",
+    "CoolingSource",
+    "Fiddle",
+    "HeatEdge",
+    "LinearPowerModel",
+    "MachineLayout",
+    "PowerModel",
+    "ReproError",
+    "ScaledPowerModel",
+    "SensorConnection",
+    "SensorService",
+    "Solver",
+    "TablePowerModel",
+    "UdpSensorServer",
+    "UtilizationTrace",
+    "calibrate",
+    "closesensor",
+    "compare",
+    "emulate",
+    "load_traces",
+    "measure_run",
+    "opensensor",
+    "readsensor",
+    "run_offline",
+    "save_traces",
+    "validation_cluster",
+    "validation_machine",
+]

@@ -1,0 +1,223 @@
+"""Command-line tools for the Mercury/Freon suite.
+
+The original Mercury shipped as a set of programs (the solver, monitord,
+fiddle); this module provides the equivalent entry points over the
+library:
+
+``repro solve``
+    Offline mode: load machine/cluster graphs from an mdot file and a
+    utilization trace from CSV, optionally apply a fiddle script, and
+    write "another file containing all the usage and temperature
+    information for each component in the system over time".
+
+``repro check``
+    Parse and validate an mdot file; print a summary of each machine.
+
+``repro graphviz``
+    Export a machine's heat/air graphs as graphviz dot for drawing.
+
+``repro freon``
+    Run one of the section 5 cluster experiments (freon / freon-ec /
+    traditional / local-dvfs / none) and print the outcome summary.
+
+Each subcommand is also importable and unit-testable as a function
+taking an argv list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .cluster.simulation import (
+    POLICIES,
+    ClusterSimulation,
+    emergency_script,
+)
+from .core.trace import load_traces, run_offline, save_history
+from .errors import ReproError
+from .fiddle.script import events_from_script
+from .mdot.loader import load_file
+from .mdot.writer import to_graphviz
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mercury & Freon: temperature emulation and management",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser(
+        "solve", help="offline solver: mdot + trace CSV -> history CSV"
+    )
+    solve.add_argument("mdot", help="mdot file describing the machines")
+    solve.add_argument("trace", help="utilization trace CSV")
+    solve.add_argument("output", help="output history CSV")
+    solve.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds (default: trace length)",
+    )
+    solve.add_argument(
+        "--dt", type=float, default=1.0, help="solver tick in seconds"
+    )
+    solve.add_argument(
+        "--fiddle", default=None,
+        help="fiddle script applying timed emergencies",
+    )
+
+    check = sub.add_parser("check", help="validate an mdot file")
+    check.add_argument("mdot", help="mdot file to validate")
+
+    graphviz = sub.add_parser(
+        "graphviz", help="export a machine's graphs as graphviz dot"
+    )
+    graphviz.add_argument("mdot", help="mdot file")
+    graphviz.add_argument(
+        "--machine", default=None,
+        help="machine name (default: the first one)",
+    )
+
+    freon = sub.add_parser(
+        "freon", help="run a section 5 cluster experiment"
+    )
+    freon.add_argument(
+        "--policy", choices=POLICIES, default="freon",
+        help="management policy",
+    )
+    freon.add_argument(
+        "--duration", type=float, default=2000.0,
+        help="simulated seconds",
+    )
+    freon.add_argument(
+        "--no-emergency", action="store_true",
+        help="skip the inlet-temperature emergencies",
+    )
+    return parser
+
+
+def cmd_solve(args: argparse.Namespace, out) -> int:
+    machines, cluster = load_file(args.mdot)
+    if not machines:
+        print("error: mdot file declares no machines", file=out)
+        return 2
+    traces = load_traces(args.trace)
+    events = None
+    if args.fiddle:
+        with open(args.fiddle) as handle:
+            events = events_from_script(handle.read())
+    history = run_offline(
+        machines,
+        traces,
+        cluster=cluster,
+        dt=args.dt,
+        duration=args.duration,
+        events=events,
+    )
+    save_history(history, args.output)
+    samples = sum(len(history.samples(m)) for m in history.machines())
+    print(
+        f"solved {len(machines)} machine(s), {samples} samples "
+        f"-> {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace, out) -> int:
+    machines, cluster = load_file(args.mdot)
+    for machine in machines:
+        flows = machine.air_flow_rates()
+        print(
+            f"machine {machine.name!r}: {len(machine.components)} components, "
+            f"{len(machine.air_regions)} air regions, "
+            f"{len(machine.heat_edges)} heat edges, "
+            f"{len(machine.air_edges)} air edges; "
+            f"fan {machine.fan_cfm:g} cfm, inlet "
+            f"{machine.inlet_temperature:g} C, exhaust flow "
+            f"{flows[machine.exhaust]:.5f} m^3/s",
+            file=out,
+        )
+    if cluster is not None:
+        print(
+            f"cluster: {len(cluster.machines)} machines, "
+            f"{len(cluster.sources)} cooling sources, "
+            f"{len(cluster.edges)} air edges",
+            file=out,
+        )
+    print("OK", file=out)
+    return 0
+
+
+def cmd_graphviz(args: argparse.Namespace, out) -> int:
+    machines, _ = load_file(args.mdot)
+    if not machines:
+        print("error: mdot file declares no machines", file=out)
+        return 2
+    if args.machine is None:
+        target = machines[0]
+    else:
+        matches = [m for m in machines if m.name == args.machine]
+        if not matches:
+            print(f"error: no machine named {args.machine!r}", file=out)
+            return 2
+        target = matches[0]
+    print(to_graphviz(target), file=out, end="")
+    return 0
+
+
+def cmd_freon(args: argparse.Namespace, out) -> int:
+    script = None if args.no_emergency else emergency_script()
+    simulation = ClusterSimulation(policy=args.policy, fiddle_script=script)
+    result = simulation.run(args.duration)
+    print(f"policy: {args.policy}", file=out)
+    print(
+        f"dropped requests: {result.drop_fraction * 100:.2f}% of "
+        f"{result.total_offered:.0f}",
+        file=out,
+    )
+    peaks = {
+        m: round(result.max_temperature(m), 1) for m in simulation.machines
+    }
+    print(f"peak CPU temperatures: {peaks}", file=out)
+    if result.adjustments:
+        print(f"adjustments: {len(result.adjustments)}", file=out)
+    if result.shutdowns:
+        print(
+            f"shutdowns: {[(s.time, s.machine) for s in result.shutdowns]}",
+            file=out,
+        )
+    if result.ec_events:
+        print(f"reconfigurations: {len(result.ec_events)}", file=out)
+    if result.pstate_changes:
+        print(f"P-state changes: {len(result.pstate_changes)}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "solve": cmd_solve,
+    "check": cmd_check,
+    "graphviz": cmd_graphviz,
+    "freon": cmd_freon,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

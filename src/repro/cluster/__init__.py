@@ -1,0 +1,40 @@
+"""The server-cluster substrate: balancer, servers, traces, simulation.
+
+``ClusterSimulation`` and friends are re-exported lazily to avoid a
+circular import (the simulation pulls in the Freon daemons, which use the
+balancer types from this package).
+"""
+
+from .content_aware import (
+    ContentAwareBalancer,
+    TwoStageFreon,
+    classed_load,
+)
+from .lvs import Allocation, LoadBalancer, RealServer, ServerState
+from .tracegen import RequestTrace, constant_trace, diurnal_trace
+from .webserver import PowerState, RequestMix, WebServer
+
+__all__ = [
+    "Allocation", "ClusterSimulation", "FREON_K_OVERRIDES", "LoadBalancer",
+    "PowerState", "RealServer", "RequestMix", "RequestTrace",
+    "ServerState", "SimulationResult", "WebServer", "constant_trace",
+    "diurnal_trace", "emergency_script",
+    "ContentAwareBalancer", "TwoStageFreon", "classed_load",
+    "MultiTierResult", "MultiTierSimulation",
+]
+
+_LAZY_SIMULATION = ("ClusterSimulation", "FREON_K_OVERRIDES",
+                    "SimulationResult", "emergency_script")
+_LAZY_MULTITIER = ("MultiTierSimulation", "MultiTierResult")
+
+
+def __getattr__(name):
+    if name in _LAZY_SIMULATION:
+        from . import simulation
+
+        return getattr(simulation, name)
+    if name in _LAZY_MULTITIER:
+        from . import multitier
+
+        return getattr(multitier, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

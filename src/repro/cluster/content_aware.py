@@ -1,0 +1,229 @@
+"""Content-aware request distribution and Freon's two-stage policy.
+
+Section 4.3: "in the face of a hot CPU, the system could distribute
+requests in such a way that only memory or I/O-bound requests were sent
+to it.  Lower weights and connection limits would only be used if this
+strategy did not reduce the CPU temperature enough.  The current version
+of Freon does not implement this two-stage policy because LVS does not
+support content-aware request distribution."
+
+This module supplies what LVS could not, so the two-stage policy can be
+built and evaluated:
+
+* :class:`ContentAwareBalancer` — splits traffic into two classes
+  (CPU-heavy *dynamic* requests and I/O-heavy *static* requests) with
+  independent per-server, per-class weights;
+* :class:`ClassedLoad` / :func:`classed_load` — the server-side view:
+  utilizations and concurrency from the two class rates;
+* :class:`TwoStageFreon` — stage 1 steers only dynamic requests away
+  from a hot server (its throughput in static requests is untouched);
+  stage 2 falls back to classic whole-load weight reduction when stage 1
+  has run out of dynamic traffic to shed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ClusterError
+from .webserver import RequestMix
+
+#: The two request classes.
+DYNAMIC = "dynamic"
+STATIC = "static"
+CLASSES = (DYNAMIC, STATIC)
+
+
+@dataclass(frozen=True)
+class ClassedLoad:
+    """Per-tick observable state from two class rates on one server."""
+
+    cpu_utilization: float
+    disk_utilization: float
+    connections: float
+
+
+def classed_load(
+    dynamic_rate: float, static_rate: float, mix: Optional[RequestMix] = None
+) -> ClassedLoad:
+    """Utilizations and concurrency for a (dynamic, static) rate pair."""
+    if dynamic_rate < 0.0 or static_rate < 0.0:
+        raise ClusterError("class rates must be non-negative")
+    mix = mix or RequestMix()
+    cpu = min(dynamic_rate * mix.dynamic_cpu + static_rate * mix.static_cpu, 1.0)
+    disk = min(
+        dynamic_rate * mix.dynamic_disk + static_rate * mix.static_disk, 1.0
+    )
+    response = (mix.dynamic_cpu + mix.dynamic_disk) * dynamic_rate + (
+        mix.static_cpu + mix.static_disk
+    ) * static_rate
+    return ClassedLoad(
+        cpu_utilization=cpu, disk_utilization=disk, connections=response
+    )
+
+
+class ContentAwareBalancer:
+    """Two-class weighted request distribution.
+
+    Each server holds one weight per request class; a class's offered
+    rate is split proportionally to the class weights, independently of
+    the other class.  Setting a server's *dynamic* weight to a fraction
+    of its peers' steers CPU-heavy work away while static work keeps
+    flowing — the stage-1 knob.
+    """
+
+    def __init__(self, servers: Sequence[str]) -> None:
+        if not servers:
+            raise ClusterError("the balancer needs at least one real server")
+        self._weights: Dict[str, Dict[str, float]] = {
+            name: {cls: 1.0 for cls in CLASSES} for name in servers
+        }
+        self.total_offered = 0.0
+        self.total_dropped = 0.0
+
+    @property
+    def servers(self) -> List[str]:
+        """Backend names in registration order."""
+        return list(self._weights)
+
+    def weight(self, server: str, request_class: str) -> float:
+        """Current weight of one server for one request class."""
+        self._check(server, request_class)
+        return self._weights[server][request_class]
+
+    def set_weight(self, server: str, request_class: str, weight: float) -> None:
+        """Set one server's weight for one request class."""
+        self._check(server, request_class)
+        if weight < 0.0:
+            raise ClusterError("weights must be non-negative")
+        self._weights[server][request_class] = max(weight, 1e-6)
+
+    def _check(self, server: str, request_class: str) -> None:
+        if server not in self._weights:
+            raise ClusterError(f"unknown server {server!r}")
+        if request_class not in CLASSES:
+            raise ClusterError(f"unknown request class {request_class!r}")
+
+    def allocate(
+        self,
+        offered: Mapping[str, float],
+        capacity: Mapping[str, float],
+    ) -> Tuple[Dict[str, Dict[str, float]], float]:
+        """Split per-class offered rates across servers.
+
+        ``offered`` maps class -> requests/second; ``capacity`` maps
+        server -> total request ceiling.  Returns (per-server per-class
+        rates, dropped rate).  Capacity is consumed dynamic-first (those
+        are the expensive requests), mirroring how an overloaded server
+        sheds work.
+        """
+        rates: Dict[str, Dict[str, float]] = {
+            name: {cls: 0.0 for cls in CLASSES} for name in self._weights
+        }
+        dropped = 0.0
+        headroom = {
+            name: capacity.get(name, float("inf")) for name in self._weights
+        }
+        for request_class in CLASSES:
+            demand = offered.get(request_class, 0.0)
+            if demand < 0.0:
+                raise ClusterError("offered rates must be non-negative")
+            self.total_offered += demand
+            open_set = {
+                name: self._weights[name][request_class]
+                for name in self._weights
+                if headroom[name] > 1e-12
+            }
+            remaining = demand
+            while remaining > 1e-12 and open_set:
+                total_weight = sum(open_set.values())
+                if total_weight <= 0.0:
+                    break
+                saturated = []
+                moved = 0.0
+                for name, weight in open_set.items():
+                    share = remaining * weight / total_weight
+                    take = min(share, headroom[name])
+                    rates[name][request_class] += take
+                    headroom[name] -= take
+                    moved += take
+                    if share >= headroom[name] - 1e-12:
+                        saturated.append(name)
+                remaining -= moved
+                for name in saturated:
+                    if headroom[name] <= 1e-12:
+                        open_set.pop(name, None)
+                if moved <= 1e-15:
+                    break
+            if remaining > 1e-9 * max(demand, 1.0):
+                dropped += remaining
+        self.total_dropped += dropped
+        return rates, dropped
+
+
+@dataclass
+class StageEvent:
+    """One two-stage policy action, for experiment records."""
+
+    time: float
+    machine: str
+    stage: int
+    action: str
+
+
+class TwoStageFreon:
+    """The section 4.3 two-stage thermal policy for one hot server.
+
+    Stage 1 (content-aware): on each hot observation, halve the server's
+    *dynamic-class* weight — CPU-heavy requests drain away, static
+    throughput is untouched.  Stage 2 (classic): once the dynamic weight
+    is already negligible and the CPU is still hot, start reducing the
+    static weight too.  Recovery restores dynamic first (it is the cheap
+    knob to give back), then static.
+    """
+
+    #: Dynamic weight below which stage 1 is considered exhausted.
+    STAGE1_FLOOR = 0.05
+
+    def __init__(
+        self,
+        balancer: ContentAwareBalancer,
+        high: float = 67.0,
+        low: float = 64.0,
+    ) -> None:
+        if low >= high:
+            raise ClusterError("low threshold must be below high")
+        self.balancer = balancer
+        self.high = high
+        self.low = low
+        self.events: List[StageEvent] = []
+
+    def observe(self, machine: str, cpu_temperature: float, now: float) -> None:
+        """One policy step for one server's CPU temperature."""
+        dynamic = self.balancer.weight(machine, DYNAMIC)
+        static = self.balancer.weight(machine, STATIC)
+        if cpu_temperature > self.high:
+            if dynamic > self.STAGE1_FLOOR:
+                self.balancer.set_weight(machine, DYNAMIC, dynamic * 0.5)
+                self.events.append(
+                    StageEvent(now, machine, 1, "halve dynamic weight")
+                )
+            else:
+                self.balancer.set_weight(machine, STATIC, static * 0.5)
+                self.events.append(
+                    StageEvent(now, machine, 2, "halve static weight")
+                )
+        elif cpu_temperature < self.low:
+            if static < 1.0:
+                self.balancer.set_weight(machine, STATIC, min(static * 2.0, 1.0))
+                self.events.append(
+                    StageEvent(now, machine, 2, "restore static weight")
+                )
+            elif dynamic < 1.0:
+                self.balancer.set_weight(
+                    machine, DYNAMIC, min(dynamic * 2.0, 1.0)
+                )
+                self.events.append(
+                    StageEvent(now, machine, 1, "restore dynamic weight")
+                )

@@ -1,0 +1,203 @@
+"""A user-space model of LVS weighted least-connections scheduling.
+
+Freon manipulates LVS (the Linux Virtual Server kernel module) through
+exactly three knobs, all modeled here:
+
+* **per-server weights** — LVS "directs requests to the server i with the
+  lowest ratio of active connections and weight,
+  min(Conns_i / Weight_i)"; in fluid steady state that allocates load
+  proportionally to weights;
+* **per-server concurrent-connection limits** — Freon caps a hot
+  server's connections at its recent average;
+* **server membership** — Freon-EC instructs LVS to stop using a server
+  (quiesce + drain) and to start using it again.
+
+The balancer works on per-tick request *rates* (a fluid approximation of
+per-connection dispatch — see DESIGN.md): each tick the offered rate is
+split proportionally to the weights of servers that can accept load,
+water-filling around servers pinned at their connection caps or capacity
+limits, and anything no server can absorb is dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import ClusterError, ServerStateError
+
+#: Weight resolution: LVS weights are integers; we keep floats internally
+#: but never let an active server's weight fall below this.
+MIN_WEIGHT = 1e-3
+
+
+class ServerState(enum.Enum):
+    """Lifecycle of a real server behind the balancer."""
+
+    ACTIVE = "active"
+    QUIESCING = "quiescing"  # no new connections; draining existing ones
+    OFF = "off"
+
+
+@dataclass
+class RealServer:
+    """Balancer-side bookkeeping for one backend."""
+
+    name: str
+    weight: float = 1.0
+    #: None means unlimited concurrent connections.
+    connection_limit: Optional[float] = None
+    state: ServerState = ServerState.ACTIVE
+    #: Fluid count of in-flight connections (updated by the cluster sim).
+    active_connections: float = 0.0
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of one tick of load distribution."""
+
+    rates: Dict[str, float]
+    dropped_rate: float
+
+
+class LoadBalancer:
+    """Weighted least-connections request distribution with caps."""
+
+    def __init__(self, servers: "List[str]") -> None:
+        if not servers:
+            raise ClusterError("the balancer needs at least one real server")
+        self._servers: Dict[str, RealServer] = {
+            name: RealServer(name) for name in servers
+        }
+        self.total_dropped = 0.0
+        self.total_offered = 0.0
+
+    # -- administrative interface (what admd calls) ------------------------
+
+    def server(self, name: str) -> RealServer:
+        """Bookkeeping record for one backend."""
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise ClusterError(f"unknown real server {name!r}") from None
+
+    def servers(self) -> "List[RealServer]":
+        """All backends, in registration order."""
+        return list(self._servers.values())
+
+    def active_servers(self) -> "List[RealServer]":
+        """Backends currently accepting new connections."""
+        return [s for s in self._servers.values() if s.state is ServerState.ACTIVE]
+
+    def set_weight(self, name: str, weight: float) -> None:
+        """Set a server's scheduling weight."""
+        if weight < MIN_WEIGHT:
+            weight = MIN_WEIGHT
+        self.server(name).weight = weight
+
+    def set_connection_limit(self, name: str, limit: Optional[float]) -> None:
+        """Cap (or uncap, with None) a server's concurrent connections."""
+        if limit is not None and limit < 0.0:
+            raise ClusterError("connection limit must be non-negative")
+        self.server(name).connection_limit = limit
+
+    def quiesce(self, name: str) -> None:
+        """Stop sending new connections to a server (drain begins)."""
+        server = self.server(name)
+        if server.state is ServerState.OFF:
+            raise ServerStateError(f"server {name!r} is off")
+        server.state = ServerState.QUIESCING
+
+    def mark_off(self, name: str) -> None:
+        """Record that a drained server has been shut down."""
+        server = self.server(name)
+        if server.active_connections > 1e-6:
+            raise ServerStateError(
+                f"server {name!r} still has {server.active_connections:.2f} "
+                "connections; drain before shutdown"
+            )
+        server.state = ServerState.OFF
+
+    def activate(self, name: str) -> None:
+        """Start (or resume) scheduling new connections to a server."""
+        self.server(name).state = ServerState.ACTIVE
+
+    # -- scheduling ----------------------------------------------------------
+
+    def allocate(
+        self,
+        offered_rate: float,
+        capacity: Mapping[str, float],
+        response_time: Mapping[str, float],
+    ) -> Allocation:
+        """Split one tick's offered request rate across the backends.
+
+        ``capacity`` is each server's maximum sustainable request rate
+        (req/s) this tick; ``response_time`` its current mean response
+        time (s), used to translate connection caps into rate caps via
+        Little's law.  Returns per-server rates and the dropped rate.
+        """
+        if offered_rate < 0.0:
+            raise ClusterError("offered rate must be non-negative")
+        self.total_offered += offered_rate
+        eligible = self.active_servers()
+        rates: Dict[str, float] = {name: 0.0 for name in self._servers}
+        if not eligible or offered_rate == 0.0:
+            self.total_dropped += offered_rate
+            return Allocation(rates=rates, dropped_rate=offered_rate)
+
+        # Per-server hard ceiling: capacity, further capped by the
+        # connection limit translated through Little's law (L = lambda T).
+        ceiling: Dict[str, float] = {}
+        for server in eligible:
+            limit = capacity.get(server.name, float("inf"))
+            if server.connection_limit is not None:
+                t_resp = max(response_time.get(server.name, 0.0), 1e-6)
+                limit = min(limit, server.connection_limit / t_resp)
+            ceiling[server.name] = max(limit, 0.0)
+
+        # Water-filling: distribute proportionally to weight; servers that
+        # hit their ceiling keep the ceiling and the excess is reoffered
+        # to the rest.
+        remaining = offered_rate
+        open_set = {server.name: server.weight for server in eligible}
+        while remaining > 1e-12 and open_set:
+            total_weight = sum(open_set.values())
+            if total_weight <= 0.0:
+                break
+            saturated: List[str] = []
+            distributed = 0.0
+            for name, weight in open_set.items():
+                share = remaining * weight / total_weight
+                headroom = ceiling[name] - rates[name]
+                take = min(share, headroom)
+                rates[name] += take
+                distributed += take
+                if share >= headroom - 1e-12:
+                    saturated.append(name)
+            remaining -= distributed
+            if not saturated:
+                break
+            for name in saturated:
+                open_set.pop(name, None)
+        # Water-filling leaves float residue of order 1e-13; only count a
+        # physically meaningful remainder as dropped load.
+        dropped = remaining if remaining > 1e-9 * max(offered_rate, 1.0) else 0.0
+        self.total_dropped += dropped
+        return Allocation(rates=rates, dropped_rate=dropped)
+
+    # -- statistics (what admd samples every few seconds) -------------------
+
+    def connection_stats(self) -> Dict[str, float]:
+        """Current active-connection counts, as LVS would report them."""
+        return {
+            name: server.active_connections
+            for name, server in self._servers.items()
+        }
+
+    def drop_fraction(self) -> float:
+        """Cumulative fraction of offered load that was dropped."""
+        if self.total_offered <= 0.0:
+            return 0.0
+        return self.total_dropped / self.total_offered

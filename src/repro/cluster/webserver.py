@@ -1,0 +1,204 @@
+"""A queueing model of one Apache-style web server (paper section 5).
+
+Freon observes servers through component utilizations and temperatures,
+so the server model's job is to map an assigned request rate to CPU and
+disk utilization, concurrency, and drops — not to speak HTTP.
+
+The workload mix follows the paper's synthetic trace: 30% of requests
+are dynamic (a CGI script computing for 25 ms), the rest static files
+(a little CPU, mostly disk).  Per tick, for assigned rate ``lambda``:
+
+* ``cpu_util = lambda * E[cpu demand]``, ``disk_util = lambda *
+  E[disk demand]`` (clamped at 1 — beyond that the server is saturated
+  and the balancer's capacity ceiling prevents the excess from arriving);
+* mean response time uses the M/M/1-style inflation ``T = S / (1 - rho)``
+  on the bottleneck utilization, bounded to keep the fluid model sane;
+* concurrency follows Little's law, ``L = lambda * T``.
+
+Servers also carry the power state machine Freon-EC drives: booting
+(CPU pegged while the OS comes up), active, draining, off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ServerStateError
+
+#: Response-time inflation is clamped at this factor (a loaded-but-alive
+#: server, not an infinite queue).
+_MAX_INFLATION = 10.0
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Average per-request service demands (seconds) for a traffic mix."""
+
+    dynamic_fraction: float = 0.30
+    dynamic_cpu: float = 0.025   # the paper's 25 ms CGI compute
+    static_cpu: float = 0.002
+    static_disk: float = 0.008
+    dynamic_disk: float = 0.001  # CGI reply is small
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dynamic_fraction <= 1.0:
+            raise ValueError("dynamic fraction must be in [0, 1]")
+
+    @property
+    def cpu_demand(self) -> float:
+        """Mean CPU seconds per request."""
+        return (
+            self.dynamic_fraction * self.dynamic_cpu
+            + (1.0 - self.dynamic_fraction) * self.static_cpu
+        )
+
+    @property
+    def disk_demand(self) -> float:
+        """Mean disk seconds per request."""
+        return (
+            self.dynamic_fraction * self.dynamic_disk
+            + (1.0 - self.dynamic_fraction) * self.static_disk
+        )
+
+    @property
+    def base_response_time(self) -> float:
+        """Unloaded mean response time (CPU and disk in series)."""
+        return self.cpu_demand + self.disk_demand
+
+    def capacity(self) -> float:
+        """Maximum sustainable request rate (req/s) of one server."""
+        bottleneck = max(self.cpu_demand, self.disk_demand)
+        return 1.0 / bottleneck if bottleneck > 0.0 else float("inf")
+
+
+class PowerState(enum.Enum):
+    """Freon-EC-visible lifecycle of a server machine."""
+
+    OFF = "off"
+    BOOTING = "booting"
+    ACTIVE = "active"
+    DRAINING = "draining"
+
+
+@dataclass
+class ServerLoad:
+    """One tick's observable state of a web server."""
+
+    cpu_utilization: float
+    disk_utilization: float
+    response_time: float
+    connections: float
+
+
+class WebServer:
+    """The load/utilization model of one server machine."""
+
+    def __init__(
+        self,
+        name: str,
+        mix: Optional[RequestMix] = None,
+        boot_time: float = 60.0,
+        start_on: bool = True,
+    ) -> None:
+        self.name = name
+        self.mix = mix or RequestMix()
+        self.boot_time = boot_time
+        self.state = PowerState.ACTIVE if start_on else PowerState.OFF
+        self._boot_remaining = 0.0
+        #: CPU speed relative to nominal (DVFS / clock throttling).  A
+        #: slower clock stretches per-request CPU time, raising the busy
+        #: fraction at a given rate and shrinking the capacity ceiling —
+        #: the throughput cost of local throttling (section 4.3).
+        self.speed_factor = 1.0
+        self.load = ServerLoad(0.0, 0.0, self.mix.base_response_time, 0.0)
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Set the CPU frequency ratio (0 < factor <= 1)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("speed factor must be in (0, 1]")
+        self.speed_factor = factor
+
+    # -- power control (Freon-EC) -----------------------------------------
+
+    def power_on(self) -> None:
+        """Begin booting; the server accepts connections once booted."""
+        if self.state is not PowerState.OFF:
+            raise ServerStateError(f"server {self.name!r} is not off")
+        self.state = PowerState.BOOTING
+        self._boot_remaining = self.boot_time
+
+    def begin_drain(self) -> None:
+        """Stop accepting new work; power off when connections reach 0."""
+        if self.state is not PowerState.ACTIVE:
+            raise ServerStateError(f"server {self.name!r} is not active")
+        self.state = PowerState.DRAINING
+
+    @property
+    def accepts_load(self) -> bool:
+        """True when the balancer may send new connections here."""
+        return self.state is PowerState.ACTIVE
+
+    @property
+    def is_on(self) -> bool:
+        """True when the machine consumes power (anything but OFF)."""
+        return self.state is not PowerState.OFF
+
+    # -- per-tick model -----------------------------------------------------
+
+    def capacity(self) -> float:
+        """Maximum request rate this server can absorb right now."""
+        if self.state is not PowerState.ACTIVE:
+            return 0.0
+        cpu_bound = self.speed_factor / self.mix.cpu_demand
+        disk_bound = (
+            1.0 / self.mix.disk_demand if self.mix.disk_demand > 0.0
+            else float("inf")
+        )
+        return min(cpu_bound, disk_bound)
+
+    def step(self, assigned_rate: float, dt: float) -> ServerLoad:
+        """Advance one tick with ``assigned_rate`` requests/second."""
+        if assigned_rate < 0.0:
+            raise ValueError("assigned rate must be non-negative")
+        if self.state is PowerState.BOOTING:
+            self._boot_remaining -= dt
+            if self._boot_remaining <= 0.0:
+                self.state = PowerState.ACTIVE
+            # The OS boot pegs the CPU and rattles the disk (the paper
+            # notes turn-on "causes its CPU utilization ... to spike").
+            self.load = ServerLoad(
+                cpu_utilization=1.0 if self.state is PowerState.BOOTING else 0.0,
+                disk_utilization=0.6 if self.state is PowerState.BOOTING else 0.0,
+                response_time=self.mix.base_response_time,
+                connections=0.0,
+            )
+            if self.state is PowerState.BOOTING:
+                return self.load
+            assigned_rate = 0.0  # freshly active; load arrives next tick
+        if self.state is PowerState.OFF:
+            self.load = ServerLoad(0.0, 0.0, self.mix.base_response_time, 0.0)
+            return self.load
+        if self.state is PowerState.DRAINING:
+            # Existing connections finish within a response time; with
+            # sub-second response times one tick drains everything.
+            assigned_rate = 0.0
+        cpu = min(assigned_rate * self.mix.cpu_demand / self.speed_factor, 1.0)
+        disk = min(assigned_rate * self.mix.disk_demand, 1.0)
+        rho = max(cpu, disk)
+        inflation = min(1.0 / max(1.0 - rho, 1.0 / _MAX_INFLATION), _MAX_INFLATION)
+        base = (
+            self.mix.cpu_demand / self.speed_factor + self.mix.disk_demand
+        )
+        response_time = base * inflation
+        connections = assigned_rate * response_time
+        self.load = ServerLoad(
+            cpu_utilization=cpu,
+            disk_utilization=disk,
+            response_time=response_time,
+            connections=connections,
+        )
+        if self.state is PowerState.DRAINING and connections <= 1e-9:
+            self.state = PowerState.OFF
+        return self.load

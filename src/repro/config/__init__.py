@@ -1,0 +1,10 @@
+"""Paper constants (Table 1) and builders for the Figure 1 layouts."""
+
+from . import table1
+from .cmp import cmp_machine, set_core_utilizations
+from .layouts import recirculating_cluster, validation_cluster, validation_machine
+
+__all__ = [
+    "cmp_machine", "recirculating_cluster", "set_core_utilizations",
+    "table1", "validation_cluster", "validation_machine",
+]

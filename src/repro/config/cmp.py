@@ -1,0 +1,147 @@
+"""Chip-multiprocessor layouts: two-level CPU emulation (section 7).
+
+"We also plan to study the emulation of chip multiprocessors, which will
+probably have to be done in two levels, for each core and the entire
+chip."  This builder does exactly that on top of the Table 1 server:
+
+* each **core** is a small component with its own utilization and a
+  per-core share of the CPU's dynamic power;
+* the **package** (heat spreader + heat sink, carrying most of the
+  Table 1 CPU mass) aggregates the cores through per-core conductances
+  and is the only CPU-side node touching the air stream;
+* the uncore/static power stays in the package.
+
+Core temperatures respond quickly (small mass) and individually — a
+single busy core runs hotter than its idle siblings — while the package
+integrates them, which is the two-level behaviour the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.graph import AirEdge, AirRegion, Component, HeatEdge, MachineLayout
+from ..core.power import ConstantPowerModel, LinearPowerModel
+from . import table1
+
+#: Fraction of the CPU's dynamic power budget spent in the cores (the
+#: rest is uncore: interconnect, caches, memory controller).
+CORE_POWER_SHARE = 0.8
+
+#: Per-core die mass (kg): a few grams of silicon and heat-spreader copper.
+CORE_MASS = 0.004
+
+#: Core-to-package conductance (W/K).  Die-to-spreader paths are short
+#: and wide, so this is much larger than the package-to-air conductance.
+CORE_TO_PACKAGE_K = 2.5
+
+
+def core_name(index: int) -> str:
+    """Canonical name of core ``index`` ("Core 0", "Core 1", ...)."""
+    return f"Core {index}"
+
+
+def cmp_machine(
+    cores: int = 4,
+    name: str = "machine1",
+    inlet_temperature: float = table1.INLET_TEMPERATURE,
+    fan_cfm: float = table1.FAN_CFM,
+    k_overrides: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> MachineLayout:
+    """The Table 1 server with its CPU split into a CMP.
+
+    The aggregate power envelope matches Table 1's CPU (7 W idle, 31 W
+    all-cores-busy): each of the ``cores`` cores spans an equal slice of
+    the core power budget, and the package models the uncore.
+    """
+    if cores < 1:
+        raise ValueError("a CMP needs at least one core")
+    cpu_base, cpu_max = table1.POWER_RANGE[table1.CPU]
+    dynamic = cpu_max - cpu_base
+    core_dynamic = dynamic * CORE_POWER_SHARE / cores
+    core_idle = cpu_base * 0.3 / cores  # leakage lives mostly in the cores
+    package_idle = cpu_base - core_idle * cores
+    package_max = package_idle + dynamic * (1.0 - CORE_POWER_SHARE)
+
+    package_mass = table1.MASS[table1.CPU] - CORE_MASS * cores
+    if package_mass <= 0.0:
+        raise ValueError("too many cores for the Table 1 CPU mass budget")
+
+    components: List[Component] = [
+        Component(
+            name=core_name(i),
+            mass=CORE_MASS,
+            specific_heat=table1.SPECIFIC_HEAT[table1.CPU],
+            power_model=LinearPowerModel(core_idle, core_idle + core_dynamic),
+            monitored=True,
+        )
+        for i in range(cores)
+    ]
+    components.append(
+        Component(
+            name="CPU Package",
+            mass=package_mass,
+            specific_heat=table1.SPECIFIC_HEAT[table1.CPU],
+            # The uncore scales with the *average* core utilization, which
+            # monitord reports as this component's utilization.
+            power_model=LinearPowerModel(package_idle, package_max),
+            monitored=True,
+        )
+    )
+    for component in table1.COMPONENT_NAMES:
+        if component == table1.CPU:
+            continue
+        low, high = table1.POWER_RANGE[component]
+        model = (
+            ConstantPowerModel(low)
+            if low == high
+            else LinearPowerModel(low, high)
+        )
+        components.append(
+            Component(
+                name=component,
+                mass=table1.MASS[component],
+                specific_heat=table1.SPECIFIC_HEAT[component],
+                power_model=model,
+                monitored=component in table1.MONITORED,
+            )
+        )
+
+    heat_edges: List[HeatEdge] = [
+        HeatEdge(core_name(i), "CPU Package", CORE_TO_PACKAGE_K)
+        for i in range(cores)
+    ]
+    for a, b, k in table1.HEAT_EDGES:
+        # The package inherits the CPU's edges to the air and motherboard.
+        a = "CPU Package" if a == table1.CPU else a
+        b = "CPU Package" if b == table1.CPU else b
+        key = (a, b) if a <= b else (b, a)
+        if k_overrides is not None and key in k_overrides:
+            k = k_overrides[key]
+        heat_edges.append(HeatEdge(a, b, k))
+
+    air_regions = [AirRegion(region) for region in table1.AIR_REGION_NAMES]
+    air_edges = [AirEdge(src, dst, f) for src, dst, f in table1.AIR_EDGES]
+    return MachineLayout(
+        name=name,
+        components=components,
+        air_regions=air_regions,
+        heat_edges=heat_edges,
+        air_edges=air_edges,
+        inlet=table1.INLET,
+        exhaust=table1.EXHAUST,
+        inlet_temperature=inlet_temperature,
+        fan_cfm=fan_cfm,
+    )
+
+
+def set_core_utilizations(solver, machine: str, utilizations: "List[float]") -> None:
+    """Feed per-core utilizations plus the derived package utilization.
+
+    monitord in CMP mode reports one utilization per core and lets the
+    package's (uncore) utilization be their average.
+    """
+    for index, value in enumerate(utilizations):
+        solver.set_utilization(machine, core_name(index), value)
+    average = sum(utilizations) / len(utilizations) if utilizations else 0.0
+    solver.set_utilization(machine, "CPU Package", average)

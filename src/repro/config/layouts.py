@@ -1,0 +1,141 @@
+"""Programmatic builders for the paper's Figure 1 graphs.
+
+:func:`validation_machine` builds the intra-machine heat-flow and
+air-flow graphs of Figures 1(a)/(b) with the constants of Table 1 —
+the single Pentium-III server used for the real-machine validation.
+:func:`validation_cluster` builds the four-machine cluster of
+Figure 1(c) used for the Freon studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.graph import (
+    AirEdge,
+    AirRegion,
+    ClusterAirEdge,
+    ClusterLayout,
+    Component,
+    CoolingSource,
+    HeatEdge,
+    MachineLayout,
+)
+from ..core.power import ConstantPowerModel, LinearPowerModel, PowerModel
+from . import table1
+
+
+def _power_model(name: str) -> PowerModel:
+    low, high = table1.POWER_RANGE[name]
+    if low == high:
+        return ConstantPowerModel(low)
+    return LinearPowerModel(p_base=low, p_max=high)
+
+
+def validation_machine(
+    name: str = "machine1",
+    inlet_temperature: float = table1.INLET_TEMPERATURE,
+    fan_cfm: float = table1.FAN_CFM,
+    k_overrides: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> MachineLayout:
+    """The Table 1 server as a :class:`MachineLayout`.
+
+    ``k_overrides`` replaces individual heat-edge constants, keyed by the
+    canonical (sorted) endpoint pair — this is how calibrated constants
+    are re-materialized into a layout.
+    """
+    components = [
+        Component(
+            name=component,
+            mass=table1.MASS[component],
+            specific_heat=table1.SPECIFIC_HEAT[component],
+            power_model=_power_model(component),
+            monitored=component in table1.MONITORED,
+        )
+        for component in table1.COMPONENT_NAMES
+    ]
+    air_regions = [AirRegion(region) for region in table1.AIR_REGION_NAMES]
+    heat_edges = []
+    for a, b, k in table1.HEAT_EDGES:
+        key = (a, b) if a <= b else (b, a)
+        if k_overrides is not None and key in k_overrides:
+            k = k_overrides[key]
+        heat_edges.append(HeatEdge(a, b, k))
+    air_edges = [AirEdge(src, dst, f) for src, dst, f in table1.AIR_EDGES]
+    return MachineLayout(
+        name=name,
+        components=components,
+        air_regions=air_regions,
+        heat_edges=heat_edges,
+        air_edges=air_edges,
+        inlet=table1.INLET,
+        exhaust=table1.EXHAUST,
+        inlet_temperature=inlet_temperature,
+        fan_cfm=fan_cfm,
+    )
+
+
+def validation_cluster(
+    machine_names: Sequence[str] = table1.CLUSTER_MACHINES,
+    supply_temperature: float = table1.INLET_TEMPERATURE,
+    k_overrides: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> ClusterLayout:
+    """The Figure 1(c) cluster: one AC feeding N identical machines.
+
+    The graph "represents the ideal situation in which there is no air
+    recirculation across the machines": the AC splits its supply evenly
+    and every machine exhausts into the cluster exhaust.
+    """
+    machines = [
+        validation_machine(name, inlet_temperature=supply_temperature,
+                           k_overrides=k_overrides)
+        for name in machine_names
+    ]
+    share = 1.0 / len(machines)
+    edges = [
+        ClusterAirEdge(table1.AC, machine.name, share) for machine in machines
+    ] + [
+        ClusterAirEdge(machine.name, table1.CLUSTER_EXHAUST, 1.0)
+        for machine in machines
+    ]
+    return ClusterLayout(
+        machines=machines,
+        sources=[CoolingSource(table1.AC, supply_temperature)],
+        edges=edges,
+        sinks=[table1.CLUSTER_EXHAUST],
+    )
+
+
+def recirculating_cluster(
+    machine_names: Sequence[str] = table1.CLUSTER_MACHINES,
+    supply_temperature: float = table1.INLET_TEMPERATURE,
+    recirculation: float = 0.1,
+) -> ClusterLayout:
+    """A cluster variant where each machine re-ingests a neighbour's exhaust.
+
+    Section 2.2 notes that "recirculation and rack layout effects can also
+    be represented using more complex graphs"; this builder demonstrates
+    one: machine ``i`` sends ``recirculation`` of its exhaust to machine
+    ``i+1``'s inlet (ring order), the rest to the cluster exhaust.
+    """
+    if not 0.0 <= recirculation < 1.0:
+        raise ValueError("recirculation fraction must be in [0, 1)")
+    machines = [
+        validation_machine(name, inlet_temperature=supply_temperature)
+        for name in machine_names
+    ]
+    count = len(machines)
+    share = 1.0 / count
+    edges = [ClusterAirEdge(table1.AC, m.name, share) for m in machines]
+    for idx, machine in enumerate(machines):
+        neighbour = machines[(idx + 1) % count]
+        edges.append(ClusterAirEdge(machine.name, neighbour.name, recirculation))
+        edges.append(
+            ClusterAirEdge(machine.name, table1.CLUSTER_EXHAUST, 1.0 - recirculation)
+        )
+    return ClusterLayout(
+        machines=machines,
+        sources=[CoolingSource(table1.AC, supply_temperature)],
+        edges=edges,
+        sinks=[table1.CLUSTER_EXHAUST],
+    )

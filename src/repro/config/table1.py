@@ -1,0 +1,174 @@
+"""Every constant of the paper's Table 1, as structured data.
+
+Table 1 lists the component properties (mass, specific heat capacity,
+min/max power), the boundary conditions (inlet temperature, fan speed),
+the heat-transfer constants of the intra-machine heat-flow graph, the
+intra-machine air fractions, and the inter-machine air fractions used in
+both the validation (section 3) and the Freon studies (section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .. import units
+
+# -- vertex names (Figure 1) -------------------------------------------
+
+DISK_PLATTERS = "Disk Platters"
+DISK_SHELL = "Disk Shell"
+CPU = "CPU"
+POWER_SUPPLY = "Power Supply"
+MOTHERBOARD = "Motherboard"
+
+INLET = "Inlet"
+DISK_AIR = "Disk Air"
+PS_AIR = "PS Air"
+CPU_AIR = "CPU Air"
+VOID_AIR = "Void Space Air"
+DISK_AIR_DOWN = "Disk Air Downstream"
+PS_AIR_DOWN = "PS Air Downstream"
+CPU_AIR_DOWN = "CPU Air Downstream"
+EXHAUST = "Exhaust"
+
+COMPONENT_NAMES = (DISK_PLATTERS, DISK_SHELL, CPU, POWER_SUPPLY, MOTHERBOARD)
+AIR_REGION_NAMES = (
+    INLET,
+    DISK_AIR,
+    PS_AIR,
+    CPU_AIR,
+    VOID_AIR,
+    DISK_AIR_DOWN,
+    PS_AIR_DOWN,
+    CPU_AIR_DOWN,
+    EXHAUST,
+)
+
+# -- component properties ------------------------------------------------
+
+#: Mass in kg.
+MASS: Dict[str, float] = {
+    DISK_PLATTERS: 0.336,
+    DISK_SHELL: 0.505,
+    CPU: 0.151,
+    POWER_SUPPLY: 1.643,
+    MOTHERBOARD: 0.718,
+}
+
+#: Specific heat capacity in J/(K kg).  Aluminium for the disk drive
+#: pieces, CPU-plus-heat-sink, and power supply; FR4 for the motherboard.
+SPECIFIC_HEAT: Dict[str, float] = {
+    DISK_PLATTERS: units.ALUMINUM_SPECIFIC_HEAT,
+    DISK_SHELL: units.ALUMINUM_SPECIFIC_HEAT,
+    CPU: units.ALUMINUM_SPECIFIC_HEAT,
+    POWER_SUPPLY: units.ALUMINUM_SPECIFIC_HEAT,
+    MOTHERBOARD: units.FR4_SPECIFIC_HEAT,
+}
+
+#: (min, max) power in Watts.  The disk shell produces no heat of its own.
+POWER_RANGE: Dict[str, Tuple[float, float]] = {
+    DISK_PLATTERS: (9.0, 14.0),
+    DISK_SHELL: (0.0, 0.0),
+    CPU: (7.0, 31.0),
+    POWER_SUPPLY: (40.0, 40.0),
+    MOTHERBOARD: (4.0, 4.0),
+}
+
+#: Components whose utilization monitord samples and reports.
+MONITORED: Tuple[str, ...] = (CPU, DISK_PLATTERS)
+
+# -- boundary conditions --------------------------------------------------
+
+#: Machine-room supply air temperature, Celsius.
+INLET_TEMPERATURE = 21.6
+
+#: Case fan volumetric flow, cubic feet per minute.
+FAN_CFM = 38.6
+
+# -- heat-flow graph edges: (from, to, k in Watts/Kelvin) -----------------
+
+HEAT_EDGES: List[Tuple[str, str, float]] = [
+    (DISK_PLATTERS, DISK_SHELL, 2.0),
+    (DISK_SHELL, DISK_AIR, 1.9),
+    (CPU, CPU_AIR, 0.75),
+    (POWER_SUPPLY, PS_AIR, 4.0),
+    (MOTHERBOARD, VOID_AIR, 10.0),
+    (MOTHERBOARD, CPU, 0.1),
+]
+
+# -- intra-machine air-flow edges: (from, to, fraction) --------------------
+
+AIR_EDGES: List[Tuple[str, str, float]] = [
+    (INLET, DISK_AIR, 0.4),
+    (INLET, PS_AIR, 0.5),
+    (INLET, VOID_AIR, 0.1),
+    (DISK_AIR, DISK_AIR_DOWN, 1.0),
+    (DISK_AIR_DOWN, VOID_AIR, 1.0),
+    (PS_AIR, PS_AIR_DOWN, 1.0),
+    (PS_AIR_DOWN, VOID_AIR, 0.85),
+    (PS_AIR_DOWN, CPU_AIR, 0.15),
+    (VOID_AIR, CPU_AIR, 0.05),
+    (VOID_AIR, EXHAUST, 0.95),
+    (CPU_AIR, CPU_AIR_DOWN, 1.0),
+    (CPU_AIR_DOWN, EXHAUST, 1.0),
+]
+
+# -- inter-machine air-flow edges (Figure 1(c)) ----------------------------
+
+AC = "AC"
+CLUSTER_EXHAUST = "Cluster Exhaust"
+CLUSTER_MACHINES = ("machine1", "machine2", "machine3", "machine4")
+
+CLUSTER_EDGES: List[Tuple[str, str, float]] = [
+    (AC, "machine1", 0.25),
+    (AC, "machine2", 0.25),
+    (AC, "machine3", 0.25),
+    (AC, "machine4", 0.25),
+    ("machine1", CLUSTER_EXHAUST, 1.0),
+    ("machine2", CLUSTER_EXHAUST, 1.0),
+    ("machine3", CLUSTER_EXHAUST, 1.0),
+    ("machine4", CLUSTER_EXHAUST, 1.0),
+]
+
+# -- Freon thresholds (section 5) ------------------------------------------
+
+#: High / low / red-line temperature thresholds, Celsius, per sensor.
+T_HIGH_CPU = 67.0
+T_LOW_CPU = 64.0
+T_HIGH_DISK = 65.0
+T_LOW_DISK = 62.0
+#: "T_h should be set just below T_r, e.g. 2 degrees lower".
+T_RED_CPU = 69.0
+T_RED_DISK = 67.0
+
+#: PD controller gains (section 4.1).
+FREON_KP = 0.1
+FREON_KD = 0.2
+
+#: Freon-EC utilization thresholds (section 4.2).
+EC_UTIL_HIGH = 0.70
+EC_UTIL_LOW = 0.60
+
+#: Section 5 emergency settings: inlet temperatures forced by fiddle.
+EMERGENCY_TIME = 480.0
+EMERGENCY_INLET_M1 = 38.6
+EMERGENCY_INLET_M3 = 35.6
+
+
+def sensor_map() -> Dict[str, str]:
+    """Sensor-name aliases exposed through the sensor library.
+
+    ``readsensor`` callers use short names ("cpu", "disk"); this maps them
+    to graph vertices.  The paper measures *CPU air* (a sensor on top of
+    the heat sink) and the disk's internal sensor (the shell/core).
+    """
+    return {
+        "cpu": CPU,
+        "cpu_air": CPU_AIR,
+        "disk": DISK_PLATTERS,
+        "disk_shell": DISK_SHELL,
+        "inlet": INLET,
+        "exhaust": EXHAUST,
+        "motherboard": MOTHERBOARD,
+        "power_supply": POWER_SUPPLY,
+    }

@@ -1,0 +1,32 @@
+"""Mercury's core: physics, graphs, the solver, traces, and calibration."""
+
+from .fans import DEFAULT_SERVER_CURVE, FanController, FanCurve
+from .graph import (
+    AirEdge,
+    AirRegion,
+    ClusterAirEdge,
+    ClusterLayout,
+    Component,
+    CoolingSource,
+    HeatEdge,
+    MachineLayout,
+)
+from .power import (
+    ConstantPowerModel,
+    LinearPowerModel,
+    PowerModel,
+    ScaledPowerModel,
+    TablePowerModel,
+)
+from .solver import DEFAULT_DT, Solver
+from .state import History, MachineState, Sample
+from .trace import TimedEvent, UtilizationTrace, run_offline
+
+__all__ = [
+    "AirEdge", "AirRegion", "ClusterAirEdge", "ClusterLayout", "Component",
+    "ConstantPowerModel", "CoolingSource", "DEFAULT_DT", "HeatEdge",
+    "History", "LinearPowerModel", "MachineLayout", "MachineState",
+    "PowerModel", "Sample", "ScaledPowerModel", "Solver", "TablePowerModel",
+    "TimedEvent", "UtilizationTrace", "run_offline",
+    "DEFAULT_SERVER_CURVE", "FanController", "FanCurve",
+]

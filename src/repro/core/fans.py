@@ -1,0 +1,149 @@
+"""Variable-speed fan modeling (paper section 7, future work).
+
+"We are currently extending our models to consider clock throttling and
+variable-speed fans.  Modeling throttling and variable-speed fans is
+actually fairly simple, since these behaviors are well-defined and
+essentially depend on temperature, which Mercury emulates accurately ...
+these behaviors can be incorporated either internally (by modifying the
+Mercury code) or externally (via fiddle)."
+
+This module takes the *external* route the paper recommends: a
+:class:`FanController` periodically reads a temperature from the solver
+(exactly as firmware reads its thermal diode), maps it through a
+:class:`FanCurve`, and applies the new fan speed through the same
+mutation path fiddle uses.  Changing the fan speed re-scales every air
+region's flow, which feeds back into the stream-exchange physics on the
+next tick — faster fan, more cooling, lower temperature, slower fan.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import SolverError
+from .solver import Solver
+
+
+class FanCurve:
+    """A monotone temperature -> fan-speed (ft^3/min) map.
+
+    Real fan firmware interpolates between table points and clamps at the
+    ends; so does this.  Points must be strictly increasing in both
+    temperature and speed (a non-monotone curve would make the
+    temperature/fan feedback loop multistable).
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("a fan curve needs at least two points")
+        pts = sorted((float(t), float(s)) for t, s in points)
+        for (t_a, s_a), (t_b, s_b) in zip(pts, pts[1:]):
+            if t_b <= t_a:
+                raise ValueError("fan-curve temperatures must be increasing")
+            if s_b < s_a:
+                raise ValueError("fan-curve speeds must be non-decreasing")
+        if pts[0][1] <= 0.0:
+            raise ValueError("fan speeds must be positive")
+        self._temps = [t for t, _ in pts]
+        self._speeds = [s for _, s in pts]
+
+    def speed(self, temperature: float) -> float:
+        """Fan speed (ft^3/min) commanded at the given temperature."""
+        if temperature <= self._temps[0]:
+            return self._speeds[0]
+        if temperature >= self._temps[-1]:
+            return self._speeds[-1]
+        idx = bisect.bisect_right(self._temps, temperature)
+        t_a, t_b = self._temps[idx - 1], self._temps[idx]
+        s_a, s_b = self._speeds[idx - 1], self._speeds[idx]
+        frac = (temperature - t_a) / (t_b - t_a)
+        return s_a + frac * (s_b - s_a)
+
+    @property
+    def min_speed(self) -> float:
+        """Speed at the bottom of the curve."""
+        return self._speeds[0]
+
+    @property
+    def max_speed(self) -> float:
+        """Speed at the top of the curve."""
+        return self._speeds[-1]
+
+
+#: A typical server fan curve around the Table 1 operating range: idles
+#: at 60% of the nominal 38.6 cfm and ramps to 130% by 65 C.
+DEFAULT_SERVER_CURVE = FanCurve(
+    [(30.0, 23.0), (45.0, 38.6), (55.0, 44.0), (65.0, 50.0)]
+)
+
+
+@dataclass
+class FanEvent:
+    """One recorded fan-speed change."""
+
+    time: float
+    temperature: float
+    cfm: float
+
+
+class FanController:
+    """Firmware-style closed-loop fan control over a solver machine.
+
+    Reads ``sensor_node`` every ``period`` seconds of simulated time and
+    applies the curve's speed with optional slew limiting (real fans ramp,
+    they do not jump).  Drive it with :meth:`tick` from the simulation
+    loop, interleaved with ``solver.step()``.
+    """
+
+    def __init__(
+        self,
+        solver: Solver,
+        machine: str,
+        sensor_node: str,
+        curve: FanCurve = DEFAULT_SERVER_CURVE,
+        period: float = 5.0,
+        max_slew_cfm_per_s: float = 2.0,
+    ) -> None:
+        if period <= 0.0:
+            raise SolverError("fan control period must be positive")
+        self._solver = solver
+        self.machine = machine
+        self.sensor_node = sensor_node
+        self.curve = curve
+        self.period = period
+        self.max_slew = max_slew_cfm_per_s
+        self._elapsed = 0.0
+        self.events: List[FanEvent] = []
+
+    @property
+    def current_cfm(self) -> float:
+        """The fan speed currently applied to the machine."""
+        return self._solver.machine(self.machine).fan_cfm
+
+    def tick(self, dt: float) -> bool:
+        """Advance the controller clock; adjust the fan when due.
+
+        Returns True when a speed change was applied.
+        """
+        self._elapsed += dt
+        if self._elapsed + 1e-9 < self.period:
+            return False
+        self._elapsed = 0.0
+        return self.adjust()
+
+    def adjust(self) -> bool:
+        """One control step: read temperature, slew toward the curve."""
+        temperature = self._solver.temperature(self.machine, self.sensor_node)
+        target = self.curve.speed(temperature)
+        current = self.current_cfm
+        limit = self.max_slew * self.period
+        new = min(max(target, current - limit), current + limit)
+        if abs(new - current) < 1e-9:
+            return False
+        self._solver.machine(self.machine).set_fan_cfm(new)
+        self.events.append(
+            FanEvent(time=self._solver.time, temperature=temperature, cfm=new)
+        )
+        return True

@@ -1,0 +1,397 @@
+"""Heat-flow and air-flow graph structures (paper section 2.2, Figure 1).
+
+Mercury is "at its heart a coarse-grained finite element analyzer": the
+elements are vertices of a graph and the edges carry either heat-flow or
+air-flow properties.  Three graphs describe a system:
+
+* an **inter-component heat-flow graph** — undirected, because the
+  direction of heat flow depends only on the temperature difference.
+  Vertices are hardware components *and* the air regions around them;
+  edges carry the ``k`` constant of Newton's law (W/K).
+* an **intra-machine air-flow graph** — directed, because fans physically
+  move air.  Vertices are air regions (inlet, per-component air,
+  downstream regions, exhaust); edges carry the *fraction* of the source
+  vertex's air that flows to the destination.
+* an optional **inter-machine air-flow graph** for clusters — directed,
+  connecting air-conditioner supplies to machine inlets and machine
+  exhausts to the cluster exhaust (recirculation is expressed with
+  machine-to-machine edges).
+
+:class:`MachineLayout` bundles the first two plus the boundary conditions
+(inlet temperature, fan speed); :class:`ClusterLayout` adds the third.
+Both validate their structure eagerly (fraction conservation, dangling
+references, air-graph acyclicity) so the solver can assume a well-formed
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .. import units
+from ..errors import (
+    AirFlowConservationError,
+    DuplicateNodeError,
+    GraphError,
+    UnknownNodeError,
+)
+from .power import PowerModel
+
+#: Tolerance when checking that outgoing air fractions sum to one.
+_FRACTION_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Component:
+    """A hardware component vertex: a solid body that produces heat.
+
+    Parameters mirror Table 1: mass (kg), specific heat capacity
+    (J/(K kg)), and a power model giving Watts as a function of
+    utilization.  ``monitored`` marks components whose utilization is
+    reported by monitord (CPU, disk, NIC); unmonitored components (power
+    supply, motherboard) are emulated at a fixed utilization.
+    """
+
+    name: str
+    mass: float
+    specific_heat: float
+    power_model: PowerModel
+    monitored: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0.0:
+            raise ValueError(f"component {self.name!r}: mass must be positive")
+        if self.specific_heat <= 0.0:
+            raise ValueError(f"component {self.name!r}: specific heat must be positive")
+
+    @property
+    def heat_capacity(self) -> float:
+        """Total heat capacity ``m * c`` in J/K."""
+        return self.mass * self.specific_heat
+
+
+@dataclass(frozen=True)
+class AirRegion:
+    """An air-space vertex (inlet air, CPU air, void-space air, ...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class HeatEdge:
+    """Undirected heat-flow edge with Newton's-law constant ``k`` (W/K)."""
+
+    a: str
+    b: str
+    k: float
+
+    def __post_init__(self) -> None:
+        if self.k < 0.0:
+            raise ValueError(f"heat edge {self.a!r}--{self.b!r}: k must be >= 0")
+        if self.a == self.b:
+            raise ValueError(f"heat edge endpoints must differ, got {self.a!r} twice")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Canonical (sorted) endpoint pair identifying this edge."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def other(self, name: str) -> str:
+        """The endpoint opposite ``name``."""
+        if name == self.a:
+            return self.b
+        if name == self.b:
+            return self.a
+        raise UnknownNodeError(name)
+
+
+@dataclass(frozen=True)
+class AirEdge:
+    """Directed air-flow edge labelled with the fraction of source air moved."""
+
+    src: str
+    dst: str
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(
+                f"air edge {self.src!r}->{self.dst!r}: fraction must be in [0, 1]"
+            )
+        if self.src == self.dst:
+            raise ValueError(f"air edge endpoints must differ, got {self.src!r} twice")
+
+
+class MachineLayout:
+    """The thermal layout of one machine: components, air regions, and edges.
+
+    A layout is an immutable *description*; the solver copies its constants
+    into mutable per-run state, which is what the fiddle tool mutates.
+
+    Parameters
+    ----------
+    name:
+        Machine identifier (``machine1`` ...).
+    components, air_regions:
+        The graph vertices.
+    heat_edges:
+        Undirected heat-flow edges; endpoints may be components or air
+        regions.
+    air_edges:
+        Directed air-flow edges; endpoints must be air regions.
+    inlet, exhaust:
+        Names of the inlet and exhaust air regions.
+    inlet_temperature:
+        Default inlet air temperature (Celsius); the cluster graph or the
+        fiddle tool may override it at run time.
+    fan_cfm:
+        Volumetric fan flow through the case, in cubic feet per minute
+        (Table 1 reports 38.6 ft^3/min).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        components: Sequence[Component],
+        air_regions: Sequence[AirRegion],
+        heat_edges: Sequence[HeatEdge],
+        air_edges: Sequence[AirEdge],
+        inlet: str,
+        exhaust: str,
+        inlet_temperature: float,
+        fan_cfm: float,
+    ) -> None:
+        self.name = name
+        self.components: Dict[str, Component] = {}
+        self.air_regions: Dict[str, AirRegion] = {}
+        for component in components:
+            if component.name in self.components or component.name in self.air_regions:
+                raise DuplicateNodeError(component.name)
+            self.components[component.name] = component
+        for region in air_regions:
+            if region.name in self.components or region.name in self.air_regions:
+                raise DuplicateNodeError(region.name)
+            self.air_regions[region.name] = region
+        self.heat_edges: List[HeatEdge] = list(heat_edges)
+        self.air_edges: List[AirEdge] = list(air_edges)
+        self.inlet = inlet
+        self.exhaust = exhaust
+        if inlet_temperature <= units.ABSOLUTE_ZERO_C:
+            raise ValueError("inlet temperature below absolute zero")
+        self.inlet_temperature = inlet_temperature
+        if fan_cfm <= 0.0:
+            raise ValueError("fan flow must be positive")
+        self.fan_cfm = fan_cfm
+        self._validate()
+        self._air_order = self._topological_air_order()
+
+    # -- validation ---------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.inlet not in self.air_regions:
+            raise UnknownNodeError(self.inlet)
+        if self.exhaust not in self.air_regions:
+            raise UnknownNodeError(self.exhaust)
+        if self.inlet == self.exhaust:
+            raise GraphError("inlet and exhaust must be distinct air regions")
+        for edge in self.heat_edges:
+            for endpoint in (edge.a, edge.b):
+                if endpoint not in self.components and endpoint not in self.air_regions:
+                    raise UnknownNodeError(endpoint)
+        seen_heat = set()
+        for edge in self.heat_edges:
+            if edge.key in seen_heat:
+                raise GraphError(f"duplicate heat edge {edge.a!r}--{edge.b!r}")
+            seen_heat.add(edge.key)
+        outgoing: Dict[str, float] = {}
+        seen_air = set()
+        for edge in self.air_edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in self.air_regions:
+                    if endpoint in self.components:
+                        raise GraphError(
+                            f"air edge {edge.src!r}->{edge.dst!r} touches a "
+                            f"component; air edges connect air regions only"
+                        )
+                    raise UnknownNodeError(endpoint)
+            if (edge.src, edge.dst) in seen_air:
+                raise GraphError(f"duplicate air edge {edge.src!r}->{edge.dst!r}")
+            seen_air.add((edge.src, edge.dst))
+            outgoing[edge.src] = outgoing.get(edge.src, 0.0) + edge.fraction
+        for region in self.air_regions:
+            if region == self.exhaust:
+                continue
+            total = outgoing.get(region, 0.0)
+            if abs(total - 1.0) > _FRACTION_TOLERANCE:
+                raise AirFlowConservationError(region, total)
+        if self.exhaust in outgoing:
+            raise GraphError("exhaust region must have no outgoing air edges")
+
+    def _topological_air_order(self) -> List[str]:
+        """Kahn topological order of air regions along the flow direction."""
+        indegree = {region: 0 for region in self.air_regions}
+        successors: Dict[str, List[str]] = {region: [] for region in self.air_regions}
+        for edge in self.air_edges:
+            indegree[edge.dst] += 1
+            successors[edge.src].append(edge.dst)
+        ready = sorted(region for region, deg in indegree.items() if deg == 0)
+        if self.inlet not in ready:
+            raise GraphError("inlet region must have no incoming air edges")
+        order: List[str] = []
+        while ready:
+            region = ready.pop(0)
+            order.append(region)
+            for nxt in successors[region]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self.air_regions):
+            cyclic = sorted(set(self.air_regions) - set(order))
+            raise GraphError(f"air-flow graph has a cycle involving {cyclic}")
+        return order
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def air_order(self) -> List[str]:
+        """Air regions in flow (topological) order, inlet first."""
+        return list(self._air_order)
+
+    @property
+    def node_names(self) -> List[str]:
+        """All vertex names: components first, then air regions."""
+        return list(self.components) + list(self.air_regions)
+
+    def air_flow_rates(
+        self,
+        fan_cfm: Optional[float] = None,
+        fractions: Optional[Mapping[Tuple[str, str], float]] = None,
+    ) -> Dict[str, float]:
+        """Volumetric flow (m^3/s) through every air region.
+
+        Flow is injected at the inlet at the fan rate and propagated along
+        air edges proportionally to the edge fractions.  ``fan_cfm`` and
+        ``fractions`` override the layout's constants; the solver passes
+        its mutable copies so fiddle-time changes take effect.
+        """
+        cfm = self.fan_cfm if fan_cfm is None else fan_cfm
+        flows = {region: 0.0 for region in self.air_regions}
+        flows[self.inlet] = units.cfm_to_m3s(cfm)
+        edges_from: Dict[str, List[AirEdge]] = {}
+        for edge in self.air_edges:
+            edges_from.setdefault(edge.src, []).append(edge)
+        for region in self._air_order:
+            for edge in edges_from.get(region, ()):
+                fraction = edge.fraction
+                if fractions is not None:
+                    fraction = fractions.get((edge.src, edge.dst), fraction)
+                flows[edge.dst] += flows[region] * fraction
+        return flows
+
+    def heat_edges_of(self, name: str) -> List[HeatEdge]:
+        """All heat edges incident to the named vertex."""
+        if name not in self.components and name not in self.air_regions:
+            raise UnknownNodeError(name)
+        return [edge for edge in self.heat_edges if name in (edge.a, edge.b)]
+
+    def incoming_air(self, name: str) -> List[AirEdge]:
+        """Air edges arriving at the named region."""
+        return [edge for edge in self.air_edges if edge.dst == name]
+
+    def monitored_components(self) -> List[str]:
+        """Names of components whose utilization monitord reports."""
+        return [name for name, c in self.components.items() if c.monitored]
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineLayout({self.name!r}, {len(self.components)} components, "
+            f"{len(self.air_regions)} air regions)"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterAirEdge:
+    """Directed inter-machine air edge (Figure 1(c))."""
+
+    src: str
+    dst: str
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(
+                f"cluster edge {self.src!r}->{self.dst!r}: fraction must be in [0, 1]"
+            )
+
+
+@dataclass
+class CoolingSource:
+    """An air-conditioner vertex supplying air at a set temperature."""
+
+    name: str
+    supply_temperature: float
+    #: Volumetric supply flow, m^3/s.  By convention the total flow an AC
+    #: pushes is the sum of the fan flows of the machines it feeds; the
+    #: default of ``None`` means "computed from the machines".
+    flow_m3s: Optional[float] = None
+
+
+class ClusterLayout:
+    """Inter-machine air-flow graph plus the per-machine layouts.
+
+    Vertices are cooling sources (AC units), machines (referenced by the
+    name of their :class:`MachineLayout`), and named sinks such as the
+    cluster exhaust.  An edge ``AC -> machine`` with fraction ``f`` sends
+    ``f`` of the AC's supply air to that machine's inlet; an edge
+    ``machineA -> machineB`` models recirculation (part of A's exhaust
+    reaching B's inlet); ``machine -> sink`` edges discharge exhaust air.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[MachineLayout],
+        sources: Sequence[CoolingSource],
+        edges: Sequence[ClusterAirEdge],
+        sinks: Sequence[str] = ("Cluster Exhaust",),
+    ) -> None:
+        self.machines: Dict[str, MachineLayout] = {}
+        for machine in machines:
+            if machine.name in self.machines:
+                raise DuplicateNodeError(machine.name)
+            self.machines[machine.name] = machine
+        self.sources: Dict[str, CoolingSource] = {}
+        for source in sources:
+            if source.name in self.sources or source.name in self.machines:
+                raise DuplicateNodeError(source.name)
+            self.sources[source.name] = source
+        self.sinks: List[str] = list(sinks)
+        self.edges: List[ClusterAirEdge] = list(edges)
+        self._validate()
+
+    def _validate(self) -> None:
+        valid = set(self.machines) | set(self.sources) | set(self.sinks)
+        for edge in self.edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in valid:
+                    raise UnknownNodeError(endpoint)
+            if edge.src in self.sinks:
+                raise GraphError(f"sink {edge.src!r} cannot have outgoing air edges")
+            if edge.dst in self.sources:
+                raise GraphError(f"source {edge.dst!r} cannot have incoming air edges")
+        for name in list(self.sources) + list(self.machines):
+            total = sum(e.fraction for e in self.edges if e.src == name)
+            if abs(total - 1.0) > _FRACTION_TOLERANCE:
+                raise AirFlowConservationError(name, total)
+
+    def incoming(self, machine: str) -> List[ClusterAirEdge]:
+        """Cluster edges feeding the named machine's inlet."""
+        if machine not in self.machines:
+            raise UnknownNodeError(machine)
+        return [edge for edge in self.edges if edge.dst == machine]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterLayout({len(self.machines)} machines, "
+            f"{len(self.sources)} sources, {len(self.edges)} edges)"
+        )

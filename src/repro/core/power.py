@@ -1,0 +1,204 @@
+"""Component power models (paper equations 3-4 and section 2.3).
+
+The heat a component produces equals the energy it consumes
+(``Q_component = P(utilization) * time``, Eq. 3).  Mercury's default power
+model is linear in utilization (Eq. 4); the paper notes this approximated
+every component it studied, but explicitly allows swapping in "a more
+sophisticated" formulation — notably the Pentium-4 performance-counter
+model, where estimated energy is mapped back onto the ``[Pbase, Pmax]``
+utilization range so the solver never changes.
+
+All models implement :class:`PowerModel`: a single ``power(utilization)``
+method returning average Watts over an interval.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+class PowerModel(ABC):
+    """Maps a component utilization in [0, 1] to average power in Watts."""
+
+    @abstractmethod
+    def power(self, utilization: float) -> float:
+        """Average power (W) drawn at the given utilization."""
+
+    @property
+    @abstractmethod
+    def idle_power(self) -> float:
+        """Power (W) drawn when the component is idle (``Pbase``)."""
+
+    @property
+    @abstractmethod
+    def max_power(self) -> float:
+        """Power (W) drawn when the component is fully utilized (``Pmax``)."""
+
+    def heat(self, utilization: float, dt: float) -> float:
+        """Heat (J) produced over ``dt`` seconds at the given utilization (Eq. 3)."""
+        return self.power(utilization) * dt
+
+    def utilization_for_power(self, power: float) -> float:
+        """Inverse map: the "low-level utilization" that yields ``power``.
+
+        This is the translation monitord performs for the performance-
+        counter mode: an estimated average power is linearly mapped into
+        ``[0% = Pbase, 100% = Pmax]`` (clamped), so the solver can keep
+        using its linear model unchanged.
+        """
+        span = self.max_power - self.idle_power
+        if span <= 0.0:
+            return 0.0
+        return _clamp((power - self.idle_power) / span)
+
+
+def _clamp(value: float, low: float = 0.0, high: float = 1.0) -> float:
+    return max(low, min(high, value))
+
+
+def _check_utilization(utilization: float) -> float:
+    if not -1e-9 <= utilization <= 1.0 + 1e-9:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    return _clamp(utilization)
+
+
+@dataclass(frozen=True)
+class LinearPowerModel(PowerModel):
+    """The paper's default model (Eq. 4).
+
+    ``P(u) = Pbase + u * (Pmax - Pbase)``.
+    """
+
+    p_base: float
+    p_max: float
+
+    def __post_init__(self) -> None:
+        if self.p_base < 0.0:
+            raise ValueError("idle power must be non-negative")
+        if self.p_max < self.p_base:
+            raise ValueError("max power must be >= idle power")
+
+    def power(self, utilization: float) -> float:
+        utilization = _check_utilization(utilization)
+        return self.p_base + utilization * (self.p_max - self.p_base)
+
+    @property
+    def idle_power(self) -> float:
+        return self.p_base
+
+    @property
+    def max_power(self) -> float:
+        return self.p_max
+
+
+@dataclass(frozen=True)
+class ConstantPowerModel(PowerModel):
+    """A component whose draw does not vary with utilization.
+
+    Table 1 models the power supply (40 W) and bare motherboard (4 W)
+    this way: min power equals max power.
+    """
+
+    watts: float
+
+    def __post_init__(self) -> None:
+        if self.watts < 0.0:
+            raise ValueError("power must be non-negative")
+
+    def power(self, utilization: float) -> float:
+        _check_utilization(utilization)
+        return self.watts
+
+    @property
+    def idle_power(self) -> float:
+        return self.watts
+
+    @property
+    def max_power(self) -> float:
+        return self.watts
+
+
+class TablePowerModel(PowerModel):
+    """Piecewise-linear interpolation through measured (utilization, W) points.
+
+    Useful for components whose draw is not linear in high-level
+    utilization; the paper mentions such components motivate alternate
+    formulations.  Points are interpolated linearly and must cover
+    utilization 0 and 1.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two (utilization, power) points")
+        pts = sorted((float(u), float(p)) for u, p in points)
+        if abs(pts[0][0]) > 1e-9 or abs(pts[-1][0] - 1.0) > 1e-9:
+            raise ValueError("points must span utilization 0.0 .. 1.0")
+        for (u_a, _), (u_b, _) in zip(pts, pts[1:]):
+            if u_b - u_a <= 0.0:
+                raise ValueError("utilization points must be strictly increasing")
+        self._utils = [u for u, _ in pts]
+        self._powers = [p for _, p in pts]
+
+    def power(self, utilization: float) -> float:
+        utilization = _check_utilization(utilization)
+        idx = bisect.bisect_right(self._utils, utilization)
+        if idx >= len(self._utils):
+            return self._powers[-1]
+        if idx == 0:
+            return self._powers[0]
+        u_a, u_b = self._utils[idx - 1], self._utils[idx]
+        p_a, p_b = self._powers[idx - 1], self._powers[idx]
+        frac = (utilization - u_a) / (u_b - u_a)
+        return p_a + frac * (p_b - p_a)
+
+    @property
+    def idle_power(self) -> float:
+        return self._powers[0]
+
+    @property
+    def max_power(self) -> float:
+        return max(self._powers)
+
+
+class ScaledPowerModel(PowerModel):
+    """Wraps another model, scaling its output by a runtime factor.
+
+    This is the hook the fiddle tool uses to emulate CPU-driven thermal
+    management (voltage/frequency scaling or clock throttling, section 7):
+    scaling voltage/frequency changes the power drawn at a given
+    utilization without changing the utilization itself.
+    """
+
+    def __init__(self, inner: PowerModel, factor: float = 1.0) -> None:
+        self._inner = inner
+        self.factor = factor
+
+    @property
+    def factor(self) -> float:
+        """Current multiplicative power factor (1.0 = unscaled)."""
+        return self._factor
+
+    @factor.setter
+    def factor(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError("power scale factor must be non-negative")
+        self._factor = value
+
+    @property
+    def inner(self) -> PowerModel:
+        """The wrapped power model."""
+        return self._inner
+
+    def power(self, utilization: float) -> float:
+        return self._inner.power(utilization) * self._factor
+
+    @property
+    def idle_power(self) -> float:
+        return self._inner.idle_power * self._factor
+
+    @property
+    def max_power(self) -> float:
+        return self._inner.max_power * self._factor

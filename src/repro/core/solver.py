@@ -1,0 +1,337 @@
+"""The Mercury solver: coarse-grained finite-element temperature emulation.
+
+Per tick (1 second by default, paper section 2.3) the solver performs the
+three traversals of section 2.2:
+
+1. **inter-machine air movement** — each machine's inlet temperature is
+   the perfect-mixing weighted average of the cluster edges feeding it
+   (air-conditioner supplies and, for recirculation, other machines'
+   exhausts from the previous tick);
+2. **intra-machine air movement** — air regions are visited in flow
+   (topological) order; each one mixes its incoming streams and then
+   exchanges heat with the components it touches in the heat-flow graph
+   (the analytically integrated stream exchange of
+   :func:`repro.core.physics.stream_exchange`);
+3. **inter-component heat flow** — component-to-component conduction plus
+   each component's own heat production ``P(utilization) * dt``.
+
+Temperatures of every component and air region can be queried at any
+time; the fiddle tool can force temperatures and change any constant
+between ticks.  The solver is deterministic: same inputs, same outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .. import units
+from ..errors import SolverError, UnknownNodeError, UnknownSensorError
+from . import physics
+from .graph import ClusterLayout, MachineLayout
+from .state import History, MachineState, Sample
+
+#: Default solver tick, seconds ("one iteration per second by default").
+DEFAULT_DT = 1.0
+
+
+class Solver:
+    """Computes temperatures for one machine or a cluster of machines.
+
+    Parameters
+    ----------
+    layouts:
+        The machines to emulate.  For a clustered system pass ``cluster``
+        as well; machine inlet temperatures are then driven by the
+        inter-machine air-flow graph instead of each layout's fixed
+        inlet temperature.
+    dt:
+        Emulation time step in seconds.
+    initial_temperature:
+        Starting temperature of every object and air region ("all objects
+        and air regions start the emulation at a user-defined initial air
+        temperature").  Defaults to the first layout's inlet temperature.
+    record:
+        When true, a :class:`~repro.core.state.History` sample is stored
+        for every machine on every tick.
+    """
+
+    def __init__(
+        self,
+        layouts: Sequence[MachineLayout],
+        cluster: Optional[ClusterLayout] = None,
+        dt: float = DEFAULT_DT,
+        initial_temperature: Optional[float] = None,
+        record: bool = True,
+    ) -> None:
+        if not layouts:
+            raise SolverError("at least one machine layout is required")
+        if dt <= 0.0:
+            raise SolverError("dt must be positive")
+        names = [layout.name for layout in layouts]
+        if len(set(names)) != len(names):
+            raise SolverError(f"duplicate machine names: {names}")
+        if cluster is not None:
+            missing = set(names) - set(cluster.machines)
+            extra = set(cluster.machines) - set(names)
+            if missing or extra:
+                raise SolverError(
+                    "cluster layout machines do not match solver machines "
+                    f"(missing={sorted(missing)}, extra={sorted(extra)})"
+                )
+        self.dt = dt
+        self.cluster = cluster
+        if initial_temperature is None:
+            initial_temperature = layouts[0].inlet_temperature
+        self.machines: Dict[str, MachineState] = {
+            layout.name: MachineState(layout, initial_temperature)
+            for layout in layouts
+        }
+        self.time = 0.0
+        self.iterations = 0
+        self.record = record
+        self.history = History()
+        #: Cluster-source supply-temperature overrides (fiddle).
+        self._source_overrides: Dict[str, float] = {}
+        #: Exhaust temperature of each machine at the end of the previous
+        #: tick; used by the inter-machine traversal.
+        self._prev_exhaust: Dict[str, float] = {
+            name: initial_temperature for name in self.machines
+        }
+        if record:
+            self._record_all()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def machine(self, name: str) -> MachineState:
+        """The mutable state of the named machine."""
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise UnknownSensorError(name, "<machine>") from None
+
+    def temperature(self, machine: str, node: str) -> float:
+        """Current temperature (Celsius) of a node, as a sensor would report.
+
+        ``node`` may be an exact vertex name or the special name
+        ``"inlet"`` / ``"exhaust"`` which resolve through the layout.
+        """
+        state = self.machine(machine)
+        resolved = self._resolve_node(state, node)
+        return state.temperatures[resolved]
+
+    def _resolve_node(self, state: MachineState, node: str) -> str:
+        layout = state.layout
+        if node in state.temperatures:
+            return node
+        lowered = node.strip().lower()
+        if lowered == "inlet":
+            return layout.inlet
+        if lowered == "exhaust":
+            return layout.exhaust
+        # Case-insensitive fallback so sensor names like "cpu" work.
+        matches = [name for name in state.temperatures if name.lower() == lowered]
+        if len(matches) == 1:
+            return matches[0]
+        raise UnknownSensorError(layout.name, node)
+
+    def set_utilization(self, machine: str, component: str, utilization: float) -> None:
+        """Feed a component utilization (monitord's update path)."""
+        self.machine(machine).set_utilization(component, utilization)
+
+    def set_utilizations(self, machine: str, utilizations: Mapping[str, float]) -> None:
+        """Feed several component utilizations at once."""
+        state = self.machine(machine)
+        for component, utilization in utilizations.items():
+            state.set_utilization(component, utilization)
+
+    # ------------------------------------------------------------------
+    # fiddle interface
+    # ------------------------------------------------------------------
+
+    def force_temperature(self, machine: str, node: str, value: float) -> None:
+        """Force a node temperature; ``node`` accepts "inlet"/"exhaust" too.
+
+        Forcing the inlet installs a persistent override (this is how an
+        air-conditioning failure is emulated); forcing any other node sets
+        its state once and lets physics take over again.
+        """
+        state = self.machine(machine)
+        resolved = self._resolve_node(state, node)
+        if resolved == state.layout.inlet:
+            state.inlet_override = value
+        state.set_temperature(resolved, value)
+
+    def clear_inlet_override(self, machine: str) -> None:
+        """Return a machine's inlet to layout/cluster control."""
+        self.machine(machine).inlet_override = None
+
+    def set_source_temperature(self, source: str, value: float) -> None:
+        """Override a cluster cooling source's supply temperature."""
+        if self.cluster is None or source not in self.cluster.sources:
+            raise UnknownNodeError(source)
+        self._source_overrides[source] = value
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, ticks: int = 1) -> None:
+        """Advance the emulation by ``ticks`` solver iterations."""
+        for _ in range(ticks):
+            self._tick()
+
+    def run(self, duration: float) -> None:
+        """Advance the emulation by ``duration`` seconds of simulated time."""
+        ticks = int(round(duration / self.dt))
+        self.step(ticks)
+
+    def _tick(self) -> None:
+        inlet_temps = self._inter_machine_traversal()
+        for name, state in self.machines.items():
+            self._machine_tick(state, inlet_temps[name])
+        for name, state in self.machines.items():
+            self._prev_exhaust[name] = state.temperatures[state.layout.exhaust]
+        self.time += self.dt
+        self.iterations += 1
+        if self.record:
+            self._record_all()
+
+    def _inter_machine_traversal(self) -> Dict[str, float]:
+        """Compute each machine's inlet temperature for this tick."""
+        result: Dict[str, float] = {}
+        for name, state in self.machines.items():
+            if state.inlet_override is not None:
+                result[name] = state.inlet_override
+            elif self.cluster is not None:
+                result[name] = self._cluster_inlet(name)
+            else:
+                result[name] = state.layout.inlet_temperature
+        return result
+
+    def _cluster_inlet(self, machine: str) -> float:
+        """Perfect-mixing inlet temperature from the cluster air graph."""
+        assert self.cluster is not None
+        temps: List[float] = []
+        weights: List[float] = []
+        for edge in self.cluster.incoming(machine):
+            if edge.src in self.cluster.sources:
+                source = self.cluster.sources[edge.src]
+                temp = self._source_overrides.get(edge.src, source.supply_temperature)
+                flow = source.flow_m3s
+                if flow is None:
+                    flow = sum(
+                        units.cfm_to_m3s(m.fan_cfm)
+                        for m in self.cluster.machines.values()
+                    )
+            else:  # recirculation from another machine's exhaust
+                temp = self._prev_exhaust[edge.src]
+                flow = units.cfm_to_m3s(self.cluster.machines[edge.src].fan_cfm)
+            temps.append(temp)
+            weights.append(flow * edge.fraction)
+        if not temps:
+            return self.machines[machine].layout.inlet_temperature
+        return physics.mix_streams(temps, weights)
+
+    def _machine_tick(self, state: MachineState, inlet_temperature: float) -> None:
+        layout = state.layout
+        dt = self.dt
+        flows = state.flows()
+        temps = state.temperatures
+        start = dict(temps)  # component temps seen by all exchanges this tick
+
+        # Heat gained by each component this tick (J), applied at the end.
+        heat: Dict[str, float] = {name: 0.0 for name in layout.components}
+
+        # --- intra-machine air traversal (advection + stream exchange) ---
+        incoming = {region: layout.incoming_air(region) for region in layout.air_regions}
+        air_heat_edges: Dict[str, List[Tuple[str, Tuple[str, str]]]] = {
+            region: [] for region in layout.air_regions
+        }
+        for edge in layout.heat_edges:
+            for region, other in ((edge.a, edge.b), (edge.b, edge.a)):
+                if region in layout.air_regions and other in layout.components:
+                    air_heat_edges[region].append((other, edge.key))
+
+        for region in layout.air_order:
+            flow = flows.get(region, 0.0)
+            if region == layout.inlet:
+                t_air = inlet_temperature
+            else:
+                mix_temps: List[float] = []
+                mix_weights: List[float] = []
+                for edge in incoming[region]:
+                    fraction = state.fractions[(edge.src, edge.dst)]
+                    upstream_flow = flows.get(edge.src, 0.0)
+                    weight = upstream_flow * fraction
+                    if weight > 0.0:
+                        mix_temps.append(temps[edge.src])
+                        mix_weights.append(weight)
+                if mix_temps:
+                    t_air = physics.mix_streams(mix_temps, mix_weights)
+                else:
+                    t_air = temps[region]  # stagnant pocket keeps its temperature
+            capacity_rate = units.air_heat_capacity_rate(flow)
+            for component, key in air_heat_edges[region]:
+                exchange = physics.stream_exchange(
+                    k=state.k[key],
+                    t_body=start[component],
+                    t_stream_in=t_air,
+                    capacity_rate=capacity_rate,
+                    dt=dt,
+                )
+                t_air = exchange.t_out
+                heat[component] -= exchange.heat_to_stream
+            temps[region] = t_air
+
+        # --- inter-component heat flow + air-air conduction ---
+        for edge in layout.heat_edges:
+            a_is_comp = edge.a in layout.components
+            b_is_comp = edge.b in layout.components
+            k = state.k[edge.key]
+            if a_is_comp and b_is_comp:
+                mc_a = layout.components[edge.a].heat_capacity
+                mc_b = layout.components[edge.b].heat_capacity
+                q = physics.conduction_heat(k, start[edge.a], start[edge.b], dt, mc_a, mc_b)
+                heat[edge.a] -= q
+                heat[edge.b] += q
+            elif not a_is_comp and not b_is_comp:
+                # Air-air conduction between regions (rare; e.g. a stagnant
+                # pocket).  Each side's per-tick thermal mass is the air
+                # that transits it during the step.
+                mc_a = max(units.air_heat_capacity_rate(flows.get(edge.a, 0.0)) * dt, 1e-9)
+                mc_b = max(units.air_heat_capacity_rate(flows.get(edge.b, 0.0)) * dt, 1e-9)
+                q = physics.conduction_heat(k, temps[edge.a], temps[edge.b], dt, mc_a, mc_b)
+                temps[edge.a] -= q / mc_a
+                temps[edge.b] += q / mc_b
+            # component-air edges were handled in the air traversal
+
+        # --- component self-heating and temperature update ---
+        for name, component in layout.components.items():
+            heat[name] += state.power_models[name].heat(state.utilizations[name], dt)
+            temps[name] = start[name] + physics.temperature_delta(
+                heat[name], component.mass, component.specific_heat
+            )
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _record_all(self) -> None:
+        for name, state in self.machines.items():
+            self.history.append(
+                name,
+                Sample(
+                    time=self.time,
+                    temperatures=dict(state.temperatures),
+                    utilizations=dict(state.utilizations),
+                    powers={c: state.power(c) for c in state.layout.components},
+                ),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Solver({len(self.machines)} machines, dt={self.dt}, "
+            f"t={self.time:.0f}s)"
+        )

@@ -1,0 +1,188 @@
+"""Thermal state vectors and time-series recording for the solver.
+
+The solver keeps one :class:`MachineState` per machine: current node
+temperatures plus *mutable copies* of every constant the fiddle tool is
+allowed to change at run time (heat-transfer ``k`` values, air fractions,
+fan speed, inlet-temperature override, power scale factors, component
+utilizations).  The immutable :class:`~repro.core.graph.MachineLayout`
+stays pristine, so a solver can always be reset to the as-described model.
+
+:class:`History` accumulates per-tick samples and converts them to column
+arrays for plotting, persistence, or comparison against measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import UnknownNodeError
+from .graph import MachineLayout
+from .power import PowerModel, ScaledPowerModel
+
+
+class MachineState:
+    """Mutable per-machine solver state (temperatures and live constants)."""
+
+    def __init__(self, layout: MachineLayout, initial_temperature: float) -> None:
+        self.layout = layout
+        #: Current temperature (Celsius) of every component and air region.
+        self.temperatures: Dict[str, float] = {
+            name: initial_temperature for name in layout.node_names
+        }
+        #: Live heat-transfer constants, keyed by canonical edge pair.
+        self.k: Dict[Tuple[str, str], float] = {
+            edge.key: edge.k for edge in layout.heat_edges
+        }
+        #: Live air fractions, keyed by (src, dst).
+        self.fractions: Dict[Tuple[str, str], float] = {
+            (edge.src, edge.dst): edge.fraction for edge in layout.air_edges
+        }
+        self.fan_cfm: float = layout.fan_cfm
+        #: When set, replaces the layout/cluster-provided inlet temperature.
+        self.inlet_override: Optional[float] = None
+        #: Current utilization of each component (monitored ones are fed by
+        #: monitord or a trace; the rest stay at 0, which is correct for the
+        #: constant-power components of Table 1).
+        self.utilizations: Dict[str, float] = {
+            name: 0.0 for name in layout.components
+        }
+        #: Power models wrapped so fiddle can scale them (throttling/DVFS).
+        self.power_models: Dict[str, ScaledPowerModel] = {
+            name: ScaledPowerModel(component.power_model)
+            for name, component in layout.components.items()
+        }
+        self._flow_cache: Optional[Dict[str, float]] = None
+
+    # -- temperature access -------------------------------------------
+
+    def temperature(self, node: str) -> float:
+        """Current temperature of the named node."""
+        try:
+            return self.temperatures[node]
+        except KeyError:
+            raise UnknownNodeError(node) from None
+
+    def set_temperature(self, node: str, value: float) -> None:
+        """Force the named node to a temperature (fiddle)."""
+        if node not in self.temperatures:
+            raise UnknownNodeError(node)
+        self.temperatures[node] = value
+
+    # -- constants ------------------------------------------------------
+
+    def set_k(self, a: str, b: str, value: float) -> None:
+        """Change the heat-transfer constant of the edge between ``a`` and ``b``."""
+        key = (a, b) if a <= b else (b, a)
+        if key not in self.k:
+            raise UnknownNodeError(f"{a}--{b}")
+        if value < 0.0:
+            raise ValueError("k must be non-negative")
+        self.k[key] = value
+
+    def set_fraction(self, src: str, dst: str, value: float) -> None:
+        """Change an air-flow fraction; the flow cache is invalidated."""
+        if (src, dst) not in self.fractions:
+            raise UnknownNodeError(f"{src}->{dst}")
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("air fraction must be in [0, 1]")
+        self.fractions[(src, dst)] = value
+        self._flow_cache = None
+
+    def set_fan_cfm(self, value: float) -> None:
+        """Change the fan speed (ft^3/min); the flow cache is invalidated."""
+        if value <= 0.0:
+            raise ValueError("fan flow must be positive")
+        self.fan_cfm = value
+        self._flow_cache = None
+
+    def set_power_scale(self, component: str, factor: float) -> None:
+        """Scale a component's power draw (emulates DVFS / clock throttling)."""
+        try:
+            self.power_models[component].factor = factor
+        except KeyError:
+            raise UnknownNodeError(component) from None
+
+    def set_utilization(self, component: str, utilization: float) -> None:
+        """Report a component utilization (normally done by monitord)."""
+        if component not in self.utilizations:
+            raise UnknownNodeError(component)
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        self.utilizations[component] = utilization
+
+    # -- derived --------------------------------------------------------
+
+    def flows(self) -> Dict[str, float]:
+        """Volumetric flow (m^3/s) per air region under the live constants."""
+        if self._flow_cache is None:
+            self._flow_cache = self.layout.air_flow_rates(
+                fan_cfm=self.fan_cfm, fractions=self.fractions
+            )
+        return self._flow_cache
+
+    def edge_k(self, a: str, b: str) -> float:
+        """Live heat-transfer constant for the edge between ``a`` and ``b``."""
+        key = (a, b) if a <= b else (b, a)
+        return self.k[key]
+
+    def power(self, component: str) -> float:
+        """Current power draw (W) of the named component."""
+        return self.power_models[component].power(self.utilizations[component])
+
+
+@dataclass
+class Sample:
+    """One recorded solver tick for one machine."""
+
+    time: float
+    temperatures: Dict[str, float]
+    utilizations: Dict[str, float]
+    powers: Dict[str, float]
+
+
+class History:
+    """Per-machine time series of solver samples.
+
+    The solver appends a :class:`Sample` per machine per recorded tick.
+    ``series`` extracts aligned columns, which is what the validation
+    experiments and the benchmark harness consume.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[Sample]] = {}
+
+    def append(self, machine: str, sample: Sample) -> None:
+        """Record one tick's sample for a machine."""
+        self._samples.setdefault(machine, []).append(sample)
+
+    def machines(self) -> List[str]:
+        """Machines with at least one recorded sample."""
+        return sorted(self._samples)
+
+    def samples(self, machine: str) -> List[Sample]:
+        """All samples recorded for a machine, oldest first."""
+        return list(self._samples.get(machine, ()))
+
+    def times(self, machine: str) -> List[float]:
+        """Sample timestamps (seconds of simulated time) for a machine."""
+        return [s.time for s in self._samples.get(machine, ())]
+
+    def series(self, machine: str, node: str) -> List[float]:
+        """Temperature time series for one node of one machine."""
+        return [s.temperatures[node] for s in self._samples.get(machine, ())]
+
+    def utilization_series(self, machine: str, component: str) -> List[float]:
+        """Utilization time series for one component of one machine."""
+        return [s.utilizations[component] for s in self._samples.get(machine, ())]
+
+    def power_series(self, machine: str, component: str) -> List[float]:
+        """Power time series (W) for one component of one machine."""
+        return [s.powers[component] for s in self._samples.get(machine, ())]
+
+    def last(self, machine: str) -> Sample:
+        """Most recent sample for a machine."""
+        return self._samples[machine][-1]
+
+    def __len__(self) -> int:
+        return sum(len(samples) for samples in self._samples.values())

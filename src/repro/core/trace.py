@@ -1,0 +1,245 @@
+"""Utilization traces and the solver's offline (trace-fed) mode.
+
+Mercury's solver can be fed either live by monitord or from a trace file
+("which allows for fine-tuning of parameters without actually running the
+system software").  Replicating traces lets Mercury "emulate large cluster
+installations, even when the user's real system is much smaller".
+
+A :class:`UtilizationTrace` is a step function from time to per-component
+utilizations for one machine.  :func:`run_offline` replays one trace per
+machine through a :class:`~repro.core.solver.Solver` and returns the
+resulting history — "another file containing all the usage and
+temperature information for each component in the system over time"
+when written with :func:`save_history`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..errors import TraceError
+from .graph import ClusterLayout, MachineLayout
+from .solver import DEFAULT_DT, Solver
+from .state import History
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Utilizations in effect from ``time`` until the next point."""
+
+    time: float
+    utilizations: Dict[str, float]
+
+
+class UtilizationTrace:
+    """A per-machine component-utilization step function.
+
+    Points must be time-sorted; the utilization at time ``t`` is that of
+    the latest point with ``time <= t`` (before the first point, all
+    components are idle).
+    """
+
+    def __init__(self, machine: str, points: Sequence[TracePoint]) -> None:
+        self.machine = machine
+        self.points: List[TracePoint] = list(points)
+        for earlier, later in zip(self.points, self.points[1:]):
+            if later.time <= earlier.time:
+                raise TraceError(
+                    f"trace for {machine!r} not strictly time-sorted at "
+                    f"t={later.time}"
+                )
+        for point in self.points:
+            for component, value in point.utilizations.items():
+                if not 0.0 <= value <= 1.0:
+                    raise TraceError(
+                        f"trace for {machine!r}: utilization of {component!r} "
+                        f"at t={point.time} is {value}, outside [0, 1]"
+                    )
+        self._times = [p.time for p in self.points]
+
+    @classmethod
+    def from_function(
+        cls,
+        machine: str,
+        duration: float,
+        interval: float,
+        func: Callable[[float], Mapping[str, float]],
+    ) -> "UtilizationTrace":
+        """Sample ``func(t)`` every ``interval`` seconds for ``duration``."""
+        if interval <= 0.0 or duration <= 0.0:
+            raise TraceError("duration and interval must be positive")
+        points = []
+        t = 0.0
+        while t < duration:
+            points.append(TracePoint(time=t, utilizations=dict(func(t))))
+            t += interval
+        return cls(machine, points)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last point (seconds)."""
+        return self._times[-1] if self._times else 0.0
+
+    @property
+    def components(self) -> List[str]:
+        """All component names mentioned anywhere in the trace."""
+        seen: Dict[str, None] = {}
+        for point in self.points:
+            for name in point.utilizations:
+                seen.setdefault(name)
+        return list(seen)
+
+    def utilizations_at(self, time: float) -> Dict[str, float]:
+        """Utilizations in effect at simulated time ``time``."""
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return {}
+        return dict(self.points[idx].utilizations)
+
+    def replicate(self, machines: Sequence[str]) -> List["UtilizationTrace"]:
+        """Copies of this trace for each named machine (cluster emulation)."""
+        return [UtilizationTrace(name, self.points) for name in machines]
+
+    def shifted(self, offset: float) -> "UtilizationTrace":
+        """The same trace delayed by ``offset`` seconds (>= 0)."""
+        if offset < 0.0:
+            raise TraceError("shift offset must be non-negative")
+        return UtilizationTrace(
+            self.machine,
+            [TracePoint(p.time + offset, p.utilizations) for p in self.points],
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+_TRACE_FIELDS = ("time", "machine", "component", "utilization")
+
+
+def save_traces(traces: Sequence[UtilizationTrace], path: Union[str, Path]) -> None:
+    """Write traces to a CSV file (columns: time, machine, component, utilization)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TRACE_FIELDS)
+        for trace in traces:
+            for point in trace.points:
+                for component, value in sorted(point.utilizations.items()):
+                    writer.writerow([f"{point.time:.6g}", trace.machine, component, f"{value:.6g}"])
+
+
+def load_traces(path: Union[str, Path]) -> List[UtilizationTrace]:
+    """Read traces written by :func:`save_traces`."""
+    rows: Dict[str, Dict[float, Dict[str, float]]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _TRACE_FIELDS:
+            raise TraceError(f"bad trace header in {path}: {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise TraceError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
+            try:
+                time = float(row[0])
+                value = float(row[3])
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from None
+            rows.setdefault(row[1], {}).setdefault(time, {})[row[2]] = value
+    traces = []
+    for machine, by_time in sorted(rows.items()):
+        points = [
+            TracePoint(time=t, utilizations=utils)
+            for t, utils in sorted(by_time.items())
+        ]
+        traces.append(UtilizationTrace(machine, points))
+    return traces
+
+
+def save_history(history: History, path: Union[str, Path]) -> None:
+    """Write a solver history to CSV (usage and temperature over time)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "machine", "node", "temperature", "utilization", "power"])
+        for machine in history.machines():
+            for sample in history.samples(machine):
+                for node, temp in sorted(sample.temperatures.items()):
+                    util = sample.utilizations.get(node, "")
+                    power = sample.powers.get(node, "")
+                    writer.writerow(
+                        [
+                            f"{sample.time:.6g}",
+                            machine,
+                            node,
+                            f"{temp:.4f}",
+                            f"{util:.6g}" if util != "" else "",
+                            f"{power:.6g}" if power != "" else "",
+                        ]
+                    )
+
+
+# ----------------------------------------------------------------------
+# offline solving
+# ----------------------------------------------------------------------
+
+
+def run_offline(
+    layouts: Sequence[MachineLayout],
+    traces: Sequence[UtilizationTrace],
+    cluster: Optional[ClusterLayout] = None,
+    dt: float = DEFAULT_DT,
+    duration: Optional[float] = None,
+    initial_temperature: Optional[float] = None,
+    events: Optional[Sequence["TimedEvent"]] = None,
+) -> History:
+    """Replay utilization traces through a fresh solver and return history.
+
+    ``events`` is an optional sequence of :class:`TimedEvent` callbacks
+    (the fiddle script interpreter produces these) fired when simulated
+    time first reaches each event's timestamp.
+    """
+    by_machine = {trace.machine: trace for trace in traces}
+    missing = [l.name for l in layouts if l.name not in by_machine]
+    if missing:
+        raise TraceError(f"no trace supplied for machines: {missing}")
+    solver = Solver(
+        layouts,
+        cluster=cluster,
+        dt=dt,
+        initial_temperature=initial_temperature,
+        record=True,
+    )
+    if duration is None:
+        duration = max(trace.duration for trace in traces)
+    pending = sorted(events or (), key=lambda e: e.time)
+    next_event = 0
+    ticks = int(round(duration / dt))
+    for _ in range(ticks):
+        while next_event < len(pending) and pending[next_event].time <= solver.time:
+            pending[next_event].fire(solver)
+            next_event += 1
+        for layout in layouts:
+            utils = by_machine[layout.name].utilizations_at(solver.time)
+            if utils:
+                solver.set_utilizations(layout.name, utils)
+        solver.step()
+    return solver.history
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """A callback fired once when simulated time reaches ``time``."""
+
+    time: float
+    action: Callable[[Solver], None]
+    label: str = ""
+
+    def fire(self, solver: Solver) -> None:
+        """Run the event's action against the solver."""
+        self.action(solver)

@@ -1,0 +1,8 @@
+"""The Mercury/Freon daemons: monitord, tempd, and admd."""
+
+from .admd import Admd
+from .monitord import Monitord
+from .tempd import Tempd, TempdMessage
+from .transport import AdmdListener, TempdSender
+
+__all__ = ["Admd", "AdmdListener", "Monitord", "Tempd", "TempdMessage", "TempdSender"]

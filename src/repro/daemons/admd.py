@@ -1,0 +1,124 @@
+"""admd: Freon's admission-control daemon at the load balancer.
+
+Section 4.1: on an ADJUST message for a hot server, admd
+
+* sets the server's LVS weight so it receives ``1/(output+1)`` of the
+  load it is currently receiving, and
+* "orders LVS to limit the maximum allowed number of concurrent requests
+  to the hot server at the average number of concurrent requests over
+  the last time interval" — which admd knows because it "wakes up
+  periodically (every five seconds in our experiments) and queries LVS
+  about this statistic".
+
+A RELEASE message eliminates all restrictions; a REDLINE message makes
+admd turn the server off through the cluster's power-control hook
+("Modern CPUs and disks turn themselves off when these temperatures are
+reached; Freon extends the action to entire servers").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..cluster.lvs import LoadBalancer, ServerState
+from ..freon.policy import FreonConfig, weight_for_share_reduction
+from .tempd import (
+    MSG_ADJUST,
+    MSG_REDLINE,
+    MSG_RELEASE,
+    MSG_STATUS,
+    TempdMessage,
+)
+
+
+class Admd:
+    """The base Freon admission-control daemon."""
+
+    def __init__(
+        self,
+        balancer: LoadBalancer,
+        config: Optional[FreonConfig] = None,
+        turn_off: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.balancer = balancer
+        self.config = config or FreonConfig()
+        self._turn_off = turn_off
+        self._stats_elapsed = 0.0
+        #: Rolling (time, connections) samples per server.
+        self._samples: Dict[str, Deque[Tuple[float, float]]] = {
+            server.name: deque() for server in balancer.servers()
+        }
+        self.adjustments: List[Tuple[float, str, float]] = []
+        self.releases: List[Tuple[float, str]] = []
+        self.redlined: List[Tuple[float, str]] = []
+
+    # -- LVS statistics sampling -------------------------------------------
+
+    def tick(self, dt: float, now: float) -> None:
+        """Advance the statistics clock; sample LVS every stats period."""
+        self._stats_elapsed += dt
+        if self._stats_elapsed + 1e-9 < self.config.stats_period:
+            return
+        self._stats_elapsed = 0.0
+        self.sample(now)
+
+    def sample(self, now: float) -> None:
+        """Record one LVS connection-count sample per server."""
+        horizon = now - self.config.monitor_period
+        for name, connections in self.balancer.connection_stats().items():
+            window = self._samples[name]
+            window.append((now, connections))
+            while window and window[0][0] < horizon:
+                window.popleft()
+
+    def average_connections(self, machine: str) -> float:
+        """Mean concurrent connections over the last monitor period."""
+        window = self._samples.get(machine)
+        if not window:
+            return self.balancer.server(machine).active_connections
+        return sum(c for _, c in window) / len(window)
+
+    # -- message handling ------------------------------------------------------
+
+    def deliver(self, message: TempdMessage) -> None:
+        """Handle one tempd message."""
+        if message.type == MSG_ADJUST:
+            self._handle_adjust(message)
+        elif message.type == MSG_RELEASE:
+            self._handle_release(message)
+        elif message.type == MSG_REDLINE:
+            self._handle_redline(message)
+        elif message.type == MSG_STATUS:
+            self._handle_status(message)
+
+    def _handle_adjust(self, message: TempdMessage) -> None:
+        machine = message.machine
+        server = self.balancer.server(machine)
+        if server.state is not ServerState.ACTIVE:
+            return
+        weights = {
+            s.name: s.weight for s in self.balancer.active_servers()
+        }
+        new_weight = weight_for_share_reduction(weights, machine, message.output)
+        self.balancer.set_weight(machine, new_weight)
+        self.balancer.set_connection_limit(
+            machine, self.average_connections(machine)
+        )
+        self.adjustments.append((message.time, machine, message.output))
+
+    def _handle_release(self, message: TempdMessage) -> None:
+        machine = message.machine
+        self.balancer.set_weight(machine, self.config.base_weight)
+        self.balancer.set_connection_limit(machine, None)
+        self.releases.append((message.time, machine))
+
+    def _handle_redline(self, message: TempdMessage) -> None:
+        machine = message.machine
+        self.redlined.append((message.time, machine))
+        if self._turn_off is not None:
+            self._turn_off(machine)
+
+    def _handle_status(self, message: TempdMessage) -> None:
+        """Base Freon ignores STATUS; Freon-EC overrides this."""

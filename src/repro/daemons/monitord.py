@@ -1,0 +1,136 @@
+"""monitord: the per-machine component-utilization monitoring daemon.
+
+"The monitor daemon, called monitord, periodically samples the
+utilization of the components of the machine on which it is running and
+reports that information to the solver. ... utilization information is
+computed from /proc.  The frequency of utilization updates sent to the
+solver is a tunable parameter set to 1 second by default.  Our current
+implementation uses 128-byte UDP messages to update the solver."
+
+Two reporting modes are implemented, as in the paper:
+
+* **/proc mode** (default) — interval utilizations from the simulated
+  /proc counters;
+* **performance-counter mode** (section 2.3, "Mercury for modern
+  processors") — the CPU's utilization is replaced by the "low-level
+  utilization" derived from counter-estimated energy, so the solver's
+  linear model remains valid for non-linear CPUs.
+
+The daemon is simulation-clock driven: the harness calls :meth:`tick`
+once per simulated period.  Transport is either a direct
+:class:`~repro.sensors.server.SensorService` or a UDP endpoint.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Tuple, Union
+
+from ..config import table1
+from ..machine.perfcounters import (
+    CounterUtilizationReporter,
+    calibrated_estimator,
+)
+from ..machine.procfs import ProcReader
+from ..machine.server import SimulatedServer
+from ..sensors import protocol
+from ..sensors.server import SensorService
+
+#: Default update period, seconds.
+DEFAULT_PERIOD = 1.0
+
+
+class Monitord:
+    """One machine's monitoring daemon.
+
+    Parameters
+    ----------
+    machine:
+        Name the solver knows this machine by.
+    server:
+        The (simulated) physical machine to sample.
+    transport:
+        A :class:`SensorService` for in-process delivery, or a
+        ``(host, port)`` tuple for real UDP datagrams.
+    period:
+        Seconds of simulated time between updates.
+    use_counters:
+        Enable the performance-counter CPU mode (the server must have
+        been built with ``with_counters=True``).
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        server: SimulatedServer,
+        transport: Union[SensorService, Tuple[str, int]],
+        period: float = DEFAULT_PERIOD,
+        use_counters: bool = False,
+    ) -> None:
+        if period <= 0.0:
+            raise ValueError("period must be positive")
+        self.machine = machine
+        self.server = server
+        self.period = period
+        self._reader = ProcReader(server.procfs)
+        self._service: Optional[SensorService] = None
+        self._sock: Optional[socket.socket] = None
+        self._address: Optional[Tuple[str, int]] = None
+        if isinstance(transport, SensorService):
+            self._service = transport
+        else:
+            self._address = transport
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._counter_reporter: Optional[CounterUtilizationReporter] = None
+        if use_counters:
+            if server.counters is None:
+                raise ValueError(
+                    "counter mode requested but the server has no counters"
+                )
+            cpu_model = server.layout.components[table1.CPU].power_model
+            self._counter_reporter = CounterUtilizationReporter(
+                counters=server.counters,
+                estimator=calibrated_estimator(cpu_model, server.counters),
+                power_model=cpu_model,
+            )
+        self.updates_sent = 0
+        self._elapsed = 0.0
+
+    def tick(self, dt: float = 1.0) -> Optional[Dict[str, float]]:
+        """Advance the daemon's clock; send an update when a period elapses.
+
+        Returns the utilizations sent, or None when no update was due.
+        """
+        self._elapsed += dt
+        if self._elapsed + 1e-9 < self.period:
+            return None
+        self._elapsed = 0.0
+        return self.send_update()
+
+    def send_update(self) -> Dict[str, float]:
+        """Sample /proc (and counters) and push one update to the solver."""
+        utilizations = self._reader.sample()
+        if self._counter_reporter is not None:
+            utilizations[table1.CPU] = self._counter_reporter.sample()
+        update = protocol.UtilizationUpdate(
+            machine=self.machine, utilizations=utilizations
+        )
+        if self._service is not None:
+            self._service.handle_update(update.encode())
+        else:
+            assert self._sock is not None and self._address is not None
+            self._sock.sendto(update.encode(), self._address)
+        self.updates_sent += 1
+        return utilizations
+
+    def close(self) -> None:
+        """Release the UDP socket, if any."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "Monitord":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,160 @@
+"""tempd: Freon's per-server temperature daemon (paper section 4.1).
+
+"A Freon process, called tempd or temperature daemon, at each server
+monitors the temperature of the CPU(s) and disk(s) of the server.  Tempd
+wakes up periodically (once per minute in our experiments) to check
+component temperatures."  When any component exceeds its high threshold,
+tempd sends admd the PD-controller output; it repeats that every period
+until the component cools below the high threshold, and orders admd to
+lift all restrictions once *every* component is below its low threshold.
+
+tempd reads temperatures through the Mercury sensor library (or any
+callable with the same shape) — on real hardware it would read physical
+sensors; the interface is identical, which is the whole point of Mercury.
+
+For Freon-EC, tempd "also sends utilization information to admd
+periodically"; enable that with a ``utilization_reader``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..freon.controller import ControllerBank
+from ..freon.policy import FreonConfig
+
+#: Message types tempd emits.
+MSG_ADJUST = "adjust"
+MSG_RELEASE = "release"
+MSG_REDLINE = "redline"
+MSG_STATUS = "status"
+
+
+@dataclass(frozen=True)
+class TempdMessage:
+    """One tempd -> admd datagram (as a structured value)."""
+
+    type: str
+    machine: str
+    time: float
+    output: float = 0.0
+    temperatures: Dict[str, float] = field(default_factory=dict)
+    utilizations: Dict[str, float] = field(default_factory=dict)
+
+
+class Tempd:
+    """One server's temperature daemon.
+
+    Parameters
+    ----------
+    machine:
+        Server name, as known to admd and the balancer.
+    temperature_reader:
+        Callable returning {"cpu": T, "disk": T, ...} for this server.
+    send:
+        Callable delivering a :class:`TempdMessage` to admd.
+    config:
+        Thresholds, gains, and periods.
+    utilization_reader:
+        Optional callable returning component utilizations; when given,
+        a STATUS message is sent every period (Freon-EC mode).
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        temperature_reader: Callable[[], Dict[str, float]],
+        send: Callable[[TempdMessage], None],
+        config: Optional[FreonConfig] = None,
+        utilization_reader: Optional[Callable[[], Dict[str, float]]] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or FreonConfig()
+        self._read_temperatures = temperature_reader
+        self._read_utilizations = utilization_reader
+        self._send = send
+        self._controllers = ControllerBank(kp=self.config.kp, kd=self.config.kd)
+        self._elapsed = 0.0
+        #: True while admd has restrictions in place for this server.
+        self.restricted = False
+        #: Components currently above their high threshold.
+        self.hot_components: List[str] = []
+        self.messages_sent = 0
+
+    def tick(self, dt: float, now: float) -> List[TempdMessage]:
+        """Advance the daemon clock; act when a monitor period elapses."""
+        self._elapsed += dt
+        if self._elapsed + 1e-9 < self.config.monitor_period:
+            return []
+        self._elapsed = 0.0
+        return self.wake(now)
+
+    def wake(self, now: float) -> List[TempdMessage]:
+        """One wake-up: read temperatures, run the policy, send messages."""
+        temperatures = dict(self._read_temperatures())
+        sent: List[TempdMessage] = []
+        highs = {c: self.config.high(c) for c in temperatures}
+        self.hot_components = [
+            c for c, t in temperatures.items() if t > highs[c]
+        ]
+
+        # Red-line check comes first: past T_r the server must shut down.
+        red_hot = [
+            c for c, t in temperatures.items() if t >= self.config.red(c)
+        ]
+        if red_hot:
+            sent.append(
+                TempdMessage(
+                    type=MSG_REDLINE,
+                    machine=self.machine,
+                    time=now,
+                    temperatures=temperatures,
+                )
+            )
+
+        if self.hot_components:
+            output = self._controllers.combined_output(temperatures, highs)
+            self.restricted = True
+            sent.append(
+                TempdMessage(
+                    type=MSG_ADJUST,
+                    machine=self.machine,
+                    time=now,
+                    output=output,
+                    temperatures=temperatures,
+                )
+            )
+        else:
+            # Keep derivative state fresh while below the high thresholds.
+            self._controllers.combined_output(temperatures, highs)
+            all_cool = all(
+                t < self.config.low(c) for c, t in temperatures.items()
+            )
+            if self.restricted and all_cool:
+                self.restricted = False
+                self._controllers.reset()
+                sent.append(
+                    TempdMessage(
+                        type=MSG_RELEASE,
+                        machine=self.machine,
+                        time=now,
+                        temperatures=temperatures,
+                    )
+                )
+
+        if self._read_utilizations is not None:
+            sent.append(
+                TempdMessage(
+                    type=MSG_STATUS,
+                    machine=self.machine,
+                    time=now,
+                    temperatures=temperatures,
+                    utilizations=dict(self._read_utilizations()),
+                )
+            )
+
+        for message in sent:
+            self._send(message)
+        self.messages_sent += len(sent)
+        return sent

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro (Mercury/Freon) package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: graph construction, the mdot language, the solver, sensors, and
+the cluster substrate each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Invalid heat-flow or air-flow graph structure."""
+
+
+class UnknownNodeError(GraphError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown node: {name!r}")
+        self.name = name
+
+
+class DuplicateNodeError(GraphError):
+    """A node with the same name was added twice."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"duplicate node: {name!r}")
+        self.name = name
+
+
+class AirFlowConservationError(GraphError):
+    """Outgoing air fractions of a vertex do not sum to 1."""
+
+    def __init__(self, name: str, total: float) -> None:
+        super().__init__(
+            f"air fractions leaving {name!r} sum to {total:.4f}, expected 1.0"
+        )
+        self.name = name
+        self.total = total
+
+
+class MdotError(ReproError):
+    """Base class for errors in the mdot graph-description language."""
+
+
+class MdotSyntaxError(MdotError):
+    """Lexical or syntactic error in an mdot source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class MdotSemanticError(MdotError):
+    """Structurally valid mdot source with inconsistent meaning."""
+
+
+class SolverError(ReproError):
+    """Errors raised by the Mercury solver."""
+
+
+class UnknownSensorError(SolverError):
+    """A temperature query referenced a node the solver does not model."""
+
+    def __init__(self, machine: str, component: str) -> None:
+        super().__init__(f"no sensor for component {component!r} on machine {machine!r}")
+        self.machine = machine
+        self.component = component
+
+
+class FiddleError(ReproError):
+    """Errors raised by the fiddle thermal-emergency tool."""
+
+
+class SensorError(ReproError):
+    """Errors in the sensor client library or sensor service."""
+
+
+class SensorClosedError(SensorError):
+    """A read was attempted on a closed sensor descriptor."""
+
+
+class CalibrationError(ReproError):
+    """Calibration could not be performed or did not converge."""
+
+
+class TraceError(ReproError):
+    """Malformed utilization trace data."""
+
+
+class ClusterError(ReproError):
+    """Errors in the cluster substrate (LVS, web servers, client)."""
+
+
+class ServerStateError(ClusterError):
+    """An operation was attempted on a server in an incompatible state."""

@@ -1,0 +1,6 @@
+"""fiddle: runtime thermal-emergency injection and scripted emergencies."""
+
+from .script import ScriptRunner, events_from_script, parse_script
+from .tool import Fiddle
+
+__all__ = ["Fiddle", "ScriptRunner", "events_from_script", "parse_script"]

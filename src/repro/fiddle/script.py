@@ -1,0 +1,125 @@
+"""fiddle scripts: timed sequences of fiddle commands (Figure 4).
+
+The paper drives emergencies with small shell scripts::
+
+    #!/bin/bash
+    sleep 100
+    fiddle machine1 temperature inlet 30
+    sleep 200
+    fiddle machine1 temperature inlet 21.6
+
+:func:`parse_script` accepts exactly that surface syntax (``sleep N``
+accumulates simulated time; ``fiddle ...`` lines are
+:mod:`repro.fiddle.tool` commands; ``#`` comments and the shebang are
+ignored) and produces :class:`TimedCommand` entries.  These convert to
+:class:`~repro.core.trace.TimedEvent` objects for the offline solver, or
+are applied live by :class:`ScriptRunner` inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.solver import Solver
+from ..core.trace import TimedEvent
+from ..errors import FiddleError
+from .tool import Fiddle
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """One fiddle command scheduled at an absolute simulated time."""
+
+    time: float
+    command: str
+
+
+def parse_script(text: str) -> List[TimedCommand]:
+    """Parse a Figure 4-style fiddle script into timed commands."""
+    commands: List[TimedCommand] = []
+    clock = 0.0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = shlex.split(line, comments=True)
+        if not tokens:
+            continue
+        if tokens[0] == "sleep":
+            if len(tokens) != 2:
+                raise FiddleError(f"line {lineno}: sleep takes one argument")
+            try:
+                delay = float(tokens[1])
+            except ValueError:
+                raise FiddleError(
+                    f"line {lineno}: bad sleep duration {tokens[1]!r}"
+                ) from None
+            if delay < 0.0:
+                raise FiddleError(f"line {lineno}: negative sleep")
+            clock += delay
+        elif tokens[0] == "fiddle":
+            commands.append(TimedCommand(time=clock, command=line))
+        else:
+            raise FiddleError(
+                f"line {lineno}: expected 'sleep' or 'fiddle', got {tokens[0]!r}"
+            )
+    return commands
+
+
+def to_events(commands: Sequence[TimedCommand]) -> List[TimedEvent]:
+    """Convert timed commands into offline-solver events."""
+
+    def make_action(command: str):
+        def action(solver: Solver) -> None:
+            Fiddle(solver).command(command)
+
+        return action
+
+    return [
+        TimedEvent(time=cmd.time, action=make_action(cmd.command), label=cmd.command)
+        for cmd in commands
+    ]
+
+
+def events_from_script(text: str) -> List[TimedEvent]:
+    """Parse a script and return offline-solver events in one step."""
+    return to_events(parse_script(text))
+
+
+class ScriptRunner:
+    """Applies a parsed script against a live solver as time advances.
+
+    Call :meth:`advance_to` with the current simulated time; every
+    command whose timestamp has been reached fires exactly once, in
+    order.
+    """
+
+    def __init__(self, solver: Solver, commands: Sequence[TimedCommand]) -> None:
+        self._fiddle = Fiddle(solver)
+        self._commands = sorted(commands, key=lambda c: c.time)
+        self._next = 0
+
+    @property
+    def pending(self) -> int:
+        """Commands not yet fired."""
+        return len(self._commands) - self._next
+
+    @property
+    def fiddle(self) -> Fiddle:
+        """The underlying Fiddle (exposes the audit log)."""
+        return self._fiddle
+
+    def advance_to(self, time: float) -> List[str]:
+        """Fire all commands due at or before ``time``; returns them."""
+        fired: List[str] = []
+        while (
+            self._next < len(self._commands)
+            and self._commands[self._next].time <= time
+        ):
+            command = self._commands[self._next].command
+            self._fiddle.command(command)
+            fired.append(command)
+            self._next += 1
+        return fired

@@ -1,0 +1,90 @@
+"""The PD feedback controller at the heart of Freon (paper section 4.1).
+
+"The specific information that tempd sends to admd is the output of a PD
+(Proportional and Derivative) feedback controller":
+
+``output_c = max(kp (T_curr - T_h) + kd (T_curr - T_last), 0)``
+``output   = max over components c of output_c``
+
+The controller only runs while a component is above its high threshold,
+and its output is forced non-negative.  Based on ``output``, admd scales
+the hot server's load share by ``1 / (output + 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Paper values for the controller gains.
+DEFAULT_KP = 0.1
+DEFAULT_KD = 0.2
+
+
+@dataclass
+class PDController:
+    """One component's proportional-derivative controller."""
+
+    kp: float = DEFAULT_KP
+    kd: float = DEFAULT_KD
+    _last_temperature: Optional[float] = None
+
+    def update(self, current: float, high_threshold: float) -> float:
+        """One controller step; returns the non-negative output.
+
+        The derivative term uses the previously *observed* temperature;
+        on the first observation it contributes nothing.
+        """
+        last = self._last_temperature if self._last_temperature is not None else current
+        output = self.kp * (current - high_threshold) + self.kd * (current - last)
+        self._last_temperature = current
+        return max(output, 0.0)
+
+    def observe(self, current: float) -> None:
+        """Record a temperature without producing an output.
+
+        Called while the component is below its high threshold so the
+        derivative term is fresh when the controller re-engages.
+        """
+        self._last_temperature = current
+
+    def reset(self) -> None:
+        """Forget controller state (after an emergency fully clears)."""
+        self._last_temperature = None
+
+
+class ControllerBank:
+    """Per-component controllers for one server, keyed by sensor name."""
+
+    def __init__(self, kp: float = DEFAULT_KP, kd: float = DEFAULT_KD) -> None:
+        self._kp = kp
+        self._kd = kd
+        self._controllers: Dict[str, PDController] = {}
+
+    def controller(self, component: str) -> PDController:
+        """The (lazily created) controller for a component."""
+        if component not in self._controllers:
+            self._controllers[component] = PDController(kp=self._kp, kd=self._kd)
+        return self._controllers[component]
+
+    def combined_output(self, readings: Dict[str, float],
+                        thresholds: Dict[str, float]) -> float:
+        """``output = max_c output_c`` over components above threshold.
+
+        ``readings`` maps component to current temperature; components at
+        or below their high threshold only update their derivative state.
+        """
+        output = 0.0
+        for component, temperature in readings.items():
+            controller = self.controller(component)
+            high = thresholds[component]
+            if temperature > high:
+                output = max(output, controller.update(temperature, high))
+            else:
+                controller.observe(temperature)
+        return output
+
+    def reset(self) -> None:
+        """Reset every controller in the bank."""
+        for controller in self._controllers.values():
+            controller.reset()

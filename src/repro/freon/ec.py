@@ -1,0 +1,234 @@
+"""Freon-EC: combined energy conservation and thermal management (4.2).
+
+Freon-EC keeps Freon's structure (tempd + admd) but admd additionally
+implements the Figure 10 loop:
+
+* servers are associated with physical **regions**; emergencies are
+  counted per region;
+* the cluster is **reconfigured** for energy: servers are turned off
+  whenever the remaining ones can absorb the load below ``U_l`` average
+  utilization, and turned (back) on when the *projected* utilization of
+  any component exceeds ``U_h`` — projections extrapolate two observation
+  intervals ahead assuming linear load growth;
+* when a component crosses its high threshold: if every server in the
+  cluster is needed, fall back to base Freon's weight adjustment;
+  otherwise *turn the hot server off*, first turning on a replacement
+  (preferably from a region not under emergency) if the remaining active
+  servers could not absorb the load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from ..cluster.lvs import LoadBalancer, ServerState
+from ..config import table1
+from ..daemons.admd import Admd
+from ..daemons.tempd import TempdMessage
+from ..freon.policy import FreonConfig
+from .regions import RegionMap
+
+
+class PowerController(Protocol):
+    """What Freon-EC needs from the cluster to switch machines on/off."""
+
+    def off_servers(self) -> List[str]:
+        """Names of machines currently powered off."""
+
+    def active_servers(self) -> List[str]:
+        """Names of machines currently accepting load."""
+
+    def request_on(self, name: str) -> None:
+        """Boot a machine and add it to the balancer when ready."""
+
+    def request_off(self, name: str) -> None:
+        """Quiesce, drain, and power a machine off."""
+
+
+@dataclass(frozen=True)
+class EcEvent:
+    """One reconfiguration decision, for experiment records."""
+
+    time: float
+    action: str  # "on" | "off"
+    machine: str
+    reason: str
+
+
+class AdmdEC(Admd):
+    """admd with the Freon-EC energy/thermal policy of Figure 10."""
+
+    def __init__(
+        self,
+        balancer: LoadBalancer,
+        regions: RegionMap,
+        power: PowerController,
+        config: Optional[FreonConfig] = None,
+        util_high: float = table1.EC_UTIL_HIGH,
+        util_low: float = table1.EC_UTIL_LOW,
+        min_active: int = 1,
+    ) -> None:
+        super().__init__(balancer, config=config, turn_off=power.request_off)
+        self.regions = regions
+        self.power = power
+        self.util_high = util_high
+        self.util_low = util_low
+        self.min_active = min_active
+        self.total_machines = len(balancer.servers())
+        #: Latest per-server component utilizations (from STATUS messages).
+        self._utilizations: Dict[str, Dict[str, float]] = {}
+        #: Previous per-component cluster averages, for the projection.
+        self._previous_average: Optional[Dict[str, float]] = None
+        #: Servers currently known to be hot (above a high threshold).
+        self._hot: Dict[str, bool] = {}
+        self.events: List[EcEvent] = []
+
+    # -- message handling overrides ------------------------------------------
+
+    def _handle_status(self, message: TempdMessage) -> None:
+        self._utilizations[message.machine] = dict(message.utilizations)
+
+    def _handle_adjust(self, message: TempdMessage) -> None:
+        machine = message.machine
+        newly_hot = not self._hot.get(machine, False)
+        self._hot[machine] = True
+        if newly_hot:
+            self.regions.note_emergency(machine)
+            self._respond_to_emergency(message)
+        elif self.balancer.server(machine).state is ServerState.ACTIVE:
+            # Ongoing emergency on a server we decided to keep: base policy.
+            super()._handle_adjust(message)
+
+    def _handle_release(self, message: TempdMessage) -> None:
+        machine = message.machine
+        if self._hot.get(machine, False):
+            self._hot[machine] = False
+            self.regions.clear_emergency(machine)
+        super()._handle_release(message)
+
+    def _respond_to_emergency(self, message: TempdMessage) -> None:
+        """Figure 10's hot-component branch."""
+        machine = message.machine
+        needed = self._servers_needed()
+        if needed >= self.total_machines:
+            # All servers in the cluster need to be active.
+            super()._handle_adjust(message)
+            return
+        active = self.power.active_servers()
+        if needed >= len(active):
+            # Cannot remove a server without replacing it first.
+            replacement = self._pick_off_server()
+            if replacement is None:
+                super()._handle_adjust(message)
+                return
+            self.power.request_on(replacement)
+            self._log(message.time, "on", replacement, "replace hot server")
+        self.power.request_off(machine)
+        self._log(message.time, "off", machine, "hot server replaced/retired")
+
+    # -- periodic reconfiguration (the top/bottom of Figure 10's loop) -----
+
+    def evaluate(self, now: float) -> None:
+        """One reconfiguration pass; call once per monitor period."""
+        average = self._average_utilizations()
+        projected = self._project(average)
+        self._previous_average = average
+
+        # Grow when projected demand exceeds the high threshold.
+        if projected and max(projected.values()) > self.util_high:
+            candidate = self._pick_off_server()
+            if candidate is not None:
+                self.power.request_on(candidate)
+                self._log(now, "on", candidate,
+                          f"projected util {max(projected.values()):.2f} > "
+                          f"{self.util_high:.2f}")
+
+        # Shrink while the remaining servers would stay under U_l.
+        while True:
+            active = self.power.active_servers()
+            if len(active) <= self.min_active:
+                break
+            if not self._can_remove(average, len(active)):
+                break
+            victim = self._pick_removal_victim(active)
+            if victim is None:
+                break
+            self.power.request_off(victim)
+            self._log(now, "off", victim, "energy conservation")
+            # Recompute the average as if the load spread over one fewer
+            # server, so "as many as possible" stops at the right count.
+            scale = len(active) / max(len(active) - 1, 1)
+            average = {c: u * scale for c, u in average.items()}
+
+    # -- arithmetic helpers ---------------------------------------------------
+
+    def _average_utilizations(self) -> Dict[str, float]:
+        """Per-component utilization averaged across active servers."""
+        active = self.power.active_servers()
+        if not active:
+            return {}
+        sums: Dict[str, float] = {}
+        for name in active:
+            for component, value in self._utilizations.get(name, {}).items():
+                sums[component] = sums.get(component, 0.0) + value
+        return {c: total / len(active) for c, total in sums.items()}
+
+    def _project(self, average: Dict[str, float]) -> Dict[str, float]:
+        """Two-interval linear projection when load is increasing."""
+        if self._previous_average is None:
+            return dict(average)
+        projected: Dict[str, float] = {}
+        for component, value in average.items():
+            previous = self._previous_average.get(component, value)
+            delta = value - previous
+            projected[component] = value + 2.0 * delta if delta > 0.0 else value
+        return projected
+
+    def _servers_needed(self) -> int:
+        """How many servers current demand requires at U_h per server."""
+        average = self._average_utilizations()
+        active = len(self.power.active_servers())
+        if not average or active == 0:
+            return self.min_active
+        demand = max(average.values()) * active
+        return max(self.min_active, math.ceil(demand / self.util_high - 1e-9))
+
+    def _can_remove(self, average: Dict[str, float], active_count: int) -> bool:
+        """Would one removal keep every component average below U_l?"""
+        if not average:
+            return True
+        scale = active_count / max(active_count - 1, 1)
+        return all(u * scale < self.util_low for u in average.values())
+
+    def _pick_off_server(self) -> Optional[str]:
+        """Round-robin region pick of a powered-off server."""
+        off = set(self.power.off_servers())
+        if not off:
+            return None
+        region = self.regions.pick_region(
+            lambda r: any(s in off for s in self.regions.servers_in(r))
+        )
+        if region is None:
+            return None
+        for server in self.regions.servers_in(region):
+            if server in off:
+                return server
+        return None
+
+    def _pick_removal_victim(self, active: Sequence[str]) -> Optional[str]:
+        """Lowest-capacity active server ("increasing order of current
+        processing capacity"): restricted (low-weight) servers go first."""
+        candidates = [
+            name for name in active
+            if self.balancer.server(name).state is ServerState.ACTIVE
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (self.balancer.server(n).weight, n))
+
+    def _log(self, time: float, action: str, machine: str, reason: str) -> None:
+        self.events.append(
+            EcEvent(time=time, action=action, machine=machine, reason=reason)
+        )

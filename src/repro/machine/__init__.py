@@ -1,0 +1,20 @@
+"""The simulated physical server Mercury is validated against."""
+
+from .groundtruth import DEFAULT_TRUTH, GroundTruthServer, PhysicalTruth
+from .procfs import ProcReader, SimulatedProcFS
+from .server import SimulatedServer
+from .workloads import (
+    ConstantWorkload,
+    MixedBenchmark,
+    StepWorkload,
+    Workload,
+    cpu_microbenchmark,
+    disk_microbenchmark,
+)
+
+__all__ = [
+    "ConstantWorkload", "DEFAULT_TRUTH", "GroundTruthServer",
+    "MixedBenchmark", "PhysicalTruth", "ProcReader", "SimulatedProcFS",
+    "SimulatedServer", "StepWorkload", "Workload",
+    "cpu_microbenchmark", "disk_microbenchmark",
+]

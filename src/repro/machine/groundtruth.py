@@ -1,0 +1,229 @@
+"""The "physical world" stand-in: a fine-grained transient thermal model.
+
+The paper validates Mercury against a real, instrumented Pentium-III
+server.  We have no hardware, so this module supplies the messier reality
+Mercury must approximate (see DESIGN.md, substitution table):
+
+* a **finer time step** (0.1 s vs. Mercury's 1 s);
+* **temperature- and flow-dependent heat-transfer coefficients** — the
+  paper notes real ``k`` "can vary with temperature and air-flow rates"
+  and that Mercury deliberately assumes it constant; here
+  ``k = k0 * (1 + alpha (T_film - T_ref)) * (flow / flow_ref)^0.8``
+  (the 0.8 exponent is the classic forced-convection correlation);
+* a **mildly non-linear power curve** — real component draw is not
+  exactly linear in high-level utilization;
+* **perturbed constants** — the true ``k`` values differ from Table 1's
+  nominal figures by fixed machine-specific factors, so calibration
+  (section 3.1) is a genuine fitting problem rather than a no-op.
+
+The model is intentionally an *independent implementation* from
+:mod:`repro.core.solver` (same physics family, different code and
+discretization) so that agreement between the two is meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .. import units
+from ..core.graph import MachineLayout
+
+#: Reference film temperature for the k(T) correlation, Celsius.
+_K_REFERENCE_TEMP = 25.0
+
+#: Default sensitivity of k to film temperature, 1/K.
+DEFAULT_K_ALPHA = 0.0018
+
+#: Default curvature of the true power model (1.0 = exactly linear).
+DEFAULT_POWER_LINEARITY = 0.92
+
+
+@dataclass(frozen=True)
+class PhysicalTruth:
+    """The hidden parameters of the physical machine.
+
+    ``k_factors`` maps canonical heat-edge pairs to the multiplicative
+    error between the nominal (Table 1) constant and the machine's true
+    one.  ``alpha`` is the temperature sensitivity of convection, and
+    ``power_linearity`` blends the true power curve between linear (1.0)
+    and quadratic (0.0) in utilization.
+    """
+
+    k_factors: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    alpha: float = DEFAULT_K_ALPHA
+    power_linearity: float = DEFAULT_POWER_LINEARITY
+    fan_cfm_error: float = 1.0
+
+    def true_k(self, key: Tuple[str, str], nominal: float) -> float:
+        """The machine's actual base conductance for a heat edge."""
+        return nominal * self.k_factors.get(key, 1.0)
+
+
+#: The fixed truth used across the validation studies: each edge's real
+#: conductance is 10-25 % away from the nominal Table 1 value, in the
+#: directions one gets from estimating areas and coefficients by hand.
+DEFAULT_TRUTH = PhysicalTruth(
+    k_factors={
+        ("Disk Platters", "Disk Shell"): 1.18,
+        ("Disk Air", "Disk Shell"): 0.86,
+        ("CPU", "CPU Air"): 1.22,
+        ("PS Air", "Power Supply"): 0.90,
+        ("Motherboard", "Void Space Air"): 1.15,
+        ("CPU", "Motherboard"): 0.80,
+    },
+    alpha=DEFAULT_K_ALPHA,
+    power_linearity=DEFAULT_POWER_LINEARITY,
+    fan_cfm_error=0.95,
+)
+
+
+class GroundTruthServer:
+    """Transient thermal simulation of one physical machine.
+
+    Uses the same vertex set as the Mercury layout it doubles for, but
+    integrates with a fine internal step, variable coefficients, and the
+    non-linear power curve.  Drive it with :meth:`set_utilization` and
+    :meth:`advance`; read true temperatures with :meth:`temperature`
+    (physical sensors with noise and quantization live in
+    :mod:`repro.sensors.hardware` and wrap this).
+    """
+
+    def __init__(
+        self,
+        layout: MachineLayout,
+        truth: PhysicalTruth = DEFAULT_TRUTH,
+        internal_dt: float = 0.1,
+        initial_temperature: Optional[float] = None,
+    ) -> None:
+        if internal_dt <= 0.0:
+            raise ValueError("internal_dt must be positive")
+        self.layout = layout
+        self.truth = truth
+        self.internal_dt = internal_dt
+        self.time = 0.0
+        if initial_temperature is None:
+            initial_temperature = layout.inlet_temperature
+        self.temperatures: Dict[str, float] = {
+            name: initial_temperature for name in layout.node_names
+        }
+        self.utilizations: Dict[str, float] = {
+            name: 0.0 for name in layout.components
+        }
+        self.inlet_temperature = layout.inlet_temperature
+        self._fan_cfm = layout.fan_cfm * truth.fan_cfm_error
+        self._nominal_flows = layout.air_flow_rates(fan_cfm=self._fan_cfm)
+        self._reference_flows = layout.air_flow_rates()
+        # Pre-resolve graph structure for the inner loop.
+        self._incoming = {
+            region: [
+                (edge.src, edge.fraction) for edge in layout.incoming_air(region)
+            ]
+            for region in layout.air_regions
+        }
+        self._air_order = layout.air_order
+        self._comp_edges: List[Tuple[str, str, Tuple[str, str], float]] = []
+        self._air_comp_edges: Dict[str, List[Tuple[str, float]]] = {
+            region: [] for region in layout.air_regions
+        }
+        for edge in layout.heat_edges:
+            a_comp = edge.a in layout.components
+            b_comp = edge.b in layout.components
+            base_k = truth.true_k(edge.key, edge.k)
+            if a_comp and b_comp:
+                self._comp_edges.append((edge.a, edge.b, edge.key, base_k))
+            else:
+                region, comp = (edge.a, edge.b) if not a_comp else (edge.b, edge.a)
+                self._air_comp_edges[region].append((comp, base_k))
+
+    # -- driving --------------------------------------------------------
+
+    def set_utilization(self, component: str, utilization: float) -> None:
+        """Set a component's current utilization in [0, 1]."""
+        if component not in self.utilizations:
+            raise KeyError(component)
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        self.utilizations[component] = utilization
+
+    def set_inlet_temperature(self, value: float) -> None:
+        """Change the air temperature entering the case (room conditions)."""
+        self.inlet_temperature = value
+
+    def set_fan_cfm(self, value: float) -> None:
+        """Change the true fan flow (ft^3/min)."""
+        if value <= 0.0:
+            raise ValueError("fan flow must be positive")
+        self._fan_cfm = value
+        self._nominal_flows = self.layout.air_flow_rates(fan_cfm=value)
+
+    def advance(self, duration: float) -> None:
+        """Advance physical time by ``duration`` seconds."""
+        steps = max(1, int(round(duration / self.internal_dt)))
+        dt = duration / steps
+        for _ in range(steps):
+            self._step(dt)
+        self.time += duration
+
+    def temperature(self, node: str) -> float:
+        """True (noise-free) temperature of a node."""
+        return self.temperatures[node]
+
+    # -- physics ---------------------------------------------------------
+
+    def _true_power(self, component: str) -> float:
+        model = self.layout.components[component].power_model
+        u = self.utilizations[component]
+        beta = self.truth.power_linearity
+        shaped = beta * u + (1.0 - beta) * u * u
+        return model.idle_power + shaped * (model.max_power - model.idle_power)
+
+    def _variable_k(self, base_k: float, t_a: float, t_b: float,
+                    flow: Optional[float] = None, region: Optional[str] = None) -> float:
+        film = 0.5 * (t_a + t_b)
+        k = base_k * (1.0 + self.truth.alpha * (film - _K_REFERENCE_TEMP))
+        if flow is not None and region is not None:
+            ref = self._reference_flows.get(region, 0.0)
+            if ref > 0.0 and flow > 0.0:
+                k *= (flow / ref) ** 0.8
+        return max(k, 0.0)
+
+    def _step(self, dt: float) -> None:
+        layout = self.layout
+        temps = self.temperatures
+        start = dict(temps)
+        flows = self._nominal_flows
+        heat: Dict[str, float] = {name: 0.0 for name in layout.components}
+
+        for region in self._air_order:
+            flow = flows.get(region, 0.0)
+            if region == layout.inlet:
+                t_air = self.inlet_temperature
+            else:
+                num = 0.0
+                den = 0.0
+                for src, fraction in self._incoming[region]:
+                    weight = flows.get(src, 0.0) * fraction
+                    num += temps[src] * weight
+                    den += weight
+                t_air = num / den if den > 0.0 else temps[region]
+            rate = units.air_heat_capacity_rate(flow)
+            for comp, base_k in self._air_comp_edges[region]:
+                k = self._variable_k(base_k, start[comp], t_air, flow, region)
+                if rate > 0.0:
+                    t_out = start[comp] + (t_air - start[comp]) * math.exp(-k / rate)
+                    q = rate * dt * (t_out - t_air)
+                    t_air = t_out
+                    heat[comp] -= q
+            temps[region] = t_air
+
+        for a, b, _key, base_k in self._comp_edges:
+            k = self._variable_k(base_k, start[a], start[b])
+            q = k * (start[a] - start[b]) * dt
+            heat[a] -= q
+            heat[b] += q
+
+        for name, component in layout.components.items():
+            heat[name] += self._true_power(name) * dt
+            temps[name] = start[name] + heat[name] / component.heat_capacity

@@ -1,0 +1,200 @@
+"""Pentium-4-style performance counters and event-driven energy accounting.
+
+Section 2.3 ("Mercury for modern processors"): for CPUs whose power is
+poorly captured by high-level utilization, monitord instead reads the
+hardware performance counters, "translates each observed performance
+event into an estimated energy", converts the interval energy to an
+average power, and linearly maps that power into a "low-level
+utilization" in ``[0% = Pbase, 100% = Pmax]`` — so the solver itself
+never changes.
+
+:class:`SimulatedPerformanceCounters` produces cumulative event counts
+from the CPU's utilization (with a seeded workload-character wobble —
+the same utilization can mean different instruction mixes), and
+:class:`EnergyEstimator` implements the Bellosa-style weighted-event
+energy model.  The event weights are chosen so the estimate tracks the
+ground truth's *non-linear* power curve, which is precisely why the
+counter path beats the plain linear model on modern CPUs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.power import PowerModel
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Cumulative counter values (monotone, like real MSRs)."""
+
+    time: float
+    cycles: float
+    uops: float
+    l2_misses: float
+    memory_refs: float
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Event counts accumulated since ``earlier``."""
+        return CounterSnapshot(
+            time=self.time - earlier.time,
+            cycles=self.cycles - earlier.cycles,
+            uops=self.uops - earlier.uops,
+            l2_misses=self.l2_misses - earlier.l2_misses,
+            memory_refs=self.memory_refs - earlier.memory_refs,
+        )
+
+
+class SimulatedPerformanceCounters:
+    """Generates P4-style cumulative event counts for a simulated CPU.
+
+    Event production scales with utilization: busy cycles accrue at the
+    clock rate, micro-ops at a per-workload IPC, and memory traffic grows
+    super-linearly (high utilization keeps more of the memory system
+    active), mirroring why linear utilization models under-estimate
+    mid-range power on real CPUs.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 2.4e9,
+        uops_per_cycle: float = 1.1,
+        seed: int = 17,
+    ) -> None:
+        if frequency_hz <= 0.0:
+            raise ValueError("frequency must be positive")
+        self.frequency_hz = frequency_hz
+        self.uops_per_cycle = uops_per_cycle
+        self._rng = random.Random(seed)
+        self._time = 0.0
+        self._cycles = 0.0
+        self._uops = 0.0
+        self._l2 = 0.0
+        self._mem = 0.0
+
+    def advance(self, utilization: float, dt: float) -> None:
+        """Accumulate events for ``dt`` seconds at the given utilization."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        busy_cycles = utilization * self.frequency_hz * dt
+        # Workload character wobble: IPC varies a few percent sample to
+        # sample, so identical utilizations yield slightly different mixes.
+        ipc = self.uops_per_cycle * (1.0 + self._rng.uniform(-0.04, 0.04))
+        self._time += dt
+        self._cycles += busy_cycles
+        self._uops += busy_cycles * ipc
+        # Memory activity grows quadratically with utilization.
+        self._l2 += 0.004 * busy_cycles * utilization
+        self._mem += 0.02 * busy_cycles * utilization
+
+    def read(self) -> CounterSnapshot:
+        """Read the cumulative counters."""
+        return CounterSnapshot(
+            time=self._time,
+            cycles=self._cycles,
+            uops=self._uops,
+            l2_misses=self._l2,
+            memory_refs=self._mem,
+        )
+
+
+class EnergyEstimator:
+    """Weighted-event energy model: each event costs a fixed energy.
+
+    ``energy = P_idle * dt + w_uop * uops + w_l2 * l2 + w_mem * mem``.
+
+    The default weights are tuned for the simulated P4 so that the
+    estimate reproduces the ground truth's power curve to within a couple
+    of percent over the whole utilization range.
+    """
+
+    def __init__(
+        self,
+        idle_power: float,
+        uop_nj: float = 6.0,
+        l2_nj: float = 180.0,
+        mem_nj: float = 30.0,
+    ) -> None:
+        self.idle_power = idle_power
+        self.uop_nj = uop_nj
+        self.l2_nj = l2_nj
+        self.mem_nj = mem_nj
+
+    def energy(self, delta: CounterSnapshot) -> float:
+        """Estimated energy (J) consumed during the delta interval."""
+        if delta.time < 0.0:
+            raise ValueError("counter delta must be non-negative in time")
+        nano = 1e-9
+        return (
+            self.idle_power * delta.time
+            + self.uop_nj * nano * delta.uops
+            + self.l2_nj * nano * delta.l2_misses
+            + self.mem_nj * nano * delta.memory_refs
+        )
+
+    def average_power(self, delta: CounterSnapshot) -> float:
+        """Average power (W) over the delta interval."""
+        if delta.time <= 0.0:
+            return self.idle_power
+        return self.energy(delta) / delta.time
+
+
+class CounterUtilizationReporter:
+    """monitord's counter mode: counters -> energy -> power -> utilization.
+
+    Wraps the counters and an estimator; every :meth:`sample` converts
+    the interval's estimated average power into the linear "low-level
+    utilization" the solver expects, so Mercury needs no modification.
+    """
+
+    def __init__(
+        self,
+        counters: SimulatedPerformanceCounters,
+        estimator: EnergyEstimator,
+        power_model: PowerModel,
+    ) -> None:
+        self._counters = counters
+        self._estimator = estimator
+        self._power_model = power_model
+        self._last = counters.read()
+
+    def sample(self) -> float:
+        """Low-level utilization since the previous call."""
+        current = self._counters.read()
+        delta = current.delta(self._last)
+        self._last = current
+        power = self._estimator.average_power(delta)
+        return self._power_model.utilization_for_power(power)
+
+
+def calibrated_estimator(power_model: PowerModel,
+                         counters: SimulatedPerformanceCounters,
+                         power_linearity: float = 0.92) -> EnergyEstimator:
+    """Fit event weights so estimated power matches a shaped power curve.
+
+    Mirrors the offline microbenchmark fitting the paper describes: run
+    the component through known utilizations, measure power, and fit the
+    per-event energies.  Here the fit is closed-form.  With
+    ``P(u) = Pbase + (beta u + (1-beta) u^2)(Pmax - Pbase)``, the linear
+    part is carried by uops (rate ~ u) and the quadratic part by memory
+    events (rate ~ u^2).
+    """
+    span = power_model.max_power - power_model.idle_power
+    beta = power_linearity
+    uop_rate = counters.frequency_hz * counters.uops_per_cycle  # events/s at u=1
+    mem_rate = 0.02 * counters.frequency_hz  # events/s at u=1 (quadratic in u)
+    l2_rate = 0.004 * counters.frequency_hz
+    # Split the quadratic power between the two memory-ish event classes
+    # in proportion to their default weights' contribution.
+    quad_power = (1.0 - beta) * span
+    l2_share = 0.4
+    return EnergyEstimator(
+        idle_power=power_model.idle_power,
+        uop_nj=beta * span / uop_rate * 1e9,
+        l2_nj=quad_power * l2_share / l2_rate * 1e9,
+        mem_nj=quad_power * (1.0 - l2_share) / mem_rate * 1e9,
+    )

@@ -1,0 +1,82 @@
+"""Simulated ``/proc`` utilization accounting.
+
+monitord "periodically samples the utilization of the components of the
+machine on which it is running ... computed from /proc".  The real files
+expose *cumulative* busy/idle counters; utilization over an interval is
+the ratio of the busy-time delta to the wall-time delta.  This module
+reproduces that mechanism: the simulated server accumulates busy time per
+component, and :class:`ProcReader` computes interval utilizations from
+counter deltas exactly the way monitord does on Linux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+#: Linux nominal jiffy rate (USER_HZ), ticks per second.
+JIFFIES_PER_SECOND = 100.0
+
+
+@dataclass(frozen=True)
+class ProcSnapshot:
+    """Cumulative counters at one instant, in jiffies."""
+
+    time: float
+    busy_jiffies: Dict[str, float]
+
+
+class SimulatedProcFS:
+    """Cumulative per-component busy-time accounting for one machine."""
+
+    def __init__(self, components: "list[str]") -> None:
+        self._busy: Dict[str, float] = {name: 0.0 for name in components}
+        self._time = 0.0
+
+    def accumulate(self, utilizations: Mapping[str, float], dt: float) -> None:
+        """Record ``dt`` seconds during which each component ran at the
+        given utilization (components not mentioned are idle)."""
+        if dt < 0.0:
+            raise ValueError("dt must be non-negative")
+        for name in self._busy:
+            util = utilizations.get(name, 0.0)
+            if not 0.0 <= util <= 1.0:
+                raise ValueError(f"utilization of {name!r} out of range: {util}")
+            self._busy[name] += util * dt * JIFFIES_PER_SECOND
+        self._time += dt
+
+    def snapshot(self) -> ProcSnapshot:
+        """Read the current cumulative counters (like reading /proc/stat)."""
+        return ProcSnapshot(time=self._time, busy_jiffies=dict(self._busy))
+
+    @property
+    def components(self) -> "list[str]":
+        """Component names being accounted."""
+        return list(self._busy)
+
+
+class ProcReader:
+    """Computes interval utilizations from successive /proc snapshots."""
+
+    def __init__(self, procfs: SimulatedProcFS) -> None:
+        self._procfs = procfs
+        self._last = procfs.snapshot()
+
+    def sample(self) -> Dict[str, float]:
+        """Utilization of each component since the previous call.
+
+        The first call measures from reader creation.  A zero-length
+        interval yields all-zero utilizations (nothing can be inferred).
+        """
+        current = self._procfs.snapshot()
+        elapsed = current.time - self._last.time
+        result: Dict[str, float] = {}
+        for name, busy in current.busy_jiffies.items():
+            if elapsed <= 0.0:
+                result[name] = 0.0
+                continue
+            delta = busy - self._last.busy_jiffies.get(name, 0.0)
+            utilization = delta / (elapsed * JIFFIES_PER_SECOND)
+            result[name] = min(max(utilization, 0.0), 1.0)
+        self._last = current
+        return result

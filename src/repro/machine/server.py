@@ -1,0 +1,140 @@
+"""A fully assembled simulated server: the thing Mercury is validated on.
+
+:class:`SimulatedServer` plays the role of the instrumented Pentium-III
+machine of section 3.1.  It bundles:
+
+* the fine-grained :class:`~repro.machine.groundtruth.GroundTruthServer`
+  ("the physical world");
+* a workload (or manually set utilizations) driving component activity;
+* simulated ``/proc`` accounting that monitord samples;
+* imperfect physical sensors — a digital thermometer on the CPU heat
+  sink (measuring CPU air) and the disk's internal sensor;
+* optionally, P4-style performance counters on the CPU.
+
+Everything advances on :meth:`step`; reads never mutate state, so the
+same server can be observed by several daemons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import table1
+from ..core.graph import MachineLayout
+from ..sensors.hardware import (
+    DIGITAL_THERMOMETER,
+    IN_DISK_SENSOR,
+    PhysicalSensor,
+)
+from .groundtruth import DEFAULT_TRUTH, GroundTruthServer, PhysicalTruth
+from .perfcounters import SimulatedPerformanceCounters
+from .procfs import SimulatedProcFS
+from .workloads import Workload
+
+#: Default mapping from public sensor names to graph nodes and sensor
+#: hardware: the paper measures the CPU *air* (thermometer on the heat
+#: sink) and the disk's internal (platter) temperature.
+_DEFAULT_SENSORS = {
+    "cpu_air": (table1.CPU_AIR, DIGITAL_THERMOMETER),
+    "disk": (table1.DISK_PLATTERS, IN_DISK_SENSOR),
+}
+
+
+class SimulatedServer:
+    """One steppable physical machine with workload, sensors, and /proc."""
+
+    def __init__(
+        self,
+        layout: MachineLayout,
+        workload: Optional[Workload] = None,
+        truth: PhysicalTruth = DEFAULT_TRUTH,
+        seed: int = 0,
+        with_counters: bool = False,
+        internal_dt: float = 0.1,
+    ) -> None:
+        self.layout = layout
+        self.workload = workload
+        self.ground_truth = GroundTruthServer(
+            layout, truth=truth, internal_dt=internal_dt
+        )
+        self.procfs = SimulatedProcFS(layout.monitored_components())
+        self.sensors: Dict[str, PhysicalSensor] = {}
+        for idx, (name, (node, spec)) in enumerate(sorted(_DEFAULT_SENSORS.items())):
+            if node in layout.components or node in layout.air_regions:
+                self.sensors[name] = spec.attach(
+                    self._make_source(node), seed=seed * 101 + idx
+                )
+        self.counters: Optional[SimulatedPerformanceCounters] = None
+        if with_counters:
+            self.counters = SimulatedPerformanceCounters(seed=seed * 313 + 1)
+        self.time = 0.0
+        self._manual_utils: Dict[str, float] = {
+            name: 0.0 for name in layout.monitored_components()
+        }
+
+    def _make_source(self, node: str):
+        def source() -> float:
+            return self.ground_truth.temperature(node)
+
+        return source
+
+    # -- driving ----------------------------------------------------------
+
+    def set_utilization(self, component: str, utilization: float) -> None:
+        """Manually set a component utilization (ignored while a workload
+        is attached — the workload wins)."""
+        if component not in self._manual_utils:
+            raise KeyError(component)
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        self._manual_utils[component] = utilization
+
+    def current_utilizations(self) -> Dict[str, float]:
+        """The utilizations in effect right now."""
+        if self.workload is not None:
+            scheduled = self.workload.utilizations(self.time)
+            return {
+                name: scheduled.get(name, 0.0)
+                for name in self.layout.monitored_components()
+            }
+        return dict(self._manual_utils)
+
+    def step(self, dt: float = 1.0) -> None:
+        """Advance the physical machine by ``dt`` seconds."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        utils = self.current_utilizations()
+        for component, value in utils.items():
+            self.ground_truth.set_utilization(component, value)
+        self.procfs.accumulate(utils, dt)
+        if self.counters is not None:
+            self.counters.advance(utils.get(table1.CPU, 0.0), dt)
+        self.ground_truth.advance(dt)
+        self.time += dt
+
+    def run(self, duration: float, dt: float = 1.0) -> None:
+        """Advance the machine by ``duration`` seconds in ``dt`` steps."""
+        steps = int(round(duration / dt))
+        for _ in range(steps):
+            self.step(dt)
+
+    # -- environment (what fiddle emulates on the real machine) -----------
+
+    def set_inlet_temperature(self, value: float) -> None:
+        """Change the room air entering this machine's case."""
+        self.ground_truth.set_inlet_temperature(value)
+
+    def set_fan_cfm(self, value: float) -> None:
+        """Change the case fan's true flow."""
+        self.ground_truth.set_fan_cfm(value)
+
+    # -- observation -------------------------------------------------------
+
+    def read_sensor(self, name: str) -> float:
+        """Read a physical sensor (noisy, biased, quantized)."""
+        return self.sensors[name].read()
+
+    def true_temperature(self, node: str) -> float:
+        """Oracle access to the exact temperature (tests only; a real
+        experimenter only sees :meth:`read_sensor`)."""
+        return self.ground_truth.temperature(node)

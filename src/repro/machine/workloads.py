@@ -1,0 +1,165 @@
+"""Workloads that drive the simulated server (paper section 3.1).
+
+The validation uses three benchmarks:
+
+* a **CPU microbenchmark** "putting it through various levels of
+  utilization interspersed with idle periods" (Figure 5);
+* a **disk microbenchmark** doing the same for the disk (Figure 6);
+* a **"more challenging" mixed benchmark** that "exercises the CPU and
+  disk at the same time, generating widely different utilizations over
+  time ... utilizations change constantly and quickly" (Figures 7-8).
+
+Each workload is a deterministic function from time to per-component
+utilization; the mixed benchmark is seeded so experiments repeat exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..config import table1
+
+
+class Workload(ABC):
+    """A deterministic utilization schedule for one machine."""
+
+    @abstractmethod
+    def utilizations(self, time: float) -> Dict[str, float]:
+        """Component utilizations in effect at simulated time ``time``."""
+
+    @property
+    @abstractmethod
+    def duration(self) -> float:
+        """Total workload length in seconds."""
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A constant-utilization phase of a step workload."""
+
+    length: float
+    utilizations: Dict[str, float]
+
+
+class StepWorkload(Workload):
+    """A sequence of constant phases; idle after the last phase ends."""
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise ValueError("at least one phase is required")
+        self._phases: List[Phase] = list(phases)
+        starts = []
+        t = 0.0
+        for phase in self._phases:
+            if phase.length <= 0.0:
+                raise ValueError("phase lengths must be positive")
+            starts.append(t)
+            t += phase.length
+        self._starts = starts
+        self._duration = t
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def utilizations(self, time: float) -> Dict[str, float]:
+        if time < 0.0 or time >= self._duration:
+            return {}
+        # Linear scan is fine: phase counts are tens, and callers sample
+        # sequentially anyway.
+        for start, phase in zip(reversed(self._starts), reversed(self._phases)):
+            if time >= start:
+                return dict(phase.utilizations)
+        return {}
+
+
+def cpu_microbenchmark(
+    levels: Sequence[float] = (0.25, 0.50, 0.75, 1.00, 0.60, 0.30),
+    busy_length: float = 1500.0,
+    idle_length: float = 800.0,
+    component: str = table1.CPU,
+) -> StepWorkload:
+    """The Figure 5 calibration benchmark: utilization steps with idle gaps.
+
+    Defaults give a ~14,000 s run like the paper's.
+    """
+    phases: List[Phase] = []
+    for level in levels:
+        phases.append(Phase(busy_length, {component: level, table1.DISK_PLATTERS: 0.0}))
+        phases.append(Phase(idle_length, {component: 0.0, table1.DISK_PLATTERS: 0.0}))
+    return StepWorkload(phases)
+
+
+def disk_microbenchmark(
+    levels: Sequence[float] = (0.30, 0.60, 0.90, 1.00, 0.50, 0.20),
+    busy_length: float = 1500.0,
+    idle_length: float = 800.0,
+) -> StepWorkload:
+    """The Figure 6 calibration benchmark: disk utilization steps."""
+    phases: List[Phase] = []
+    for level in levels:
+        phases.append(Phase(busy_length, {table1.DISK_PLATTERS: level, table1.CPU: 0.0}))
+        phases.append(Phase(idle_length, {table1.DISK_PLATTERS: 0.0, table1.CPU: 0.0}))
+    return StepWorkload(phases)
+
+
+class MixedBenchmark(Workload):
+    """The "challenging" validation benchmark of Figures 7-8.
+
+    CPU and disk utilizations change together, rapidly and widely: every
+    30-90 s (drawn from a seeded RNG) both components jump to new random
+    levels, occasionally to full blast or idle.
+    """
+
+    def __init__(self, duration: float = 5000.0, seed: int = 7) -> None:
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        self._duration = duration
+        rng = random.Random(seed)
+        phases: List[Phase] = []
+        t = 0.0
+        while t < duration:
+            length = rng.uniform(30.0, 90.0)
+            roll = rng.random()
+            if roll < 0.15:
+                cpu, disk = 0.0, 0.0  # idle burst
+            elif roll < 0.30:
+                cpu, disk = 1.0, rng.random()  # CPU blast
+            elif roll < 0.45:
+                cpu, disk = rng.random(), 1.0  # disk blast
+            else:
+                cpu, disk = rng.random(), rng.random()
+            phases.append(
+                Phase(length, {table1.CPU: cpu, table1.DISK_PLATTERS: disk})
+            )
+            t += length
+        self._steps = StepWorkload(phases)
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def utilizations(self, time: float) -> Dict[str, float]:
+        if time >= self._duration:
+            return {}
+        return self._steps.utilizations(time)
+
+
+class ConstantWorkload(Workload):
+    """Fixed utilizations forever; handy for steady-state studies."""
+
+    def __init__(self, utilizations: Dict[str, float], duration: float = float("inf")) -> None:
+        self._utils = dict(utilizations)
+        self._duration = duration
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def utilizations(self, time: float) -> Dict[str, float]:
+        if time >= self._duration:
+            return {}
+        return dict(self._utils)

@@ -1,0 +1,10 @@
+"""The mdot graph-description language: lexer, parser, loader, writer."""
+
+from .loader import load_file, loads
+from .parser import parse
+from .writer import dump_cluster, dump_machine, dumps, to_graphviz
+
+__all__ = [
+    "dump_cluster", "dump_machine", "dumps", "load_file", "loads",
+    "parse", "to_graphviz",
+]

@@ -1,0 +1,122 @@
+"""Abstract syntax tree for the mdot graph-description language.
+
+Section 2.3: "The user can specify the input graphs to the solver using
+our modified version of the language dot.  Our modifications mainly
+involved changing its syntax to allow the specification of air fractions,
+component masses, etc."
+
+An mdot file contains ``machine`` blocks (one per machine layout) and at
+most one ``cluster`` block.  Inside a machine block:
+
+* ``component "CPU" [mass=0.151, specific_heat=896, p_base=7, p_max=31,
+  monitored=true];`` declares a hardware component vertex;
+* ``air "CPU Air";`` declares an air-region vertex;
+* ``"CPU" -- "CPU Air" [k=0.75];`` declares an undirected heat edge;
+* ``"Inlet" -> "Disk Air" [fraction=0.4];`` declares a directed air edge;
+* ``inlet = "Inlet"; exhaust = "Exhaust"; inlet_temperature = 21.6;
+  fan_cfm = 38.6;`` set the machine's boundary conditions.
+
+A cluster block declares ``source``/``sink`` vertices and directed
+fraction-labelled edges between sources, machines, and sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+#: Attribute values an mdot attribute list may carry.
+AttrValue = Union[float, str, bool]
+
+
+@dataclass(frozen=True)
+class Attr:
+    """One ``name=value`` attribute with its source position."""
+
+    name: str
+    value: AttrValue
+    line: int
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    """``component "name" [attrs];``"""
+
+    name: str
+    attrs: Dict[str, Attr]
+    line: int
+
+
+@dataclass(frozen=True)
+class AirDecl:
+    """``air "name";``"""
+
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class EdgeDecl:
+    """``"a" -- "b" [attrs];`` (heat) or ``"a" -> "b" [attrs];`` (air)."""
+
+    src: str
+    dst: str
+    directed: bool
+    attrs: Dict[str, Attr]
+    line: int
+
+
+@dataclass(frozen=True)
+class PropDecl:
+    """``name = value;`` machine-level property."""
+
+    name: str
+    value: AttrValue
+    line: int
+
+
+@dataclass
+class MachineBlock:
+    """One ``machine "name" { ... }`` block."""
+
+    name: str
+    line: int
+    components: List[ComponentDecl] = field(default_factory=list)
+    airs: List[AirDecl] = field(default_factory=list)
+    edges: List[EdgeDecl] = field(default_factory=list)
+    props: Dict[str, PropDecl] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SourceDecl:
+    """``source "name" [temperature=21.6];``"""
+
+    name: str
+    attrs: Dict[str, Attr]
+    line: int
+
+
+@dataclass(frozen=True)
+class SinkDecl:
+    """``sink "name";``"""
+
+    name: str
+    line: int
+
+
+@dataclass
+class ClusterBlock:
+    """The ``cluster { ... }`` block."""
+
+    line: int
+    sources: List[SourceDecl] = field(default_factory=list)
+    sinks: List[SinkDecl] = field(default_factory=list)
+    edges: List[EdgeDecl] = field(default_factory=list)
+
+
+@dataclass
+class MdotFile:
+    """A parsed mdot source file."""
+
+    machines: List[MachineBlock] = field(default_factory=list)
+    cluster: Optional[ClusterBlock] = None

@@ -1,0 +1,149 @@
+"""Tokenizer for the mdot language.
+
+Token kinds: quoted strings, numbers, identifiers/keywords, booleans, and
+the punctuation ``{ } [ ] = , ;`` plus the two edge operators ``--`` and
+``->``.  Comments run from ``//`` or ``#`` to end of line.  Every token
+carries its line and column for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import MdotSyntaxError
+
+#: Token kinds.
+STRING = "STRING"
+NUMBER = "NUMBER"
+IDENT = "IDENT"
+BOOL = "BOOL"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_PUNCT_TWO = ("--", "->")
+_PUNCT_ONE = "{}[]=,;"
+_KEYWORD_BOOLS = {"true": True, "false": False}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize an mdot source string; raises MdotSyntaxError on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    idx = 0
+    length = len(source)
+
+    def error(message: str) -> MdotSyntaxError:
+        return MdotSyntaxError(message, line, column)
+
+    while idx < length:
+        ch = source[idx]
+        # -- whitespace ------------------------------------------------
+        if ch == "\n":
+            idx += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            idx += 1
+            column += 1
+            continue
+        # -- comments ----------------------------------------------------
+        if ch == "#" or source.startswith("//", idx):
+            while idx < length and source[idx] != "\n":
+                idx += 1
+            continue
+        # -- two-character operators --------------------------------------
+        two = source[idx:idx + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token(PUNCT, two, line, column))
+            idx += 2
+            column += 2
+            continue
+        # -- single punctuation -------------------------------------------
+        if ch in _PUNCT_ONE:
+            tokens.append(Token(PUNCT, ch, line, column))
+            idx += 1
+            column += 1
+            continue
+        # -- quoted string ---------------------------------------------
+        if ch == '"':
+            start_line, start_col = line, column
+            idx += 1
+            column += 1
+            chars: List[str] = []
+            while True:
+                if idx >= length:
+                    raise MdotSyntaxError("unterminated string", start_line, start_col)
+                cur = source[idx]
+                if cur == "\n":
+                    raise MdotSyntaxError("newline in string", start_line, start_col)
+                if cur == "\\":
+                    if idx + 1 >= length:
+                        raise MdotSyntaxError("dangling escape", line, column)
+                    nxt = source[idx + 1]
+                    escapes = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    if nxt not in escapes:
+                        raise MdotSyntaxError(f"bad escape \\{nxt}", line, column)
+                    chars.append(escapes[nxt])
+                    idx += 2
+                    column += 2
+                    continue
+                if cur == '"':
+                    idx += 1
+                    column += 1
+                    break
+                chars.append(cur)
+                idx += 1
+                column += 1
+            tokens.append(Token(STRING, "".join(chars), start_line, start_col))
+            continue
+        # -- number -----------------------------------------------------
+        if ch.isdigit() or (ch in "+-." and idx + 1 < length
+                            and (source[idx + 1].isdigit() or source[idx + 1] == ".")):
+            start_line, start_col = line, column
+            start = idx
+            idx += 1
+            while idx < length and (source[idx].isdigit() or source[idx] in ".eE+-"):
+                # Only allow +/- immediately after an exponent marker.
+                if source[idx] in "+-" and source[idx - 1] not in "eE":
+                    break
+                idx += 1
+            text = source[start:idx]
+            try:
+                value = float(text)
+            except ValueError:
+                raise MdotSyntaxError(f"bad number {text!r}", start_line, start_col)
+            column += idx - start
+            tokens.append(Token(NUMBER, value, start_line, start_col))
+            continue
+        # -- identifier / keyword ------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            start = idx
+            while idx < length and (source[idx].isalnum() or source[idx] == "_"):
+                idx += 1
+            text = source[start:idx]
+            column += idx - start
+            if text in _KEYWORD_BOOLS:
+                tokens.append(Token(BOOL, _KEYWORD_BOOLS[text], start_line, start_col))
+            else:
+                tokens.append(Token(IDENT, text, start_line, start_col))
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(EOF, None, line, column))
+    return tokens

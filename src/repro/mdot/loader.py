@@ -1,0 +1,211 @@
+"""Semantic loading: mdot AST -> solver layout objects.
+
+Turns parsed machine blocks into :class:`~repro.core.graph.MachineLayout`
+and the cluster block into :class:`~repro.core.graph.ClusterLayout`,
+checking attribute types and required fields along the way.  Structural
+validation (fraction conservation, cycles, dangling names) is done by the
+layout classes themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.graph import (
+    AirEdge,
+    AirRegion,
+    ClusterAirEdge,
+    ClusterLayout,
+    Component,
+    CoolingSource,
+    HeatEdge,
+    MachineLayout,
+)
+from ..core.power import ConstantPowerModel, LinearPowerModel
+from ..errors import MdotSemanticError
+from .ast import Attr, ClusterBlock, MachineBlock, MdotFile
+from .parser import parse
+
+#: Machine-level properties and whether they are required.
+_MACHINE_PROPS = {
+    "inlet": (str, True),
+    "exhaust": (str, True),
+    "inlet_temperature": (float, True),
+    "fan_cfm": (float, True),
+}
+
+_COMPONENT_ATTRS = {
+    "mass": (float, True),
+    "specific_heat": (float, True),
+    "p_base": (float, False),
+    "p_max": (float, False),
+    "power": (float, False),
+    "monitored": (bool, False),
+}
+
+
+def _typed(attr: Attr, expected: type, context: str) -> object:
+    value = attr.value
+    if expected is float and isinstance(value, bool):
+        raise MdotSemanticError(
+            f"{context}: attribute {attr.name!r} must be a number (line {attr.line})"
+        )
+    if expected is float and isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, expected):
+        return value
+    raise MdotSemanticError(
+        f"{context}: attribute {attr.name!r} must be {expected.__name__} "
+        f"(line {attr.line})"
+    )
+
+
+def _check_known(attrs: Dict[str, Attr], known: Dict[str, tuple], context: str) -> None:
+    for name, attr in attrs.items():
+        if name not in known:
+            raise MdotSemanticError(
+                f"{context}: unknown attribute {name!r} (line {attr.line})"
+            )
+
+
+def load_machine(block: MachineBlock) -> MachineLayout:
+    """Build a validated :class:`MachineLayout` from a machine block."""
+    context = f"machine {block.name!r}"
+    for name, (expected, required) in _MACHINE_PROPS.items():
+        if required and name not in block.props:
+            raise MdotSemanticError(f"{context}: missing property {name!r}")
+    props: Dict[str, object] = {}
+    for name, prop in block.props.items():
+        if name not in _MACHINE_PROPS:
+            raise MdotSemanticError(
+                f"{context}: unknown property {name!r} (line {prop.line})"
+            )
+        expected = _MACHINE_PROPS[name][0]
+        props[name] = _typed(
+            Attr(name=name, value=prop.value, line=prop.line), expected, context
+        )
+
+    components: List[Component] = []
+    for decl in block.components:
+        c_context = f"{context}, component {decl.name!r}"
+        _check_known(decl.attrs, _COMPONENT_ATTRS, c_context)
+        for name, (expected, required) in _COMPONENT_ATTRS.items():
+            if required and name not in decl.attrs:
+                raise MdotSemanticError(f"{c_context}: missing attribute {name!r}")
+
+        def get(name: str, default=None):
+            if name not in decl.attrs:
+                return default
+            return _typed(decl.attrs[name], _COMPONENT_ATTRS[name][0], c_context)
+
+        power = get("power")
+        p_base = get("p_base")
+        p_max = get("p_max")
+        if power is not None:
+            if p_base is not None or p_max is not None:
+                raise MdotSemanticError(
+                    f"{c_context}: give either 'power' or 'p_base'/'p_max', not both"
+                )
+            model = ConstantPowerModel(power)
+        else:
+            if p_base is None or p_max is None:
+                raise MdotSemanticError(
+                    f"{c_context}: needs 'power' or both 'p_base' and 'p_max'"
+                )
+            if p_base == p_max:
+                model = ConstantPowerModel(p_base)
+            else:
+                model = LinearPowerModel(p_base=p_base, p_max=p_max)
+        components.append(
+            Component(
+                name=decl.name,
+                mass=get("mass"),
+                specific_heat=get("specific_heat"),
+                power_model=model,
+                monitored=bool(get("monitored", False)),
+            )
+        )
+
+    air_regions = [AirRegion(decl.name) for decl in block.airs]
+
+    heat_edges: List[HeatEdge] = []
+    air_edges: List[AirEdge] = []
+    for edge in block.edges:
+        e_context = f"{context}, edge {edge.src!r}->{edge.dst!r} (line {edge.line})"
+        if edge.directed:
+            if "fraction" not in edge.attrs:
+                raise MdotSemanticError(f"{e_context}: air edge needs 'fraction'")
+            _check_known(edge.attrs, {"fraction": (float, True)}, e_context)
+            fraction = _typed(edge.attrs["fraction"], float, e_context)
+            air_edges.append(AirEdge(edge.src, edge.dst, fraction))
+        else:
+            if "k" not in edge.attrs:
+                raise MdotSemanticError(f"{e_context}: heat edge needs 'k'")
+            _check_known(edge.attrs, {"k": (float, True)}, e_context)
+            k = _typed(edge.attrs["k"], float, e_context)
+            heat_edges.append(HeatEdge(edge.src, edge.dst, k))
+
+    return MachineLayout(
+        name=block.name,
+        components=components,
+        air_regions=air_regions,
+        heat_edges=heat_edges,
+        air_edges=air_edges,
+        inlet=props["inlet"],
+        exhaust=props["exhaust"],
+        inlet_temperature=props["inlet_temperature"],
+        fan_cfm=props["fan_cfm"],
+    )
+
+
+def load_cluster(
+    block: ClusterBlock, machines: List[MachineLayout]
+) -> ClusterLayout:
+    """Build a validated :class:`ClusterLayout` from a cluster block."""
+    sources: List[CoolingSource] = []
+    for decl in block.sources:
+        context = f"source {decl.name!r}"
+        _check_known(
+            decl.attrs, {"temperature": (float, True), "flow": (float, False)}, context
+        )
+        if "temperature" not in decl.attrs:
+            raise MdotSemanticError(f"{context}: missing 'temperature'")
+        temperature = _typed(decl.attrs["temperature"], float, context)
+        flow = None
+        if "flow" in decl.attrs:
+            flow = _typed(decl.attrs["flow"], float, context)
+        sources.append(
+            CoolingSource(decl.name, supply_temperature=temperature, flow_m3s=flow)
+        )
+    edges: List[ClusterAirEdge] = []
+    for edge in block.edges:
+        context = f"cluster edge {edge.src!r}->{edge.dst!r} (line {edge.line})"
+        if "fraction" not in edge.attrs:
+            raise MdotSemanticError(f"{context}: needs 'fraction'")
+        fraction = _typed(edge.attrs["fraction"], float, context)
+        edges.append(ClusterAirEdge(edge.src, edge.dst, fraction))
+    sinks = [decl.name for decl in block.sinks]
+    if not sinks:
+        raise MdotSemanticError("cluster block declares no sinks")
+    return ClusterLayout(machines=machines, sources=sources, edges=edges, sinks=sinks)
+
+
+def loads(source: str) -> Tuple[List[MachineLayout], Optional[ClusterLayout]]:
+    """Load machine layouts (and an optional cluster) from mdot text."""
+    tree: MdotFile = parse(source)
+    machines = [load_machine(block) for block in tree.machines]
+    cluster = None
+    if tree.cluster is not None:
+        if not machines:
+            raise MdotSemanticError("cluster block without any machine blocks")
+        cluster = load_cluster(tree.cluster, machines)
+    return machines, cluster
+
+
+def load_file(
+    path: Union[str, Path]
+) -> Tuple[List[MachineLayout], Optional[ClusterLayout]]:
+    """Load an mdot file from disk."""
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,240 @@
+"""Recursive-descent parser for the mdot language.
+
+Grammar (see :mod:`repro.mdot.ast` for the surface syntax):
+
+.. code-block:: text
+
+    file         := (machine_block | cluster_block)*
+    machine_block:= 'machine' STRING '{' machine_stmt* '}'
+    machine_stmt := prop | component | air | edge
+    prop         := IDENT '=' value ';'
+    component    := 'component' STRING attrs? ';'
+    air          := 'air' STRING ';'
+    edge         := STRING ('--' | '->') STRING attrs? ';'
+    cluster_block:= 'cluster' '{' cluster_stmt* '}'
+    cluster_stmt := source | sink | edge
+    source       := 'source' STRING attrs? ';'
+    sink         := 'sink' STRING ';'
+    attrs        := '[' IDENT '=' value (',' IDENT '=' value)* ']'
+    value        := NUMBER | STRING | BOOL
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import MdotSyntaxError
+from . import lexer
+from .ast import (
+    AirDecl,
+    Attr,
+    AttrValue,
+    ClusterBlock,
+    ComponentDecl,
+    EdgeDecl,
+    MachineBlock,
+    MdotFile,
+    PropDecl,
+    SinkDecl,
+    SourceDecl,
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[lexer.Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def _current(self) -> lexer.Token:
+        return self._tokens[self._pos]
+
+    def _error(self, message: str) -> MdotSyntaxError:
+        tok = self._current
+        return MdotSyntaxError(message, tok.line, tok.column)
+
+    def _advance(self) -> lexer.Token:
+        tok = self._current
+        if tok.kind != lexer.EOF:
+            self._pos += 1
+        return tok
+
+    def _expect_punct(self, value: str) -> lexer.Token:
+        tok = self._current
+        if tok.kind != lexer.PUNCT or tok.value != value:
+            raise self._error(f"expected {value!r}, found {tok.value!r}")
+        return self._advance()
+
+    def _expect_string(self, what: str) -> lexer.Token:
+        tok = self._current
+        if tok.kind != lexer.STRING:
+            raise self._error(f"expected {what} (a quoted string), found {tok.value!r}")
+        return self._advance()
+
+    def _at_punct(self, value: str) -> bool:
+        tok = self._current
+        return tok.kind == lexer.PUNCT and tok.value == value
+
+    def _at_ident(self, value: Optional[str] = None) -> bool:
+        tok = self._current
+        if tok.kind != lexer.IDENT:
+            return False
+        return value is None or tok.value == value
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_file(self) -> MdotFile:
+        result = MdotFile()
+        while self._current.kind != lexer.EOF:
+            if self._at_ident("machine"):
+                result.machines.append(self._machine_block())
+            elif self._at_ident("cluster"):
+                if result.cluster is not None:
+                    raise self._error("only one cluster block is allowed")
+                result.cluster = self._cluster_block()
+            else:
+                raise self._error(
+                    f"expected 'machine' or 'cluster', found {self._current.value!r}"
+                )
+        return result
+
+    def _machine_block(self) -> MachineBlock:
+        keyword = self._advance()  # 'machine'
+        name = self._expect_string("machine name")
+        block = MachineBlock(name=str(name.value), line=keyword.line)
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            if self._current.kind == lexer.EOF:
+                raise self._error("unterminated machine block")
+            self._machine_statement(block)
+        self._expect_punct("}")
+        return block
+
+    def _machine_statement(self, block: MachineBlock) -> None:
+        if self._at_ident("component"):
+            tok = self._advance()
+            name = self._expect_string("component name")
+            attrs = self._maybe_attrs()
+            self._expect_punct(";")
+            block.components.append(
+                ComponentDecl(name=str(name.value), attrs=attrs, line=tok.line)
+            )
+        elif self._at_ident("air"):
+            tok = self._advance()
+            name = self._expect_string("air-region name")
+            self._expect_punct(";")
+            block.airs.append(AirDecl(name=str(name.value), line=tok.line))
+        elif self._current.kind == lexer.STRING:
+            block.edges.append(self._edge())
+        elif self._current.kind == lexer.IDENT:
+            prop = self._prop()
+            if prop.name in block.props:
+                raise MdotSyntaxError(
+                    f"duplicate property {prop.name!r}", prop.line, 1
+                )
+            block.props[prop.name] = prop
+        else:
+            raise self._error(f"unexpected {self._current.value!r} in machine block")
+
+    def _prop(self) -> PropDecl:
+        name = self._advance()
+        self._expect_punct("=")
+        value = self._value()
+        self._expect_punct(";")
+        return PropDecl(name=str(name.value), value=value, line=name.line)
+
+    def _edge(self) -> EdgeDecl:
+        src = self._expect_string("edge endpoint")
+        tok = self._current
+        if self._at_punct("--"):
+            directed = False
+        elif self._at_punct("->"):
+            directed = True
+        else:
+            raise self._error(f"expected '--' or '->', found {tok.value!r}")
+        self._advance()
+        dst = self._expect_string("edge endpoint")
+        attrs = self._maybe_attrs()
+        self._expect_punct(";")
+        return EdgeDecl(
+            src=str(src.value),
+            dst=str(dst.value),
+            directed=directed,
+            attrs=attrs,
+            line=src.line,
+        )
+
+    def _cluster_block(self) -> ClusterBlock:
+        keyword = self._advance()  # 'cluster'
+        block = ClusterBlock(line=keyword.line)
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            if self._current.kind == lexer.EOF:
+                raise self._error("unterminated cluster block")
+            if self._at_ident("source"):
+                tok = self._advance()
+                name = self._expect_string("source name")
+                attrs = self._maybe_attrs()
+                self._expect_punct(";")
+                block.sources.append(
+                    SourceDecl(name=str(name.value), attrs=attrs, line=tok.line)
+                )
+            elif self._at_ident("sink"):
+                tok = self._advance()
+                name = self._expect_string("sink name")
+                self._expect_punct(";")
+                block.sinks.append(SinkDecl(name=str(name.value), line=tok.line))
+            elif self._current.kind == lexer.STRING:
+                edge = self._edge()
+                if not edge.directed:
+                    raise MdotSyntaxError(
+                        "cluster edges must be directed ('->')", edge.line, 1
+                    )
+                block.edges.append(edge)
+            else:
+                raise self._error(
+                    f"unexpected {self._current.value!r} in cluster block"
+                )
+        self._expect_punct("}")
+        return block
+
+    def _maybe_attrs(self) -> Dict[str, Attr]:
+        attrs: Dict[str, Attr] = {}
+        if not self._at_punct("["):
+            return attrs
+        self._advance()
+        while True:
+            name_tok = self._current
+            if name_tok.kind != lexer.IDENT:
+                raise self._error(
+                    f"expected attribute name, found {name_tok.value!r}"
+                )
+            self._advance()
+            self._expect_punct("=")
+            value = self._value()
+            name = str(name_tok.value)
+            if name in attrs:
+                raise MdotSyntaxError(
+                    f"duplicate attribute {name!r}", name_tok.line, name_tok.column
+                )
+            attrs[name] = Attr(name=name, value=value, line=name_tok.line)
+            if self._at_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect_punct("]")
+        return attrs
+
+    def _value(self) -> AttrValue:
+        tok = self._current
+        if tok.kind in (lexer.NUMBER, lexer.STRING, lexer.BOOL):
+            self._advance()
+            return tok.value  # type: ignore[return-value]
+        raise self._error(f"expected a value, found {tok.value!r}")
+
+
+def parse(source: str) -> MdotFile:
+    """Parse mdot source text into an :class:`~repro.mdot.ast.MdotFile`."""
+    return _Parser(lexer.tokenize(source)).parse_file()

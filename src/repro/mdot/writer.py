@@ -1,0 +1,122 @@
+"""Serialize layouts back to mdot text, and export to plain graphviz dot.
+
+Round-tripping (``loads(dumps(layout))``) is lossless for everything the
+layout model carries; the graphviz export exists because "the language
+enables freely available programs to draw the graphs for visualizing the
+system" — the exported dot renders with stock graphviz.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.graph import ClusterLayout, MachineLayout
+from ..core.power import ConstantPowerModel, PowerModel
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _number(value: float) -> str:
+    text = f"{value:.10g}"
+    return text
+
+
+def _power_attrs(model: PowerModel) -> str:
+    if isinstance(model, ConstantPowerModel):
+        return f"power={_number(model.watts)}"
+    return f"p_base={_number(model.idle_power)}, p_max={_number(model.max_power)}"
+
+
+def dump_machine(layout: MachineLayout) -> str:
+    """mdot source for one machine block."""
+    lines: List[str] = [f"machine {_quote(layout.name)} {{"]
+    lines.append(f"  inlet = {_quote(layout.inlet)};")
+    lines.append(f"  exhaust = {_quote(layout.exhaust)};")
+    lines.append(f"  inlet_temperature = {_number(layout.inlet_temperature)};")
+    lines.append(f"  fan_cfm = {_number(layout.fan_cfm)};")
+    lines.append("")
+    for component in layout.components.values():
+        attrs = [
+            f"mass={_number(component.mass)}",
+            f"specific_heat={_number(component.specific_heat)}",
+            _power_attrs(component.power_model),
+        ]
+        if component.monitored:
+            attrs.append("monitored=true")
+        lines.append(
+            f"  component {_quote(component.name)} [{', '.join(attrs)}];"
+        )
+    lines.append("")
+    for region in layout.air_regions.values():
+        lines.append(f"  air {_quote(region.name)};")
+    lines.append("")
+    for edge in layout.heat_edges:
+        lines.append(
+            f"  {_quote(edge.a)} -- {_quote(edge.b)} [k={_number(edge.k)}];"
+        )
+    lines.append("")
+    for edge in layout.air_edges:
+        lines.append(
+            f"  {_quote(edge.src)} -> {_quote(edge.dst)} "
+            f"[fraction={_number(edge.fraction)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_cluster(cluster: ClusterLayout) -> str:
+    """mdot source for the cluster block (machines serialized separately)."""
+    lines: List[str] = ["cluster {"]
+    for source in cluster.sources.values():
+        attrs = [f"temperature={_number(source.supply_temperature)}"]
+        if source.flow_m3s is not None:
+            attrs.append(f"flow={_number(source.flow_m3s)}")
+        lines.append(f"  source {_quote(source.name)} [{', '.join(attrs)}];")
+    for sink in cluster.sinks:
+        lines.append(f"  sink {_quote(sink)};")
+    for edge in cluster.edges:
+        lines.append(
+            f"  {_quote(edge.src)} -> {_quote(edge.dst)} "
+            f"[fraction={_number(edge.fraction)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dumps(
+    machines: Sequence[MachineLayout], cluster: Optional[ClusterLayout] = None
+) -> str:
+    """Full mdot source for a set of machines and an optional cluster."""
+    parts = [dump_machine(machine) for machine in machines]
+    if cluster is not None:
+        parts.append(dump_cluster(cluster))
+    return "\n".join(parts)
+
+
+def to_graphviz(layout: MachineLayout) -> str:
+    """Plain graphviz dot rendering both graphs of one machine.
+
+    Heat edges render undirected (``dir=none``, red); air edges render as
+    blue arrows labelled with their fraction.  Components are boxes, air
+    regions ellipses.
+    """
+    lines = [f"digraph {_quote(layout.name)} {{", "  rankdir=LR;"]
+    for component in layout.components.values():
+        lines.append(f"  {_quote(component.name)} [shape=box];")
+    for region in layout.air_regions.values():
+        lines.append(f"  {_quote(region.name)} [shape=ellipse];")
+    for edge in layout.heat_edges:
+        lines.append(
+            f"  {_quote(edge.a)} -> {_quote(edge.b)} "
+            f"[dir=none, color=red, label=\"k={_number(edge.k)}\"];"
+        )
+    for edge in layout.air_edges:
+        lines.append(
+            f"  {_quote(edge.src)} -> {_quote(edge.dst)} "
+            f"[color=blue, label=\"{_number(edge.fraction)}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,20 @@
+"""The Fluent-substitute reference simulator (2-D finite-volume model)."""
+
+from .lumped import (
+    DEFAULT_POWER_POINTS,
+    ComparisonRow,
+    LumpedCalibration,
+    calibrate_from_reference,
+    comparison_table,
+    lumped_case_layout,
+    steady_temperatures,
+)
+from .mesh import Block, CaseMesh, standard_case
+from .steady import SteadyResult, solve_steady
+
+__all__ = [
+    "Block", "CaseMesh", "ComparisonRow", "DEFAULT_POWER_POINTS",
+    "LumpedCalibration", "SteadyResult", "calibrate_from_reference",
+    "comparison_table", "lumped_case_layout", "solve_steady",
+    "standard_case", "steady_temperatures",
+]

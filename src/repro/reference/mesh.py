@@ -1,0 +1,186 @@
+"""2-D structured mesh of a server case for the reference simulator.
+
+Section 3.2: "We modeled a 2D description of a server case, with a CPU,
+a disk, and a power supply."  :class:`CaseMesh` is that description — a
+regular grid of square cells, each carrying a material, an optional
+volumetric heat source, and a prescribed horizontal air velocity.
+
+The flow field is prescribed rather than solved (this is an
+advection-diffusion model, not a Navier-Stokes CFD code — see DESIGN.md):
+air enters the left edge at the inlet temperature, moves right, and
+leaves through the right edge.  Velocity in each column is scaled so the
+volumetric flow is conserved around obstructions, the way a duct
+constriction accelerates flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .materials import AIR, Material
+
+
+@dataclass(frozen=True)
+class Block:
+    """A rectangular component footprint on the mesh (cell coordinates).
+
+    ``x0 <= x < x1`` and ``y0 <= y < y1``; power is distributed uniformly
+    over the block's cells.
+    """
+
+    name: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    material: Material
+    power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"block {self.name!r} has an empty extent")
+        if self.power < 0.0:
+            raise ValueError(f"block {self.name!r} has negative power")
+
+    @property
+    def cells(self) -> int:
+        """Number of cells the block covers."""
+        return (self.x1 - self.x0) * (self.y1 - self.y0)
+
+
+class CaseMesh:
+    """A meshed 2-D server case with component blocks and an air stream."""
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        cell_size: float,
+        depth: float,
+        inlet_temperature: float,
+        inlet_velocity: float,
+        blocks: "List[Block]",
+    ) -> None:
+        if nx < 3 or ny < 3:
+            raise ValueError("mesh must be at least 3x3 cells")
+        if cell_size <= 0.0 or depth <= 0.0:
+            raise ValueError("cell size and depth must be positive")
+        if inlet_velocity <= 0.0:
+            raise ValueError("inlet velocity must be positive")
+        self.nx = nx
+        self.ny = ny
+        self.cell_size = cell_size
+        self.depth = depth
+        self.inlet_temperature = inlet_temperature
+        self.inlet_velocity = inlet_velocity
+        self.blocks: Dict[str, Block] = {}
+        self.material: List[List[Material]] = [
+            [AIR for _ in range(nx)] for _ in range(ny)
+        ]
+        #: Volumetric heat source per cell, W/m^3.
+        self.source = np.zeros((ny, nx))
+        for block in blocks:
+            self.add_block(block)
+
+    def add_block(self, block: Block) -> None:
+        """Place a component block; blocks may not overlap."""
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name!r}")
+        if not (0 <= block.x0 and block.x1 <= self.nx
+                and 0 <= block.y0 and block.y1 <= self.ny):
+            raise ValueError(f"block {block.name!r} exceeds the mesh")
+        for y in range(block.y0, block.y1):
+            for x in range(block.x0, block.x1):
+                if self.material[y][x] is not AIR:
+                    raise ValueError(
+                        f"block {block.name!r} overlaps another block at ({x},{y})"
+                    )
+        volume = block.cells * self.cell_size * self.cell_size * self.depth
+        density = block.power / volume if volume > 0 else 0.0
+        for y in range(block.y0, block.y1):
+            for x in range(block.x0, block.x1):
+                self.material[y][x] = block.material
+                self.source[y, x] = density
+        self.blocks[block.name] = block
+
+    def set_power(self, name: str, power: float) -> None:
+        """Change a block's total dissipated power (W)."""
+        if power < 0.0:
+            raise ValueError("power must be non-negative")
+        block = self.blocks[name]
+        volume = block.cells * self.cell_size * self.cell_size * self.depth
+        density = power / volume
+        for y in range(block.y0, block.y1):
+            for x in range(block.x0, block.x1):
+                self.source[y, x] = density
+        self.blocks[name] = Block(
+            block.name, block.x0, block.y0, block.x1, block.y1,
+            block.material, power,
+        )
+
+    def is_air(self, x: int, y: int) -> bool:
+        """True when cell (x, y) is an air cell."""
+        return self.material[y][x].name == AIR.name
+
+    def velocity_field(self) -> np.ndarray:
+        """Horizontal velocity (m/s) per cell, flow-conserving per column.
+
+        The inlet column is fully open; downstream columns carry the same
+        volumetric flow through whatever free height remains, so air
+        accelerates past obstructions.  Solid cells have zero velocity.
+        """
+        open_inlet = sum(1 for y in range(self.ny) if self.is_air(0, y))
+        if open_inlet == 0:
+            raise ValueError("inlet column is fully blocked")
+        flow_cells = self.inlet_velocity * open_inlet  # cell-velocity budget
+        field = np.zeros((self.ny, self.nx))
+        for x in range(self.nx):
+            open_cells = sum(1 for y in range(self.ny) if self.is_air(x, y))
+            if open_cells == 0:
+                continue
+            u = flow_cells / open_cells
+            for y in range(self.ny):
+                if self.is_air(x, y):
+                    field[y, x] = u
+        return field
+
+    def block_cells(self, name: str) -> List[Tuple[int, int]]:
+        """(x, y) coordinates of the cells a block covers."""
+        block = self.blocks[name]
+        return [
+            (x, y)
+            for y in range(block.y0, block.y1)
+            for x in range(block.x0, block.x1)
+        ]
+
+
+def standard_case(
+    cpu_power: float = 20.0,
+    disk_power: float = 10.0,
+    psu_power: float = 40.0,
+    inlet_temperature: float = 21.6,
+    inlet_velocity: float = 0.2,
+) -> CaseMesh:
+    """The section 3.2 case: disk near the inlet, PSU above, CPU downstream.
+
+    A 48 x 16 grid of 1 cm cells (48 cm x 16 cm case seen from the side,
+    10 cm of modeled depth): the geometry loosely matches a 2U server.
+    """
+    from .materials import ALUMINUM, PACKAGE
+
+    return CaseMesh(
+        nx=48,
+        ny=16,
+        cell_size=0.01,
+        depth=0.10,
+        inlet_temperature=inlet_temperature,
+        inlet_velocity=inlet_velocity,
+        blocks=[
+            Block("disk", 8, 2, 14, 6, PACKAGE, disk_power),
+            Block("psu", 8, 10, 16, 15, ALUMINUM, psu_power),
+            Block("cpu", 26, 4, 30, 9, PACKAGE, cpu_power),
+        ],
+    )

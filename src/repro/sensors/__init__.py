@@ -1,0 +1,17 @@
+"""Sensor hardware models, wire protocol, service, and client library."""
+
+from .api import SensorConnection, closesensor, opensensor, readsensor
+from .hardware import (
+    DIGITAL_THERMOMETER,
+    IN_DISK_SENSOR,
+    MOTHERBOARD_SENSOR,
+    PhysicalSensor,
+    SensorSpec,
+)
+from .server import SensorService, UdpSensorServer
+
+__all__ = [
+    "DIGITAL_THERMOMETER", "IN_DISK_SENSOR", "MOTHERBOARD_SENSOR",
+    "PhysicalSensor", "SensorConnection", "SensorService", "SensorSpec",
+    "UdpSensorServer", "closesensor", "opensensor", "readsensor",
+]

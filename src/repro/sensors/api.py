@@ -1,0 +1,212 @@
+"""The sensor client library: opensensor / readsensor / closesensor.
+
+Figure 3 of the paper:
+
+.. code-block:: c
+
+    int sd;
+    float temp;
+    sd = opensensor("solvermachine", 8367, "disk");
+    temp = readsensor(sd);
+    closesensor(sd);
+
+"With this interface, the programmer can treat Mercury as a regular,
+local sensor device."  This module keeps the same three calls and
+semantics: :func:`opensensor` returns a small integer descriptor,
+:func:`readsensor` performs one round-trip to the solver, and
+:func:`closesensor` releases the descriptor.
+
+Two transports are supported through the ``host`` argument:
+
+* a ``(host, port)`` UDP endpoint — the real wire path, with a
+  per-descriptor socket, timeout, and bounded retries;
+* a :class:`~repro.sensors.server.SensorService` instance — the
+  in-process path used by the simulation harness, where "network" calls
+  become method calls (latency still counts one OS-free round-trip).
+
+An object-oriented :class:`SensorConnection` wrapper is provided for
+callers that prefer context managers over the C-style calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..errors import SensorClosedError, SensorError
+from . import protocol
+from .server import SensorService
+
+#: Default machine queried when the caller does not name one (single-node
+#: setups, like the Figure 3 example).
+DEFAULT_MACHINE = "machine1"
+
+#: UDP receive timeout per attempt, seconds.
+_UDP_TIMEOUT = 0.5
+#: Number of attempts before a read fails (UDP may drop datagrams).
+_UDP_RETRIES = 3
+
+_HostType = Union[str, SensorService]
+
+
+@dataclass
+class _Descriptor:
+    service: Optional[SensorService]
+    sock: Optional[socket.socket]
+    address: Optional[Tuple[str, int]]
+    machine: str
+    component: str
+    request_ids: "itertools.count[int]"
+
+
+_table_lock = threading.Lock()
+_descriptors: Dict[int, _Descriptor] = {}
+_next_sd = itertools.count(3)  # mimic fd numbering above stdio
+
+
+def opensensor(
+    host: _HostType,
+    port: int,
+    component: str,
+    machine: str = DEFAULT_MACHINE,
+) -> int:
+    """Open a sensor on the solver at ``host``/``port``.
+
+    ``host`` may be a hostname/IP (UDP transport) or a
+    :class:`SensorService` (in-process transport; ``port`` is ignored).
+    Returns a descriptor for :func:`readsensor`/:func:`closesensor`.
+    """
+    if isinstance(host, SensorService):
+        descriptor = _Descriptor(
+            service=host,
+            sock=None,
+            address=None,
+            machine=machine,
+            component=component,
+            request_ids=itertools.count(1),
+        )
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.settimeout(_UDP_TIMEOUT)
+        descriptor = _Descriptor(
+            service=None,
+            sock=sock,
+            address=(host, port),
+            machine=machine,
+            component=component,
+            request_ids=itertools.count(1),
+        )
+    with _table_lock:
+        sd = next(_next_sd)
+        _descriptors[sd] = descriptor
+    return sd
+
+
+def readsensor(sd: int) -> float:
+    """One temperature reading from an open sensor descriptor."""
+    descriptor = _lookup(sd)
+    if descriptor.service is not None:
+        return descriptor.service.read_temperature(
+            descriptor.machine, descriptor.component
+        )
+    return _udp_read(descriptor)
+
+
+def closesensor(sd: int) -> None:
+    """Close a sensor descriptor; further reads raise SensorClosedError."""
+    with _table_lock:
+        descriptor = _descriptors.pop(sd, None)
+    if descriptor is None:
+        raise SensorClosedError(f"sensor descriptor {sd} is not open")
+    if descriptor.sock is not None:
+        descriptor.sock.close()
+
+
+def open_sensor_count() -> int:
+    """Number of currently open descriptors (useful for leak tests)."""
+    with _table_lock:
+        return len(_descriptors)
+
+
+def _lookup(sd: int) -> _Descriptor:
+    with _table_lock:
+        descriptor = _descriptors.get(sd)
+    if descriptor is None:
+        raise SensorClosedError(f"sensor descriptor {sd} is not open")
+    return descriptor
+
+
+def _udp_read(descriptor: _Descriptor) -> float:
+    assert descriptor.sock is not None and descriptor.address is not None
+    last_error: Optional[Exception] = None
+    for _ in range(_UDP_RETRIES):
+        request_id = next(descriptor.request_ids)
+        query = protocol.SensorQuery(
+            request_id=request_id,
+            machine=descriptor.machine,
+            component=descriptor.component,
+        )
+        try:
+            descriptor.sock.sendto(query.encode(), descriptor.address)
+            while True:
+                data, _addr = descriptor.sock.recvfrom(2048)
+                reply = protocol.SensorReply.decode(data)
+                if reply.request_id != request_id:
+                    continue  # stale reply from a timed-out attempt
+                if reply.status == protocol.STATUS_UNKNOWN_SENSOR:
+                    raise SensorError(
+                        f"solver knows no sensor {descriptor.component!r} on "
+                        f"machine {descriptor.machine!r}"
+                    )
+                if reply.status != protocol.STATUS_OK or math.isnan(
+                    reply.temperature
+                ):
+                    raise SensorError("solver reported an error for this sensor")
+                return reply.temperature
+        except socket.timeout as exc:
+            last_error = exc
+            continue
+    raise SensorError(
+        f"no reply from solver at {descriptor.address} after "
+        f"{_UDP_RETRIES} attempts"
+    ) from last_error
+
+
+class SensorConnection:
+    """Context-managed, object-style wrapper over the three calls.
+
+    >>> with SensorConnection(service, component="disk") as sensor:
+    ...     temp = sensor.read()
+    """
+
+    def __init__(
+        self,
+        host: _HostType,
+        port: int = 0,
+        component: str = "cpu",
+        machine: str = DEFAULT_MACHINE,
+    ) -> None:
+        self._sd = opensensor(host, port, component, machine)
+        self._open = True
+
+    def read(self) -> float:
+        """One temperature reading."""
+        if not self._open:
+            raise SensorClosedError("connection already closed")
+        return readsensor(self._sd)
+
+    def close(self) -> None:
+        """Release the descriptor (idempotent)."""
+        if self._open:
+            closesensor(self._sd)
+            self._open = False
+
+    def __enter__(self) -> "SensorConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

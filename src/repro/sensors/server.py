@@ -1,0 +1,167 @@
+"""The solver-side sensor service.
+
+"The solver ... runs on a separate machine and receives component
+utilizations from a trace file or from the monitoring daemons ...
+applications or system software can query the solver for temperatures."
+
+:class:`SensorService` wraps a :class:`~repro.core.solver.Solver` behind
+a thread-safe facade with two faces:
+
+* an **in-process** face (:meth:`handle_query`, :meth:`handle_update`)
+  used by the simulation harness and most tests;
+* a **UDP** face (:class:`UdpSensorServer`) binding a real socket on
+  localhost, used by integration tests and the latency benchmark — the
+  same datagrams a remote monitord/sensor-library would send.
+
+Sensor names resolve through an alias table (``"cpu" -> "CPU"``,
+``"disk" -> "Disk Platters"``, ...) so callers can use the short names of
+the paper's Figure 3 example.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.solver import Solver
+from ..errors import SensorError, UnknownSensorError
+from . import protocol
+
+
+class SensorService:
+    """Thread-safe query/update facade over a solver."""
+
+    def __init__(
+        self,
+        solver: Solver,
+        aliases: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._solver = solver
+        self._aliases = dict(aliases or {})
+        self._lock = threading.RLock()
+        #: Counters useful in tests and for ops visibility.
+        self.queries_served = 0
+        self.updates_applied = 0
+        self.errors = 0
+
+    @property
+    def solver(self) -> Solver:
+        """The wrapped solver (lock externally when stepping it)."""
+        return self._solver
+
+    @property
+    def lock(self) -> threading.RLock:
+        """Lock guarding the solver; hold it while stepping."""
+        return self._lock
+
+    def resolve(self, component: str) -> str:
+        """Apply the sensor alias table."""
+        return self._aliases.get(component, self._aliases.get(component.lower(), component))
+
+    # -- in-process face --------------------------------------------------
+
+    def read_temperature(self, machine: str, component: str) -> float:
+        """Resolve aliases and read a temperature from the solver."""
+        with self._lock:
+            value = self._solver.temperature(machine, self.resolve(component))
+            self.queries_served += 1
+            return value
+
+    def apply_utilizations(self, machine: str, utilizations: Mapping[str, float]) -> None:
+        """Apply a monitord update to the solver."""
+        with self._lock:
+            self._solver.set_utilizations(machine, dict(utilizations))
+            self.updates_applied += 1
+
+    def step(self, ticks: int = 1) -> None:
+        """Advance the solver under the service lock."""
+        with self._lock:
+            self._solver.step(ticks)
+
+    # -- datagram face ----------------------------------------------------
+
+    def handle_query(self, data: bytes) -> bytes:
+        """Decode a query datagram and encode the reply."""
+        try:
+            query = protocol.SensorQuery.decode(data)
+        except SensorError:
+            self.errors += 1
+            raise
+        try:
+            temperature = self.read_temperature(query.machine, query.component)
+            status = protocol.STATUS_OK
+        except UnknownSensorError:
+            self.errors += 1
+            temperature = float("nan")
+            status = protocol.STATUS_UNKNOWN_SENSOR
+        return protocol.SensorReply(
+            request_id=query.request_id, status=status, temperature=temperature
+        ).encode()
+
+    def handle_update(self, data: bytes) -> None:
+        """Decode and apply a monitord update datagram."""
+        update = protocol.UtilizationUpdate.decode(data)
+        self.apply_utilizations(update.machine, update.utilizations)
+
+
+class _UdpHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        data, sock = self.request
+        service: SensorService = self.server.service  # type: ignore[attr-defined]
+        try:
+            if len(data) == protocol.QUERY_SIZE:
+                reply = service.handle_query(data)
+                sock.sendto(reply, self.client_address)
+            elif len(data) == protocol.UPDATE_SIZE:
+                service.handle_update(data)
+            # anything else: drop silently, like a real UDP service
+        except SensorError:
+            pass
+
+
+class UdpSensorServer:
+    """A localhost UDP endpoint serving sensor queries and updates.
+
+    Runs a ``ThreadingUDPServer`` on a background thread.  Use as a
+    context manager, or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(self, service: SensorService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self._server = socketserver.ThreadingUDPServer((host, port), _UdpHandler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "UdpSensorServer":
+        """Start serving on a daemon thread."""
+        if self._thread is not None:
+            raise SensorError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "UdpSensorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,69 @@
+"""Unit conversions and physical constants used throughout the suite.
+
+The paper quotes quantities in mixed units (fan speed in cubic feet per
+minute, temperatures in Celsius, masses in kilograms).  Internally the
+package works in SI — kilograms, Joules, Watts, seconds, cubic metres —
+and degrees Celsius for temperatures (all the physics here involves
+temperature *differences*, for which Celsius and Kelvin coincide).
+"""
+
+from __future__ import annotations
+
+#: Density of air at roughly 25-35 Celsius and 1 atm, kg/m^3.
+AIR_DENSITY = 1.16
+
+#: Specific heat capacity of air at constant pressure, J/(kg K).
+AIR_SPECIFIC_HEAT = 1005.0
+
+#: Specific heat capacity of aluminium, J/(kg K).  Table 1 uses this value
+#: for the disk platters, disk shell, CPU-plus-heat-sink, and power supply.
+ALUMINUM_SPECIFIC_HEAT = 896.0
+
+#: Specific heat capacity of FR4 circuit-board laminate, J/(kg K).
+#: Table 1 uses this value for the motherboard.
+FR4_SPECIFIC_HEAT = 1245.0
+
+#: Cubic feet per minute -> cubic metres per second.
+_CFM_TO_M3S = 0.3048**3 / 60.0
+
+#: Absolute zero in Celsius; used to validate temperature inputs.
+ABSOLUTE_ZERO_C = -273.15
+
+
+def cfm_to_m3s(cfm: float) -> float:
+    """Convert a volumetric flow from cubic feet/minute to cubic metres/second."""
+    return cfm * _CFM_TO_M3S
+
+
+def m3s_to_cfm(m3s: float) -> float:
+    """Convert a volumetric flow from cubic metres/second to cubic feet/minute."""
+    return m3s / _CFM_TO_M3S
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return celsius - ABSOLUTE_ZERO_C
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return kelvin + ABSOLUTE_ZERO_C
+
+
+def watt_hours(joules: float) -> float:
+    """Convert an energy from Joules to Watt-hours."""
+    return joules / 3600.0
+
+
+def air_mass_flow(volumetric_flow_m3s: float) -> float:
+    """Mass flow (kg/s) of an air stream given its volumetric flow (m^3/s)."""
+    return AIR_DENSITY * volumetric_flow_m3s
+
+
+def air_heat_capacity_rate(volumetric_flow_m3s: float) -> float:
+    """Heat-capacity rate (W/K) of an air stream: rho * V * c_p.
+
+    This is the power required to raise the temperature of the stream by
+    one Kelvin, the quantity engineering texts write as ``m_dot * c_p``.
+    """
+    return air_mass_flow(volumetric_flow_m3s) * AIR_SPECIFIC_HEAT

@@ -1,0 +1,148 @@
+"""Tests for content-aware distribution and the two-stage policy."""
+
+import pytest
+
+from repro.cluster.content_aware import (
+    CLASSES,
+    DYNAMIC,
+    STATIC,
+    ContentAwareBalancer,
+    TwoStageFreon,
+    classed_load,
+)
+from repro.cluster.webserver import RequestMix
+from repro.errors import ClusterError
+
+SERVERS = ["m1", "m2", "m3", "m4"]
+
+
+@pytest.fixture
+def balancer():
+    return ContentAwareBalancer(SERVERS)
+
+
+class TestClassedLoad:
+    def test_dynamic_is_cpu_heavy(self):
+        load = classed_load(dynamic_rate=20.0, static_rate=0.0)
+        assert load.cpu_utilization > load.disk_utilization * 5
+
+    def test_static_is_disk_heavy(self):
+        load = classed_load(dynamic_rate=0.0, static_rate=50.0)
+        assert load.disk_utilization > load.cpu_utilization * 2
+
+    def test_clamped(self):
+        load = classed_load(1e6, 1e6)
+        assert load.cpu_utilization == 1.0
+        assert load.disk_utilization == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ClusterError):
+            classed_load(-1.0, 0.0)
+
+
+class TestContentAwareBalancer:
+    def test_even_split_by_default(self, balancer):
+        rates, dropped = balancer.allocate(
+            {DYNAMIC: 40.0, STATIC: 80.0}, {s: 1000.0 for s in SERVERS}
+        )
+        for server in SERVERS:
+            assert rates[server][DYNAMIC] == pytest.approx(10.0)
+            assert rates[server][STATIC] == pytest.approx(20.0)
+        assert dropped == 0.0
+
+    def test_classes_steered_independently(self, balancer):
+        balancer.set_weight("m1", DYNAMIC, 0.0)  # floors at epsilon
+        rates, _ = balancer.allocate(
+            {DYNAMIC: 30.0, STATIC: 30.0}, {s: 1000.0 for s in SERVERS}
+        )
+        assert rates["m1"][DYNAMIC] == pytest.approx(0.0, abs=1e-3)
+        # Static load still flows to m1 at full share.
+        assert rates["m1"][STATIC] == pytest.approx(7.5, rel=1e-3)
+
+    def test_capacity_shared_across_classes(self, balancer):
+        capacity = {s: 10.0 for s in SERVERS}
+        rates, dropped = balancer.allocate(
+            {DYNAMIC: 30.0, STATIC: 30.0}, capacity
+        )
+        for server in SERVERS:
+            total = sum(rates[server].values())
+            assert total <= 10.0 + 1e-6
+        assert dropped == pytest.approx(20.0)
+
+    def test_dynamic_served_first(self, balancer):
+        capacity = {s: 10.0 for s in SERVERS}
+        rates, _ = balancer.allocate({DYNAMIC: 40.0, STATIC: 40.0}, capacity)
+        assert sum(r[DYNAMIC] for r in rates.values()) == pytest.approx(40.0)
+
+    def test_unknown_server_or_class(self, balancer):
+        with pytest.raises(ClusterError):
+            balancer.set_weight("zz", DYNAMIC, 1.0)
+        with pytest.raises(ClusterError):
+            balancer.set_weight("m1", "video", 1.0)
+
+    def test_conservation(self, balancer):
+        offered = {DYNAMIC: 123.0, STATIC: 77.0}
+        rates, dropped = balancer.allocate(
+            offered, {s: 40.0 for s in SERVERS}
+        )
+        placed = sum(sum(r.values()) for r in rates.values())
+        assert placed + dropped == pytest.approx(200.0)
+
+
+class TestTwoStageFreon:
+    def test_stage1_touches_only_dynamic(self, balancer):
+        policy = TwoStageFreon(balancer)
+        policy.observe("m1", 70.0, now=60.0)
+        assert balancer.weight("m1", DYNAMIC) == pytest.approx(0.5)
+        assert balancer.weight("m1", STATIC) == pytest.approx(1.0)
+        assert policy.events[0].stage == 1
+
+    def test_stage2_after_stage1_exhausted(self, balancer):
+        policy = TwoStageFreon(balancer)
+        for minute in range(6):  # halve dynamic 5 times -> below floor
+            policy.observe("m1", 70.0, now=60.0 * minute)
+        stages = [event.stage for event in policy.events]
+        assert stages[:5] == [1] * 5
+        assert stages[5] == 2
+        assert balancer.weight("m1", STATIC) < 1.0
+
+    def test_recovery_restores_static_then_dynamic(self, balancer):
+        policy = TwoStageFreon(balancer)
+        for minute in range(6):
+            policy.observe("m1", 70.0, now=60.0 * minute)
+        # Cool down: static restored first, then dynamic.
+        for minute in range(6, 20):
+            policy.observe("m1", 60.0, now=60.0 * minute)
+        assert balancer.weight("m1", STATIC) == pytest.approx(1.0)
+        assert balancer.weight("m1", DYNAMIC) == pytest.approx(1.0)
+        restore_stages = [e.stage for e in policy.events if "restore" in e.action]
+        assert restore_stages[0] == 2
+
+    def test_quiet_in_hysteresis_band(self, balancer):
+        policy = TwoStageFreon(balancer)
+        policy.observe("m1", 65.0, now=60.0)  # between low and high
+        assert policy.events == []
+
+    def test_thresholds_validated(self, balancer):
+        with pytest.raises(ClusterError):
+            TwoStageFreon(balancer, high=60.0, low=65.0)
+
+    def test_stage1_reduces_cpu_keeps_disk_throughput(self, balancer):
+        # The functional claim of section 4.3: steering dynamic requests
+        # away cools the CPU while the server keeps serving static files.
+        mix = RequestMix()
+        capacity = {s: 200.0 for s in SERVERS}
+        offered = {DYNAMIC: 100.0, STATIC: 240.0}
+        before_rates, _ = balancer.allocate(offered, capacity)
+        before = classed_load(
+            before_rates["m1"][DYNAMIC], before_rates["m1"][STATIC], mix
+        )
+        policy = TwoStageFreon(balancer)
+        policy.observe("m1", 70.0, now=60.0)
+        policy.observe("m1", 70.0, now=120.0)
+        after_rates, _ = balancer.allocate(offered, capacity)
+        after = classed_load(
+            after_rates["m1"][DYNAMIC], after_rates["m1"][STATIC], mix
+        )
+        assert after.cpu_utilization < before.cpu_utilization * 0.75
+        assert after.disk_utilization >= before.disk_utilization * 0.95

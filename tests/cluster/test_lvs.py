@@ -1,0 +1,157 @@
+"""Tests for the LVS-style weighted least-connections balancer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.lvs import LoadBalancer, ServerState
+from repro.errors import ClusterError, ServerStateError
+
+
+@pytest.fixture
+def balancer():
+    return LoadBalancer(["m1", "m2", "m3", "m4"])
+
+
+def uniform(names, value):
+    return {name: value for name in names}
+
+
+NAMES = ["m1", "m2", "m3", "m4"]
+CAP = uniform(NAMES, 100.0)
+RT = uniform(NAMES, 0.05)
+
+
+class TestConstruction:
+    def test_requires_servers(self):
+        with pytest.raises(ClusterError):
+            LoadBalancer([])
+
+    def test_unknown_server(self, balancer):
+        with pytest.raises(ClusterError):
+            balancer.server("nope")
+
+
+class TestWeightedAllocation:
+    def test_equal_weights_split_evenly(self, balancer):
+        allocation = balancer.allocate(80.0, CAP, RT)
+        for name in NAMES:
+            assert allocation.rates[name] == pytest.approx(20.0)
+        assert allocation.dropped_rate == 0.0
+
+    def test_weights_shift_load(self, balancer):
+        balancer.set_weight("m1", 3.0)
+        allocation = balancer.allocate(60.0, CAP, RT)
+        assert allocation.rates["m1"] == pytest.approx(30.0)
+        assert allocation.rates["m2"] == pytest.approx(10.0)
+
+    def test_zero_offered(self, balancer):
+        allocation = balancer.allocate(0.0, CAP, RT)
+        assert all(rate == 0.0 for rate in allocation.rates.values())
+
+    def test_negative_offered_rejected(self, balancer):
+        with pytest.raises(ClusterError):
+            balancer.allocate(-1.0, CAP, RT)
+
+    def test_minimum_weight_floor(self, balancer):
+        balancer.set_weight("m1", 0.0)
+        assert balancer.server("m1").weight > 0.0
+
+    @given(offered=st.floats(min_value=0.0, max_value=350.0))
+    def test_conservation(self, offered):
+        balancer = LoadBalancer(NAMES)
+        allocation = balancer.allocate(offered, CAP, RT)
+        total = sum(allocation.rates.values()) + allocation.dropped_rate
+        assert total == pytest.approx(offered, abs=1e-6)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=4, max_size=4
+        )
+    )
+    def test_rates_proportional_to_weights(self, weights):
+        balancer = LoadBalancer(NAMES)
+        for name, weight in zip(NAMES, weights):
+            balancer.set_weight(name, weight)
+        allocation = balancer.allocate(50.0, CAP, RT)
+        total_weight = sum(weights)
+        for name, weight in zip(NAMES, weights):
+            assert allocation.rates[name] == pytest.approx(
+                50.0 * weight / total_weight, rel=1e-6
+            )
+
+
+class TestCapsAndCapacity:
+    def test_capacity_ceiling_respected(self, balancer):
+        capacity = dict(CAP)
+        capacity["m1"] = 10.0
+        allocation = balancer.allocate(200.0, capacity, RT)
+        assert allocation.rates["m1"] == pytest.approx(10.0)
+        # The other three absorb the remainder.
+        assert sum(allocation.rates.values()) == pytest.approx(200.0)
+
+    def test_connection_limit_caps_rate(self, balancer):
+        # Little's law: cap 2 connections at 0.05 s response time -> 40/s.
+        balancer.set_connection_limit("m1", 2.0)
+        allocation = balancer.allocate(400.0, CAP, RT)
+        assert allocation.rates["m1"] == pytest.approx(40.0)
+
+    def test_drops_when_everything_saturated(self, balancer):
+        allocation = balancer.allocate(500.0, CAP, RT)
+        assert allocation.dropped_rate == pytest.approx(100.0)
+        assert balancer.total_dropped == pytest.approx(100.0)
+
+    def test_drop_fraction_accumulates(self, balancer):
+        balancer.allocate(500.0, CAP, RT)
+        balancer.allocate(300.0, CAP, RT)
+        assert balancer.drop_fraction() == pytest.approx(100.0 / 800.0)
+
+    def test_unlimited_when_no_cap(self, balancer):
+        balancer.set_connection_limit("m1", None)
+        allocation = balancer.allocate(100.0, CAP, RT)
+        assert allocation.rates["m1"] == pytest.approx(25.0)
+
+    def test_negative_limit_rejected(self, balancer):
+        with pytest.raises(ClusterError):
+            balancer.set_connection_limit("m1", -1.0)
+
+
+class TestMembership:
+    def test_quiesced_server_gets_nothing(self, balancer):
+        balancer.quiesce("m1")
+        allocation = balancer.allocate(90.0, CAP, RT)
+        assert allocation.rates["m1"] == 0.0
+        assert sum(allocation.rates.values()) == pytest.approx(90.0)
+
+    def test_mark_off_requires_drained(self, balancer):
+        balancer.quiesce("m1")
+        balancer.server("m1").active_connections = 3.0
+        with pytest.raises(ServerStateError):
+            balancer.mark_off("m1")
+        balancer.server("m1").active_connections = 0.0
+        balancer.mark_off("m1")
+        assert balancer.server("m1").state is ServerState.OFF
+
+    def test_quiesce_off_server_rejected(self, balancer):
+        balancer.quiesce("m1")
+        balancer.server("m1").active_connections = 0.0
+        balancer.mark_off("m1")
+        with pytest.raises(ServerStateError):
+            balancer.quiesce("m1")
+
+    def test_activate_restores_scheduling(self, balancer):
+        balancer.quiesce("m1")
+        balancer.activate("m1")
+        allocation = balancer.allocate(40.0, CAP, RT)
+        assert allocation.rates["m1"] == pytest.approx(10.0)
+
+    def test_no_active_servers_drops_everything(self):
+        balancer = LoadBalancer(["only"])
+        balancer.quiesce("only")
+        allocation = balancer.allocate(10.0, {"only": 100.0}, {"only": 0.05})
+        assert allocation.dropped_rate == pytest.approx(10.0)
+
+    def test_connection_stats(self, balancer):
+        balancer.server("m2").active_connections = 5.5
+        stats = balancer.connection_stats()
+        assert stats["m2"] == 5.5
+        assert stats["m1"] == 0.0

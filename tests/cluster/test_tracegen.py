@@ -1,0 +1,109 @@
+"""Tests for the synthetic diurnal traffic trace."""
+
+import pytest
+
+from repro.cluster.tracegen import (
+    RequestTrace,
+    TracePoint,
+    constant_trace,
+    diurnal_trace,
+    peak_rate_for_utilization,
+)
+from repro.cluster.webserver import RequestMix
+
+
+class TestRequestTrace:
+    def test_step_semantics(self):
+        trace = RequestTrace(
+            [TracePoint(0.0, 10.0), TracePoint(100.0, 20.0)]
+        )
+        assert trace.rate_at(-5.0) == 0.0
+        assert trace.rate_at(0.0) == 10.0
+        assert trace.rate_at(99.0) == 10.0
+        assert trace.rate_at(100.0) == 20.0
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            RequestTrace([])
+
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError):
+            RequestTrace([TracePoint(5.0, 1.0), TracePoint(1.0, 1.0)])
+
+    def test_total_requests_integrates(self):
+        trace = RequestTrace(
+            [TracePoint(0.0, 10.0), TracePoint(100.0, 0.0), TracePoint(200.0, 0.0)]
+        )
+        assert trace.total_requests() == pytest.approx(1000.0)
+
+
+class TestPeakRate:
+    def test_matches_mix_demand(self):
+        mix = RequestMix()
+        rate = peak_rate_for_utilization(0.7, 4, mix)
+        # Feeding that rate to 4 servers puts each at 70% CPU.
+        per_server = rate / 4
+        assert per_server * mix.cpu_demand == pytest.approx(0.7)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            peak_rate_for_utilization(0.0, 4)
+        with pytest.raises(ValueError):
+            peak_rate_for_utilization(0.5, 0)
+
+
+class TestDiurnalTrace:
+    def test_deterministic(self):
+        a = diurnal_trace(seed=3)
+        b = diurnal_trace(seed=3)
+        assert [p.rate for p in a._points] == [p.rate for p in b._points]
+
+    def test_seed_changes_jitter(self):
+        a = diurnal_trace(seed=3)
+        b = diurnal_trace(seed=4)
+        assert [p.rate for p in a._points] != [p.rate for p in b._points]
+
+    def test_peak_rate_near_target(self):
+        trace = diurnal_trace(peak_utilization=0.7, servers=4, jitter=0.0)
+        expected = peak_rate_for_utilization(0.7, 4)
+        assert trace.peak_rate == pytest.approx(expected, rel=0.02)
+
+    def test_valley_to_peak_shape(self):
+        trace = diurnal_trace(jitter=0.0, valley_fraction=0.15)
+        start = trace.rate_at(0.0)
+        peak = trace.rate_at(0.6 * trace.duration)
+        end = trace.rate_at(trace.duration - 10.0)
+        assert start < 0.3 * peak
+        assert end < 0.7 * peak
+
+    def test_plateau_widens_peak(self):
+        narrow = diurnal_trace(jitter=0.0, plateau=1.0)
+        wide = diurnal_trace(jitter=0.0, plateau=0.6)
+        threshold = 0.95 * narrow.peak_rate
+        def width(trace):
+            return sum(
+                10.0 for t in range(0, 2000, 10)
+                if trace.rate_at(float(t)) >= threshold
+            )
+        assert width(wide) > width(narrow) * 1.5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(duration=0.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(plateau=0.0)
+
+    def test_rates_never_negative(self):
+        trace = diurnal_trace(jitter=0.3, seed=9)
+        assert all(p.rate >= 0.0 for p in trace._points)
+
+
+class TestConstantTrace:
+    def test_flat(self):
+        trace = constant_trace(50.0, 100.0)
+        assert trace.rate_at(0.0) == 50.0
+        assert trace.rate_at(95.0) == 50.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            constant_trace(-1.0, 100.0)

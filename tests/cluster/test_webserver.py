@@ -1,0 +1,139 @@
+"""Tests for the web-server queueing model."""
+
+import pytest
+
+from repro.cluster.webserver import (
+    PowerState,
+    RequestMix,
+    ServerLoad,
+    WebServer,
+)
+from repro.errors import ServerStateError
+
+
+class TestRequestMix:
+    def test_paper_mix_demands(self):
+        mix = RequestMix()
+        # 30% dynamic at 25 ms CPU dominates the CPU demand.
+        assert mix.cpu_demand == pytest.approx(0.3 * 0.025 + 0.7 * 0.002)
+        assert mix.disk_demand == pytest.approx(0.3 * 0.001 + 0.7 * 0.008)
+
+    def test_capacity_is_bottleneck_inverse(self):
+        mix = RequestMix()
+        assert mix.capacity() == pytest.approx(1.0 / mix.cpu_demand)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            RequestMix(dynamic_fraction=1.5)
+
+
+class TestLoadModel:
+    def test_utilization_linear_in_rate(self):
+        server = WebServer("s1")
+        load = server.step(50.0, 1.0)
+        assert load.cpu_utilization == pytest.approx(50.0 * server.mix.cpu_demand)
+        assert load.disk_utilization == pytest.approx(
+            50.0 * server.mix.disk_demand
+        )
+
+    def test_utilization_clamped(self):
+        server = WebServer("s1")
+        load = server.step(1e6, 1.0)
+        assert load.cpu_utilization == 1.0
+        assert load.disk_utilization == 1.0
+
+    def test_response_time_inflates_under_load(self):
+        server = WebServer("s1")
+        light = server.step(10.0, 1.0).response_time
+        heavy = server.step(100.0, 1.0).response_time
+        assert heavy > light * 2
+
+    def test_response_time_bounded(self):
+        server = WebServer("s1")
+        load = server.step(server.mix.capacity(), 1.0)
+        assert load.response_time <= server.mix.base_response_time * 10.0 + 1e-9
+
+    def test_littles_law(self):
+        server = WebServer("s1")
+        load = server.step(40.0, 1.0)
+        assert load.connections == pytest.approx(40.0 * load.response_time)
+
+    def test_zero_rate_idle(self):
+        server = WebServer("s1")
+        load = server.step(0.0, 1.0)
+        assert load.cpu_utilization == 0.0
+        assert load.connections == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WebServer("s1").step(-1.0, 1.0)
+
+
+class TestPowerStateMachine:
+    def test_initial_states(self):
+        assert WebServer("a").state is PowerState.ACTIVE
+        assert WebServer("b", start_on=False).state is PowerState.OFF
+
+    def test_boot_sequence(self):
+        server = WebServer("s1", boot_time=3.0, start_on=False)
+        server.power_on()
+        assert server.state is PowerState.BOOTING
+        # CPU pegged during boot (the paper's turn-on utilization spike).
+        load = server.step(0.0, 1.0)
+        assert load.cpu_utilization == 1.0
+        server.step(0.0, 1.0)
+        server.step(0.0, 1.0)
+        assert server.state is PowerState.ACTIVE
+
+    def test_power_on_only_from_off(self):
+        server = WebServer("s1")
+        with pytest.raises(ServerStateError):
+            server.power_on()
+
+    def test_drain_goes_off_when_empty(self):
+        server = WebServer("s1")
+        server.step(50.0, 1.0)
+        server.begin_drain()
+        assert server.state is PowerState.DRAINING
+        server.step(0.0, 1.0)
+        assert server.state is PowerState.OFF
+
+    def test_drain_only_from_active(self):
+        server = WebServer("s1", start_on=False)
+        with pytest.raises(ServerStateError):
+            server.begin_drain()
+
+    def test_off_server_has_no_load(self):
+        server = WebServer("s1", start_on=False)
+        load = server.step(100.0, 1.0)
+        assert load.cpu_utilization == 0.0
+        assert server.capacity() == 0.0
+
+    def test_accepts_load_flags(self):
+        server = WebServer("s1")
+        assert server.accepts_load
+        server.begin_drain()
+        assert not server.accepts_load
+        assert server.is_on
+        server.step(0.0, 1.0)
+        assert not server.is_on
+
+    def test_booting_consumes_power_but_accepts_nothing(self):
+        server = WebServer("s1", boot_time=10.0, start_on=False)
+        server.power_on()
+        assert server.is_on
+        assert not server.accepts_load
+        assert server.capacity() == 0.0
+
+    def test_full_cycle_off_on_off(self):
+        server = WebServer("s1", boot_time=1.0)
+        server.step(20.0, 1.0)
+        server.begin_drain()
+        server.step(0.0, 1.0)
+        assert server.state is PowerState.OFF
+        server.power_on()
+        server.step(0.0, 1.0)
+        server.step(0.0, 1.0)
+        assert server.state is PowerState.ACTIVE
+        load = server.step(20.0, 1.0)
+        assert load.cpu_utilization > 0.0

@@ -1,0 +1,129 @@
+"""Tests for the chip-multiprocessor (two-level CPU) layouts."""
+
+import pytest
+
+from repro.config import table1
+from repro.config.cmp import (
+    cmp_machine,
+    core_name,
+    set_core_utilizations,
+)
+from repro.core.solver import Solver
+
+
+class TestLayout:
+    def test_structure(self):
+        layout = cmp_machine(cores=4)
+        for i in range(4):
+            assert core_name(i) in layout.components
+        assert "CPU Package" in layout.components
+        assert table1.CPU not in layout.components
+
+    def test_power_envelope_matches_table1(self):
+        layout = cmp_machine(cores=4)
+        idle = sum(
+            layout.components[c].power_model.idle_power
+            for c in [core_name(i) for i in range(4)] + ["CPU Package"]
+        )
+        peak = sum(
+            layout.components[c].power_model.max_power
+            for c in [core_name(i) for i in range(4)] + ["CPU Package"]
+        )
+        assert idle == pytest.approx(7.0)
+        assert peak == pytest.approx(31.0)
+
+    def test_mass_conserved(self):
+        layout = cmp_machine(cores=4)
+        total = sum(
+            layout.components[c].mass
+            for c in [core_name(i) for i in range(4)] + ["CPU Package"]
+        )
+        assert total == pytest.approx(table1.MASS[table1.CPU])
+
+    def test_core_count_validation(self):
+        with pytest.raises(ValueError):
+            cmp_machine(cores=0)
+        with pytest.raises(ValueError):
+            cmp_machine(cores=100)  # exceeds the CPU mass budget
+
+    def test_other_components_preserved(self):
+        layout = cmp_machine(cores=2)
+        assert table1.DISK_PLATTERS in layout.components
+        assert table1.POWER_SUPPLY in layout.components
+
+
+class TestTwoLevelBehaviour:
+    def test_busy_core_hotter_than_siblings(self):
+        layout = cmp_machine(cores=4)
+        solver = Solver([layout], record=False)
+        set_core_utilizations(solver, "machine1", [1.0, 0.0, 0.0, 0.0])
+        solver.run(4000)
+        busy = solver.temperature("machine1", core_name(0))
+        idle = solver.temperature("machine1", core_name(1))
+        assert busy > idle + 1.0
+
+    def test_idle_siblings_identical(self):
+        layout = cmp_machine(cores=4)
+        solver = Solver([layout], record=False)
+        set_core_utilizations(solver, "machine1", [1.0, 0.0, 0.0, 0.0])
+        solver.run(2000)
+        temps = [
+            solver.temperature("machine1", core_name(i)) for i in (1, 2, 3)
+        ]
+        assert max(temps) - min(temps) < 1e-9
+
+    def test_cores_hotter_than_package(self):
+        layout = cmp_machine(cores=4)
+        solver = Solver([layout], record=False)
+        set_core_utilizations(solver, "machine1", [1.0] * 4)
+        solver.run(4000)
+        package = solver.temperature("machine1", "CPU Package")
+        for i in range(4):
+            assert solver.temperature("machine1", core_name(i)) > package
+
+    def test_aggregate_matches_monolithic_cpu(self):
+        # All cores busy: the package should land within ~1 C of the
+        # Table 1 monolithic CPU at full utilization.
+        from repro.config.layouts import validation_machine
+
+        cmp_layout = cmp_machine(cores=4)
+        solver = Solver([cmp_layout], record=False)
+        set_core_utilizations(solver, "machine1", [1.0] * 4)
+        solver.run(8000)
+        package = solver.temperature("machine1", "CPU Package")
+
+        mono = Solver([validation_machine()], record=False)
+        mono.set_utilization("machine1", table1.CPU, 1.0)
+        mono.run(8000)
+        monolithic = mono.temperature("machine1", table1.CPU)
+        assert package == pytest.approx(monolithic, abs=1.5)
+
+    def test_cores_respond_faster_than_package(self):
+        # Two-level dynamics: a core's time constant is seconds (grams of
+        # silicon), the package's is minutes.  Within 10 s of a load step
+        # the busy core has already established most of its steady offset
+        # above the package, while the package has barely moved.
+        layout = cmp_machine(cores=4)
+        solver = Solver([layout], record=False)
+        set_core_utilizations(solver, "machine1", [1.0, 0.0, 0.0, 0.0])
+        solver.run(10)
+        early_offset = solver.temperature(
+            "machine1", core_name(0)
+        ) - solver.temperature("machine1", "CPU Package")
+        package_early = solver.temperature("machine1", "CPU Package")
+        solver.run(8000)
+        final_offset = solver.temperature(
+            "machine1", core_name(0)
+        ) - solver.temperature("machine1", "CPU Package")
+        package_final = solver.temperature("machine1", "CPU Package")
+        assert early_offset > 0.7 * final_offset
+        # ... while the package itself was still far from steady.
+        start = table1.INLET_TEMPERATURE
+        assert (package_early - start) / (package_final - start) < 0.4
+
+    def test_set_core_utilizations_sets_package_average(self):
+        layout = cmp_machine(cores=4)
+        solver = Solver([layout], record=False)
+        set_core_utilizations(solver, "machine1", [1.0, 0.5, 0.0, 0.5])
+        state = solver.machine("machine1")
+        assert state.utilizations["CPU Package"] == pytest.approx(0.5)

@@ -1,0 +1,134 @@
+"""Tests for the Table 1 constants and layout builders."""
+
+import pytest
+
+from repro import units
+from repro.config import table1
+from repro.config.layouts import (
+    recirculating_cluster,
+    validation_cluster,
+    validation_machine,
+)
+from repro.core.power import ConstantPowerModel, LinearPowerModel
+
+
+class TestTable1Constants:
+    """Spot-check the numbers against the paper's Table 1."""
+
+    def test_masses(self):
+        assert table1.MASS[table1.DISK_PLATTERS] == 0.336
+        assert table1.MASS[table1.DISK_SHELL] == 0.505
+        assert table1.MASS[table1.CPU] == 0.151
+        assert table1.MASS[table1.POWER_SUPPLY] == 1.643
+        assert table1.MASS[table1.MOTHERBOARD] == 0.718
+
+    def test_specific_heats(self):
+        # Aluminium everywhere except the FR4 motherboard.
+        for component in (table1.DISK_PLATTERS, table1.DISK_SHELL,
+                          table1.CPU, table1.POWER_SUPPLY):
+            assert table1.SPECIFIC_HEAT[component] == 896.0
+        assert table1.SPECIFIC_HEAT[table1.MOTHERBOARD] == 1245.0
+
+    def test_power_ranges(self):
+        assert table1.POWER_RANGE[table1.DISK_PLATTERS] == (9.0, 14.0)
+        assert table1.POWER_RANGE[table1.CPU] == (7.0, 31.0)
+        assert table1.POWER_RANGE[table1.POWER_SUPPLY] == (40.0, 40.0)
+        assert table1.POWER_RANGE[table1.MOTHERBOARD] == (4.0, 4.0)
+
+    def test_boundary_conditions(self):
+        assert table1.INLET_TEMPERATURE == 21.6
+        assert table1.FAN_CFM == 38.6
+
+    def test_heat_edge_constants(self):
+        k = {(a, b): v for a, b, v in table1.HEAT_EDGES}
+        assert k[(table1.DISK_PLATTERS, table1.DISK_SHELL)] == 2.0
+        assert k[(table1.DISK_SHELL, table1.DISK_AIR)] == 1.9
+        assert k[(table1.CPU, table1.CPU_AIR)] == 0.75
+        assert k[(table1.POWER_SUPPLY, table1.PS_AIR)] == 4.0
+        assert k[(table1.MOTHERBOARD, table1.VOID_AIR)] == 10.0
+        assert k[(table1.MOTHERBOARD, table1.CPU)] == 0.1
+
+    def test_air_fractions_sum_to_one(self):
+        outgoing = {}
+        for src, _dst, fraction in table1.AIR_EDGES:
+            outgoing[src] = outgoing.get(src, 0.0) + fraction
+        for region, total in outgoing.items():
+            assert total == pytest.approx(1.0), region
+
+    def test_freon_thresholds(self):
+        assert table1.T_HIGH_CPU == 67.0
+        assert table1.T_LOW_CPU == 64.0
+        assert table1.T_HIGH_DISK == 65.0
+        assert table1.T_LOW_DISK == 62.0
+
+    def test_emergency_settings(self):
+        assert table1.EMERGENCY_TIME == 480.0
+        assert table1.EMERGENCY_INLET_M1 == 38.6
+        assert table1.EMERGENCY_INLET_M3 == 35.6
+
+    def test_sensor_map_targets_exist(self):
+        layout = validation_machine()
+        for node in table1.sensor_map().values():
+            assert node in layout.components or node in layout.air_regions
+
+
+class TestValidationMachine:
+    def test_power_model_kinds(self):
+        layout = validation_machine()
+        assert isinstance(
+            layout.components[table1.CPU].power_model, LinearPowerModel
+        )
+        assert isinstance(
+            layout.components[table1.POWER_SUPPLY].power_model,
+            ConstantPowerModel,
+        )
+
+    def test_k_overrides(self):
+        layout = validation_machine(
+            k_overrides={(table1.CPU, table1.CPU_AIR): 0.9}
+        )
+        k = {e.key: e.k for e in layout.heat_edges}
+        assert k[(table1.CPU, table1.CPU_AIR)] == 0.9
+        # Others untouched.
+        assert k[(table1.DISK_PLATTERS, table1.DISK_SHELL)] == 2.0
+
+    def test_custom_name_and_inlet(self):
+        layout = validation_machine("box7", inlet_temperature=25.0)
+        assert layout.name == "box7"
+        assert layout.inlet_temperature == 25.0
+
+
+class TestValidationCluster:
+    def test_four_machines_fed_evenly(self):
+        cluster = validation_cluster()
+        for machine in table1.CLUSTER_MACHINES:
+            edges = cluster.incoming(machine)
+            assert len(edges) == 1
+            assert edges[0].fraction == pytest.approx(0.25)
+
+    def test_custom_machine_count(self):
+        cluster = validation_cluster(machine_names=("a", "b"))
+        assert set(cluster.machines) == {"a", "b"}
+        assert cluster.incoming("a")[0].fraction == pytest.approx(0.5)
+
+    def test_k_overrides_apply_to_all_machines(self):
+        cluster = validation_cluster(
+            k_overrides={(table1.CPU, table1.CPU_AIR): 0.8}
+        )
+        for layout in cluster.machines.values():
+            k = {e.key: e.k for e in layout.heat_edges}
+            assert k[(table1.CPU, table1.CPU_AIR)] == 0.8
+
+
+class TestRecirculatingCluster:
+    def test_fraction_split(self):
+        cluster = recirculating_cluster(
+            machine_names=("a", "b"), recirculation=0.2
+        )
+        edges = {(e.src, e.dst): e.fraction for e in cluster.edges}
+        assert edges[("a", "b")] == pytest.approx(0.2)
+        assert edges[("a", "Cluster Exhaust")] == pytest.approx(0.8)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            recirculating_cluster(recirculation=1.0)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config.layouts import validation_cluster, validation_machine
+from repro.core.graph import (
+    AirEdge,
+    AirRegion,
+    Component,
+    HeatEdge,
+    MachineLayout,
+)
+from repro.core.power import ConstantPowerModel, LinearPowerModel
+from repro.core.solver import Solver
+
+
+@pytest.fixture
+def layout():
+    """The paper's Table 1 validation server."""
+    return validation_machine()
+
+
+@pytest.fixture
+def cluster():
+    """The paper's Figure 1(c) four-machine cluster."""
+    return validation_cluster()
+
+
+@pytest.fixture
+def solver(layout):
+    """A fresh single-machine solver on the validation layout."""
+    return Solver([layout])
+
+
+def make_tiny_layout(name="tiny", k=1.0, inlet_temperature=20.0, fan_cfm=10.0):
+    """A minimal layout: one heated box in a straight air stream.
+
+    Used by tests that need analytically checkable behaviour.
+    """
+    return MachineLayout(
+        name=name,
+        components=[
+            Component(
+                name="box",
+                mass=0.5,
+                specific_heat=900.0,
+                power_model=LinearPowerModel(2.0, 12.0),
+                monitored=True,
+            )
+        ],
+        air_regions=[AirRegion("in"), AirRegion("mid"), AirRegion("out")],
+        heat_edges=[HeatEdge("box", "mid", k)],
+        air_edges=[
+            AirEdge("in", "mid", 1.0),
+            AirEdge("mid", "out", 1.0),
+        ],
+        inlet="in",
+        exhaust="out",
+        inlet_temperature=inlet_temperature,
+        fan_cfm=fan_cfm,
+    )
+
+
+@pytest.fixture
+def tiny_layout():
+    """One heated box in a straight air stream."""
+    return make_tiny_layout()

@@ -1,0 +1,209 @@
+"""Tests for measurement recording, calibration fitting, and comparison."""
+
+import pytest
+
+from repro.config import table1
+from repro.core.calibration import (
+    Measurement,
+    calibrate,
+    compare,
+    emulate,
+    measure_run,
+    observable_edges,
+    smooth_series,
+)
+from repro.errors import CalibrationError
+from repro.machine.server import SimulatedServer
+from repro.machine.workloads import ConstantWorkload, cpu_microbenchmark
+
+
+@pytest.fixture
+def short_measurement(layout):
+    server = SimulatedServer(
+        layout,
+        workload=cpu_microbenchmark(
+            levels=(0.5, 1.0), busy_length=200.0, idle_length=100.0
+        ),
+        seed=4,
+    )
+    return measure_run(server, duration=600.0, interval=1.0)
+
+
+class TestMeasureRun:
+    def test_shape(self, short_measurement):
+        m = short_measurement
+        assert len(m) == 600
+        assert set(m.utilizations) == {table1.CPU, table1.DISK_PLATTERS}
+        assert set(m.temperatures) == {table1.CPU_AIR, table1.DISK_PLATTERS}
+
+    def test_times_monotone(self, short_measurement):
+        times = short_measurement.times
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_utilizations_reflect_workload(self, short_measurement):
+        cpu = short_measurement.utilizations[table1.CPU]
+        # First phase runs at 0.5 utilization.
+        assert cpu[50] == pytest.approx(0.5, abs=0.01)
+        # Idle phase after 200 s.
+        assert cpu[250] == pytest.approx(0.0, abs=0.01)
+
+    def test_rejects_bad_args(self, layout):
+        server = SimulatedServer(layout, workload=ConstantWorkload({}))
+        with pytest.raises(CalibrationError):
+            measure_run(server, duration=0.0)
+
+
+class TestDownsample:
+    def test_reduces_length(self, short_measurement):
+        down = short_measurement.downsample(5)
+        assert len(down) == 120
+        assert down.interval == pytest.approx(5.0)
+
+    def test_averages_utilizations(self):
+        m = Measurement(interval=1.0)
+        m.times = [1.0, 2.0, 3.0, 4.0]
+        m.utilizations = {"cpu": [0.0, 1.0, 1.0, 1.0]}
+        m.temperatures = {"CPU Air": [20.0, 21.0, 22.0, 23.0]}
+        down = m.downsample(2)
+        assert down.utilizations["cpu"] == [0.5, 1.0]
+        assert down.temperatures["CPU Air"] == [21.0, 23.0]
+        assert down.times == [2.0, 4.0]
+
+    def test_factor_one_is_identity(self, short_measurement):
+        assert short_measurement.downsample(1) is short_measurement
+
+    def test_rejects_nonpositive(self, short_measurement):
+        with pytest.raises(CalibrationError):
+            short_measurement.downsample(0)
+
+
+class TestSmoothSeries:
+    def test_constant_unchanged(self):
+        assert smooth_series([5.0] * 100, 11) == pytest.approx([5.0] * 100)
+
+    def test_removes_alternating_noise(self):
+        noisy = [20.0 + (0.5 if i % 2 else -0.5) for i in range(100)]
+        smoothed = smooth_series(noisy, 10)
+        assert max(abs(s - 20.0) for s in smoothed) < 0.3
+
+    def test_preserves_length(self):
+        assert len(smooth_series(list(range(50)), 7)) == 50
+
+    def test_window_one_identity(self):
+        data = [1.0, 2.0, 3.0]
+        assert smooth_series(data, 1) == data
+
+    def test_empty_input(self):
+        assert smooth_series([], 5) == []
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CalibrationError):
+            smooth_series([1.0], 0)
+
+
+class TestCompare:
+    def test_basic(self):
+        report = compare({"n": [1.0, 2.0, 3.0]}, {"n": [1.0, 2.5, 3.0]})
+        rmse, max_err = report["n"]
+        assert max_err == pytest.approx(0.5)
+        assert rmse == pytest.approx((0.25 / 3) ** 0.5)
+
+    def test_warmup_excluded(self):
+        report = compare(
+            {"n": [100.0, 1.0, 1.0]}, {"n": [0.0, 1.0, 1.0]}, warmup=1
+        )
+        assert report["n"] == (0.0, 0.0)
+
+    def test_missing_node_skipped(self):
+        report = compare({"a": [1.0]}, {"b": [1.0]})
+        assert report == {}
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(CalibrationError):
+            compare({"n": [1.0, 2.0]}, {"n": [1.0]})
+
+
+class TestEmulate:
+    def test_returns_aligned_series(self, layout, short_measurement):
+        result = emulate(layout, short_measurement, dt=1.0)
+        for node, series in result.items():
+            assert len(series) == len(short_measurement)
+
+    def test_rejects_dt_coarser_than_interval(self, layout, short_measurement):
+        with pytest.raises(CalibrationError):
+            emulate(layout, short_measurement, dt=5.0)
+
+    def test_k_override_changes_result(self, layout, short_measurement):
+        base = emulate(layout, short_measurement, dt=1.0)
+        modified = emulate(
+            layout,
+            short_measurement,
+            k_overrides={(table1.CPU, table1.CPU_AIR): 2.0},
+            dt=1.0,
+        )
+        assert base[table1.CPU_AIR] != modified[table1.CPU_AIR]
+
+    def test_power_scale_changes_result(self, layout, short_measurement):
+        base = emulate(layout, short_measurement, dt=1.0)
+        modified = emulate(
+            layout, short_measurement, power_scales={table1.CPU: 0.5}, dt=1.0
+        )
+        assert max(base[table1.CPU_AIR]) > max(modified[table1.CPU_AIR])
+
+
+class TestObservableEdges:
+    def test_includes_sensor_adjacent_and_one_hop(self, layout):
+        edges = observable_edges(layout, [table1.CPU_AIR, table1.DISK_PLATTERS])
+        assert (table1.CPU, table1.CPU_AIR) in edges
+        assert (table1.DISK_PLATTERS, table1.DISK_SHELL) in edges
+        # One hop through the shell reaches the shell-air edge.
+        assert ("Disk Air", "Disk Shell") in edges
+        # The PSU edge is nowhere near either sensor.
+        assert ("PS Air", "Power Supply") not in edges
+
+
+class TestCalibrate:
+    def test_requires_measurements(self, layout):
+        with pytest.raises(CalibrationError):
+            calibrate(layout, [])
+
+    def test_unknown_edge_rejected(self, layout, short_measurement):
+        with pytest.raises(CalibrationError):
+            calibrate(
+                layout,
+                [short_measurement],
+                fit_edges=[(table1.CPU, table1.DISK_AIR)],
+            )
+
+    def test_short_fit_improves_on_nominal(self, layout, short_measurement):
+        # Even a short, single-benchmark calibration should reduce the
+        # residual against the recording compared to the nominal inputs.
+        result = calibrate(
+            layout,
+            [short_measurement],
+            fit_edges=[(table1.CPU, table1.CPU_AIR)],
+            dt=5.0,
+            warmup=10,
+            max_nfev=20,
+        )
+        nominal = emulate(layout, short_measurement, dt=1.0)
+        fitted = emulate(
+            layout, short_measurement, k_overrides=result.k_overrides, dt=1.0
+        )
+        nominal_report = compare(short_measurement.temperatures, nominal, warmup=60)
+        fitted_report = compare(short_measurement.temperatures, fitted, warmup=60)
+        assert (
+            fitted_report[table1.CPU_AIR][0] <= nominal_report[table1.CPU_AIR][0]
+        )
+        assert result.iterations > 0
+
+    def test_describe_mentions_edges(self, layout, short_measurement):
+        result = calibrate(
+            layout,
+            [short_measurement],
+            fit_edges=[(table1.CPU, table1.CPU_AIR)],
+            dt=5.0,
+            max_nfev=5,
+        )
+        text = result.describe()
+        assert "CPU" in text and "rmse" in text

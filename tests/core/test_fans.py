@@ -1,0 +1,109 @@
+"""Tests for variable-speed fan modeling (the section 7 extension)."""
+
+import pytest
+
+from repro.config import table1
+from repro.core.fans import DEFAULT_SERVER_CURVE, FanController, FanCurve
+from repro.core.solver import Solver
+from repro.errors import SolverError
+
+
+class TestFanCurve:
+    def test_interpolates(self):
+        curve = FanCurve([(30.0, 20.0), (50.0, 40.0)])
+        assert curve.speed(40.0) == pytest.approx(30.0)
+
+    def test_clamps_at_ends(self):
+        curve = FanCurve([(30.0, 20.0), (50.0, 40.0)])
+        assert curve.speed(0.0) == 20.0
+        assert curve.speed(90.0) == 40.0
+
+    def test_exact_points(self):
+        curve = FanCurve([(30.0, 20.0), (50.0, 40.0)])
+        assert curve.speed(30.0) == 20.0
+        assert curve.speed(50.0) == 40.0
+
+    def test_flat_segments_allowed(self):
+        curve = FanCurve([(30.0, 20.0), (40.0, 20.0), (50.0, 40.0)])
+        assert curve.speed(35.0) == 20.0
+
+    def test_min_max(self):
+        assert DEFAULT_SERVER_CURVE.min_speed < DEFAULT_SERVER_CURVE.max_speed
+
+    @pytest.mark.parametrize(
+        "points",
+        [
+            [(30.0, 20.0)],                      # too few
+            [(30.0, 20.0), (30.0, 25.0)],        # duplicate temperature
+            [(30.0, 40.0), (50.0, 20.0)],        # decreasing speed
+            [(30.0, 0.0), (50.0, 40.0)],         # zero speed
+        ],
+    )
+    def test_invalid_curves_rejected(self, points):
+        with pytest.raises(ValueError):
+            FanCurve(points)
+
+
+class TestFanController:
+    def make(self, layout, **kwargs):
+        solver = Solver([layout], record=False)
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        solver.set_utilization("machine1", table1.DISK_PLATTERS, 0.5)
+        controller = FanController(
+            solver, "machine1", table1.CPU, period=5.0, **kwargs
+        )
+        return solver, controller
+
+    def test_rejects_bad_period(self, layout):
+        solver = Solver([layout], record=False)
+        with pytest.raises(SolverError):
+            FanController(solver, "machine1", table1.CPU, period=0.0)
+
+    def test_ramps_up_when_hot(self, layout):
+        solver, controller = self.make(layout)
+        start_cfm = controller.current_cfm
+        for _ in range(2000):
+            solver.step()
+            controller.tick(1.0)
+        assert controller.current_cfm > start_cfm
+        assert controller.events
+
+    def test_slew_rate_limited(self, layout):
+        solver, controller = self.make(layout, max_slew_cfm_per_s=0.5)
+        solver.force_temperature("machine1", table1.CPU, 80.0)
+        before = controller.current_cfm
+        controller.adjust()
+        # One period at 0.5 cfm/s and 5 s period: at most 2.5 cfm of change.
+        assert abs(controller.current_cfm - before) <= 2.5 + 1e-9
+
+    def test_no_event_when_steady(self, layout):
+        solver, controller = self.make(layout)
+        controller.adjust()
+        events = len(controller.events)
+        controller.adjust()  # same temperature, same target
+        assert len(controller.events) <= events + 1
+
+    def test_tick_period(self, layout):
+        solver, controller = self.make(layout)
+        solver.force_temperature("machine1", table1.CPU, 80.0)
+        assert controller.tick(1.0) is False
+        assert controller.tick(4.0) is True
+
+    def test_closed_loop_cools_hot_machine(self, layout):
+        # The whole point: with fan control the machine settles cooler
+        # than with the fan pinned at the curve's idle speed.
+        managed_solver, controller = self.make(layout)
+        for _ in range(4000):
+            managed_solver.step()
+            controller.tick(1.0)
+        managed = managed_solver.temperature("machine1", table1.CPU)
+
+        fixed_solver = Solver([layout], record=False)
+        fixed_solver.set_utilization("machine1", table1.CPU, 1.0)
+        fixed_solver.set_utilization("machine1", table1.DISK_PLATTERS, 0.5)
+        fixed_solver.machine("machine1").set_fan_cfm(
+            DEFAULT_SERVER_CURVE.min_speed
+        )
+        fixed_solver.run(4000)
+        fixed = fixed_solver.temperature("machine1", table1.CPU)
+        assert managed < fixed - 3.0

@@ -1,0 +1,347 @@
+"""Tests for heat-flow / air-flow graph construction and validation."""
+
+import pytest
+
+from repro import units
+from repro.config import table1
+from repro.core.graph import (
+    AirEdge,
+    AirRegion,
+    ClusterAirEdge,
+    ClusterLayout,
+    Component,
+    CoolingSource,
+    HeatEdge,
+    MachineLayout,
+)
+from repro.core.power import ConstantPowerModel, LinearPowerModel
+from repro.errors import (
+    AirFlowConservationError,
+    DuplicateNodeError,
+    GraphError,
+    UnknownNodeError,
+)
+from tests.conftest import make_tiny_layout
+
+
+def _component(name, monitored=False):
+    return Component(
+        name=name,
+        mass=1.0,
+        specific_heat=900.0,
+        power_model=LinearPowerModel(1.0, 5.0),
+        monitored=monitored,
+    )
+
+
+class TestComponent:
+    def test_heat_capacity(self):
+        assert _component("x").heat_capacity == pytest.approx(900.0)
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ValueError):
+            Component("x", 0.0, 900.0, ConstantPowerModel(1.0))
+
+    def test_rejects_nonpositive_specific_heat(self):
+        with pytest.raises(ValueError):
+            Component("x", 1.0, -5.0, ConstantPowerModel(1.0))
+
+
+class TestHeatEdge:
+    def test_key_is_sorted(self):
+        assert HeatEdge("b", "a", 1.0).key == ("a", "b")
+        assert HeatEdge("a", "b", 1.0).key == ("a", "b")
+
+    def test_other(self):
+        edge = HeatEdge("a", "b", 1.0)
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+        with pytest.raises(UnknownNodeError):
+            edge.other("c")
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            HeatEdge("a", "b", -0.1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            HeatEdge("a", "a", 1.0)
+
+
+class TestAirEdge:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            AirEdge("a", "b", 1.5)
+        with pytest.raises(ValueError):
+            AirEdge("a", "b", -0.1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            AirEdge("a", "a", 0.5)
+
+
+class TestMachineLayoutValidation:
+    def test_tiny_layout_builds(self, tiny_layout):
+        assert tiny_layout.air_order[0] == "in"
+        assert tiny_layout.air_order[-1] == "out"
+
+    def test_validation_machine_builds(self, layout):
+        assert len(layout.components) == 5
+        assert len(layout.air_regions) == 9
+        assert layout.monitored_components() == [table1.DISK_PLATTERS, table1.CPU]
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(DuplicateNodeError):
+            MachineLayout(
+                "m",
+                [_component("x"), _component("x")],
+                [AirRegion("in"), AirRegion("out")],
+                [],
+                [AirEdge("in", "out", 1.0)],
+                inlet="in",
+                exhaust="out",
+                inlet_temperature=20.0,
+                fan_cfm=10.0,
+            )
+
+    def test_component_air_name_collision_rejected(self):
+        with pytest.raises(DuplicateNodeError):
+            MachineLayout(
+                "m",
+                [_component("in")],
+                [AirRegion("in"), AirRegion("out")],
+                [],
+                [AirEdge("in", "out", 1.0)],
+                inlet="in",
+                exhaust="out",
+                inlet_temperature=20.0,
+                fan_cfm=10.0,
+            )
+
+    def test_unknown_inlet_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            MachineLayout(
+                "m", [], [AirRegion("a"), AirRegion("b")],
+                [], [AirEdge("a", "b", 1.0)],
+                inlet="nope", exhaust="b",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_inlet_equal_exhaust_rejected(self):
+        with pytest.raises(GraphError):
+            MachineLayout(
+                "m", [], [AirRegion("a")], [], [],
+                inlet="a", exhaust="a",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_dangling_heat_edge_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            MachineLayout(
+                "m", [_component("c")],
+                [AirRegion("in"), AirRegion("out")],
+                [HeatEdge("c", "ghost", 1.0)],
+                [AirEdge("in", "out", 1.0)],
+                inlet="in", exhaust="out",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_duplicate_heat_edge_rejected(self):
+        with pytest.raises(GraphError):
+            MachineLayout(
+                "m", [_component("c")],
+                [AirRegion("in"), AirRegion("out")],
+                [HeatEdge("c", "in", 1.0), HeatEdge("in", "c", 2.0)],
+                [AirEdge("in", "out", 1.0)],
+                inlet="in", exhaust="out",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_air_edge_touching_component_rejected(self):
+        with pytest.raises(GraphError):
+            MachineLayout(
+                "m", [_component("c")],
+                [AirRegion("in"), AirRegion("out")],
+                [],
+                [AirEdge("in", "out", 1.0), AirEdge("in", "c", 0.0)],
+                inlet="in", exhaust="out",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_fraction_conservation_enforced(self):
+        with pytest.raises(AirFlowConservationError) as info:
+            MachineLayout(
+                "m", [],
+                [AirRegion("in"), AirRegion("mid"), AirRegion("out")],
+                [],
+                [AirEdge("in", "mid", 0.5), AirEdge("mid", "out", 1.0)],
+                inlet="in", exhaust="out",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+        assert info.value.name == "in"
+        assert info.value.total == pytest.approx(0.5)
+
+    def test_exhaust_with_outgoing_air_rejected(self):
+        with pytest.raises(GraphError):
+            MachineLayout(
+                "m", [],
+                [AirRegion("in"), AirRegion("out")],
+                [],
+                [AirEdge("in", "out", 1.0), AirEdge("out", "in", 1.0)],
+                inlet="in", exhaust="out",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_air_cycle_rejected(self):
+        with pytest.raises(GraphError):
+            MachineLayout(
+                "m", [],
+                [AirRegion("in"), AirRegion("a"), AirRegion("b"), AirRegion("out")],
+                [],
+                [
+                    AirEdge("in", "a", 1.0),
+                    AirEdge("a", "b", 1.0),
+                    AirEdge("b", "a", 0.5),
+                    AirEdge("b", "out", 0.5),
+                ],
+                inlet="in", exhaust="out",
+                inlet_temperature=20.0, fan_cfm=10.0,
+            )
+
+    def test_subzero_inlet_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            make_tiny_layout(inlet_temperature=-300.0)
+
+    def test_nonpositive_fan_rejected(self):
+        with pytest.raises(ValueError):
+            make_tiny_layout(fan_cfm=0.0)
+
+
+class TestAirFlowRates:
+    def test_inlet_carries_fan_flow(self, layout):
+        flows = layout.air_flow_rates()
+        assert flows[table1.INLET] == pytest.approx(units.cfm_to_m3s(table1.FAN_CFM))
+
+    def test_flow_conserved_to_exhaust(self, layout):
+        flows = layout.air_flow_rates()
+        assert flows[table1.EXHAUST] == pytest.approx(flows[table1.INLET], rel=1e-9)
+
+    def test_split_fractions(self, layout):
+        flows = layout.air_flow_rates()
+        assert flows[table1.DISK_AIR] == pytest.approx(0.4 * flows[table1.INLET])
+        assert flows[table1.PS_AIR] == pytest.approx(0.5 * flows[table1.INLET])
+
+    def test_cpu_air_combines_ps_and_void_paths(self, layout):
+        flows = layout.air_flow_rates()
+        inlet = flows[table1.INLET]
+        # PS downstream contributes 0.5*0.15; void space contributes
+        # (0.1 + 0.4 + 0.5*0.85) * 0.05.
+        expected = inlet * (0.5 * 0.15 + (0.1 + 0.4 + 0.5 * 0.85) * 0.05)
+        assert flows[table1.CPU_AIR] == pytest.approx(expected)
+
+    def test_fan_override(self, layout):
+        base = layout.air_flow_rates()
+        doubled = layout.air_flow_rates(fan_cfm=2 * table1.FAN_CFM)
+        for region in base:
+            assert doubled[region] == pytest.approx(2 * base[region])
+
+    def test_fraction_override(self, tiny_layout):
+        # Overriding a fraction shifts flow without touching the layout.
+        flows = tiny_layout.air_flow_rates(fractions={("in", "mid"): 0.5})
+        assert flows["mid"] == pytest.approx(0.5 * flows["in"])
+        assert tiny_layout.air_edges[0].fraction == 1.0
+
+
+class TestQueries:
+    def test_heat_edges_of(self, layout):
+        edges = layout.heat_edges_of(table1.CPU)
+        others = sorted(e.other(table1.CPU) for e in edges)
+        assert others == [table1.CPU_AIR, table1.MOTHERBOARD]
+
+    def test_heat_edges_of_unknown_raises(self, layout):
+        with pytest.raises(UnknownNodeError):
+            layout.heat_edges_of("ghost")
+
+    def test_incoming_air(self, layout):
+        incoming = layout.incoming_air(table1.CPU_AIR)
+        sources = sorted(e.src for e in incoming)
+        assert sources == [table1.PS_AIR_DOWN, table1.VOID_AIR]
+
+    def test_air_order_respects_edges(self, layout):
+        order = {name: i for i, name in enumerate(layout.air_order)}
+        for edge in layout.air_edges:
+            assert order[edge.src] < order[edge.dst]
+
+    def test_repr(self, layout):
+        assert "machine1" in repr(layout)
+
+
+class TestClusterLayout:
+    def test_validation_cluster_builds(self, cluster):
+        assert len(cluster.machines) == 4
+        assert table1.AC in cluster.sources
+
+    def test_incoming(self, cluster):
+        edges = cluster.incoming("machine2")
+        assert len(edges) == 1
+        assert edges[0].src == table1.AC
+        assert edges[0].fraction == pytest.approx(0.25)
+
+    def test_incoming_unknown_machine(self, cluster):
+        with pytest.raises(UnknownNodeError):
+            cluster.incoming("machine9")
+
+    def test_fraction_conservation(self):
+        machines = [make_tiny_layout("m1"), make_tiny_layout("m2")]
+        with pytest.raises(AirFlowConservationError):
+            ClusterLayout(
+                machines=machines,
+                sources=[CoolingSource("ac", 20.0)],
+                edges=[
+                    ClusterAirEdge("ac", "m1", 0.5),
+                    ClusterAirEdge("ac", "m2", 0.4),  # sums to 0.9
+                    ClusterAirEdge("m1", "Cluster Exhaust", 1.0),
+                    ClusterAirEdge("m2", "Cluster Exhaust", 1.0),
+                ],
+            )
+
+    def test_sink_cannot_emit(self):
+        machines = [make_tiny_layout("m1")]
+        with pytest.raises(GraphError):
+            ClusterLayout(
+                machines=machines,
+                sources=[CoolingSource("ac", 20.0)],
+                edges=[
+                    ClusterAirEdge("ac", "m1", 1.0),
+                    ClusterAirEdge("m1", "Cluster Exhaust", 1.0),
+                    ClusterAirEdge("Cluster Exhaust", "m1", 1.0),
+                ],
+            )
+
+    def test_source_cannot_receive(self):
+        machines = [make_tiny_layout("m1")]
+        with pytest.raises(GraphError):
+            ClusterLayout(
+                machines=machines,
+                sources=[CoolingSource("ac", 20.0)],
+                edges=[
+                    ClusterAirEdge("ac", "m1", 1.0),
+                    ClusterAirEdge("m1", "ac", 1.0),
+                ],
+            )
+
+    def test_duplicate_machine_rejected(self):
+        with pytest.raises(DuplicateNodeError):
+            ClusterLayout(
+                machines=[make_tiny_layout("m1"), make_tiny_layout("m1")],
+                sources=[],
+                edges=[],
+            )
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            ClusterLayout(
+                machines=[make_tiny_layout("m1")],
+                sources=[CoolingSource("ac", 20.0)],
+                edges=[ClusterAirEdge("ac", "ghost", 1.0)],
+            )

@@ -1,0 +1,144 @@
+"""Tests for the component power models (Eq. 4 and variants)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.power import (
+    ConstantPowerModel,
+    LinearPowerModel,
+    ScaledPowerModel,
+    TablePowerModel,
+)
+
+utilization = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestLinearPowerModel:
+    def test_endpoints(self):
+        model = LinearPowerModel(7.0, 31.0)
+        assert model.power(0.0) == pytest.approx(7.0)
+        assert model.power(1.0) == pytest.approx(31.0)
+
+    def test_midpoint(self):
+        model = LinearPowerModel(10.0, 20.0)
+        assert model.power(0.5) == pytest.approx(15.0)
+
+    def test_heat_is_power_times_time(self):
+        model = LinearPowerModel(5.0, 15.0)
+        assert model.heat(0.5, 60.0) == pytest.approx(10.0 * 60.0)
+
+    def test_rejects_out_of_range_utilization(self):
+        model = LinearPowerModel(1.0, 2.0)
+        with pytest.raises(ValueError):
+            model.power(1.5)
+        with pytest.raises(ValueError):
+            model.power(-0.5)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            LinearPowerModel(10.0, 5.0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ValueError):
+            LinearPowerModel(-1.0, 5.0)
+
+    def test_inverse_map_round_trips(self):
+        model = LinearPowerModel(7.0, 31.0)
+        for u in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert model.utilization_for_power(model.power(u)) == pytest.approx(u)
+
+    def test_inverse_map_clamps(self):
+        model = LinearPowerModel(7.0, 31.0)
+        assert model.utilization_for_power(100.0) == 1.0
+        assert model.utilization_for_power(0.0) == 0.0
+
+    @given(u=utilization)
+    def test_monotone_in_utilization(self, u):
+        model = LinearPowerModel(7.0, 31.0)
+        assert model.power(u) <= model.power(min(u + 0.1, 1.0)) + 1e-9
+
+
+class TestConstantPowerModel:
+    def test_flat(self):
+        model = ConstantPowerModel(40.0)
+        for u in (0.0, 0.3, 1.0):
+            assert model.power(u) == 40.0
+        assert model.idle_power == model.max_power == 40.0
+
+    def test_inverse_map_degenerates_to_zero(self):
+        assert ConstantPowerModel(40.0).utilization_for_power(40.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantPowerModel(-1.0)
+
+    def test_still_validates_utilization(self):
+        with pytest.raises(ValueError):
+            ConstantPowerModel(4.0).power(2.0)
+
+
+class TestTablePowerModel:
+    def test_interpolates(self):
+        model = TablePowerModel([(0.0, 10.0), (0.5, 30.0), (1.0, 35.0)])
+        assert model.power(0.25) == pytest.approx(20.0)
+        assert model.power(0.75) == pytest.approx(32.5)
+
+    def test_exact_points(self):
+        model = TablePowerModel([(0.0, 10.0), (1.0, 20.0)])
+        assert model.power(0.0) == 10.0
+        assert model.power(1.0) == 20.0
+
+    def test_idle_and_max(self):
+        model = TablePowerModel([(0.0, 10.0), (0.5, 40.0), (1.0, 35.0)])
+        assert model.idle_power == 10.0
+        assert model.max_power == 40.0  # non-monotone tables allowed
+
+    def test_requires_full_span(self):
+        with pytest.raises(ValueError):
+            TablePowerModel([(0.1, 5.0), (1.0, 10.0)])
+        with pytest.raises(ValueError):
+            TablePowerModel([(0.0, 5.0), (0.9, 10.0)])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            TablePowerModel([(0.0, 5.0)])
+
+    def test_rejects_duplicate_utilizations(self):
+        with pytest.raises(ValueError):
+            TablePowerModel([(0.0, 5.0), (0.0, 6.0), (1.0, 7.0)])
+
+    @given(u=utilization)
+    def test_within_envelope(self, u):
+        model = TablePowerModel([(0.0, 10.0), (0.3, 25.0), (1.0, 20.0)])
+        assert 10.0 - 1e-9 <= model.power(u) <= 25.0 + 1e-9
+
+
+class TestScaledPowerModel:
+    def test_identity_by_default(self):
+        inner = LinearPowerModel(5.0, 10.0)
+        model = ScaledPowerModel(inner)
+        assert model.power(0.5) == inner.power(0.5)
+
+    def test_scaling(self):
+        model = ScaledPowerModel(LinearPowerModel(5.0, 10.0), factor=0.5)
+        assert model.power(1.0) == pytest.approx(5.0)
+        assert model.idle_power == pytest.approx(2.5)
+        assert model.max_power == pytest.approx(5.0)
+
+    def test_factor_zero_is_off(self):
+        model = ScaledPowerModel(ConstantPowerModel(40.0), factor=0.0)
+        assert model.power(0.7) == 0.0
+
+    def test_factor_mutable_at_runtime(self):
+        model = ScaledPowerModel(ConstantPowerModel(10.0))
+        model.factor = 2.0
+        assert model.power(0.0) == 20.0
+
+    def test_rejects_negative_factor(self):
+        model = ScaledPowerModel(ConstantPowerModel(10.0))
+        with pytest.raises(ValueError):
+            model.factor = -0.1
+
+    def test_exposes_inner(self):
+        inner = ConstantPowerModel(10.0)
+        assert ScaledPowerModel(inner).inner is inner

@@ -1,0 +1,265 @@
+"""Tests for the Mercury solver: physics sanity, queries, cluster mode."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.config import table1
+from repro.config.layouts import (
+    recirculating_cluster,
+    validation_cluster,
+    validation_machine,
+)
+from repro.core.solver import Solver
+from repro.errors import SolverError, UnknownSensorError
+from tests.conftest import make_tiny_layout
+
+
+def steady(solver, machine, node, duration=8000):
+    solver.run(duration)
+    return solver.temperature(machine, node)
+
+
+class TestConstruction:
+    def test_requires_layouts(self):
+        with pytest.raises(SolverError):
+            Solver([])
+
+    def test_requires_positive_dt(self, layout):
+        with pytest.raises(SolverError):
+            Solver([layout], dt=0.0)
+
+    def test_duplicate_machine_names(self):
+        with pytest.raises(SolverError):
+            Solver([make_tiny_layout("m"), make_tiny_layout("m")])
+
+    def test_cluster_machine_mismatch(self, layout):
+        cluster = validation_cluster()
+        with pytest.raises(SolverError):
+            Solver([layout], cluster=cluster)
+
+    def test_initial_temperature_default(self, layout):
+        solver = Solver([layout])
+        assert solver.temperature("machine1", table1.CPU) == pytest.approx(
+            table1.INLET_TEMPERATURE
+        )
+
+    def test_initial_temperature_explicit(self, layout):
+        solver = Solver([layout], initial_temperature=30.0)
+        assert solver.temperature("machine1", table1.EXHAUST) == 30.0
+
+
+class TestQueries:
+    def test_unknown_machine(self, solver):
+        with pytest.raises(UnknownSensorError):
+            solver.temperature("machine9", table1.CPU)
+
+    def test_unknown_node(self, solver):
+        with pytest.raises(UnknownSensorError):
+            solver.temperature("machine1", "Flux Capacitor")
+
+    def test_special_inlet_exhaust_names(self, solver):
+        assert solver.temperature("machine1", "inlet") == pytest.approx(21.6)
+        assert solver.temperature("machine1", "exhaust") == pytest.approx(21.6)
+
+    def test_case_insensitive_node_names(self, solver):
+        assert solver.temperature("machine1", "cpu") == solver.temperature(
+            "machine1", table1.CPU
+        )
+
+    def test_set_utilization_validates(self, solver):
+        with pytest.raises(ValueError):
+            solver.set_utilization("machine1", table1.CPU, 2.0)
+
+
+class TestThermalBehaviour:
+    def test_idle_steady_state_above_inlet(self, solver):
+        # Even idle, the components dissipate Pbase and must sit above
+        # the inlet temperature.
+        temp = steady(solver, "machine1", table1.CPU)
+        assert temp > table1.INLET_TEMPERATURE + 5.0
+
+    def test_utilization_monotone_in_temperature(self, layout):
+        temps = []
+        for u in (0.0, 0.5, 1.0):
+            solver = Solver([layout], record=False)
+            solver.set_utilization("machine1", table1.CPU, u)
+            temps.append(steady(solver, "machine1", table1.CPU, 6000))
+        assert temps[0] < temps[1] < temps[2]
+
+    def test_full_load_cpu_range(self, layout):
+        # Shape check: a fully loaded CPU should land in the 55-75 C
+        # band the paper's figures show, not 30 or 200.
+        solver = Solver([layout], record=False)
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        temp = steady(solver, "machine1", table1.CPU, 6000)
+        assert 55.0 < temp < 75.0
+
+    def test_exhaust_carries_total_heat(self, layout):
+        # Energy balance: at steady state the exhaust-inlet enthalpy
+        # difference must equal total dissipated power.
+        solver = Solver([layout], record=False)
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        solver.set_utilization("machine1", table1.DISK_PLATTERS, 1.0)
+        solver.run(20000)
+        state = solver.machine("machine1")
+        total_power = sum(state.power(c) for c in state.layout.components)
+        capacity_rate = units.air_heat_capacity_rate(
+            units.cfm_to_m3s(table1.FAN_CFM)
+        )
+        rise = solver.temperature("machine1", "exhaust") - solver.temperature(
+            "machine1", "inlet"
+        )
+        assert rise * capacity_rate == pytest.approx(total_power, rel=0.02)
+
+    def test_air_temperatures_bounded_by_sources(self, solver):
+        # No air region can be hotter than the hottest component or
+        # colder than the inlet.
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        solver.set_utilization("machine1", table1.DISK_PLATTERS, 1.0)
+        solver.run(5000)
+        state = solver.machine("machine1")
+        hottest = max(
+            state.temperatures[c] for c in state.layout.components
+        )
+        for region in state.layout.air_regions:
+            temp = state.temperatures[region]
+            assert table1.INLET_TEMPERATURE - 1e-6 <= temp <= hottest + 1e-6
+
+    def test_cooling_after_load_removed(self, solver):
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        solver.run(4000)
+        hot = solver.temperature("machine1", table1.CPU)
+        solver.set_utilization("machine1", table1.CPU, 0.0)
+        solver.run(4000)
+        cool = solver.temperature("machine1", table1.CPU)
+        assert cool < hot - 10.0
+
+    def test_determinism(self, layout):
+        def run():
+            solver = Solver([layout], record=False)
+            solver.set_utilization("machine1", table1.CPU, 0.7)
+            solver.run(500)
+            return solver.temperature("machine1", table1.CPU)
+
+        assert run() == run()
+
+    def test_dt_refinement_consistency(self, layout):
+        # Halving dt should barely change the trajectory (the solver is
+        # numerically convergent at its default step).
+        results = []
+        for dt in (1.0, 0.5):
+            solver = Solver([layout], dt=dt, record=False)
+            solver.set_utilization("machine1", table1.CPU, 0.8)
+            solver.run(2000)
+            results.append(solver.temperature("machine1", table1.CPU))
+        assert results[0] == pytest.approx(results[1], abs=0.3)
+
+    def test_iterations_and_time_advance(self, solver):
+        solver.step(5)
+        assert solver.iterations == 5
+        assert solver.time == pytest.approx(5.0)
+        solver.run(10.0)
+        assert solver.iterations == 15
+
+
+class TestFiddleInterface:
+    def test_force_inlet_installs_override(self, solver):
+        solver.force_temperature("machine1", "inlet", 35.0)
+        solver.run(3000)
+        assert solver.temperature("machine1", "inlet") == pytest.approx(35.0)
+        # Everything downstream heats up accordingly.
+        assert solver.temperature("machine1", table1.CPU) > 40.0
+
+    def test_clear_inlet_override(self, solver):
+        solver.force_temperature("machine1", "inlet", 40.0)
+        solver.run(100)
+        solver.clear_inlet_override("machine1")
+        solver.run(3000)
+        assert solver.temperature("machine1", "inlet") == pytest.approx(
+            table1.INLET_TEMPERATURE
+        )
+
+    def test_force_component_temperature_relaxes(self, solver):
+        solver.run(2000)
+        settled = solver.temperature("machine1", table1.CPU)
+        solver.force_temperature("machine1", table1.CPU, settled + 30.0)
+        solver.run(2000)
+        # Physics takes over again: the spike decays back toward the
+        # natural steady state.
+        assert solver.temperature("machine1", table1.CPU) == pytest.approx(
+            settled, abs=1.0
+        )
+
+    def test_source_temperature_requires_cluster(self, solver):
+        from repro.errors import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            solver.set_source_temperature("AC", 30.0)
+
+
+class TestClusterMode:
+    def make_cluster_solver(self):
+        cluster = validation_cluster()
+        return Solver(
+            list(cluster.machines.values()), cluster=cluster, record=False
+        ), cluster
+
+    def test_inlets_track_source(self):
+        solver, _ = self.make_cluster_solver()
+        solver.set_source_temperature(table1.AC, 27.0)
+        solver.run(50)
+        for machine in solver.machines:
+            assert solver.temperature(machine, "inlet") == pytest.approx(27.0)
+
+    def test_identical_machines_stay_identical(self):
+        solver, _ = self.make_cluster_solver()
+        for machine in solver.machines:
+            solver.set_utilization(machine, table1.CPU, 0.6)
+        solver.run(1000)
+        temps = [solver.temperature(m, table1.CPU) for m in solver.machines]
+        assert max(temps) - min(temps) < 1e-9
+
+    def test_per_machine_override_beats_cluster(self):
+        solver, _ = self.make_cluster_solver()
+        solver.force_temperature("machine2", "inlet", 38.6)
+        solver.run(2000)
+        hot = solver.temperature("machine2", table1.CPU)
+        cool = solver.temperature("machine1", table1.CPU)
+        assert hot > cool + 10.0
+
+    def test_recirculation_heats_downstream_machine(self):
+        cluster = recirculating_cluster(
+            machine_names=("m1", "m2"), recirculation=0.3
+        )
+        solver = Solver(
+            list(cluster.machines.values()), cluster=cluster, record=False
+        )
+        solver.set_utilization("m1", table1.CPU, 1.0)
+        solver.run(4000)
+        # m2 re-ingests part of m1's hot exhaust, so its inlet is warmer
+        # than the AC supply.
+        assert solver.temperature("m2", "inlet") > table1.INLET_TEMPERATURE + 0.2
+
+
+class TestRecording:
+    def test_history_grows_per_tick(self, layout):
+        solver = Solver([layout], record=True)
+        solver.step(10)
+        # Initial sample plus one per tick.
+        assert len(solver.history.samples("machine1")) == 11
+
+    def test_record_disabled(self, layout):
+        solver = Solver([layout], record=False)
+        solver.step(10)
+        assert len(solver.history) == 0
+
+    def test_history_contains_powers(self, layout):
+        solver = Solver([layout], record=True)
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        solver.step(1)
+        sample = solver.history.last("machine1")
+        assert sample.powers[table1.CPU] == pytest.approx(31.0)
+        assert sample.powers[table1.POWER_SUPPLY] == pytest.approx(40.0)

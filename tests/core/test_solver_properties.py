@@ -1,0 +1,185 @@
+"""Property-based solver tests over randomly generated machine layouts.
+
+Hypothesis builds random (but valid) thermal layouts — arbitrary chains
+and splits of air regions, components hanging off random air nodes, and
+random constants — and checks physical invariants the solver must uphold
+on *every* model, not just the Table 1 server:
+
+* temperatures stay bounded between the inlet temperature and a static
+  worst-case bound;
+* no air region reads below the inlet or above the hottest component;
+* steady-state energy balance: the exhaust stream carries the dissipated
+  power;
+* determinism and mdot round-trip equivalence.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.core.graph import (
+    AirEdge,
+    AirRegion,
+    Component,
+    HeatEdge,
+    MachineLayout,
+)
+from repro.core.power import LinearPowerModel
+from repro.core.solver import Solver
+from repro.mdot.loader import loads
+from repro.mdot.writer import dump_machine
+
+
+@st.composite
+def random_layouts(draw):
+    """A random valid MachineLayout: a chain of air regions with random
+    bypass edges, plus 1-4 powered components attached to random regions."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10**6)))
+    n_regions = draw(st.integers(min_value=2, max_value=6))
+    regions = [f"air{i}" for i in range(n_regions)]
+    air_edges = []
+    for i in range(n_regions - 1):
+        # Split the outflow of region i between the next region and one
+        # random later region.
+        if i + 2 < n_regions and rng.random() < 0.5:
+            target = rng.randrange(i + 2, n_regions)
+            fraction = round(rng.uniform(0.1, 0.9), 3)
+            air_edges.append(AirEdge(regions[i], regions[i + 1], fraction))
+            air_edges.append(AirEdge(regions[i], regions[target], 1.0 - fraction))
+        else:
+            air_edges.append(AirEdge(regions[i], regions[i + 1], 1.0))
+
+    n_components = draw(st.integers(min_value=1, max_value=4))
+    components = []
+    heat_edges = []
+    for c in range(n_components):
+        name = f"comp{c}"
+        p_base = round(rng.uniform(0.0, 10.0), 2)
+        p_max = p_base + round(rng.uniform(0.0, 40.0), 2)
+        components.append(
+            Component(
+                name=name,
+                mass=round(rng.uniform(0.05, 2.0), 3),
+                specific_heat=round(rng.uniform(400.0, 1500.0), 1),
+                power_model=LinearPowerModel(p_base, p_max),
+                monitored=True,
+            )
+        )
+        # Attach to a random non-inlet region (possibly the exhaust).
+        region = regions[rng.randrange(1, n_regions)]
+        heat_edges.append(HeatEdge(name, region, round(rng.uniform(0.1, 8.0), 3)))
+    # Occasionally a component-component edge.
+    if n_components >= 2 and rng.random() < 0.5:
+        heat_edges.append(
+            HeatEdge("comp0", "comp1", round(rng.uniform(0.05, 2.0), 3))
+        )
+
+    inlet_temperature = round(rng.uniform(15.0, 35.0), 1)
+    return MachineLayout(
+        name="random",
+        components=components,
+        air_regions=[AirRegion(r) for r in regions],
+        heat_edges=heat_edges,
+        air_edges=air_edges,
+        inlet=regions[0],
+        exhaust=regions[-1],
+        inlet_temperature=inlet_temperature,
+        fan_cfm=round(rng.uniform(5.0, 80.0), 1),
+    )
+
+
+def worst_case_bound(layout):
+    """A static upper bound: inlet + total max power over the weakest
+    relevant conductance, plus slack."""
+    total_power = sum(
+        c.power_model.max_power for c in layout.components.values()
+    )
+    min_k = min((e.k for e in layout.heat_edges), default=1.0)
+    min_k = max(min_k, 1e-2)
+    return layout.inlet_temperature + total_power / min_k + total_power + 50.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(layout=random_layouts(), utilization=st.floats(0.0, 1.0))
+def test_temperatures_bounded(layout, utilization):
+    solver = Solver([layout], record=False)
+    for component in layout.components:
+        solver.set_utilization("random", component, utilization)
+    solver.run(2000)
+    bound = worst_case_bound(layout)
+    state = solver.machine("random")
+    for node, temperature in state.temperatures.items():
+        assert math.isfinite(temperature), node
+        assert layout.inlet_temperature - 1e-6 <= temperature <= bound, node
+
+
+@settings(max_examples=30, deadline=None)
+@given(layout=random_layouts())
+def test_air_regions_between_inlet_and_hottest_component(layout):
+    solver = Solver([layout], record=False)
+    for component in layout.components:
+        solver.set_utilization("random", component, 1.0)
+    solver.run(3000)
+    state = solver.machine("random")
+    hottest = max(
+        state.temperatures[c] for c in layout.components
+    )
+    for region in layout.air_regions:
+        temperature = state.temperatures[region]
+        assert layout.inlet_temperature - 1e-6 <= temperature <= hottest + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(layout=random_layouts())
+def test_steady_state_energy_balance(layout):
+    solver = Solver([layout], record=False)
+    for component in layout.components:
+        solver.set_utilization("random", component, 1.0)
+    solver.run(30000)
+    state = solver.machine("random")
+    total_power = sum(state.power(c) for c in layout.components)
+    capacity_rate = units.air_heat_capacity_rate(
+        units.cfm_to_m3s(layout.fan_cfm)
+    )
+    rise = (
+        state.temperatures[layout.exhaust]
+        - layout.inlet_temperature
+    )
+    # Allow slack for very long thermal time constants that have not
+    # fully settled in the 30,000 s window.
+    assert rise * capacity_rate == pytest.approx(total_power, rel=0.15)
+
+
+@settings(max_examples=20, deadline=None)
+@given(layout=random_layouts())
+def test_determinism(layout):
+    def run():
+        solver = Solver([layout], record=False)
+        for component in layout.components:
+            solver.set_utilization("random", component, 0.5)
+        solver.run(300)
+        return dict(solver.machine("random").temperatures)
+
+    assert run() == run()
+
+
+@settings(max_examples=20, deadline=None)
+@given(layout=random_layouts())
+def test_mdot_round_trip_preserves_solution(layout):
+    machines, _ = loads(dump_machine(layout))
+    reloaded = machines[0]
+
+    def final_temps(candidate):
+        solver = Solver([candidate], record=False)
+        for component in candidate.components:
+            solver.set_utilization(candidate.name, component, 0.7)
+        solver.run(500)
+        return solver.machine(candidate.name).temperatures
+
+    original = final_temps(layout)
+    round_tripped = final_temps(reloaded)
+    for node, temperature in original.items():
+        assert round_tripped[node] == pytest.approx(temperature, abs=1e-9)

@@ -1,0 +1,146 @@
+"""Tests for MachineState (mutable solver state) and History."""
+
+import pytest
+
+from repro.config import table1
+from repro.core.state import History, MachineState, Sample
+from repro.errors import UnknownNodeError
+
+
+@pytest.fixture
+def state(layout):
+    return MachineState(layout, initial_temperature=21.6)
+
+
+class TestMachineState:
+    def test_initial_temperatures(self, state, layout):
+        assert set(state.temperatures) == set(layout.node_names)
+        assert all(t == 21.6 for t in state.temperatures.values())
+
+    def test_constants_copied_from_layout(self, state):
+        assert state.edge_k(table1.CPU, table1.CPU_AIR) == pytest.approx(0.75)
+        assert state.fractions[(table1.INLET, table1.DISK_AIR)] == pytest.approx(0.4)
+        assert state.fan_cfm == pytest.approx(table1.FAN_CFM)
+
+    def test_set_temperature(self, state):
+        state.set_temperature(table1.CPU, 55.0)
+        assert state.temperature(table1.CPU) == 55.0
+
+    def test_set_temperature_unknown_node(self, state):
+        with pytest.raises(UnknownNodeError):
+            state.set_temperature("ghost", 50.0)
+
+    def test_temperature_unknown_node(self, state):
+        with pytest.raises(UnknownNodeError):
+            state.temperature("ghost")
+
+    def test_set_k_either_order(self, state):
+        state.set_k(table1.CPU_AIR, table1.CPU, 1.5)
+        assert state.edge_k(table1.CPU, table1.CPU_AIR) == 1.5
+
+    def test_set_k_unknown_edge(self, state):
+        with pytest.raises(UnknownNodeError):
+            state.set_k(table1.CPU, table1.DISK_AIR, 1.0)
+
+    def test_set_k_negative(self, state):
+        with pytest.raises(ValueError):
+            state.set_k(table1.CPU, table1.CPU_AIR, -1.0)
+
+    def test_layout_untouched_by_mutation(self, state, layout):
+        state.set_k(table1.CPU, table1.CPU_AIR, 99.0)
+        original = {e.key: e.k for e in layout.heat_edges}
+        assert original[(table1.CPU, table1.CPU_AIR)] == pytest.approx(0.75)
+
+    def test_set_fraction_invalidates_flow_cache(self, state):
+        before = state.flows()[table1.DISK_AIR]
+        state.set_fraction(table1.INLET, table1.DISK_AIR, 0.2)
+        # Conservation now violated at the inlet, but flows() just
+        # propagates whatever the live fractions say.
+        after = state.flows()[table1.DISK_AIR]
+        assert after == pytest.approx(before * 0.5)
+
+    def test_set_fraction_bounds(self, state):
+        with pytest.raises(ValueError):
+            state.set_fraction(table1.INLET, table1.DISK_AIR, 1.5)
+
+    def test_set_fraction_unknown_edge(self, state):
+        with pytest.raises(UnknownNodeError):
+            state.set_fraction(table1.DISK_AIR, table1.INLET, 0.5)
+
+    def test_set_fan_scales_flows(self, state):
+        before = state.flows()[table1.EXHAUST]
+        state.set_fan_cfm(table1.FAN_CFM * 2)
+        assert state.flows()[table1.EXHAUST] == pytest.approx(2 * before)
+
+    def test_set_fan_rejects_nonpositive(self, state):
+        with pytest.raises(ValueError):
+            state.set_fan_cfm(0.0)
+
+    def test_utilization_roundtrip(self, state):
+        state.set_utilization(table1.CPU, 0.6)
+        assert state.utilizations[table1.CPU] == 0.6
+
+    def test_utilization_bounds(self, state):
+        with pytest.raises(ValueError):
+            state.set_utilization(table1.CPU, 1.2)
+
+    def test_utilization_unknown_component(self, state):
+        with pytest.raises(UnknownNodeError):
+            state.set_utilization("ghost", 0.5)
+
+    def test_power_uses_scaled_model(self, state):
+        state.set_utilization(table1.CPU, 1.0)
+        assert state.power(table1.CPU) == pytest.approx(31.0)
+        state.set_power_scale(table1.CPU, 0.5)
+        assert state.power(table1.CPU) == pytest.approx(15.5)
+
+    def test_power_scale_unknown_component(self, state):
+        with pytest.raises(UnknownNodeError):
+            state.set_power_scale("ghost", 0.5)
+
+
+class TestHistory:
+    def _sample(self, t, temp):
+        return Sample(
+            time=t,
+            temperatures={"CPU": temp},
+            utilizations={"CPU": 0.5},
+            powers={"CPU": 19.0},
+        )
+
+    def test_append_and_series(self):
+        history = History()
+        history.append("m1", self._sample(0.0, 20.0))
+        history.append("m1", self._sample(1.0, 21.0))
+        assert history.series("m1", "CPU") == [20.0, 21.0]
+        assert history.times("m1") == [0.0, 1.0]
+
+    def test_machines_sorted(self):
+        history = History()
+        history.append("b", self._sample(0.0, 1.0))
+        history.append("a", self._sample(0.0, 1.0))
+        assert history.machines() == ["a", "b"]
+
+    def test_utilization_and_power_series(self):
+        history = History()
+        history.append("m1", self._sample(0.0, 20.0))
+        assert history.utilization_series("m1", "CPU") == [0.5]
+        assert history.power_series("m1", "CPU") == [19.0]
+
+    def test_last(self):
+        history = History()
+        history.append("m1", self._sample(0.0, 20.0))
+        history.append("m1", self._sample(5.0, 30.0))
+        assert history.last("m1").time == 5.0
+
+    def test_len_counts_all_samples(self):
+        history = History()
+        history.append("a", self._sample(0.0, 1.0))
+        history.append("b", self._sample(0.0, 1.0))
+        history.append("b", self._sample(1.0, 2.0))
+        assert len(history) == 3
+
+    def test_empty_series(self):
+        history = History()
+        assert history.series("nope", "CPU") == []
+        assert history.samples("nope") == []

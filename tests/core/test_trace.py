@@ -1,0 +1,215 @@
+"""Tests for utilization traces, persistence, and offline solving."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import table1
+from repro.core.trace import (
+    TimedEvent,
+    TracePoint,
+    UtilizationTrace,
+    load_traces,
+    run_offline,
+    save_history,
+    save_traces,
+)
+from repro.errors import TraceError
+
+
+def simple_trace(machine="machine1"):
+    return UtilizationTrace(
+        machine,
+        [
+            TracePoint(0.0, {table1.CPU: 0.2}),
+            TracePoint(100.0, {table1.CPU: 0.8}),
+            TracePoint(200.0, {table1.CPU: 0.0}),
+        ],
+    )
+
+
+class TestUtilizationTrace:
+    def test_step_function_semantics(self):
+        trace = simple_trace()
+        assert trace.utilizations_at(0.0) == {table1.CPU: 0.2}
+        assert trace.utilizations_at(99.9) == {table1.CPU: 0.2}
+        assert trace.utilizations_at(100.0) == {table1.CPU: 0.8}
+        assert trace.utilizations_at(500.0) == {table1.CPU: 0.0}
+
+    def test_before_first_point_is_empty(self):
+        assert simple_trace().utilizations_at(-1.0) == {}
+
+    def test_duration(self):
+        assert simple_trace().duration == 200.0
+
+    def test_components(self):
+        trace = UtilizationTrace(
+            "m",
+            [
+                TracePoint(0.0, {"a": 0.1}),
+                TracePoint(1.0, {"b": 0.2, "a": 0.3}),
+            ],
+        )
+        assert sorted(trace.components) == ["a", "b"]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(TraceError):
+            UtilizationTrace(
+                "m",
+                [TracePoint(10.0, {}), TracePoint(5.0, {})],
+            )
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(TraceError):
+            UtilizationTrace(
+                "m",
+                [TracePoint(1.0, {}), TracePoint(1.0, {})],
+            )
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(TraceError):
+            UtilizationTrace("m", [TracePoint(0.0, {"cpu": 1.5})])
+
+    def test_from_function(self):
+        trace = UtilizationTrace.from_function(
+            "m", duration=10.0, interval=2.0, func=lambda t: {"cpu": t / 10.0}
+        )
+        assert len(trace) == 5
+        assert trace.utilizations_at(4.0) == {"cpu": 0.4}
+
+    def test_from_function_validates(self):
+        with pytest.raises(TraceError):
+            UtilizationTrace.from_function("m", 0.0, 1.0, lambda t: {})
+
+    def test_replicate(self):
+        clones = simple_trace().replicate(["a", "b", "c"])
+        assert [t.machine for t in clones] == ["a", "b", "c"]
+        for clone in clones:
+            assert clone.utilizations_at(100.0) == {table1.CPU: 0.8}
+
+    def test_shifted(self):
+        shifted = simple_trace().shifted(50.0)
+        assert shifted.utilizations_at(100.0) == {table1.CPU: 0.2}
+        assert shifted.utilizations_at(150.0) == {table1.CPU: 0.8}
+
+    def test_shifted_rejects_negative(self):
+        with pytest.raises(TraceError):
+            simple_trace().shifted(-1.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = [simple_trace("m1"), simple_trace("m2")]
+        save_traces(original, path)
+        loaded = load_traces(path)
+        assert [t.machine for t in loaded] == ["m1", "m2"]
+        for trace in loaded:
+            assert trace.utilizations_at(150.0) == {table1.CPU: 0.8}
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(TraceError):
+            load_traces(path)
+
+    def test_load_rejects_bad_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,machine,component,utilization\nxx,m,c,0.5\n")
+        with pytest.raises(TraceError):
+            load_traces(path)
+
+    def test_load_rejects_short_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,machine,component,utilization\n1,m,c\n")
+        with pytest.raises(TraceError):
+            load_traces(path)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_round_trip_preserves_values(self, tmp_path_factory, values):
+        path = tmp_path_factory.mktemp("traces") / "t.csv"
+        points = [
+            TracePoint(float(i), {"cpu": round(v, 6)})
+            for i, v in enumerate(values)
+        ]
+        save_traces([UtilizationTrace("m", points)], path)
+        loaded = load_traces(path)[0]
+        for i, v in enumerate(values):
+            assert loaded.utilizations_at(float(i))["cpu"] == pytest.approx(
+                round(v, 6), abs=1e-6
+            )
+
+
+class TestRunOffline:
+    def test_produces_history(self, layout):
+        history = run_offline([layout], [simple_trace()], duration=200.0)
+        assert history.machines() == ["machine1"]
+        assert len(history.times("machine1")) == 201  # initial + 200 ticks
+
+    def test_usage_follows_trace(self, layout):
+        history = run_offline([layout], [simple_trace()], duration=200.0)
+        utils = history.utilization_series("machine1", table1.CPU)
+        # At t=150 the trace says 0.8.
+        idx = history.times("machine1").index(150.0)
+        assert utils[idx] == pytest.approx(0.8)
+
+    def test_missing_trace_rejected(self, layout):
+        with pytest.raises(TraceError):
+            run_offline([layout], [simple_trace("other")])
+
+    def test_duration_defaults_to_trace(self, layout):
+        history = run_offline([layout], [simple_trace()])
+        assert history.times("machine1")[-1] == pytest.approx(200.0)
+
+    def test_events_fire_once_at_time(self, layout):
+        fired = []
+        events = [
+            TimedEvent(time=50.0, action=lambda s: fired.append(s.time)),
+        ]
+        run_offline([layout], [simple_trace()], duration=100.0, events=events)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(50.0)
+
+    def test_event_can_mutate_solver(self, layout):
+        events = [
+            TimedEvent(
+                time=10.0,
+                action=lambda s: s.force_temperature("machine1", "inlet", 40.0),
+            )
+        ]
+        history = run_offline(
+            [layout], [simple_trace()], duration=200.0, events=events
+        )
+        # The inlet override persists, so the final inlet reading is 40.
+        assert history.last("machine1").temperatures[table1.INLET] == pytest.approx(
+            40.0
+        )
+
+    def test_history_csv_export(self, tmp_path, layout):
+        history = run_offline([layout], [simple_trace()], duration=10.0)
+        path = tmp_path / "history.csv"
+        save_history(history, path)
+        text = path.read_text()
+        lines = text.strip().splitlines()
+        assert lines[0] == "time,machine,node,temperature,utilization,power"
+        # 11 samples x 14 nodes data rows.
+        assert len(lines) == 1 + 11 * 14
+
+    def test_replicated_traces_emulate_cluster(self, cluster):
+        # The paper: "replicating these traces allows Mercury to emulate
+        # large cluster installations".
+        layouts = list(cluster.machines.values())
+        traces = simple_trace().replicate([l.name for l in layouts])
+        history = run_offline(
+            layouts, traces, cluster=cluster, duration=200.0
+        )
+        assert set(history.machines()) == {l.name for l in layouts}
+        finals = [
+            history.last(m).temperatures[table1.CPU] for m in history.machines()
+        ]
+        assert max(finals) - min(finals) < 1e-9

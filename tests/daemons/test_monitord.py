@@ -1,0 +1,127 @@
+"""Tests for the monitord utilization-reporting daemon."""
+
+import pytest
+
+from repro.config import table1
+from repro.core.solver import Solver
+from repro.daemons.monitord import Monitord
+from repro.machine.server import SimulatedServer
+from repro.machine.workloads import ConstantWorkload
+from repro.sensors.server import SensorService, UdpSensorServer
+
+
+@pytest.fixture
+def stack(layout):
+    """A simulated server + solver service pair."""
+    solver = Solver([layout], record=False)
+    service = SensorService(solver, aliases=table1.sensor_map())
+    server = SimulatedServer(
+        layout,
+        workload=ConstantWorkload({table1.CPU: 0.6, table1.DISK_PLATTERS: 0.3}),
+        seed=9,
+    )
+    return server, service
+
+
+class TestReporting:
+    def test_update_carries_proc_utilizations(self, stack):
+        server, service = stack
+        daemon = Monitord("machine1", server, service)
+        server.step(1.0)
+        sent = daemon.send_update()
+        assert sent[table1.CPU] == pytest.approx(0.6, abs=0.01)
+        assert sent[table1.DISK_PLATTERS] == pytest.approx(0.3, abs=0.01)
+
+    def test_solver_receives_update(self, stack):
+        server, service = stack
+        daemon = Monitord("machine1", server, service)
+        server.step(1.0)
+        daemon.send_update()
+        state = service.solver.machine("machine1")
+        assert state.utilizations[table1.CPU] == pytest.approx(0.6, abs=0.01)
+
+    def test_interval_average_not_instantaneous(self, stack):
+        server, service = stack
+        daemon = Monitord("machine1", server, service)
+        # Half the interval busy, half idle -> ~0.3 average CPU.
+        server.step(1.0)
+        server.workload = ConstantWorkload({table1.CPU: 0.0})
+        server.step(1.0)
+        sent = daemon.send_update()
+        assert sent[table1.CPU] == pytest.approx(0.3, abs=0.02)
+
+    def test_tick_honours_period(self, stack):
+        server, service = stack
+        daemon = Monitord("machine1", server, service, period=3.0)
+        assert daemon.tick(1.0) is None
+        assert daemon.tick(1.0) is None
+        server.step(3.0)
+        assert daemon.tick(1.0) is not None
+        assert daemon.updates_sent == 1
+
+    def test_rejects_bad_period(self, stack):
+        server, service = stack
+        with pytest.raises(ValueError):
+            Monitord("machine1", server, service, period=0.0)
+
+
+class TestCounterMode:
+    def test_requires_counters(self, layout):
+        server = SimulatedServer(layout, with_counters=False)
+        solver = Solver([layout], record=False)
+        service = SensorService(solver)
+        with pytest.raises(ValueError):
+            Monitord("machine1", server, service, use_counters=True)
+
+    def test_counter_utilization_tracks_nonlinear_power(self, layout):
+        # At mid utilization the true power curve is sub-linear, so the
+        # counter-derived "low-level utilization" must come in below the
+        # plain /proc busy fraction.
+        server = SimulatedServer(
+            layout,
+            workload=ConstantWorkload({table1.CPU: 0.5}),
+            with_counters=True,
+            seed=3,
+        )
+        solver = Solver([layout], record=False)
+        service = SensorService(solver)
+        daemon = Monitord("machine1", server, service, use_counters=True)
+        server.run(30.0)
+        sent = daemon.send_update()
+        assert sent[table1.CPU] < 0.5
+        assert sent[table1.CPU] == pytest.approx(0.46, abs=0.04)
+
+    def test_counter_utilization_matches_at_extremes(self, layout):
+        for level, expected in ((0.0, 0.0), (1.0, 1.0)):
+            server = SimulatedServer(
+                layout,
+                workload=ConstantWorkload({table1.CPU: level}),
+                with_counters=True,
+                seed=5,
+            )
+            solver = Solver([layout], record=False)
+            daemon = Monitord(
+                "machine1", server, SensorService(solver), use_counters=True
+            )
+            server.run(30.0)
+            sent = daemon.send_update()
+            assert sent[table1.CPU] == pytest.approx(expected, abs=0.06)
+
+
+class TestUdpTransport:
+    def test_update_over_udp(self, stack):
+        server, service = stack
+        with UdpSensorServer(service) as udp:
+            with Monitord("machine1", server, udp.address) as daemon:
+                server.step(1.0)
+                daemon.send_update()
+                import time
+
+                for _ in range(100):
+                    state = service.solver.machine("machine1")
+                    if state.utilizations[table1.CPU] > 0.0:
+                        break
+                    time.sleep(0.01)
+        assert service.solver.machine("machine1").utilizations[
+            table1.CPU
+        ] == pytest.approx(0.6, abs=0.01)

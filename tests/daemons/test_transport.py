@@ -1,0 +1,144 @@
+"""Tests for the tempd -> admd UDP transport."""
+
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.lvs import LoadBalancer
+from repro.daemons.admd import Admd
+from repro.daemons.tempd import MSG_ADJUST, MSG_STATUS, Tempd, TempdMessage
+from repro.daemons.transport import (
+    AdmdListener,
+    TempdSender,
+    decode_message,
+    encode_message,
+)
+from repro.errors import SensorError
+from repro.freon.policy import FreonConfig
+
+
+def sample_message():
+    return TempdMessage(
+        type=MSG_ADJUST,
+        machine="machine1",
+        time=120.0,
+        output=0.35,
+        temperatures={"cpu": 68.5, "disk": 50.0},
+        utilizations={"cpu": 0.7},
+    )
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        message = sample_message()
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SensorError):
+            decode_message(b"\xff\xfe not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SensorError):
+            decode_message(b"[1,2,3]")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(SensorError):
+            decode_message(b'{"type": "adjust"}')
+
+    def test_rejects_wrong_types(self):
+        bad = (
+            b'{"type": "adjust", "machine": "m", "time": "soon", '
+            b'"output": 0, "temperatures": {}, "utilizations": {}}'
+        )
+        with pytest.raises(SensorError):
+            decode_message(bad)
+
+    def test_fits_one_datagram(self):
+        assert len(encode_message(sample_message())) < 4096
+
+    @given(
+        output=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        temp=st.floats(min_value=-50.0, max_value=150.0, allow_nan=False),
+    )
+    def test_round_trip_property(self, output, temp):
+        message = TempdMessage(
+            type=MSG_STATUS,
+            machine="m",
+            time=1.0,
+            output=output,
+            temperatures={"cpu": temp},
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.output == pytest.approx(output)
+        assert decoded.temperatures["cpu"] == pytest.approx(temp)
+
+
+def _wait_for(predicate, timeout=3.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestUdpPath:
+    def test_message_reaches_admd(self):
+        balancer = LoadBalancer(["machine1", "machine2"])
+        admd = Admd(balancer, config=FreonConfig())
+        with AdmdListener(admd.deliver) as listener:
+            with TempdSender(listener.address) as send:
+                send(sample_message())
+                assert _wait_for(lambda: listener.received == 1)
+        assert len(admd.adjustments) == 1
+        assert balancer.server("machine1").weight < 1.0
+
+    def test_malformed_datagrams_counted_and_ignored(self):
+        balancer = LoadBalancer(["machine1"])
+        admd = Admd(balancer)
+        with AdmdListener(admd.deliver) as listener:
+            import socket
+
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(b"not json", listener.address)
+                assert _wait_for(lambda: listener.malformed == 1)
+                # A good message afterwards still works.
+                with TempdSender(listener.address) as send:
+                    send(sample_message())
+                    assert _wait_for(lambda: listener.received == 1)
+            finally:
+                sock.close()
+
+    def test_full_daemon_pair_over_udp(self):
+        # tempd (with a fake sensor) -> UDP -> admd, end to end.
+        balancer = LoadBalancer(["machine1", "machine2"])
+        admd = Admd(balancer, config=FreonConfig())
+        temps = {"cpu": 68.5, "disk": 40.0}
+        with AdmdListener(admd.deliver) as listener:
+            with TempdSender(listener.address) as send:
+                tempd = Tempd(
+                    machine="machine1",
+                    temperature_reader=lambda: dict(temps),
+                    send=send,
+                    config=FreonConfig(),
+                )
+                tempd.wake(60.0)
+                assert _wait_for(lambda: listener.received == 1)
+        assert balancer.server("machine1").weight < 1.0
+
+    def test_double_start_rejected(self):
+        listener = AdmdListener(lambda m: None)
+        listener.start()
+        try:
+            with pytest.raises(SensorError):
+                listener.start()
+        finally:
+            listener.stop()
+
+    def test_stop_idempotent(self):
+        listener = AdmdListener(lambda m: None).start()
+        listener.stop()
+        listener.stop()

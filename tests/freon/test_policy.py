@@ -1,0 +1,73 @@
+"""Tests for Freon policy config and the weight arithmetic."""
+
+import pytest
+
+from repro.config import table1
+from repro.errors import ClusterError
+from repro.freon.policy import (
+    ComponentThresholds,
+    FreonConfig,
+    weight_for_share_reduction,
+)
+
+
+class TestComponentThresholds:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ComponentThresholds(high=67.0, low=68.0, red=70.0)
+        with pytest.raises(ValueError):
+            ComponentThresholds(high=67.0, low=64.0, red=66.0)
+
+    def test_valid(self):
+        thresholds = ComponentThresholds(high=67.0, low=64.0, red=69.0)
+        assert thresholds.high == 67.0
+
+
+class TestFreonConfig:
+    def test_paper_defaults(self):
+        config = FreonConfig()
+        assert config.high("cpu") == table1.T_HIGH_CPU == 67.0
+        assert config.low("cpu") == table1.T_LOW_CPU == 64.0
+        assert config.high("disk") == table1.T_HIGH_DISK == 65.0
+        assert config.low("disk") == table1.T_LOW_DISK == 62.0
+        assert config.red("cpu") == 69.0
+        assert config.kp == 0.1
+        assert config.kd == 0.2
+        assert config.monitor_period == 60.0
+        assert config.stats_period == 5.0
+
+
+class TestWeightForShareReduction:
+    def test_output_zero_is_identity(self):
+        weights = {"a": 1.0, "b": 1.0, "c": 1.0}
+        assert weight_for_share_reduction(weights, "a", 0.0) == pytest.approx(1.0)
+
+    def test_halving_share_among_four(self):
+        weights = {m: 1.0 for m in "abcd"}
+        new = weight_for_share_reduction(weights, "a", 1.0)
+        weights["a"] = new
+        share = new / sum(weights.values())
+        assert share == pytest.approx(0.125)
+
+    def test_target_share_general(self):
+        weights = {"a": 2.0, "b": 1.0, "c": 1.0}
+        output = 3.0  # target share = (2/4)/4 = 0.125
+        new = weight_for_share_reduction(weights, "a", output)
+        share = new / (new + 2.0)
+        assert share == pytest.approx(0.125)
+
+    def test_single_server_unchanged(self):
+        assert weight_for_share_reduction({"a": 1.0}, "a", 5.0) == pytest.approx(1.0)
+
+    def test_unknown_server(self):
+        with pytest.raises(ClusterError):
+            weight_for_share_reduction({"a": 1.0}, "zz", 1.0)
+
+    def test_negative_output(self):
+        with pytest.raises(ClusterError):
+            weight_for_share_reduction({"a": 1.0, "b": 1.0}, "a", -0.1)
+
+    def test_large_output_shrinks_weight_to_near_zero(self):
+        weights = {m: 1.0 for m in "abcd"}
+        new = weight_for_share_reduction(weights, "a", 100.0)
+        assert 0.0 < new < 0.01

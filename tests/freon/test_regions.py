@@ -1,0 +1,80 @@
+"""Tests for Freon-EC's region bookkeeping."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.freon.regions import RegionMap, two_region_split
+
+
+@pytest.fixture
+def regions():
+    return RegionMap(
+        {"m1": "r0", "m3": "r0", "m2": "r1", "m4": "r1"}
+    )
+
+
+class TestRegionMap:
+    def test_region_of(self, regions):
+        assert regions.region_of("m1") == "r0"
+        assert regions.region_of("m2") == "r1"
+
+    def test_unknown_server(self, regions):
+        with pytest.raises(ClusterError):
+            regions.region_of("m9")
+
+    def test_servers_in(self, regions):
+        assert regions.servers_in("r0") == ["m1", "m3"]
+
+    def test_requires_servers(self):
+        with pytest.raises(ClusterError):
+            RegionMap({})
+
+    def test_emergency_counting(self, regions):
+        assert not regions.under_emergency("r0")
+        regions.note_emergency("m1")
+        regions.note_emergency("m3")
+        assert regions.emergency_count("r0") == 2
+        regions.clear_emergency("m1")
+        assert regions.under_emergency("r0")
+        regions.clear_emergency("m3")
+        assert not regions.under_emergency("r0")
+
+    def test_clear_never_goes_negative(self, regions):
+        regions.clear_emergency("m1")
+        assert regions.emergency_count("r0") == 0
+
+
+class TestPickRegion:
+    def test_round_robin_over_candidates(self, regions):
+        picks = [regions.pick_region(lambda r: True) for _ in range(4)]
+        assert picks == ["r0", "r1", "r0", "r1"]
+
+    def test_skips_regions_without_candidates(self, regions):
+        assert regions.pick_region(lambda r: r == "r1") == "r1"
+        assert regions.pick_region(lambda r: r == "r1") == "r1"
+
+    def test_prefers_calm_regions(self, regions):
+        regions.note_emergency("m1")  # r0 under emergency
+        assert regions.pick_region(lambda r: True) == "r1"
+
+    def test_falls_back_to_emergency_region(self, regions):
+        regions.note_emergency("m1")
+        # Only r0 has a candidate: picked despite the emergency.
+        assert regions.pick_region(lambda r: r == "r0") == "r0"
+
+    def test_none_when_no_candidates(self, regions):
+        assert regions.pick_region(lambda r: False) is None
+
+
+class TestTwoRegionSplit:
+    def test_paper_grouping(self):
+        # "we grouped machines 1 and 3 in region 0 and the others in
+        # region 1"
+        regions = two_region_split(["machine1", "machine2", "machine3", "machine4"])
+        assert regions.region_of("machine1") == regions.region_of("machine3")
+        assert regions.region_of("machine2") == regions.region_of("machine4")
+        assert regions.region_of("machine1") != regions.region_of("machine2")
+
+    def test_two_regions_total(self):
+        regions = two_region_split([f"s{i}" for i in range(6)])
+        assert len(regions.regions) == 2

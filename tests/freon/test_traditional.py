@@ -1,0 +1,86 @@
+"""Tests for the traditional red-line-shutdown policy."""
+
+import pytest
+
+from repro.freon.policy import FreonConfig
+from repro.freon.traditional import TraditionalPolicy
+
+
+class Sensors:
+    def __init__(self):
+        self.temps = {
+            "m1": {"cpu": 50.0, "disk": 40.0},
+            "m2": {"cpu": 50.0, "disk": 40.0},
+        }
+
+    def reader(self, machine):
+        return lambda: dict(self.temps[machine])
+
+
+@pytest.fixture
+def harness():
+    sensors = Sensors()
+    killed = []
+    policy = TraditionalPolicy(
+        readers={m: sensors.reader(m) for m in sensors.temps},
+        turn_off=killed.append,
+        config=FreonConfig(),
+    )
+    return sensors, killed, policy
+
+
+class TestRedlineShutdown:
+    def test_quiet_below_redline(self, harness):
+        sensors, killed, policy = harness
+        sensors.temps["m1"]["cpu"] = 68.9  # above high, below red (69)
+        assert policy.check(60.0) == []
+        assert killed == []
+
+    def test_shutdown_at_redline(self, harness):
+        sensors, killed, policy = harness
+        sensors.temps["m1"]["cpu"] = 69.0
+        events = policy.check(60.0)
+        assert killed == ["m1"]
+        assert events[0].machine == "m1"
+        assert events[0].component == "cpu"
+        assert events[0].temperature == 69.0
+
+    def test_disk_redline_also_triggers(self, harness):
+        sensors, killed, policy = harness
+        sensors.temps["m2"]["disk"] = 67.5  # disk red line is 67
+        policy.check(60.0)
+        assert killed == ["m2"]
+
+    def test_dead_servers_not_rechecked(self, harness):
+        sensors, killed, policy = harness
+        sensors.temps["m1"]["cpu"] = 70.0
+        policy.check(60.0)
+        policy.check(120.0)
+        assert killed == ["m1"]
+        assert len(policy.shutdowns) == 1
+
+    def test_multiple_servers_can_die(self, harness):
+        sensors, killed, policy = harness
+        sensors.temps["m1"]["cpu"] = 70.0
+        sensors.temps["m2"]["cpu"] = 71.0
+        policy.check(60.0)
+        assert sorted(killed) == ["m1", "m2"]
+
+    def test_off_servers_skipped(self):
+        sensors = Sensors()
+        sensors.temps["m1"]["cpu"] = 80.0
+        killed = []
+        policy = TraditionalPolicy(
+            readers={m: sensors.reader(m) for m in sensors.temps},
+            turn_off=killed.append,
+            is_on=lambda name: name != "m1",
+        )
+        policy.check(60.0)
+        assert killed == []
+
+    def test_tick_cadence(self, harness):
+        sensors, killed, policy = harness
+        sensors.temps["m1"]["cpu"] = 75.0
+        for i in range(59):
+            assert policy.tick(1.0, float(i)) == []
+        assert len(policy.tick(1.0, 60.0)) == 1

@@ -1,0 +1,148 @@
+"""Integration: the section 5 Freon experiments, full length.
+
+These are the actual Figure 11 / Figure 12 runs (2000 simulated seconds,
+four machines).  Each takes under a second of wall-clock time.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, emergency_script
+from repro.config import table1
+
+
+@pytest.fixture(scope="module")
+def freon_run():
+    sim = ClusterSimulation(policy="freon", fiddle_script=emergency_script())
+    return sim, sim.run(2000)
+
+
+@pytest.fixture(scope="module")
+def traditional_run():
+    sim = ClusterSimulation(
+        policy="traditional", fiddle_script=emergency_script()
+    )
+    return sim, sim.run(2000)
+
+
+@pytest.fixture(scope="module")
+def ec_run():
+    sim = ClusterSimulation(policy="freon-ec", fiddle_script=emergency_script())
+    return sim, sim.run(2000)
+
+
+class TestFigure11Freon:
+    def test_no_requests_dropped(self, freon_run):
+        _, result = freon_run
+        assert result.drop_fraction == 0.0
+
+    def test_hot_machines_adjusted(self, freon_run):
+        _, result = freon_run
+        adjusted = {machine for _, machine, _ in result.adjustments}
+        assert "machine1" in adjusted
+        assert "machine3" in adjusted
+        # The healthy machines are never restricted.
+        assert "machine2" not in adjusted
+        assert "machine4" not in adjusted
+
+    def test_temperatures_held_near_threshold(self, freon_run):
+        # "Freon kept the temperature of the CPUs affected by the thermal
+        # emergencies just under T_h" — small transient overshoot between
+        # one-minute observations is inherent to the design.
+        _, result = freon_run
+        for machine in ("machine1", "machine3"):
+            peak = result.max_temperature(machine)
+            assert peak < table1.T_HIGH_CPU + 1.0
+            assert peak < table1.T_RED_CPU  # never red-lines
+
+    def test_healthy_machines_absorb_extra_load(self, freon_run):
+        _, result = freon_run
+        assert max(result.series("machine2", "cpu_utilization")) > 0.70
+        assert result.max_temperature("machine2") < table1.T_HIGH_CPU
+
+    def test_no_server_turned_off(self, freon_run):
+        _, result = freon_run
+        assert result.redlined == []
+        assert all(r.active_servers == 4 for r in result.records)
+
+    def test_releases_after_load_subsides(self, freon_run):
+        _, result = freon_run
+        released = {machine for _, machine in result.releases}
+        assert released == {"machine1", "machine3"}
+
+    def test_crossing_order_m1_before_m3(self, freon_run):
+        # m1's emergency is hotter (38.6 vs 35.6), so it crosses first.
+        _, result = freon_run
+        first_m1 = min(t for t, m, _ in result.adjustments if m == "machine1")
+        first_m3 = min(t for t, m, _ in result.adjustments if m == "machine3")
+        assert first_m1 < first_m3
+
+
+class TestSection51Traditional:
+    def test_servers_shut_down(self, traditional_run):
+        _, result = traditional_run
+        killed = [s.machine for s in result.shutdowns]
+        assert killed == ["machine1", "machine3"]
+
+    def test_requests_dropped(self, traditional_run):
+        # The paper lost 14% of the trace; our substrate loses the same
+        # order (several percent) — and strictly more than Freon's zero.
+        _, result = traditional_run
+        assert result.drop_fraction > 0.03
+
+    def test_survivors_saturate(self, traditional_run):
+        _, result = traditional_run
+        assert max(result.series("machine2", "cpu_utilization")) > 0.95
+
+    def test_dead_machines_cool_down(self, traditional_run):
+        _, result = traditional_run
+        final = result.records[-1].servers["machine1"].cpu_temperature
+        assert final < 45.0
+
+
+class TestFigure12FreonEC:
+    def test_no_requests_dropped(self, ec_run):
+        _, result = ec_run
+        assert result.drop_fraction == 0.0
+
+    def test_shrinks_to_one_server_in_valley(self, ec_run):
+        # "During the periods of light load, Freon-EC is capable of
+        # reducing the active configuration to a single server, as it did
+        # at 60 seconds."
+        _, result = ec_run
+        active = result.active_series()
+        assert min(active[:300]) == 1
+
+    def test_grows_back_to_full_at_peak(self, ec_run):
+        _, result = ec_run
+        peak_window = [r.active_servers for r in result.records
+                       if 1100 <= r.time <= 1500]
+        assert max(peak_window) == 4
+
+    def test_off_machines_cool_substantially(self, ec_run):
+        # "During the time the machines were off, they cooled down
+        # substantially (by about 10 C ...)".
+        _, result = ec_run
+        cooled = 0
+        for machine in ("machine2", "machine3", "machine4"):
+            series = result.series(machine, "cpu_temperature")
+            if max(series[:120]) - min(series[:900]) > 8.0:
+                cooled += 1
+        assert cooled >= 1
+
+    def test_shrinks_again_after_peak(self, ec_run):
+        _, result = ec_run
+        assert result.records[-1].active_servers < 4
+
+    def test_emergencies_handled_by_base_policy_at_peak(self, ec_run):
+        # "At the peak load ... machines 1 and 3 again crossed T_h, being
+        # handled correctly by the base thermal policy."
+        _, result = ec_run
+        adjusted = {m for _, m, _ in result.adjustments}
+        assert adjusted & {"machine1", "machine3"}
+        for machine in ("machine1", "machine3"):
+            assert result.max_temperature(machine) < table1.T_RED_CPU
+
+    def test_reconfiguration_events_logged(self, ec_run):
+        _, result = ec_run
+        actions = {(e.action) for e in result.ec_events}
+        assert actions == {"on", "off"}

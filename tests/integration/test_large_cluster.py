@@ -1,0 +1,76 @@
+"""Integration: emulating a large cluster from one replicated trace.
+
+Section 2.2: "replicating these traces allows Mercury to emulate large
+cluster installations, even when the user's real system is much
+smaller."  One recorded utilization trace is replicated onto 16
+machines behind a single AC; the emulation must stay fast, keep the
+identical machines identical, and aggregate their heat at the cluster
+level.
+"""
+
+import time
+
+import pytest
+
+from repro.config import table1
+from repro.config.layouts import validation_cluster
+from repro.core.solver import Solver
+from repro.core.trace import TracePoint, UtilizationTrace, run_offline
+
+MACHINES = [f"node{i:02d}" for i in range(16)]
+
+
+@pytest.fixture(scope="module")
+def big_history():
+    cluster = validation_cluster(machine_names=MACHINES)
+    base = UtilizationTrace(
+        "recorded",
+        [
+            TracePoint(0.0, {table1.CPU: 0.2, table1.DISK_PLATTERS: 0.1}),
+            TracePoint(300.0, {table1.CPU: 0.9, table1.DISK_PLATTERS: 0.5}),
+            TracePoint(900.0, {table1.CPU: 0.4, table1.DISK_PLATTERS: 0.2}),
+        ],
+    )
+    traces = base.replicate(MACHINES)
+    start = time.perf_counter()
+    history = run_offline(
+        list(cluster.machines.values()), traces, cluster=cluster,
+        duration=1200.0,
+    )
+    elapsed = time.perf_counter() - start
+    return history, elapsed
+
+
+class TestLargeClusterEmulation:
+    def test_all_machines_emulated(self, big_history):
+        history, _ = big_history
+        assert set(history.machines()) == set(MACHINES)
+        assert len(history.times(MACHINES[0])) == 1201
+
+    def test_replicas_stay_identical(self, big_history):
+        history, _ = big_history
+        finals = [
+            history.last(machine).temperatures[table1.CPU]
+            for machine in MACHINES
+        ]
+        assert max(finals) - min(finals) < 1e-9
+
+    def test_load_pattern_visible_in_temperatures(self, big_history):
+        history, _ = big_history
+        series = history.series(MACHINES[0], table1.CPU)
+        times = history.times(MACHINES[0])
+        during_peak = series[times.index(800.0)]
+        at_start = series[times.index(60.0)]
+        assert during_peak > at_start + 10.0
+
+    def test_wall_clock_practical(self, big_history):
+        # 16 machines x 1200 emulated seconds should take seconds, not
+        # minutes — that is what makes large-installation studies viable.
+        _, elapsed = big_history
+        assert elapsed < 30.0
+
+    def test_machines_share_the_ac_supply(self, big_history):
+        history, _ = big_history
+        for machine in MACHINES[:4]:
+            inlet = history.last(machine).temperatures[table1.INLET]
+            assert inlet == pytest.approx(table1.INLET_TEMPERATURE, abs=1e-6)

@@ -1,0 +1,126 @@
+"""Integration: the full section 3.1 pipeline on shortened runs.
+
+Calibrate Mercury against microbenchmark recordings of the simulated
+physical machine, then validate on the mixed benchmark without touching
+the inputs — the trend-tracking accuracy claim, end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import table1
+from repro.config.layouts import validation_machine
+from repro.core.calibration import (
+    calibrate,
+    compare,
+    emulate,
+    measure_run,
+    smooth_series,
+)
+from repro.machine.server import SimulatedServer
+from repro.machine.workloads import (
+    MixedBenchmark,
+    cpu_microbenchmark,
+    disk_microbenchmark,
+)
+
+SEED = 11  # one physical machine: same seed for every run on it
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    layout = validation_machine()
+    cpu_server = SimulatedServer(
+        layout,
+        workload=cpu_microbenchmark(
+            levels=(0.3, 0.7, 1.0), busy_length=900.0, idle_length=500.0
+        ),
+        seed=SEED,
+    )
+    cpu_run = measure_run(cpu_server, duration=4200.0, interval=1.0)
+    disk_server = SimulatedServer(
+        layout,
+        workload=disk_microbenchmark(
+            levels=(0.4, 0.8, 1.0), busy_length=900.0, idle_length=500.0
+        ),
+        seed=SEED,
+    )
+    disk_run = measure_run(disk_server, duration=4200.0, interval=1.0)
+    fit = calibrate(layout, [cpu_run, disk_run], dt=5.0)
+    return layout, fit, cpu_run, disk_run
+
+
+class TestCalibrationPhase:
+    def test_fit_residual_small(self, pipeline):
+        _, fit, _, _ = pipeline
+        assert fit.rmse < 0.6
+
+    def test_fitted_constants_positive_and_sane(self, pipeline):
+        _, fit, _, _ = pipeline
+        for (a, b), k in fit.k_overrides.items():
+            assert 0.005 < k < 50.0, (a, b)
+
+    def test_calibration_runs_track_measurements(self, pipeline):
+        layout, fit, cpu_run, _ = pipeline
+        emulated = emulate(layout, cpu_run, k_overrides=fit.k_overrides, dt=1.0)
+        report = compare(
+            {n: smooth_series(s) for n, s in cpu_run.temperatures.items()},
+            emulated,
+            warmup=120,
+        )
+        rmse, max_err = report[table1.CPU_AIR]
+        assert max_err < 1.0
+
+
+class TestValidationPhase:
+    """Figures 7-8: a different benchmark, no input adjustments."""
+
+    @pytest.fixture(scope="class")
+    def validation(self, pipeline):
+        layout, fit, _, _ = pipeline
+        server = SimulatedServer(
+            layout, workload=MixedBenchmark(duration=2500.0), seed=SEED
+        )
+        run = measure_run(server, duration=2500.0, interval=1.0)
+        emulated = emulate(layout, run, k_overrides=fit.k_overrides, dt=1.0)
+        return run, emulated
+
+    def test_cpu_air_within_one_degree(self, pipeline, validation):
+        run, emulated = validation
+        smoothed = smooth_series(run.temperatures[table1.CPU_AIR])
+        err = np.abs(
+            np.asarray(smoothed[120:]) - np.asarray(emulated[table1.CPU_AIR][120:])
+        )
+        assert err.max() < 1.0
+
+    def test_disk_within_one_degree(self, pipeline, validation):
+        run, emulated = validation
+        smoothed = smooth_series(run.temperatures[table1.DISK_PLATTERS])
+        err = np.abs(
+            np.asarray(smoothed[120:])
+            - np.asarray(emulated[table1.DISK_PLATTERS][120:])
+        )
+        assert err.max() < 1.0
+
+    def test_trend_correlation(self, pipeline, validation):
+        # Trend-accuracy: the emulated and measured series must be
+        # strongly correlated, not just close on average.
+        run, emulated = validation
+        for node in (table1.CPU_AIR, table1.DISK_PLATTERS):
+            a = np.asarray(smooth_series(run.temperatures[node])[120:])
+            b = np.asarray(emulated[node][120:])
+            assert np.corrcoef(a, b)[0, 1] > 0.98
+
+    def test_calibration_beats_nominal_inputs(self, pipeline, validation):
+        layout, fit, _, _ = pipeline
+        run, emulated = validation
+        nominal = emulate(layout, run, dt=1.0)
+        for node in (table1.CPU_AIR,):
+            smoothed = np.asarray(smooth_series(run.temperatures[node])[120:])
+            fitted_err = np.abs(
+                smoothed - np.asarray(emulated[node][120:])
+            ).max()
+            nominal_err = np.abs(
+                smoothed - np.asarray(nominal[node][120:])
+            ).max()
+            assert fitted_err <= nominal_err + 0.05

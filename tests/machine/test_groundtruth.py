@@ -1,0 +1,135 @@
+"""Tests for the fine-grained ground-truth thermal model."""
+
+import pytest
+
+from repro.config import table1
+from repro.machine.groundtruth import (
+    DEFAULT_TRUTH,
+    GroundTruthServer,
+    PhysicalTruth,
+)
+
+
+@pytest.fixture
+def ground(layout):
+    return GroundTruthServer(layout, internal_dt=0.1)
+
+
+class TestBasics:
+    def test_starts_at_inlet_temperature(self, ground):
+        for node in ground.temperatures:
+            assert ground.temperature(node) == pytest.approx(21.6)
+
+    def test_heats_under_load(self, ground):
+        ground.set_utilization(table1.CPU, 1.0)
+        ground.advance(3000.0)
+        assert ground.temperature(table1.CPU) > 45.0
+
+    def test_cools_when_idle_again(self, ground):
+        ground.set_utilization(table1.CPU, 1.0)
+        ground.advance(3000.0)
+        hot = ground.temperature(table1.CPU)
+        ground.set_utilization(table1.CPU, 0.0)
+        ground.advance(3000.0)
+        assert ground.temperature(table1.CPU) < hot - 10.0
+
+    def test_inlet_change_propagates(self, ground):
+        ground.set_inlet_temperature(38.6)
+        ground.advance(3000.0)
+        assert ground.temperature(table1.CPU) > 40.0
+        assert ground.temperature(table1.EXHAUST) > 35.0
+
+    def test_rejects_bad_utilization(self, ground):
+        with pytest.raises(ValueError):
+            ground.set_utilization(table1.CPU, 1.5)
+        with pytest.raises(KeyError):
+            ground.set_utilization("ghost", 0.5)
+
+    def test_rejects_bad_fan(self, ground):
+        with pytest.raises(ValueError):
+            ground.set_fan_cfm(0.0)
+
+    def test_rejects_bad_internal_dt(self, layout):
+        with pytest.raises(ValueError):
+            GroundTruthServer(layout, internal_dt=0.0)
+
+    def test_time_advances(self, ground):
+        ground.advance(12.5)
+        assert ground.time == pytest.approx(12.5)
+
+
+class TestPhysicalTruth:
+    def test_true_k_applies_factor(self):
+        truth = PhysicalTruth(k_factors={("a", "b"): 1.2})
+        assert truth.true_k(("a", "b"), 2.0) == pytest.approx(2.4)
+        assert truth.true_k(("c", "d"), 2.0) == pytest.approx(2.0)
+
+    def test_default_truth_perturbs_every_table1_edge(self, layout):
+        keys = {edge.key for edge in layout.heat_edges}
+        assert set(DEFAULT_TRUTH.k_factors) == keys
+        assert all(f != 1.0 for f in DEFAULT_TRUTH.k_factors.values())
+
+
+class TestMessiness:
+    """The ground truth must be *different* from Mercury, or validating
+    Mercury against it would be circular."""
+
+    def test_nonlinear_power_curve(self, layout):
+        # At half utilization the true power is below the linear midpoint,
+        # so the CPU runs measurably cooler than a linear model predicts.
+        ideal = PhysicalTruth(k_factors={}, alpha=0.0, power_linearity=1.0,
+                              fan_cfm_error=1.0)
+        shaped = PhysicalTruth(k_factors={}, alpha=0.0, power_linearity=0.8,
+                               fan_cfm_error=1.0)
+        temps = []
+        for truth in (ideal, shaped):
+            ground = GroundTruthServer(layout, truth=truth, internal_dt=0.5)
+            ground.set_utilization(table1.CPU, 0.5)
+            ground.advance(6000.0)
+            temps.append(ground.temperature(table1.CPU))
+        assert temps[1] < temps[0] - 0.5
+
+    def test_temperature_dependent_k(self, layout):
+        # With positive alpha, hotter components shed heat more easily:
+        # the full-load steady state is cooler than with constant k.
+        constant = PhysicalTruth(k_factors={}, alpha=0.0, power_linearity=1.0,
+                                 fan_cfm_error=1.0)
+        variable = PhysicalTruth(k_factors={}, alpha=0.01, power_linearity=1.0,
+                                 fan_cfm_error=1.0)
+        temps = []
+        for truth in (constant, variable):
+            ground = GroundTruthServer(layout, truth=truth, internal_dt=0.5)
+            ground.set_utilization(table1.CPU, 1.0)
+            ground.advance(6000.0)
+            temps.append(ground.temperature(table1.CPU))
+        assert temps[1] < temps[0] - 1.0
+
+    def test_fan_error_shifts_temperatures(self, layout):
+        nominal = PhysicalTruth(k_factors={}, alpha=0.0, power_linearity=1.0,
+                                fan_cfm_error=1.0)
+        weak_fan = PhysicalTruth(k_factors={}, alpha=0.0, power_linearity=1.0,
+                                 fan_cfm_error=0.7)
+        temps = []
+        for truth in (nominal, weak_fan):
+            ground = GroundTruthServer(layout, truth=truth, internal_dt=0.5)
+            ground.set_utilization(table1.CPU, 1.0)
+            ground.advance(6000.0)
+            temps.append(ground.temperature(table1.EXHAUST))
+        assert temps[1] > temps[0] + 0.5
+
+    def test_default_truth_diverges_from_mercury(self, layout):
+        # Nominal Mercury vs the default physical truth: a visible but
+        # bounded gap (this is exactly what calibration closes).
+        from repro.core.solver import Solver
+
+        ground = GroundTruthServer(layout, internal_dt=0.5)
+        ground.set_utilization(table1.CPU, 1.0)
+        ground.advance(6000.0)
+        solver = Solver([layout], record=False)
+        solver.set_utilization("machine1", table1.CPU, 1.0)
+        solver.run(6000.0)
+        gap = abs(
+            ground.temperature(table1.CPU)
+            - solver.temperature("machine1", table1.CPU)
+        )
+        assert 0.5 < gap < 15.0

@@ -1,0 +1,143 @@
+"""Tests for the P4-style counters and event-driven energy accounting."""
+
+import pytest
+
+from repro.core.power import LinearPowerModel
+from repro.machine.perfcounters import (
+    CounterSnapshot,
+    CounterUtilizationReporter,
+    EnergyEstimator,
+    SimulatedPerformanceCounters,
+    calibrated_estimator,
+)
+
+
+class TestSimulatedCounters:
+    def test_counters_monotone(self):
+        counters = SimulatedPerformanceCounters()
+        counters.advance(0.5, 1.0)
+        first = counters.read()
+        counters.advance(0.1, 1.0)
+        second = counters.read()
+        assert second.cycles >= first.cycles
+        assert second.uops >= first.uops
+        assert second.time > first.time
+
+    def test_idle_produces_no_events(self):
+        counters = SimulatedPerformanceCounters()
+        counters.advance(0.0, 10.0)
+        snap = counters.read()
+        assert snap.cycles == 0.0
+        assert snap.uops == 0.0
+        assert snap.time == 10.0
+
+    def test_cycles_scale_with_utilization(self):
+        counters = SimulatedPerformanceCounters(frequency_hz=1e9)
+        counters.advance(0.5, 2.0)
+        assert counters.read().cycles == pytest.approx(1e9)
+
+    def test_memory_events_superlinear(self):
+        low = SimulatedPerformanceCounters(seed=1)
+        high = SimulatedPerformanceCounters(seed=1)
+        low.advance(0.5, 10.0)
+        high.advance(1.0, 10.0)
+        # Doubling utilization quadruples memory refs (quadratic).
+        assert high.read().memory_refs == pytest.approx(
+            4.0 * low.read().memory_refs, rel=0.01
+        )
+
+    def test_rejects_bad_args(self):
+        counters = SimulatedPerformanceCounters()
+        with pytest.raises(ValueError):
+            counters.advance(1.5, 1.0)
+        with pytest.raises(ValueError):
+            counters.advance(0.5, -1.0)
+        with pytest.raises(ValueError):
+            SimulatedPerformanceCounters(frequency_hz=0.0)
+
+    def test_delta(self):
+        counters = SimulatedPerformanceCounters()
+        counters.advance(1.0, 1.0)
+        first = counters.read()
+        counters.advance(1.0, 1.0)
+        delta = counters.read().delta(first)
+        assert delta.time == pytest.approx(1.0)
+        assert delta.cycles == pytest.approx(first.cycles, rel=0.05)
+
+
+class TestEnergyEstimator:
+    def test_idle_energy_is_base_power(self):
+        estimator = EnergyEstimator(idle_power=7.0)
+        delta = CounterSnapshot(time=10.0, cycles=0, uops=0, l2_misses=0,
+                                memory_refs=0)
+        assert estimator.energy(delta) == pytest.approx(70.0)
+
+    def test_events_add_energy(self):
+        estimator = EnergyEstimator(idle_power=0.0, uop_nj=10.0)
+        delta = CounterSnapshot(time=1.0, cycles=0, uops=1e9, l2_misses=0,
+                                memory_refs=0)
+        assert estimator.energy(delta) == pytest.approx(10.0)
+
+    def test_average_power(self):
+        estimator = EnergyEstimator(idle_power=5.0)
+        delta = CounterSnapshot(time=2.0, cycles=0, uops=0, l2_misses=0,
+                                memory_refs=0)
+        assert estimator.average_power(delta) == pytest.approx(5.0)
+
+    def test_zero_interval_returns_idle(self):
+        estimator = EnergyEstimator(idle_power=5.0)
+        delta = CounterSnapshot(time=0.0, cycles=0, uops=0, l2_misses=0,
+                                memory_refs=0)
+        assert estimator.average_power(delta) == 5.0
+
+    def test_negative_interval_rejected(self):
+        estimator = EnergyEstimator(idle_power=5.0)
+        delta = CounterSnapshot(time=-1.0, cycles=0, uops=0, l2_misses=0,
+                                memory_refs=0)
+        with pytest.raises(ValueError):
+            estimator.energy(delta)
+
+
+class TestCalibratedPipeline:
+    """The full section 2.3 path: counters -> energy -> power -> util."""
+
+    def make_reporter(self, seed=11):
+        model = LinearPowerModel(7.0, 31.0)
+        counters = SimulatedPerformanceCounters(seed=seed)
+        estimator = calibrated_estimator(model, counters, power_linearity=0.92)
+        return counters, CounterUtilizationReporter(counters, estimator, model)
+
+    def test_estimated_power_tracks_true_curve(self):
+        model = LinearPowerModel(7.0, 31.0)
+        for u in (0.0, 0.25, 0.5, 0.75, 1.0):
+            counters = SimulatedPerformanceCounters(seed=3)
+            estimator = calibrated_estimator(model, counters, 0.92)
+            counters.advance(u, 60.0)
+            power = estimator.average_power(counters.read().delta(
+                CounterSnapshot(0, 0, 0, 0, 0)
+            ))
+            true = 7.0 + (0.92 * u + 0.08 * u * u) * 24.0
+            assert power == pytest.approx(true, abs=0.8)
+
+    def test_low_level_utilization_below_busy_fraction_midrange(self):
+        counters, reporter = self.make_reporter()
+        counters.advance(0.5, 60.0)
+        low_level = reporter.sample()
+        # Sub-linear power means the energy-derived utilization is below
+        # the 50% busy fraction — the whole point of the counter mode.
+        assert low_level < 0.5
+        assert low_level == pytest.approx(0.47, abs=0.03)
+
+    def test_extremes_map_to_extremes(self):
+        counters, reporter = self.make_reporter()
+        counters.advance(0.0, 10.0)
+        assert reporter.sample() == pytest.approx(0.0, abs=0.02)
+        counters.advance(1.0, 10.0)
+        assert reporter.sample() == pytest.approx(1.0, abs=0.05)
+
+    def test_reporter_is_interval_based(self):
+        counters, reporter = self.make_reporter()
+        counters.advance(1.0, 10.0)
+        reporter.sample()
+        counters.advance(0.0, 10.0)
+        assert reporter.sample() == pytest.approx(0.0, abs=0.02)

@@ -1,0 +1,89 @@
+"""Tests for the simulated /proc accounting and its reader."""
+
+import pytest
+
+from repro.machine.procfs import (
+    JIFFIES_PER_SECOND,
+    ProcReader,
+    SimulatedProcFS,
+)
+
+
+@pytest.fixture
+def procfs():
+    return SimulatedProcFS(["cpu", "disk"])
+
+
+class TestSimulatedProcFS:
+    def test_counters_accumulate(self, procfs):
+        procfs.accumulate({"cpu": 0.5}, 2.0)
+        snap = procfs.snapshot()
+        assert snap.busy_jiffies["cpu"] == pytest.approx(
+            0.5 * 2.0 * JIFFIES_PER_SECOND
+        )
+        assert snap.busy_jiffies["disk"] == 0.0
+        assert snap.time == 2.0
+
+    def test_counters_monotone(self, procfs):
+        procfs.accumulate({"cpu": 1.0}, 1.0)
+        first = procfs.snapshot()
+        procfs.accumulate({"cpu": 0.0}, 1.0)
+        second = procfs.snapshot()
+        assert second.busy_jiffies["cpu"] >= first.busy_jiffies["cpu"]
+        assert second.time > first.time
+
+    def test_unknown_components_ignored(self, procfs):
+        procfs.accumulate({"gpu": 1.0}, 1.0)
+        assert "gpu" not in procfs.snapshot().busy_jiffies
+
+    def test_rejects_negative_dt(self, procfs):
+        with pytest.raises(ValueError):
+            procfs.accumulate({}, -1.0)
+
+    def test_rejects_bad_utilization(self, procfs):
+        with pytest.raises(ValueError):
+            procfs.accumulate({"cpu": 1.5}, 1.0)
+
+    def test_components_listing(self, procfs):
+        assert procfs.components == ["cpu", "disk"]
+
+
+class TestProcReader:
+    def test_interval_utilization(self, procfs):
+        reader = ProcReader(procfs)
+        procfs.accumulate({"cpu": 0.7, "disk": 0.2}, 1.0)
+        sample = reader.sample()
+        assert sample["cpu"] == pytest.approx(0.7)
+        assert sample["disk"] == pytest.approx(0.2)
+
+    def test_deltas_not_cumulative(self, procfs):
+        reader = ProcReader(procfs)
+        procfs.accumulate({"cpu": 1.0}, 1.0)
+        reader.sample()
+        procfs.accumulate({"cpu": 0.25}, 1.0)
+        assert reader.sample()["cpu"] == pytest.approx(0.25)
+
+    def test_mixed_interval_averages(self, procfs):
+        reader = ProcReader(procfs)
+        procfs.accumulate({"cpu": 1.0}, 1.0)
+        procfs.accumulate({"cpu": 0.0}, 3.0)
+        assert reader.sample()["cpu"] == pytest.approx(0.25)
+
+    def test_zero_interval_reports_zero(self, procfs):
+        reader = ProcReader(procfs)
+        assert reader.sample() == {"cpu": 0.0, "disk": 0.0}
+
+    def test_result_clamped(self, procfs):
+        reader = ProcReader(procfs)
+        procfs.accumulate({"cpu": 1.0}, 1.0)
+        sample = reader.sample()
+        assert 0.0 <= sample["cpu"] <= 1.0
+
+    def test_two_readers_independent(self, procfs):
+        slow = ProcReader(procfs)
+        fast = ProcReader(procfs)
+        procfs.accumulate({"cpu": 0.5}, 1.0)
+        assert fast.sample()["cpu"] == pytest.approx(0.5)
+        procfs.accumulate({"cpu": 1.0}, 1.0)
+        # The slow reader sees the average over both seconds.
+        assert slow.sample()["cpu"] == pytest.approx(0.75)

@@ -1,0 +1,129 @@
+"""Tests for the assembled SimulatedServer."""
+
+import pytest
+
+from repro.config import table1
+from repro.machine.server import SimulatedServer
+from repro.machine.workloads import ConstantWorkload, cpu_microbenchmark
+
+
+class TestStepping:
+    def test_workload_drives_utilization(self, layout):
+        server = SimulatedServer(
+            layout, workload=ConstantWorkload({table1.CPU: 0.8})
+        )
+        assert server.current_utilizations()[table1.CPU] == 0.8
+        assert server.current_utilizations()[table1.DISK_PLATTERS] == 0.0
+
+    def test_manual_mode_without_workload(self, layout):
+        server = SimulatedServer(layout)
+        server.set_utilization(table1.CPU, 0.3)
+        assert server.current_utilizations()[table1.CPU] == 0.3
+
+    def test_manual_set_rejects_unknown(self, layout):
+        server = SimulatedServer(layout)
+        with pytest.raises(KeyError):
+            server.set_utilization("ghost", 0.5)
+        with pytest.raises(ValueError):
+            server.set_utilization(table1.CPU, 2.0)
+
+    def test_step_advances_time_and_heat(self, layout):
+        server = SimulatedServer(
+            layout, workload=ConstantWorkload({table1.CPU: 1.0})
+        )
+        server.run(2000.0)
+        assert server.time == pytest.approx(2000.0)
+        assert server.true_temperature(table1.CPU) > 35.0
+
+    def test_step_rejects_nonpositive_dt(self, layout):
+        server = SimulatedServer(layout)
+        with pytest.raises(ValueError):
+            server.step(0.0)
+
+    def test_procfs_tracks_workload(self, layout):
+        from repro.machine.procfs import ProcReader
+
+        server = SimulatedServer(
+            layout, workload=ConstantWorkload({table1.CPU: 0.6})
+        )
+        reader = ProcReader(server.procfs)
+        server.run(10.0)
+        assert reader.sample()[table1.CPU] == pytest.approx(0.6, abs=0.01)
+
+    def test_workload_schedule_respected(self, layout):
+        server = SimulatedServer(
+            layout,
+            workload=cpu_microbenchmark(
+                levels=(1.0,), busy_length=50.0, idle_length=50.0
+            ),
+        )
+        server.run(25.0)
+        busy = server.current_utilizations()[table1.CPU]
+        server.run(50.0)
+        idle = server.current_utilizations()[table1.CPU]
+        assert busy == 1.0
+        assert idle == 0.0
+
+
+class TestSensors:
+    def test_default_sensors_present(self, layout):
+        server = SimulatedServer(layout)
+        assert set(server.sensors) == {"cpu_air", "disk"}
+
+    def test_sensor_reads_near_truth(self, layout):
+        server = SimulatedServer(layout, seed=2)
+        server.run(100.0)
+        reading = server.read_sensor("disk")
+        truth = server.true_temperature(table1.DISK_PLATTERS)
+        # Within bias + noise + quantization of the in-disk sensor.
+        assert reading == pytest.approx(truth, abs=3.5)
+
+    def test_sensor_noise_varies_readings(self, layout):
+        server = SimulatedServer(layout, seed=2)
+        readings = {server.read_sensor("cpu_air") for _ in range(50)}
+        assert len(readings) > 1
+
+    def test_same_seed_same_bias(self, layout):
+        a = SimulatedServer(layout, seed=5)
+        b = SimulatedServer(layout, seed=5)
+        assert a.sensors["disk"].bias == b.sensors["disk"].bias
+
+    def test_different_seed_different_bias(self, layout):
+        a = SimulatedServer(layout, seed=5)
+        b = SimulatedServer(layout, seed=6)
+        assert a.sensors["disk"].bias != b.sensors["disk"].bias
+
+
+class TestEnvironmentControls:
+    def test_inlet_temperature(self, layout):
+        server = SimulatedServer(layout)
+        server.set_inlet_temperature(38.6)
+        server.run(2000.0)
+        assert server.true_temperature(table1.INLET) == pytest.approx(38.6)
+
+    def test_fan_change(self, layout):
+        hot = SimulatedServer(
+            layout, workload=ConstantWorkload({table1.CPU: 1.0})
+        )
+        hot.set_fan_cfm(10.0)  # weak fan
+        hot.run(4000.0)
+        normal = SimulatedServer(
+            layout, workload=ConstantWorkload({table1.CPU: 1.0})
+        )
+        normal.run(4000.0)
+        assert hot.true_temperature(table1.CPU) > normal.true_temperature(
+            table1.CPU
+        ) + 2.0
+
+    def test_counters_optional(self, layout):
+        assert SimulatedServer(layout).counters is None
+        assert SimulatedServer(layout, with_counters=True).counters is not None
+
+    def test_counters_accumulate_with_cpu(self, layout):
+        server = SimulatedServer(
+            layout,
+            workload=ConstantWorkload({table1.CPU: 1.0}),
+            with_counters=True,
+        )
+        server.run(5.0)
+        assert server.counters.read().cycles > 0

@@ -1,0 +1,125 @@
+"""Tests for the benchmark workload generators."""
+
+import pytest
+
+from repro.config import table1
+from repro.machine.workloads import (
+    ConstantWorkload,
+    MixedBenchmark,
+    Phase,
+    StepWorkload,
+    cpu_microbenchmark,
+    disk_microbenchmark,
+)
+
+
+class TestStepWorkload:
+    def test_phases_in_order(self):
+        workload = StepWorkload(
+            [Phase(10.0, {"a": 0.1}), Phase(5.0, {"a": 0.9})]
+        )
+        assert workload.utilizations(0.0) == {"a": 0.1}
+        assert workload.utilizations(9.99) == {"a": 0.1}
+        assert workload.utilizations(10.0) == {"a": 0.9}
+        assert workload.duration == 15.0
+
+    def test_idle_outside_range(self):
+        workload = StepWorkload([Phase(10.0, {"a": 0.5})])
+        assert workload.utilizations(-1.0) == {}
+        assert workload.utilizations(10.0) == {}
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            StepWorkload([])
+
+    def test_rejects_nonpositive_phase(self):
+        with pytest.raises(ValueError):
+            StepWorkload([Phase(0.0, {})])
+
+
+class TestMicrobenchmarks:
+    def test_cpu_microbenchmark_alternates_busy_idle(self):
+        workload = cpu_microbenchmark(
+            levels=(0.5, 1.0), busy_length=100.0, idle_length=50.0
+        )
+        assert workload.utilizations(10.0)[table1.CPU] == 0.5
+        assert workload.utilizations(120.0)[table1.CPU] == 0.0
+        assert workload.utilizations(160.0)[table1.CPU] == 1.0
+        assert workload.duration == 300.0
+
+    def test_cpu_microbenchmark_keeps_disk_idle(self):
+        workload = cpu_microbenchmark()
+        assert workload.utilizations(100.0)[table1.DISK_PLATTERS] == 0.0
+
+    def test_disk_microbenchmark_keeps_cpu_idle(self):
+        workload = disk_microbenchmark()
+        sample = workload.utilizations(100.0)
+        assert sample[table1.CPU] == 0.0
+        assert sample[table1.DISK_PLATTERS] > 0.0
+
+    def test_default_duration_is_paper_scale(self):
+        # The paper's calibration runs span ~14,000 seconds.
+        assert cpu_microbenchmark().duration == pytest.approx(13800.0)
+
+
+class TestMixedBenchmark:
+    def test_deterministic_under_seed(self):
+        a = MixedBenchmark(duration=1000.0, seed=5)
+        b = MixedBenchmark(duration=1000.0, seed=5)
+        for t in range(0, 1000, 37):
+            assert a.utilizations(float(t)) == b.utilizations(float(t))
+
+    def test_different_seeds_differ(self):
+        a = MixedBenchmark(duration=1000.0, seed=1)
+        b = MixedBenchmark(duration=1000.0, seed=2)
+        diffs = sum(
+            a.utilizations(float(t)) != b.utilizations(float(t))
+            for t in range(0, 1000, 37)
+        )
+        assert diffs > 5
+
+    def test_exercises_both_components(self):
+        workload = MixedBenchmark(duration=3000.0, seed=7)
+        cpu_values = set()
+        disk_values = set()
+        for t in range(0, 3000, 25):
+            sample = workload.utilizations(float(t))
+            cpu_values.add(round(sample[table1.CPU], 3))
+            disk_values.add(round(sample[table1.DISK_PLATTERS], 3))
+        # "widely different utilizations over time"
+        assert len(cpu_values) > 10
+        assert len(disk_values) > 10
+        assert max(cpu_values) > 0.9
+        assert min(cpu_values) < 0.1
+
+    def test_changes_quickly(self):
+        workload = MixedBenchmark(duration=2000.0, seed=7)
+        changes = 0
+        last = None
+        for t in range(0, 2000, 10):
+            sample = workload.utilizations(float(t))
+            if last is not None and sample != last:
+                changes += 1
+            last = sample
+        # Phases are 30-90 s, so 2000 s should see ~20-60 changes.
+        assert changes >= 15
+
+    def test_idle_after_duration(self):
+        workload = MixedBenchmark(duration=100.0, seed=1)
+        assert workload.utilizations(100.0) == {}
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            MixedBenchmark(duration=0.0)
+
+
+class TestConstantWorkload:
+    def test_constant_forever(self):
+        workload = ConstantWorkload({"x": 0.4})
+        assert workload.utilizations(0.0) == {"x": 0.4}
+        assert workload.utilizations(1e9) == {"x": 0.4}
+
+    def test_finite_duration(self):
+        workload = ConstantWorkload({"x": 0.4}, duration=10.0)
+        assert workload.utilizations(9.9) == {"x": 0.4}
+        assert workload.utilizations(10.0) == {}

@@ -1,0 +1,119 @@
+"""Tests for the mdot tokenizer."""
+
+import pytest
+
+from repro.errors import MdotSyntaxError
+from repro.mdot import lexer
+
+
+def kinds(source):
+    return [t.kind for t in lexer.tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in lexer.tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_source_is_just_eof(self):
+        tokens = lexer.tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == lexer.EOF
+
+    def test_punctuation(self):
+        assert values("{ } [ ] = , ;") == ["{", "}", "[", "]", "=", ",", ";"]
+
+    def test_edge_operators(self):
+        assert values("-- ->") == ["--", "->"]
+
+    def test_identifier(self):
+        tokens = lexer.tokenize("machine fan_cfm")
+        assert tokens[0].kind == lexer.IDENT
+        assert tokens[0].value == "machine"
+        assert tokens[1].value == "fan_cfm"
+
+    def test_booleans(self):
+        tokens = lexer.tokenize("true false")
+        assert tokens[0].kind == lexer.BOOL and tokens[0].value is True
+        assert tokens[1].kind == lexer.BOOL and tokens[1].value is False
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0.0),
+            ("42", 42.0),
+            ("21.6", 21.6),
+            ("-5", -5.0),
+            ("+3.5", 3.5),
+            (".5", 0.5),
+            ("1e3", 1000.0),
+            ("2.5e-2", 0.025),
+        ],
+    )
+    def test_number_forms(self, text, expected):
+        tokens = lexer.tokenize(text)
+        assert tokens[0].kind == lexer.NUMBER
+        assert tokens[0].value == pytest.approx(expected)
+
+    def test_number_followed_by_punct(self):
+        assert values("k=0.75;") == ["k", "=", 0.75, ";"]
+
+    def test_negative_fraction_in_attr(self):
+        assert values("x=-0.5") == ["x", "=", -0.5]
+
+
+class TestStrings:
+    def test_simple(self):
+        tokens = lexer.tokenize('"CPU Air"')
+        assert tokens[0].kind == lexer.STRING
+        assert tokens[0].value == "CPU Air"
+
+    def test_escapes(self):
+        assert lexer.tokenize(r'"a\"b\\c\nd\te"')[0].value == 'a"b\\c\nd\te'
+
+    def test_unterminated(self):
+        with pytest.raises(MdotSyntaxError):
+            lexer.tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(MdotSyntaxError):
+            lexer.tokenize('"a\nb"')
+
+    def test_bad_escape(self):
+        with pytest.raises(MdotSyntaxError):
+            lexer.tokenize(r'"a\qb"')
+
+
+class TestCommentsAndWhitespace:
+    def test_hash_comment(self):
+        assert values("# a comment\nmachine") == ["machine"]
+
+    def test_slash_comment(self):
+        assert values("// comment\nair") == ["air"]
+
+    def test_comment_to_end_of_line_only(self):
+        assert values("a # comment\nb") == ["a", "b"]
+
+    def test_whitespace_ignored(self):
+        assert values("  a \t b \r\n c ") == ["a", "b", "c"]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = lexer.tokenize('machine\n  "x"')
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(MdotSyntaxError) as info:
+            lexer.tokenize("machine\n  @")
+        assert info.value.line == 2
+        assert info.value.column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(MdotSyntaxError):
+            lexer.tokenize("%")

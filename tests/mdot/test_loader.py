@@ -1,0 +1,159 @@
+"""Tests for mdot semantic loading into layout objects."""
+
+import pytest
+
+from repro.core.power import ConstantPowerModel, LinearPowerModel
+from repro.errors import AirFlowConservationError, MdotSemanticError
+from repro.mdot.loader import load_file, loads
+
+GOOD = '''
+machine "m1" {
+  inlet = "In";
+  exhaust = "Out";
+  inlet_temperature = 21.6;
+  fan_cfm = 38.6;
+  component "CPU" [mass=0.151, specific_heat=896, p_base=7, p_max=31,
+                   monitored=true];
+  component "PSU" [mass=1.6, specific_heat=896, power=40];
+  air "In";
+  air "Out";
+  air "CPU Air";
+  "CPU" -- "CPU Air" [k=0.75];
+  "In" -> "CPU Air" [fraction=1.0];
+  "CPU Air" -> "Out" [fraction=1.0];
+}
+'''
+
+CLUSTER = '''
+cluster {
+  source "AC" [temperature=21.6];
+  sink "Cluster Exhaust";
+  "AC" -> "m1" [fraction=1.0];
+  "m1" -> "Cluster Exhaust" [fraction=1.0];
+}
+'''
+
+
+class TestLoadMachine:
+    def test_loads_layout(self):
+        machines, cluster = loads(GOOD)
+        assert cluster is None
+        layout = machines[0]
+        assert layout.name == "m1"
+        assert layout.inlet == "In"
+        assert layout.fan_cfm == pytest.approx(38.6)
+        assert layout.components["CPU"].monitored is True
+
+    def test_power_models(self):
+        layout = loads(GOOD)[0][0]
+        assert isinstance(layout.components["CPU"].power_model, LinearPowerModel)
+        assert isinstance(layout.components["PSU"].power_model, ConstantPowerModel)
+        assert layout.components["PSU"].power_model.power(0.5) == 40.0
+
+    def test_equal_p_base_p_max_becomes_constant(self):
+        source = GOOD.replace("p_base=7, p_max=31", "p_base=5, p_max=5")
+        layout = loads(source)[0][0]
+        assert isinstance(layout.components["CPU"].power_model, ConstantPowerModel)
+
+    def test_missing_property(self):
+        with pytest.raises(MdotSemanticError):
+            loads(GOOD.replace('fan_cfm = 38.6;', ''))
+
+    def test_unknown_property(self):
+        with pytest.raises(MdotSemanticError):
+            loads(GOOD.replace('fan_cfm = 38.6;', 'fan_cfm = 38.6;\n  wings = 2;'))
+
+    def test_wrong_property_type(self):
+        with pytest.raises(MdotSemanticError):
+            loads(GOOD.replace('inlet = "In";', 'inlet = 5;'))
+
+    def test_component_missing_mass(self):
+        bad = GOOD.replace("mass=0.151, ", "")
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_component_unknown_attr(self):
+        bad = GOOD.replace("monitored=true", "monitored=true, rpm=7200")
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_component_power_conflict(self):
+        bad = GOOD.replace("p_base=7, p_max=31", "p_base=7, p_max=31, power=10")
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_component_power_missing(self):
+        bad = GOOD.replace("p_base=7, p_max=31,", "")
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_heat_edge_needs_k(self):
+        bad = GOOD.replace('[k=0.75]', '')
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_air_edge_needs_fraction(self):
+        bad = GOOD.replace('"In" -> "CPU Air" [fraction=1.0];', '"In" -> "CPU Air";')
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_boolean_not_a_number(self):
+        bad = GOOD.replace("mass=0.151", "mass=true")
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_structural_validation_delegated(self):
+        # Fractions summing to 0.5 pass parsing but fail layout validation.
+        bad = GOOD.replace('"In" -> "CPU Air" [fraction=1.0];',
+                           '"In" -> "CPU Air" [fraction=0.5];')
+        with pytest.raises(AirFlowConservationError):
+            loads(bad)
+
+
+class TestLoadCluster:
+    def test_loads_cluster(self):
+        machines, cluster = loads(GOOD + CLUSTER)
+        assert cluster is not None
+        assert cluster.sources["AC"].supply_temperature == pytest.approx(21.6)
+        assert "m1" in cluster.machines
+
+    def test_source_flow_attr(self):
+        source = CLUSTER.replace(
+            '[temperature=21.6]', '[temperature=21.6, flow=0.5]'
+        )
+        _, cluster = loads(GOOD + source)
+        assert cluster.sources["AC"].flow_m3s == pytest.approx(0.5)
+
+    def test_source_missing_temperature(self):
+        bad = CLUSTER.replace('[temperature=21.6]', '')
+        with pytest.raises(MdotSemanticError):
+            loads(GOOD + bad)
+
+    def test_cluster_without_machines(self):
+        with pytest.raises(MdotSemanticError):
+            loads(CLUSTER)
+
+    def test_cluster_without_sink(self):
+        bad = GOOD + '''
+cluster {
+  source "AC" [temperature=21.6];
+  "AC" -> "m1" [fraction=1.0];
+  "m1" -> "AC" [fraction=1.0];
+}
+'''
+        with pytest.raises(MdotSemanticError):
+            loads(bad)
+
+    def test_cluster_edge_needs_fraction(self):
+        bad = CLUSTER.replace('"AC" -> "m1" [fraction=1.0];', '"AC" -> "m1";')
+        with pytest.raises(MdotSemanticError):
+            loads(GOOD + bad)
+
+
+class TestLoadFile:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "system.mdot"
+        path.write_text(GOOD + CLUSTER)
+        machines, cluster = load_file(path)
+        assert machines[0].name == "m1"
+        assert cluster is not None

@@ -1,0 +1,130 @@
+"""Tests for the mdot recursive-descent parser."""
+
+import pytest
+
+from repro.errors import MdotSyntaxError
+from repro.mdot.parser import parse
+
+MACHINE = '''
+machine "m1" {
+  inlet = "In";
+  exhaust = "Out";
+  inlet_temperature = 21.6;
+  fan_cfm = 38.6;
+  component "CPU" [mass=0.151, specific_heat=896, p_base=7, p_max=31,
+                   monitored=true];
+  air "In";
+  air "Out";
+  air "CPU Air";
+  "CPU" -- "CPU Air" [k=0.75];
+  "In" -> "CPU Air" [fraction=1.0];
+  "CPU Air" -> "Out" [fraction=1.0];
+}
+'''
+
+CLUSTER = '''
+cluster {
+  source "AC" [temperature=21.6];
+  sink "Cluster Exhaust";
+  "AC" -> "m1" [fraction=1.0];
+  "m1" -> "Cluster Exhaust" [fraction=1.0];
+}
+'''
+
+
+class TestMachineBlocks:
+    def test_parses_structure(self):
+        tree = parse(MACHINE)
+        assert len(tree.machines) == 1
+        block = tree.machines[0]
+        assert block.name == "m1"
+        assert len(block.components) == 1
+        assert len(block.airs) == 3
+        assert len(block.edges) == 3
+        assert set(block.props) == {
+            "inlet", "exhaust", "inlet_temperature", "fan_cfm"
+        }
+
+    def test_component_attrs(self):
+        component = parse(MACHINE).machines[0].components[0]
+        assert component.name == "CPU"
+        assert component.attrs["mass"].value == pytest.approx(0.151)
+        assert component.attrs["monitored"].value is True
+
+    def test_edge_direction(self):
+        edges = parse(MACHINE).machines[0].edges
+        heat = [e for e in edges if not e.directed]
+        air = [e for e in edges if e.directed]
+        assert len(heat) == 1 and heat[0].attrs["k"].value == pytest.approx(0.75)
+        assert len(air) == 2
+
+    def test_multiple_machines(self):
+        tree = parse(MACHINE + MACHINE.replace('"m1"', '"m2"'))
+        assert [m.name for m in tree.machines] == ["m1", "m2"]
+
+    def test_empty_machine_block(self):
+        tree = parse('machine "empty" { }')
+        assert tree.machines[0].components == []
+
+
+class TestClusterBlocks:
+    def test_parses_cluster(self):
+        tree = parse(MACHINE + CLUSTER)
+        cluster = tree.cluster
+        assert cluster is not None
+        assert cluster.sources[0].name == "AC"
+        assert cluster.sinks[0].name == "Cluster Exhaust"
+        assert len(cluster.edges) == 2
+
+    def test_two_cluster_blocks_rejected(self):
+        with pytest.raises(MdotSyntaxError):
+            parse(CLUSTER + CLUSTER)
+
+    def test_undirected_cluster_edge_rejected(self):
+        with pytest.raises(MdotSyntaxError):
+            parse('cluster { "a" -- "b" [fraction=1.0]; }')
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            'machine { }',                        # missing name
+            'machine "m" {',                      # unterminated block
+            'machine "m" { component ; }',        # missing component name
+            'machine "m" { "a" "b"; }',           # missing edge operator
+            'machine "m" { "a" -- "b" [k]; }',    # attr without value
+            'machine "m" { "a" -- "b" [k=1; }',   # unterminated attrs
+            'machine "m" { inlet = ; }',          # missing value
+            'nonsense',                           # unknown top-level word
+            'machine "m" { component "c" [k=1, k=2]; }',  # duplicate attr
+            'machine "m" { inlet = "a"; inlet = "b"; }',  # duplicate prop
+            'cluster { source ; }',               # missing source name
+            'cluster { blah; }',                  # unknown statement
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(MdotSyntaxError):
+            parse(source)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(MdotSyntaxError) as info:
+            parse('machine "m" {\n  component ;\n}')
+        assert "line 2" in str(info.value)
+
+
+class TestAttrLists:
+    def test_empty_attrs_means_no_brackets_needed(self):
+        tree = parse('machine "m" { air "a"; }')
+        assert tree.machines[0].airs[0].name == "a"
+
+    def test_string_attr_value(self):
+        tree = parse('machine "m" { component "c" [mass=1, specific_heat=1, power=0]; }')
+        assert tree.machines[0].components[0].attrs["power"].value == 0.0
+
+    def test_bool_attr_value(self):
+        tree = parse(
+            'machine "m" { component "c" '
+            "[mass=1, specific_heat=1, power=0, monitored=false]; }"
+        )
+        assert tree.machines[0].components[0].attrs["monitored"].value is False

@@ -1,0 +1,100 @@
+"""Tests for mdot serialization: round trips and graphviz export."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.layouts import validation_cluster, validation_machine
+from repro.mdot.loader import loads
+from repro.mdot.writer import dump_cluster, dump_machine, dumps, to_graphviz
+from tests.conftest import make_tiny_layout
+
+
+def assert_layouts_equal(a, b):
+    assert a.name == b.name
+    assert a.inlet == b.inlet
+    assert a.exhaust == b.exhaust
+    assert a.inlet_temperature == pytest.approx(b.inlet_temperature)
+    assert a.fan_cfm == pytest.approx(b.fan_cfm)
+    assert set(a.components) == set(b.components)
+    for name in a.components:
+        ca, cb = a.components[name], b.components[name]
+        assert ca.mass == pytest.approx(cb.mass)
+        assert ca.specific_heat == pytest.approx(cb.specific_heat)
+        assert ca.monitored == cb.monitored
+        assert ca.power_model.idle_power == pytest.approx(cb.power_model.idle_power)
+        assert ca.power_model.max_power == pytest.approx(cb.power_model.max_power)
+    assert {e.key: e.k for e in a.heat_edges} == pytest.approx(
+        {e.key: e.k for e in b.heat_edges}
+    )
+    assert {(e.src, e.dst): e.fraction for e in a.air_edges} == pytest.approx(
+        {(e.src, e.dst): e.fraction for e in b.air_edges}
+    )
+
+
+class TestRoundTrip:
+    def test_validation_machine(self):
+        layout = validation_machine()
+        machines, _ = loads(dump_machine(layout))
+        assert_layouts_equal(layout, machines[0])
+
+    def test_tiny_layout(self):
+        layout = make_tiny_layout()
+        machines, _ = loads(dump_machine(layout))
+        assert_layouts_equal(layout, machines[0])
+
+    def test_full_cluster(self):
+        cluster = validation_cluster()
+        text = dumps(list(cluster.machines.values()), cluster)
+        machines, loaded = loads(text)
+        assert loaded is not None
+        assert set(loaded.machines) == set(cluster.machines)
+        assert loaded.sources["AC"].supply_temperature == pytest.approx(21.6)
+        assert len(loaded.edges) == len(cluster.edges)
+        for original in cluster.machines.values():
+            match = loaded.machines[original.name]
+            assert_layouts_equal(original, match)
+
+    @given(
+        k=st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+        inlet=st.floats(min_value=5.0, max_value=45.0, allow_nan=False),
+        fan=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    )
+    def test_round_trip_property(self, k, inlet, fan):
+        layout = make_tiny_layout(k=k, inlet_temperature=inlet, fan_cfm=fan)
+        machines, _ = loads(dump_machine(layout))
+        assert_layouts_equal(layout, machines[0])
+
+    def test_names_with_quotes_survive(self):
+        layout = make_tiny_layout(name='we "love" dots')
+        machines, _ = loads(dump_machine(layout))
+        assert machines[0].name == 'we "love" dots'
+
+
+class TestGraphviz:
+    def test_valid_digraph_shape(self):
+        text = to_graphviz(validation_machine())
+        assert text.startswith('digraph "machine1" {')
+        assert text.rstrip().endswith("}")
+
+    def test_all_nodes_present(self):
+        layout = validation_machine()
+        text = to_graphviz(layout)
+        for name in layout.node_names:
+            assert f'"{name}"' in text
+
+    def test_heat_edges_undirected_red(self):
+        text = to_graphviz(validation_machine())
+        assert "dir=none" in text
+        assert "color=red" in text
+
+    def test_air_edges_labelled_with_fraction(self):
+        text = to_graphviz(validation_machine())
+        assert 'label="0.4"' in text  # Inlet -> Disk Air
+
+
+class TestDumpCluster:
+    def test_contains_sources_and_sinks(self):
+        cluster = validation_cluster()
+        text = dump_cluster(cluster)
+        assert 'source "AC" [temperature=21.6];' in text
+        assert 'sink "Cluster Exhaust";' in text

@@ -1,0 +1,124 @@
+"""Tests for the lumped (Mercury) model of the 2-D case and its fit."""
+
+import pytest
+
+from repro.reference.lumped import (
+    CASE_COMPONENTS,
+    DEFAULT_FRACTIONS,
+    calibrate_from_reference,
+    case_flow_cfm,
+    comparison_table,
+    conductances_from_reference,
+    lumped_case_layout,
+    steady_temperatures,
+)
+from repro.reference.mesh import standard_case
+from repro.reference.steady import solve_steady
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    # Two orthogonal points keep this affordable for the unit suite; the
+    # benchmark uses the full grid.
+    return calibrate_from_reference(
+        calibration_powers=((15.0, 8.0), (15.0, 14.0), (35.0, 8.0), (35.0, 14.0))
+    )
+
+
+class TestLumpedLayout:
+    def test_structure(self):
+        layout = lumped_case_layout({"cpu": 2.0, "disk": 2.0, "psu": 4.0})
+        assert set(layout.components) == set(CASE_COMPONENTS)
+        assert layout.inlet == "Inlet"
+        assert layout.exhaust == "Exhaust"
+
+    def test_flow_matches_mesh(self):
+        mesh = standard_case()
+        layout = lumped_case_layout(
+            {"cpu": 2.0, "disk": 2.0, "psu": 4.0}, mesh=mesh
+        )
+        assert layout.fan_cfm == pytest.approx(case_flow_cfm(mesh))
+
+    def test_fraction_overrides(self):
+        layout = lumped_case_layout(
+            {"cpu": 2.0, "disk": 2.0, "psu": 4.0},
+            fractions={"psu_to_cpu": 0.5},
+        )
+        fractions = {(e.src, e.dst): e.fraction for e in layout.air_edges}
+        assert fractions[("PSU Air", "CPU Air")] == pytest.approx(0.5)
+
+    def test_rejects_overfull_inlet(self):
+        with pytest.raises(ValueError):
+            lumped_case_layout(
+                {"cpu": 2.0, "disk": 2.0, "psu": 4.0},
+                fractions={"inlet_disk": 0.7, "inlet_psu": 0.7},
+            )
+
+    def test_steady_temperatures_reach_fixpoint(self):
+        layout = lumped_case_layout({"cpu": 2.0, "disk": 2.0, "psu": 4.0})
+        temps = steady_temperatures(
+            layout, {"cpu": 20.0, "disk": 10.0, "psu": 40.0}
+        )
+        again = steady_temperatures(
+            layout, {"cpu": 20.0, "disk": 10.0, "psu": 40.0}
+        )
+        assert temps["cpu"] == pytest.approx(again["cpu"], abs=0.05)
+        assert temps["cpu"] > temps["Inlet"]
+
+
+class TestConductancesFromReference:
+    def test_extraction(self):
+        result = solve_steady(standard_case(cpu_power=20.0, disk_power=10.0))
+        ks = conductances_from_reference(result)
+        assert set(ks) == set(CASE_COMPONENTS)
+        assert all(v > 0 for v in ks.values())
+
+
+class TestCalibration:
+    def test_fit_quality(self, calibration):
+        # Calibration points themselves should fit tightly.
+        assert calibration.rmse < 0.2
+
+    def test_fractions_within_bounds(self, calibration):
+        for name, value in calibration.fractions.items():
+            assert 0.0 < value < 1.0, name
+
+    def test_learns_psu_bypass(self, calibration):
+        # In the mesh most PSU exhaust passes above the CPU (wake
+        # entrainment mixes some of it down); the fit must route less
+        # than half the PSU stream over the CPU, and less than it routes
+        # of the bypass stream.
+        assert calibration.fractions["psu_to_cpu"] < 0.5
+        assert (
+            calibration.fractions["psu_to_cpu"]
+            < calibration.fractions["bypass_to_cpu"]
+        )
+
+
+class TestComparisonTable:
+    def test_section32_shape(self, calibration):
+        # Interpolation (20 W) and extrapolation (40 W) points.
+        rows = comparison_table(
+            [(20.0, 10.0), (40.0, 10.0)], calibration=calibration
+        )
+        for row in rows:
+            # The paper reports <=0.32 C for the CPU and <=0.25 C for the
+            # disk; we allow a slightly wider band in the unit test.
+            assert abs(row.cpu_error) < 0.6
+            assert abs(row.disk_error) < 0.6
+
+    def test_reference_and_mercury_track_power(self, calibration):
+        rows = comparison_table(
+            [(10.0, 10.0), (40.0, 10.0)], calibration=calibration
+        )
+        assert rows[1].reference_cpu > rows[0].reference_cpu + 10.0
+        assert rows[1].mercury_cpu > rows[0].mercury_cpu + 10.0
+
+    def test_row_error_properties(self, calibration):
+        row = comparison_table([(20.0, 10.0)], calibration=calibration)[0]
+        assert row.cpu_error == pytest.approx(
+            row.mercury_cpu - row.reference_cpu
+        )
+        assert row.disk_error == pytest.approx(
+            row.mercury_disk - row.reference_disk
+        )

@@ -1,0 +1,123 @@
+"""Tests for the 2-D case mesh."""
+
+import numpy as np
+import pytest
+
+from repro.reference.materials import AIR, ALUMINUM, PACKAGE, FR4, Material
+from repro.reference.mesh import Block, CaseMesh, standard_case
+
+
+class TestMaterials:
+    def test_conductivity_at_reference(self):
+        assert AIR.conductivity_at(25.0) == pytest.approx(AIR.conductivity)
+
+    def test_conductivity_grows_with_temperature(self):
+        assert AIR.conductivity_at(60.0) > AIR.conductivity_at(25.0)
+
+    def test_conductivity_never_collapses(self):
+        cold = AIR.conductivity_at(-1e6)
+        assert cold == pytest.approx(0.1 * AIR.conductivity)
+
+    def test_solids_constant(self):
+        assert ALUMINUM.conductivity_at(80.0) == ALUMINUM.conductivity
+
+
+class TestBlock:
+    def test_cells(self):
+        assert Block("b", 0, 0, 3, 2, PACKAGE).cells == 6
+
+    def test_rejects_empty_extent(self):
+        with pytest.raises(ValueError):
+            Block("b", 2, 0, 2, 2, PACKAGE)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Block("b", 0, 0, 1, 1, PACKAGE, power=-1.0)
+
+
+class TestCaseMesh:
+    def test_standard_case_blocks(self):
+        mesh = standard_case()
+        assert set(mesh.blocks) == {"cpu", "disk", "psu"}
+
+    def test_block_cells_are_solid(self):
+        mesh = standard_case()
+        for name in mesh.blocks:
+            for x, y in mesh.block_cells(name):
+                assert not mesh.is_air(x, y)
+
+    def test_non_block_cells_are_air(self):
+        mesh = standard_case()
+        solid = {c for name in mesh.blocks for c in mesh.block_cells(name)}
+        for y in range(mesh.ny):
+            for x in range(mesh.nx):
+                if (x, y) not in solid:
+                    assert mesh.is_air(x, y)
+
+    def test_source_density_matches_power(self):
+        mesh = standard_case(cpu_power=20.0)
+        block = mesh.blocks["cpu"]
+        volume = block.cells * mesh.cell_size**2 * mesh.depth
+        density = mesh.source[block.y0, block.x0]
+        assert density * volume == pytest.approx(20.0)
+
+    def test_set_power_updates_source(self):
+        mesh = standard_case(cpu_power=20.0)
+        mesh.set_power("cpu", 40.0)
+        block = mesh.blocks["cpu"]
+        volume = block.cells * mesh.cell_size**2 * mesh.depth
+        assert mesh.source[block.y0, block.x0] * volume == pytest.approx(40.0)
+        assert mesh.blocks["cpu"].power == 40.0
+
+    def test_set_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            standard_case().set_power("cpu", -1.0)
+
+    def test_overlapping_blocks_rejected(self):
+        mesh = standard_case()
+        with pytest.raises(ValueError):
+            mesh.add_block(Block("extra", 8, 2, 10, 4, PACKAGE, 1.0))
+
+    def test_duplicate_block_name_rejected(self):
+        mesh = standard_case()
+        with pytest.raises(ValueError):
+            mesh.add_block(Block("cpu", 40, 0, 44, 2, PACKAGE, 1.0))
+
+    def test_out_of_bounds_block_rejected(self):
+        mesh = standard_case()
+        with pytest.raises(ValueError):
+            mesh.add_block(Block("oob", 46, 14, 50, 18, PACKAGE, 1.0))
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            CaseMesh(2, 2, 0.01, 0.1, 21.6, 0.2, [])
+
+
+class TestVelocityField:
+    def test_zero_in_solids(self):
+        mesh = standard_case()
+        field = mesh.velocity_field()
+        for name in mesh.blocks:
+            for x, y in mesh.block_cells(name):
+                assert field[y, x] == 0.0
+
+    def test_inlet_column_velocity(self):
+        mesh = standard_case()
+        field = mesh.velocity_field()
+        inlet_velocities = field[:, 0]
+        assert np.allclose(
+            inlet_velocities[inlet_velocities > 0], mesh.inlet_velocity
+        )
+
+    def test_flow_conserved_per_column(self):
+        mesh = standard_case()
+        field = mesh.velocity_field()
+        totals = field.sum(axis=0)
+        assert np.allclose(totals, totals[0], rtol=1e-9)
+
+    def test_acceleration_past_obstructions(self):
+        mesh = standard_case()
+        field = mesh.velocity_field()
+        # Column through the disk+psu region has less free area.
+        constricted = field[:, 10][field[:, 10] > 0][0]
+        assert constricted > mesh.inlet_velocity

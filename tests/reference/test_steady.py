@@ -1,0 +1,130 @@
+"""Tests for the steady-state finite-volume reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.reference.mesh import standard_case
+from repro.reference.steady import solve_steady
+
+
+@pytest.fixture(scope="module")
+def base_result():
+    return solve_steady(standard_case(cpu_power=20.0, disk_power=10.0))
+
+
+class TestPhysicalSanity:
+    def test_converges(self, base_result):
+        assert base_result.iterations < 30
+
+    def test_everything_at_or_above_inlet(self, base_result):
+        assert base_result.temperatures.min() >= 21.6 - 1e-6
+
+    def test_blocks_hotter_than_their_air(self, base_result):
+        for name in ("cpu", "disk", "psu"):
+            assert base_result.block_temperature(
+                name
+            ) > base_result.local_air_temperature(name)
+
+    def test_peak_at_least_mean(self, base_result):
+        for name in ("cpu", "disk", "psu"):
+            assert base_result.block_peak_temperature(
+                name
+            ) >= base_result.block_temperature(name)
+
+    def test_outlet_warmer_than_inlet(self, base_result):
+        assert base_result.outlet_temperature() > 21.6 + 1.0
+
+    def test_outlet_energy_balance(self, base_result):
+        # Advected enthalpy at the outlet should carry most of the 70 W
+        # (the rest leaves by conduction through the inlet face).
+        from repro import units
+
+        mesh = base_result.mesh
+        u = mesh.inlet_velocity
+        open_cells = sum(1 for y in range(mesh.ny) if mesh.is_air(0, y))
+        flow = u * open_cells * mesh.cell_size * mesh.depth
+        carried = units.air_heat_capacity_rate(flow) * (
+            base_result.outlet_temperature() - mesh.inlet_temperature
+        )
+        total = sum(b.power for b in mesh.blocks.values())
+        assert carried == pytest.approx(total, rel=0.25)
+
+    def test_downstream_cpu_sees_warm_air(self, base_result):
+        assert base_result.local_air_temperature(
+            "cpu"
+        ) > base_result.mesh.inlet_temperature + 1.0
+
+
+class TestPowerResponse:
+    def test_zero_power_case_is_isothermal(self):
+        result = solve_steady(
+            standard_case(cpu_power=0.0, disk_power=0.0, psu_power=0.0)
+        )
+        assert result.temperatures.max() == pytest.approx(21.6, abs=0.01)
+
+    def test_monotone_in_cpu_power(self):
+        temps = [
+            solve_steady(standard_case(cpu_power=p, disk_power=10.0))
+            .block_temperature("cpu")
+            for p in (10.0, 25.0, 40.0)
+        ]
+        assert temps[0] < temps[1] < temps[2]
+
+    def test_near_linear_response(self):
+        # The model is only mildly non-linear (air conductivity slope):
+        # the CPU-power-to-temperature slope is nearly constant across
+        # the range (disk and PSU contributions cancel in differences).
+        temps = {
+            p: solve_steady(standard_case(cpu_power=p, disk_power=8.0))
+            .block_temperature("cpu")
+            for p in (10.0, 20.0, 30.0, 40.0)
+        }
+        low_slope = (temps[20.0] - temps[10.0]) / 10.0
+        high_slope = (temps[40.0] - temps[30.0]) / 10.0
+        assert high_slope == pytest.approx(low_slope, rel=0.2)
+
+    def test_disk_power_mostly_heats_disk(self):
+        # Disk power raises the disk's own temperature several times more
+        # than the downstream CPU's.
+        lo = solve_steady(standard_case(cpu_power=20.0, disk_power=8.0))
+        hi = solve_steady(standard_case(cpu_power=20.0, disk_power=14.0))
+        cpu_shift = hi.block_temperature("cpu") - lo.block_temperature("cpu")
+        disk_shift = hi.block_temperature("disk") - lo.block_temperature("disk")
+        assert disk_shift > 3 * max(cpu_shift, 1e-9)
+
+    def test_inlet_temperature_shifts_everything(self):
+        cool = solve_steady(standard_case(inlet_temperature=21.6))
+        warm = solve_steady(standard_case(inlet_temperature=31.6))
+        shift = warm.block_temperature("cpu") - cool.block_temperature("cpu")
+        assert shift == pytest.approx(10.0, abs=1.5)
+
+
+class TestEffectiveConductance:
+    def test_positive_and_stable(self):
+        result = solve_steady(standard_case(cpu_power=20.0, disk_power=10.0))
+        k = result.effective_conductance("cpu")
+        assert 0.5 < k < 10.0
+
+    def test_roughly_power_independent(self):
+        # The lumped conductance is a property of geometry/flow, so it
+        # should move only a few percent across the power range.
+        ks = [
+            solve_steady(standard_case(cpu_power=p, disk_power=10.0))
+            .effective_conductance("cpu")
+            for p in (10.0, 40.0)
+        ]
+        assert abs(ks[1] - ks[0]) / ks[0] < 0.10
+
+    def test_requires_heated_block(self):
+        result = solve_steady(
+            standard_case(cpu_power=0.0, disk_power=0.0, psu_power=0.0)
+        )
+        with pytest.raises(ValueError):
+            result.effective_conductance("cpu")
+
+    def test_warm_start_converges_faster(self):
+        mesh = standard_case(cpu_power=20.0, disk_power=10.0)
+        cold = solve_steady(mesh)
+        mesh.set_power("cpu", 22.0)
+        warm = solve_steady(mesh, initial=cold.temperatures)
+        assert warm.iterations <= cold.iterations

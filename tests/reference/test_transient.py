@@ -1,0 +1,84 @@
+"""Tests for the transient reference integrator."""
+
+import numpy as np
+import pytest
+
+from repro.reference.mesh import standard_case
+from repro.reference.steady import solve_steady
+from repro.reference.transient import solve_transient, stable_dt
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return standard_case(cpu_power=20.0, disk_power=10.0)
+
+
+@pytest.fixture(scope="module")
+def steady(mesh):
+    return solve_steady(mesh)
+
+
+class TestStability:
+    def test_stable_dt_positive_and_small(self, mesh):
+        dt = stable_dt(mesh)
+        assert 0.0 < dt < 1.0
+
+    def test_no_blowup_at_stable_dt(self, mesh):
+        result = solve_transient(mesh, duration=50.0)
+        assert np.isfinite(result.final).all()
+        assert result.final.max() < 200.0
+
+    def test_rejects_bad_args(self, mesh):
+        with pytest.raises(ValueError):
+            solve_transient(mesh, duration=0.0)
+        with pytest.raises(ValueError):
+            solve_transient(mesh, duration=10.0, dt=0.0)
+
+
+class TestPhysics:
+    def test_cold_start_rises_monotonically(self, mesh):
+        result = solve_transient(mesh, duration=300.0, sample_every=30.0)
+        for name in ("cpu", "disk", "psu"):
+            series = result.block_history[name]
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_never_below_inlet(self, mesh):
+        result = solve_transient(mesh, duration=200.0)
+        assert result.final.min() >= mesh.inlet_temperature - 1e-6
+
+    def test_steady_field_is_a_fixed_point(self, mesh, steady):
+        # Starting *at* the steady solution, the transient integrator
+        # should stay there — the two discretizations agree.
+        result = solve_transient(
+            mesh, duration=100.0, initial=steady.temperatures,
+            sample_every=100.0,
+        )
+        for name in ("cpu", "disk", "psu"):
+            drift = abs(
+                result.block_temperature(name) - steady.block_temperature(name)
+            )
+            assert drift < 0.3, name
+
+    def test_approaches_steady_from_below(self, mesh, steady):
+        result = solve_transient(mesh, duration=800.0, sample_every=100.0)
+        for name in ("cpu", "disk"):
+            final = result.block_temperature(name)
+            target = steady.block_temperature(name)
+            start = mesh.inlet_temperature
+            progress = (final - start) / (target - start)
+            assert 0.5 < progress <= 1.02, name
+
+    def test_time_constants_ordered_by_mass(self, mesh):
+        # The aluminium PSU block holds far more heat than the small CPU
+        # package, so it responds more slowly.
+        result = solve_transient(mesh, duration=800.0, sample_every=20.0)
+        tau_cpu = result.time_to_fraction("cpu")
+        tau_psu = result.time_to_fraction("psu")
+        assert tau_psu > tau_cpu
+
+    def test_time_to_fraction_degenerate(self, mesh):
+        result = solve_transient(mesh, duration=20.0, sample_every=10.0)
+        flat = dict(result.block_history)
+        result.block_history["cpu"] = [30.0, 30.0, 30.0]
+        assert result.time_to_fraction("cpu") == 0.0
+        result.block_history.update(flat)

@@ -1,0 +1,151 @@
+"""Tests for the opensensor/readsensor/closesensor client library."""
+
+import pytest
+
+from repro.config import table1
+from repro.core.solver import Solver
+from repro.errors import SensorClosedError, SensorError
+from repro.sensors.api import (
+    SensorConnection,
+    closesensor,
+    open_sensor_count,
+    opensensor,
+    readsensor,
+)
+from repro.sensors.server import SensorService, UdpSensorServer
+
+
+@pytest.fixture
+def service(layout):
+    solver = Solver([layout], record=False)
+    return SensorService(solver, aliases=table1.sensor_map())
+
+
+class TestInProcessTransport:
+    def test_figure3_example(self, service):
+        # The paper's Figure 3, minus the C syntax.
+        sd = opensensor(service, 8367, "disk")
+        temp = readsensor(sd)
+        closesensor(sd)
+        assert temp == pytest.approx(table1.INLET_TEMPERATURE)
+
+    def test_read_tracks_solver(self, service):
+        sd = opensensor(service, 0, "cpu")
+        before = readsensor(sd)
+        service.apply_utilizations("machine1", {table1.CPU: 1.0})
+        service.step(2000)
+        after = readsensor(sd)
+        closesensor(sd)
+        assert after > before + 20.0
+
+    def test_descriptors_are_distinct(self, service):
+        a = opensensor(service, 0, "cpu")
+        b = opensensor(service, 0, "disk")
+        assert a != b
+        closesensor(a)
+        closesensor(b)
+
+    def test_read_after_close_raises(self, service):
+        sd = opensensor(service, 0, "cpu")
+        closesensor(sd)
+        with pytest.raises(SensorClosedError):
+            readsensor(sd)
+
+    def test_double_close_raises(self, service):
+        sd = opensensor(service, 0, "cpu")
+        closesensor(sd)
+        with pytest.raises(SensorClosedError):
+            closesensor(sd)
+
+    def test_unknown_component_raises_on_read(self, service):
+        from repro.errors import UnknownSensorError
+
+        sd = opensensor(service, 0, "warp core")
+        try:
+            with pytest.raises(UnknownSensorError):
+                readsensor(sd)
+        finally:
+            closesensor(sd)
+
+    def test_machine_parameter(self, cluster):
+        solver = Solver(list(cluster.machines.values()), cluster=cluster,
+                        record=False)
+        service = SensorService(solver, aliases=table1.sensor_map())
+        solver.set_utilization("machine3", table1.CPU, 1.0)
+        solver.run(2000)
+        sd_hot = opensensor(service, 0, "cpu", machine="machine3")
+        sd_cool = opensensor(service, 0, "cpu", machine="machine2")
+        try:
+            assert readsensor(sd_hot) > readsensor(sd_cool) + 10.0
+        finally:
+            closesensor(sd_hot)
+            closesensor(sd_cool)
+
+    def test_no_descriptor_leaks(self, service):
+        baseline = open_sensor_count()
+        descriptors = [opensensor(service, 0, "cpu") for _ in range(10)]
+        assert open_sensor_count() == baseline + 10
+        for sd in descriptors:
+            closesensor(sd)
+        assert open_sensor_count() == baseline
+
+
+class TestSensorConnection:
+    def test_context_manager(self, service):
+        with SensorConnection(service, component="disk") as sensor:
+            assert sensor.read() == pytest.approx(table1.INLET_TEMPERATURE)
+
+    def test_close_is_idempotent(self, service):
+        conn = SensorConnection(service, component="cpu")
+        conn.close()
+        conn.close()
+
+    def test_read_after_close(self, service):
+        conn = SensorConnection(service, component="cpu")
+        conn.close()
+        with pytest.raises(SensorClosedError):
+            conn.read()
+
+    def test_descriptor_released(self, service):
+        baseline = open_sensor_count()
+        with SensorConnection(service, component="cpu"):
+            assert open_sensor_count() == baseline + 1
+        assert open_sensor_count() == baseline
+
+
+class TestUdpTransport:
+    def test_read_over_udp(self, service):
+        with UdpSensorServer(service) as server:
+            host, port = server.address
+            sd = opensensor(host, port, "disk")
+            try:
+                temp = readsensor(sd)
+            finally:
+                closesensor(sd)
+        assert temp == pytest.approx(table1.INLET_TEMPERATURE)
+
+    def test_unknown_component_over_udp(self, service):
+        with UdpSensorServer(service) as server:
+            host, port = server.address
+            sd = opensensor(host, port, "warp core")
+            try:
+                with pytest.raises(SensorError):
+                    readsensor(sd)
+            finally:
+                closesensor(sd)
+
+    def test_no_server_times_out(self):
+        # Port 1 on localhost: nothing is listening there.
+        sd = opensensor("127.0.0.1", 1, "cpu")
+        try:
+            with pytest.raises(SensorError):
+                readsensor(sd)
+        finally:
+            closesensor(sd)
+
+    def test_repeated_reads(self, service):
+        with UdpSensorServer(service) as server:
+            host, port = server.address
+            with SensorConnection(host, port, component="cpu") as sensor:
+                readings = [sensor.read() for _ in range(5)]
+        assert all(r == pytest.approx(readings[0]) for r in readings)

@@ -1,0 +1,101 @@
+"""Tests for the simulated physical sensors."""
+
+import statistics
+
+import pytest
+
+from repro.sensors.hardware import (
+    DIGITAL_THERMOMETER,
+    IN_DISK_SENSOR,
+    MOTHERBOARD_SENSOR,
+    PhysicalSensor,
+    SensorSpec,
+)
+
+
+def constant_source(value):
+    return lambda: value
+
+
+class TestPhysicalSensor:
+    def test_quantizes_to_resolution(self):
+        sensor = PhysicalSensor(
+            constant_source(25.3), resolution=1.0, accuracy=0.0, noise_std=0.0
+        )
+        assert sensor.read() == 25.0
+
+    def test_noise_free_biasless_sensor_is_exact_mod_resolution(self):
+        sensor = PhysicalSensor(
+            constant_source(30.05), resolution=0.1, accuracy=0.0, noise_std=0.0
+        )
+        # Quantization error is at most half the resolution.
+        assert sensor.read() == pytest.approx(30.05, abs=0.051)
+
+    def test_bias_is_fixed_per_sensor(self):
+        sensor = PhysicalSensor(
+            constant_source(25.0), resolution=0.001, accuracy=2.0,
+            noise_std=0.0, seed=42,
+        )
+        readings = {sensor.read() for _ in range(10)}
+        assert len(readings) == 1  # no noise, bias constant
+
+    def test_bias_bounded_by_accuracy(self):
+        for seed in range(50):
+            sensor = PhysicalSensor(
+                constant_source(0.0), resolution=0.01, accuracy=1.5, seed=seed
+            )
+            assert abs(sensor.bias) <= 1.5
+
+    def test_noise_statistics(self):
+        sensor = PhysicalSensor(
+            constant_source(25.0), resolution=0.001, accuracy=0.0,
+            noise_std=0.2, seed=7,
+        )
+        readings = [sensor.read() for _ in range(2000)]
+        assert statistics.mean(readings) == pytest.approx(25.0, abs=0.05)
+        assert statistics.stdev(readings) == pytest.approx(0.2, abs=0.05)
+
+    def test_different_seeds_differ(self):
+        a = PhysicalSensor(constant_source(25.0), accuracy=1.5, seed=1)
+        b = PhysicalSensor(constant_source(25.0), accuracy=1.5, seed=2)
+        assert a.bias != b.bias
+
+    def test_tracks_a_moving_source(self):
+        value = {"t": 20.0}
+        sensor = PhysicalSensor(
+            lambda: value["t"], resolution=0.1, accuracy=0.0, noise_std=0.0
+        )
+        first = sensor.read()
+        value["t"] = 40.0
+        assert sensor.read() - first == pytest.approx(20.0, abs=0.2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"resolution": 0.0},
+            {"resolution": -1.0},
+            {"accuracy": -1.0},
+            {"noise_std": -0.1},
+            {"latency": -1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            PhysicalSensor(constant_source(0.0), **kwargs)
+
+
+class TestSensorSpecs:
+    def test_paper_accuracy_figures(self):
+        # The paper quotes 1.5 C digital thermometers and 3 C in-disk
+        # sensors, with the disk sensor at ~500 us access time.
+        assert DIGITAL_THERMOMETER.accuracy == 1.5
+        assert IN_DISK_SENSOR.accuracy == 3.0
+        assert IN_DISK_SENSOR.latency == pytest.approx(500e-6)
+
+    def test_attach_builds_sensor(self):
+        sensor = MOTHERBOARD_SENSOR.attach(constant_source(30.0), seed=3)
+        assert isinstance(sensor, PhysicalSensor)
+        assert sensor.resolution == MOTHERBOARD_SENSOR.resolution
+
+    def test_disk_sensor_is_coarser_than_thermometer(self):
+        assert IN_DISK_SENSOR.resolution > DIGITAL_THERMOMETER.resolution

@@ -1,0 +1,145 @@
+"""Tests for the UDP wire formats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SensorError
+from repro.sensors import protocol
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters='"'),
+    min_size=1,
+    max_size=18,
+)
+
+
+class TestUtilizationUpdate:
+    def test_round_trip(self):
+        update = protocol.UtilizationUpdate(
+            machine="machine1",
+            utilizations={"CPU": 0.5, "Disk Platters": 0.25},
+        )
+        decoded = protocol.UtilizationUpdate.decode(update.encode())
+        assert decoded.machine == "machine1"
+        assert decoded.utilizations["CPU"] == pytest.approx(0.5)
+        assert decoded.utilizations["Disk Platters"] == pytest.approx(0.25)
+
+    def test_is_exactly_128_bytes(self):
+        # The paper: "Our current implementation uses 128-byte UDP
+        # messages to update the solver."
+        update = protocol.UtilizationUpdate("m", {"CPU": 1.0})
+        assert len(update.encode()) == 128
+        assert protocol.UPDATE_SIZE == 128
+
+    def test_empty_update(self):
+        decoded = protocol.UtilizationUpdate.decode(
+            protocol.UtilizationUpdate("m", {}).encode()
+        )
+        assert decoded.utilizations == {}
+
+    def test_max_components(self):
+        utils = {f"c{i}": i / 10 for i in range(protocol.MAX_UPDATE_COMPONENTS)}
+        decoded = protocol.UtilizationUpdate.decode(
+            protocol.UtilizationUpdate("m", utils).encode()
+        )
+        assert len(decoded.utilizations) == protocol.MAX_UPDATE_COMPONENTS
+
+    def test_too_many_components_rejected(self):
+        utils = {f"c{i}": 0.1 for i in range(protocol.MAX_UPDATE_COMPONENTS + 1)}
+        with pytest.raises(SensorError):
+            protocol.UtilizationUpdate("m", utils).encode()
+
+    def test_out_of_range_utilization_rejected(self):
+        with pytest.raises(SensorError):
+            protocol.UtilizationUpdate("m", {"CPU": 1.5}).encode()
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SensorError):
+            protocol.UtilizationUpdate.decode(b"x" * 100)
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(protocol.UtilizationUpdate("m", {}).encode())
+        data[:4] = b"XXXX"
+        with pytest.raises(SensorError):
+            protocol.UtilizationUpdate.decode(bytes(data))
+
+    def test_bad_version_rejected(self):
+        data = bytearray(protocol.UtilizationUpdate("m", {}).encode())
+        data[4] = 99
+        with pytest.raises(SensorError):
+            protocol.UtilizationUpdate.decode(bytes(data))
+
+    def test_bad_count_rejected(self):
+        data = bytearray(protocol.UtilizationUpdate("m", {}).encode())
+        data[29] = 200  # count byte after 4s B 24s
+        with pytest.raises(SensorError):
+            protocol.UtilizationUpdate.decode(bytes(data))
+
+    def test_long_names_truncate_silently(self):
+        update = protocol.UtilizationUpdate(
+            "a-very-long-machine-name-that-exceeds-24-bytes", {"CPU": 0.5}
+        )
+        decoded = protocol.UtilizationUpdate.decode(update.encode())
+        assert len(decoded.machine.encode()) <= 24
+
+    @given(
+        machine=names,
+        utils=st.dictionaries(
+            names, st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=4,
+        ),
+    )
+    def test_round_trip_property(self, machine, utils):
+        update = protocol.UtilizationUpdate(machine, utils)
+        decoded = protocol.UtilizationUpdate.decode(update.encode())
+        assert decoded.machine == machine
+        for name, value in utils.items():
+            assert decoded.utilizations[name] == pytest.approx(value, abs=1e-6)
+
+
+class TestSensorQuery:
+    def test_round_trip(self):
+        query = protocol.SensorQuery(7, "machine2", "disk")
+        decoded = protocol.SensorQuery.decode(query.encode())
+        assert decoded == protocol.SensorQuery(7, "machine2", "disk")
+
+    def test_request_id_wraps(self):
+        query = protocol.SensorQuery(2**40, "m", "c")
+        decoded = protocol.SensorQuery.decode(query.encode())
+        assert decoded.request_id == 2**40 % 2**32
+
+    def test_bad_size(self):
+        with pytest.raises(SensorError):
+            protocol.SensorQuery.decode(b"")
+
+    def test_bad_magic(self):
+        data = bytearray(protocol.SensorQuery(1, "m", "c").encode())
+        data[:4] = b"NOPE"
+        with pytest.raises(SensorError):
+            protocol.SensorQuery.decode(bytes(data))
+
+
+class TestSensorReply:
+    def test_round_trip(self):
+        reply = protocol.SensorReply(3, protocol.STATUS_OK, 42.5)
+        decoded = protocol.SensorReply.decode(reply.encode())
+        assert decoded.request_id == 3
+        assert decoded.status == protocol.STATUS_OK
+        assert decoded.temperature == pytest.approx(42.5)
+
+    def test_nan_temperature_survives(self):
+        reply = protocol.SensorReply(1, protocol.STATUS_UNKNOWN_SENSOR, float("nan"))
+        decoded = protocol.SensorReply.decode(reply.encode())
+        assert math.isnan(decoded.temperature)
+
+    def test_bad_size(self):
+        with pytest.raises(SensorError):
+            protocol.SensorReply.decode(b"abc")
+
+    def test_query_and_reply_sizes_differ_from_update(self):
+        # The server dispatches on datagram size; the three formats must
+        # be mutually distinguishable.
+        sizes = {protocol.UPDATE_SIZE, protocol.QUERY_SIZE, protocol.REPLY_SIZE}
+        assert len(sizes) == 3

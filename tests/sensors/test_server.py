@@ -1,0 +1,135 @@
+"""Tests for the solver-side sensor service (in-process and UDP faces)."""
+
+import math
+import socket
+
+import pytest
+
+from repro.config import table1
+from repro.core.solver import Solver
+from repro.errors import SensorError
+from repro.sensors import protocol
+from repro.sensors.server import SensorService, UdpSensorServer
+
+
+@pytest.fixture
+def service(layout):
+    solver = Solver([layout], record=False)
+    return SensorService(solver, aliases=table1.sensor_map())
+
+
+class TestInProcessFace:
+    def test_read_temperature(self, service):
+        temp = service.read_temperature("machine1", table1.CPU)
+        assert temp == pytest.approx(table1.INLET_TEMPERATURE)
+        assert service.queries_served == 1
+
+    def test_alias_resolution(self, service):
+        direct = service.read_temperature("machine1", table1.DISK_PLATTERS)
+        aliased = service.read_temperature("machine1", "disk")
+        assert direct == aliased
+
+    def test_apply_utilizations(self, service):
+        service.apply_utilizations("machine1", {table1.CPU: 0.9})
+        state = service.solver.machine("machine1")
+        assert state.utilizations[table1.CPU] == 0.9
+        assert service.updates_applied == 1
+
+    def test_step_advances_solver(self, service):
+        service.step(5)
+        assert service.solver.iterations == 5
+
+
+class TestDatagramFace:
+    def test_query_reply_cycle(self, service):
+        query = protocol.SensorQuery(11, "machine1", "cpu")
+        reply = protocol.SensorReply.decode(service.handle_query(query.encode()))
+        assert reply.request_id == 11
+        assert reply.status == protocol.STATUS_OK
+        assert reply.temperature == pytest.approx(table1.INLET_TEMPERATURE)
+
+    def test_unknown_sensor_status(self, service):
+        query = protocol.SensorQuery(1, "machine1", "nonexistent")
+        reply = protocol.SensorReply.decode(service.handle_query(query.encode()))
+        assert reply.status == protocol.STATUS_UNKNOWN_SENSOR
+        assert math.isnan(reply.temperature)
+        assert service.errors == 1
+
+    def test_malformed_query_raises(self, service):
+        with pytest.raises(SensorError):
+            service.handle_query(b"garbage")
+
+    def test_update_datagram_applies(self, service):
+        update = protocol.UtilizationUpdate("machine1", {table1.CPU: 0.4})
+        service.handle_update(update.encode())
+        state = service.solver.machine("machine1")
+        assert state.utilizations[table1.CPU] == pytest.approx(0.4)
+
+
+class TestUdpServer:
+    def test_query_over_real_socket(self, service):
+        with UdpSensorServer(service) as server:
+            host, port = server.address
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.settimeout(2.0)
+            try:
+                query = protocol.SensorQuery(5, "machine1", "disk")
+                sock.sendto(query.encode(), (host, port))
+                data, _ = sock.recvfrom(2048)
+            finally:
+                sock.close()
+        reply = protocol.SensorReply.decode(data)
+        assert reply.request_id == 5
+        assert reply.status == protocol.STATUS_OK
+
+    def test_update_over_real_socket(self, service):
+        with UdpSensorServer(service) as server:
+            host, port = server.address
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                update = protocol.UtilizationUpdate(
+                    "machine1", {table1.CPU: 0.8}
+                )
+                sock.sendto(update.encode(), (host, port))
+                # UDP updates are fire-and-forget; poll the service state.
+                import time
+
+                for _ in range(100):
+                    state = service.solver.machine("machine1")
+                    if state.utilizations[table1.CPU] == pytest.approx(0.8):
+                        break
+                    time.sleep(0.01)
+            finally:
+                sock.close()
+        assert service.solver.machine("machine1").utilizations[
+            table1.CPU
+        ] == pytest.approx(0.8)
+
+    def test_garbage_datagram_ignored(self, service):
+        with UdpSensorServer(service) as server:
+            host, port = server.address
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.settimeout(0.3)
+            try:
+                sock.sendto(b"not-a-protocol-message", (host, port))
+                # A valid query afterwards still works.
+                query = protocol.SensorQuery(9, "machine1", "cpu")
+                sock.sendto(query.encode(), (host, port))
+                data, _ = sock.recvfrom(2048)
+            finally:
+                sock.close()
+        assert protocol.SensorReply.decode(data).request_id == 9
+
+    def test_double_start_rejected(self, service):
+        server = UdpSensorServer(service)
+        server.start()
+        try:
+            with pytest.raises(SensorError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, service):
+        server = UdpSensorServer(service).start()
+        server.stop()
+        server.stop()  # no error

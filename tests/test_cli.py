@@ -1,0 +1,157 @@
+"""Tests for the command-line tools."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.config import table1
+from repro.config.layouts import validation_cluster, validation_machine
+from repro.core.trace import TracePoint, UtilizationTrace, save_traces
+from repro.mdot.writer import dumps
+
+
+@pytest.fixture
+def mdot_file(tmp_path):
+    cluster = validation_cluster()
+    path = tmp_path / "system.mdot"
+    path.write_text(dumps(list(cluster.machines.values()), cluster))
+    return path
+
+
+@pytest.fixture
+def single_machine_mdot(tmp_path):
+    path = tmp_path / "one.mdot"
+    path.write_text(dumps([validation_machine()]))
+    return path
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    trace = UtilizationTrace(
+        "machine1",
+        [
+            TracePoint(0.0, {table1.CPU: 0.5, table1.DISK_PLATTERS: 0.2}),
+            TracePoint(100.0, {table1.CPU: 0.9, table1.DISK_PLATTERS: 0.4}),
+        ],
+    )
+    path = tmp_path / "trace.csv"
+    save_traces([trace], path)
+    return path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheck:
+    def test_valid_file(self, mdot_file):
+        code, output = run_cli("check", str(mdot_file))
+        assert code == 0
+        assert "OK" in output
+        assert "machine 'machine1'" in output
+        assert "cluster: 4 machines" in output
+
+    def test_invalid_file(self, tmp_path):
+        bad = tmp_path / "bad.mdot"
+        bad.write_text('machine "m" { inlet = "nope"; }')
+        code, output = run_cli("check", str(bad))
+        assert code == 1
+        assert "error" in output
+
+    def test_missing_file(self, tmp_path):
+        code, output = run_cli("check", str(tmp_path / "ghost.mdot"))
+        assert code == 1
+
+
+class TestSolve:
+    def test_offline_solve(self, single_machine_mdot, trace_file, tmp_path):
+        output_path = tmp_path / "history.csv"
+        code, output = run_cli(
+            "solve",
+            str(single_machine_mdot),
+            str(trace_file),
+            str(output_path),
+            "--duration", "200",
+        )
+        assert code == 0
+        assert output_path.exists()
+        lines = output_path.read_text().strip().splitlines()
+        assert lines[0].startswith("time,machine,node")
+        assert len(lines) > 200
+
+    def test_solve_with_fiddle_script(
+        self, single_machine_mdot, trace_file, tmp_path
+    ):
+        script = tmp_path / "emergency.fiddle"
+        script.write_text("sleep 50\nfiddle machine1 temperature inlet 40\n")
+        output_path = tmp_path / "history.csv"
+        code, _ = run_cli(
+            "solve",
+            str(single_machine_mdot),
+            str(trace_file),
+            str(output_path),
+            "--duration", "150",
+            "--fiddle", str(script),
+        )
+        assert code == 0
+        text = output_path.read_text()
+        assert "40.0000" in text  # the forced inlet value appears
+
+    def test_solve_trace_machine_mismatch(
+        self, single_machine_mdot, tmp_path
+    ):
+        trace = UtilizationTrace("other", [TracePoint(0.0, {})])
+        path = tmp_path / "bad_trace.csv"
+        save_traces([trace], path)
+        code, output = run_cli(
+            "solve", str(single_machine_mdot), str(path),
+            str(tmp_path / "out.csv"),
+        )
+        assert code == 1
+        assert "error" in output
+
+
+class TestGraphviz:
+    def test_export_first_machine(self, mdot_file):
+        code, output = run_cli("graphviz", str(mdot_file))
+        assert code == 0
+        assert output.startswith('digraph "machine1"')
+
+    def test_export_named_machine(self, mdot_file):
+        code, output = run_cli(
+            "graphviz", str(mdot_file), "--machine", "machine3"
+        )
+        assert code == 0
+        assert 'digraph "machine3"' in output
+
+    def test_unknown_machine(self, mdot_file):
+        code, output = run_cli(
+            "graphviz", str(mdot_file), "--machine", "machine9"
+        )
+        assert code == 2
+        assert "error" in output
+
+
+class TestFreon:
+    def test_short_freon_run(self):
+        code, output = run_cli(
+            "freon", "--policy", "freon", "--duration", "300"
+        )
+        assert code == 0
+        assert "policy: freon" in output
+        assert "dropped requests" in output
+
+    def test_policy_none_without_emergency(self):
+        code, output = run_cli(
+            "freon", "--policy", "none", "--duration", "120",
+            "--no-emergency",
+        )
+        assert code == 0
+        assert "peak CPU temperatures" in output
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("freon", "--policy", "cryogenics")

@@ -1,0 +1,92 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_branch_structure(self):
+        assert issubclass(errors.UnknownNodeError, errors.GraphError)
+        assert issubclass(errors.DuplicateNodeError, errors.GraphError)
+        assert issubclass(errors.AirFlowConservationError, errors.GraphError)
+        assert issubclass(errors.MdotSyntaxError, errors.MdotError)
+        assert issubclass(errors.MdotSemanticError, errors.MdotError)
+        assert issubclass(errors.UnknownSensorError, errors.SolverError)
+        assert issubclass(errors.SensorClosedError, errors.SensorError)
+        assert issubclass(errors.ServerStateError, errors.ClusterError)
+
+    def test_messages_carry_context(self):
+        err = errors.UnknownNodeError("CPU Air")
+        assert "CPU Air" in str(err)
+        assert err.name == "CPU Air"
+
+        err = errors.AirFlowConservationError("Inlet", 0.5)
+        assert "Inlet" in str(err) and "0.5" in str(err)
+
+        err = errors.MdotSyntaxError("bad token", 3, 7)
+        assert "line 3" in str(err)
+        assert (err.line, err.column) == (3, 7)
+
+        err = errors.UnknownSensorError("machine1", "warp")
+        assert "machine1" in str(err) and "warp" in str(err)
+
+    def test_catching_the_base_class_works(self):
+        from repro.config.layouts import validation_machine
+        from repro.core.solver import Solver
+
+        solver = Solver([validation_machine()], record=False)
+        with pytest.raises(errors.ReproError):
+            solver.temperature("machine1", "nonexistent node")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.cluster
+        import repro.config
+        import repro.core
+        import repro.daemons
+        import repro.fiddle
+        import repro.freon
+        import repro.machine
+        import repro.mdot
+        import repro.reference
+        import repro.sensors
+
+        for module in (
+            repro.cluster,
+            repro.config,
+            repro.core,
+            repro.daemons,
+            repro.fiddle,
+            repro.freon,
+            repro.machine,
+            repro.mdot,
+            repro.reference,
+            repro.sensors,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_lazy_exports_raise_on_unknown(self):
+        import repro.cluster
+        import repro.freon
+
+        with pytest.raises(AttributeError):
+            repro.cluster.does_not_exist
+        with pytest.raises(AttributeError):
+            repro.freon.does_not_exist

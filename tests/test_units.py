@@ -1,0 +1,48 @@
+"""Tests for unit conversions and physical constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_cfm_round_trip(self):
+        assert units.m3s_to_cfm(units.cfm_to_m3s(38.6)) == pytest.approx(38.6)
+
+    def test_known_cfm_value(self):
+        # 1 ft^3/min = 0.000471947 m^3/s.
+        assert units.cfm_to_m3s(1.0) == pytest.approx(4.719474e-4, rel=1e-5)
+
+    def test_celsius_kelvin(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.kelvin_to_celsius(373.15) == pytest.approx(100.0)
+
+    def test_watt_hours(self):
+        assert units.watt_hours(3600.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_cfm_round_trip_property(self, value):
+        assert units.m3s_to_cfm(units.cfm_to_m3s(value)) == pytest.approx(
+            value, rel=1e-12, abs=1e-12
+        )
+
+    @given(st.floats(min_value=-273.15, max_value=1e4))
+    def test_temperature_round_trip_property(self, celsius):
+        assert units.kelvin_to_celsius(
+            units.celsius_to_kelvin(celsius)
+        ) == pytest.approx(celsius, abs=1e-9)
+
+
+class TestAirProperties:
+    def test_mass_flow(self):
+        assert units.air_mass_flow(1.0) == pytest.approx(units.AIR_DENSITY)
+
+    def test_heat_capacity_rate(self):
+        # The validation fan: 38.6 cfm -> about 21 W/K of cooling stream.
+        rate = units.air_heat_capacity_rate(units.cfm_to_m3s(38.6))
+        assert rate == pytest.approx(21.2, abs=0.5)
+
+    def test_table1_material_heats(self):
+        assert units.ALUMINUM_SPECIFIC_HEAT == 896.0
+        assert units.FR4_SPECIFIC_HEAT == 1245.0
