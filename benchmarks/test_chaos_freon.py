@@ -1,0 +1,100 @@
+"""Chaos replay: Figure 11 under an infrastructure-failure storm.
+
+The section 5 thermal emergencies (machine 1's inlet to 38.6 C and
+machine 3's to 35.6 C at t=480 s) rerun with the fault injector active:
+5% datagram loss on every tempd -> admd message, machine 2's disk sensor
+stuck at a plausible 45 C, and machine 1's tempd crashed at t=1060 s —
+while it is hot and restricted — for the watchdog to restart.  Freon's
+resilience layer (retry/backoff, last-known-good holds, conservative
+staleness fallback, watchdog restarts on the original wake grid) must
+keep the outcome indistinguishable from the clean run: every hot CPU
+pinned at T_h and zero dropped requests.
+
+Seed 3 is used deliberately: it is one of the seeds where the 5% loss
+actually destroys a datagram during the experiment, so the run exercises
+a real loss, a real crash, and a lying sensor at once.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, chaos_script
+from repro.config import table1
+from repro.faults.injector import FaultInjector
+
+from .conftest import emit, series_rows
+
+#: Seed for the fault RNG; seed 3 drops a real datagram mid-experiment.
+CHAOS_SEED = 3
+
+#: Allowed overshoot above T_h under faults (acceptance criterion).
+TOLERANCE = 0.5
+
+
+def run_chaos(seed=CHAOS_SEED):
+    sim = ClusterSimulation(
+        policy="freon",
+        fiddle_script=chaos_script(),
+        injector=FaultInjector(seed=seed),
+    )
+    return sim, sim.run(2000)
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_chaos()
+
+
+def test_chaos_freon_holds_thresholds(benchmark, chaos_result):
+    sim, result = chaos_result
+    times = result.times()
+
+    temp_table = series_rows(
+        times,
+        *[result.series(m, "cpu_temperature") for m in sim.machines],
+        header=("time(s)", "m1 (C)", "m2 (C)", "m3 (C)", "m4 (C)"),
+        every=120,
+    )
+    stats = result.datagram_stats
+    summary = (
+        "Chaos replay — Figure 11 emergencies + fault storm\n"
+        f"faults: 5% tempd->admd loss, machine2 disk sensor stuck at 45 C,\n"
+        f"        machine1 tempd crashed at t=1060 s (watchdog restart)\n"
+        f"fault log: {[(t, e) for t, e in result.fault_log]}\n"
+        f"restarts:  {[(r.time, r.machine, r.daemon) for r in result.restarts]}\n"
+        f"datagrams: sent={stats['sent']} delivered={stats['delivered']} "
+        f"dropped={stats['dropped']} duplicated={stats['duplicated']}\n"
+        f"dropped requests: {result.drop_fraction * 100:.2f}% (paper: 0%)\n"
+        f"peak CPU temps: "
+        f"{ {m: round(result.max_temperature(m), 2) for m in sim.machines} }\n"
+        f"bound: T_h + {TOLERANCE} = {table1.T_HIGH_CPU + TOLERANCE} C\n\n"
+        "CPU temperature (C):\n" + temp_table
+    )
+    emit("chaos_freon", summary)
+
+    # The storm really happened ...
+    assert stats["dropped"] >= 1
+    assert [(r.machine, r.daemon) for r in result.restarts] == [
+        ("machine1", "tempd")
+    ]
+    assert any("stuck" in event for _, event in result.fault_log)
+    # ... and Freon absorbed it: no drops, every CPU within tolerance.
+    assert result.drop_fraction == 0.0
+    for machine in sim.machines:
+        assert (
+            result.max_temperature(machine)
+            <= table1.T_HIGH_CPU + TOLERANCE
+        )
+
+    # Timed kernel: one full 2000 s chaos experiment.
+    benchmark.pedantic(run_chaos, iterations=1, rounds=1)
+
+
+def test_chaos_replay_is_bit_identical(chaos_result):
+    _, first = chaos_result
+    _, second = run_chaos()
+    assert second.records == first.records
+    assert second.fault_log == first.fault_log
+    assert second.datagram_stats == first.datagram_stats
+    assert [
+        (r.time, r.machine, r.daemon) for r in second.restarts
+    ] == [(r.time, r.machine, r.daemon) for r in first.restarts]

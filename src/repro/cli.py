@@ -33,8 +33,10 @@ from typing import List, Optional, Sequence
 from .cluster.simulation import (
     POLICIES,
     ClusterSimulation,
+    chaos_script,
     emergency_script,
 )
+from .faults.injector import FaultInjector
 from .core.trace import load_traces, run_offline, save_history
 from .errors import ReproError
 from .fiddle.script import events_from_script
@@ -93,6 +95,32 @@ def _build_parser() -> argparse.ArgumentParser:
     freon.add_argument(
         "--no-emergency", action="store_true",
         help="skip the inlet-temperature emergencies",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a Freon experiment under injected infrastructure faults",
+    )
+    chaos.add_argument(
+        "--policy", choices=POLICIES, default="freon",
+        help="management policy",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=2000.0,
+        help="simulated seconds",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection RNG seed (same seed => identical run)",
+    )
+    chaos.add_argument(
+        "--loss", type=float, default=0.05,
+        help="tempd->admd datagram loss probability",
+    )
+    chaos.add_argument(
+        "--script", default=None,
+        help="fiddle script with fault statements (default: the built-in "
+             "chaos scenario: emergencies + loss + stuck sensor + tempd crash)",
     )
     return parser
 
@@ -195,11 +223,64 @@ def cmd_freon(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace, out) -> int:
+    if args.script is not None:
+        with open(args.script) as handle:
+            script = handle.read()
+    else:
+        script = chaos_script(loss=args.loss)
+    simulation = ClusterSimulation(
+        policy=args.policy,
+        fiddle_script=script,
+        injector=FaultInjector(seed=args.seed),
+    )
+    result = simulation.run(args.duration)
+    print(f"policy: {args.policy}  fault seed: {args.seed}", file=out)
+    print(
+        f"dropped requests: {result.drop_fraction * 100:.2f}% of "
+        f"{result.total_offered:.0f}",
+        file=out,
+    )
+    peaks = {
+        m: round(result.max_temperature(m), 1) for m in simulation.machines
+    }
+    print(f"peak CPU temperatures: {peaks}", file=out)
+    if result.datagram_stats:
+        stats = result.datagram_stats
+        print(
+            f"datagrams: {stats['sent']} sent, {stats['delivered']} "
+            f"delivered, {stats['dropped']} dropped, "
+            f"{stats['duplicated']} duplicated, {stats['delayed']} delayed",
+            file=out,
+        )
+    print(f"adjustments: {len(result.adjustments)}", file=out)
+    for when, event in result.fault_log:
+        print(f"  t={when:7.1f}  {event}", file=out)
+    for restart in result.restarts:
+        print(
+            f"watchdog restarted {restart.machine}/{restart.daemon} "
+            f"at t={restart.time:g}",
+            file=out,
+        )
+    stale = sum(t.stale_wakes for t in simulation.tempds.values())
+    conservative = sum(
+        t.conservative_wakes for t in simulation.tempds.values()
+    )
+    if stale or conservative:
+        print(
+            f"tempd resilience: {stale} stale wake(s), "
+            f"{conservative} conservative throttle(s)",
+            file=out,
+        )
+    return 0
+
+
 _COMMANDS = {
     "solve": cmd_solve,
     "check": cmd_check,
     "graphviz": cmd_graphviz,
     "freon": cmd_freon,
+    "chaos": cmd_chaos,
 }
 
 

@@ -28,6 +28,12 @@ from ..core.solver import Solver
 from ..daemons.admd import Admd
 from ..daemons.tempd import Tempd, TempdMessage
 from ..errors import ClusterError
+from ..faults.injector import (
+    DaemonWatchdog,
+    FaultInjector,
+    LossyChannel,
+    RestartEvent,
+)
 from ..fiddle.script import ScriptRunner, parse_script
 from ..freon.ec import AdmdEC
 from ..freon.policy import FreonConfig
@@ -96,6 +102,12 @@ class SimulationResult:
     shutdowns: List
     pstate_changes: List
     fiddle_log: List[str]
+    #: Fault-injection audit log: (time, event) entries.
+    fault_log: List[Tuple[float, str]] = field(default_factory=list)
+    #: Watchdog daemon restarts.
+    restarts: List[RestartEvent] = field(default_factory=list)
+    #: tempd -> admd datagram stats: sent/delivered/dropped/duplicated/delayed.
+    datagram_stats: Dict[str, int] = field(default_factory=dict)
 
     def times(self) -> List[float]:
         """Tick timestamps."""
@@ -133,6 +145,9 @@ class ClusterSimulation:
         regions: Optional[RegionMap] = None,
         boot_time: float = 60.0,
         dt: float = 1.0,
+        injector: Optional[FaultInjector] = None,
+        fault_seed: int = 0,
+        watchdog_restart_delay: float = 10.0,
     ) -> None:
         if policy not in POLICIES:
             raise ClusterError(f"unknown policy {policy!r}; pick from {POLICIES}")
@@ -148,7 +163,11 @@ class ClusterSimulation:
             dt=dt,
             record=False,
         )
-        self.service = SensorService(self.solver, aliases=table1.sensor_map())
+        #: Always present; inert until a fault is scheduled or injected.
+        self.injector = injector or FaultInjector(seed=fault_seed)
+        self.service = SensorService(
+            self.solver, aliases=table1.sensor_map(), injector=self.injector
+        )
         self.balancer = LoadBalancer(self.machines)
         self.webservers: Dict[str, WebServer] = {
             name: WebServer(name, boot_time=boot_time) for name in self.machines
@@ -159,8 +178,16 @@ class ClusterSimulation:
         self.config = freon_config or FreonConfig()
         self._script: Optional[ScriptRunner] = None
         if fiddle_script:
-            self._script = ScriptRunner(self.solver, parse_script(fiddle_script))
+            self._script = ScriptRunner(
+                self.solver, parse_script(fiddle_script), injector=self.injector
+            )
+        self.channel: Optional[LossyChannel] = None
         self._build_policy(regions)
+        self.watchdog = DaemonWatchdog(
+            self.injector,
+            restart=self._restart_daemon,
+            restart_delay=watchdog_restart_delay,
+        )
         self.records: List[TickRecord] = []
         self.total_offered = 0.0
         self.total_dropped = 0.0
@@ -210,11 +237,13 @@ class ClusterSimulation:
                 config=self.config,
             )
             ec_mode = True
+        # tempd -> admd datagrams traverse the (fault-injectable) channel.
+        self.channel = LossyChannel(self.admd.deliver, self.injector)
         for name in self.machines:
             self.tempds[name] = Tempd(
                 machine=name,
                 temperature_reader=self._temperature_reader(name),
-                send=self.admd.deliver,
+                send=self.channel,
                 config=self.config,
                 utilization_reader=self._utilization_reader(name) if ec_mode else None,
             )
@@ -282,6 +311,28 @@ class ClusterSimulation:
         self.balancer.quiesce(name)
         server.begin_drain()
 
+    def _restart_daemon(self, machine: str, daemon: str) -> None:
+        """Watchdog hook: rebuild a crashed daemon's in-memory state.
+
+        A restarted tempd gets a fresh controller bank (derivative state
+        does not survive a crash) but keeps knowledge of whether admd
+        holds restrictions for its server — in a real deployment the
+        supervisor hands that over from admd on reconnect.
+        """
+        if daemon != "tempd" or machine not in self.tempds:
+            return  # monitord has no in-memory state to rebuild here
+        old = self.tempds[machine]
+        replacement = Tempd(
+            machine=machine,
+            temperature_reader=self._temperature_reader(machine),
+            send=self.channel,
+            config=self.config,
+            utilization_reader=old._read_utilizations,
+            phase=self.time % self.config.monitor_period,
+        )
+        replacement.restricted = old.restricted
+        self.tempds[machine] = replacement
+
     def _set_machine_power(self, name: str, on: bool) -> None:
         factor = 1.0 if on else 0.0
         state = self.solver.machine(name)
@@ -304,7 +355,9 @@ class ClusterSimulation:
         now = self.time
         dt = self.dt
 
-        # 1. fiddle events (thermal emergencies).
+        # 1. fault clock, then fiddle events (thermal emergencies and
+        #    fault statements both fire here).
+        self.injector.advance_to(now)
         if self._script is not None:
             self._script.advance_to(now)
 
@@ -339,8 +392,12 @@ class ClusterSimulation:
                 if name in self.tempds:
                     self.tempds[name].restricted = False
 
-        # 4. monitord path: utilizations into the Mercury solver.
+        # 4. monitord path: utilizations into the Mercury solver.  A
+        #    stalled or crashed monitord leaves the solver holding that
+        #    machine's previous utilizations (stale data, as in life).
         for name, ws in self.webservers.items():
+            if not self.injector.monitord_active(name):
+                continue
             self.solver.set_utilizations(
                 name,
                 {
@@ -357,8 +414,13 @@ class ClusterSimulation:
         if self.admd is not None:
             self.admd.tick(dt, self.time)
             for name, tempd in self.tempds.items():
-                if self.webservers[name].state is PowerState.ACTIVE:
+                if (
+                    self.webservers[name].state is PowerState.ACTIVE
+                    and self.injector.daemon_up(name, "tempd")
+                ):
                     tempd.tick(dt, self.time)
+            if self.channel is not None:
+                self.channel.flush(self.time)
             if isinstance(self.admd, AdmdEC):
                 # Reconfigure once per monitor period, after the tempds.
                 if int(round(self.time / dt)) % int(
@@ -369,6 +431,7 @@ class ClusterSimulation:
             self.traditional.tick(dt, self.time)
         for governor in self.governors.values():
             governor.tick(dt)
+        self.watchdog.tick(dt, self.time)
 
         # 7. record.
         record = self._record(now, offered, allocation.dropped_rate)
@@ -388,8 +451,10 @@ class ClusterSimulation:
                 connections=ws.load.connections,
                 weight=balancer_entry.weight,
                 connection_limit=balancer_entry.connection_limit,
-                cpu_temperature=self.service.read_temperature(name, "cpu"),
-                disk_temperature=self.service.read_temperature(name, "disk"),
+                # Records hold the physical ground truth, not what a
+                # possibly-faulted sensor claims.
+                cpu_temperature=self.service.true_temperature(name, "cpu"),
+                disk_temperature=self.service.true_temperature(name, "disk"),
             )
         return TickRecord(
             time=now,
@@ -415,6 +480,15 @@ class ClusterSimulation:
         drop_fraction = (
             self.total_dropped / self.total_offered if self.total_offered else 0.0
         )
+        datagram_stats = {}
+        if self.channel is not None:
+            datagram_stats = {
+                "sent": self.channel.sent,
+                "delivered": self.channel.delivered,
+                "dropped": self.channel.dropped,
+                "duplicated": self.channel.duplicated,
+                "delayed": self.channel.delayed,
+            }
         return SimulationResult(
             records=list(self.records),
             drop_fraction=drop_fraction,
@@ -427,6 +501,9 @@ class ClusterSimulation:
             shutdowns=list(shutdowns),
             pstate_changes=pstate_changes,
             fiddle_log=list(self._script.fiddle.log) if self._script else [],
+            fault_log=list(self.injector.log),
+            restarts=list(self.watchdog.events),
+            datagram_stats=datagram_stats,
         )
 
 
@@ -446,4 +523,30 @@ def emergency_script(
         f"sleep {time:g}\n"
         f"fiddle machine1 temperature inlet {inlet_m1:g}\n"
         f"fiddle machine3 temperature inlet {inlet_m3:g}\n"
+    )
+
+
+def chaos_script(
+    loss: float = 0.05,
+    stuck_machine: str = "machine2",
+    stuck_value: float = 45.0,
+    crash_machine: str = "machine1",
+    crash_time: float = 1060.0,
+) -> str:
+    """The section 5 emergency plus an infrastructure-failure storm.
+
+    On top of the Figure 11 thermal emergencies: ``loss`` datagram loss
+    on the tempd -> admd path for the whole run, one disk sensor stuck
+    at a plausible-but-frozen value, and one tempd crash while its
+    server is hot and restricted (left for the watchdog to restart).
+    This is the scenario the chaos benchmark and ``repro chaos`` replay.
+    """
+    emergency = emergency_script()
+    tail_sleep = crash_time - table1.EMERGENCY_TIME
+    return (
+        f"fault net loss {loss:g}\n"
+        + emergency
+        + f"fault {stuck_machine} sensor stuck disk {stuck_value:g}\n"
+        + f"sleep {tail_sleep:g}\n"
+        + f"fault {crash_machine} daemon crash tempd\n"
     )

@@ -24,7 +24,10 @@ once per simulated period.  Transport is either a direct
 from __future__ import annotations
 
 import socket
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 from ..config import table1
 from ..machine.perfcounters import (
@@ -57,6 +60,10 @@ class Monitord:
     use_counters:
         Enable the performance-counter CPU mode (the server must have
         been built with ``with_counters=True``).
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; while it
+        reports this machine's monitord stalled or crashed, ticks elapse
+        without sampling, so the solver keeps seeing stale utilizations.
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class Monitord:
         transport: Union[SensorService, Tuple[str, int]],
         period: float = DEFAULT_PERIOD,
         use_counters: bool = False,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if period <= 0.0:
             raise ValueError("period must be positive")
@@ -93,16 +101,25 @@ class Monitord:
                 estimator=calibrated_estimator(cpu_model, server.counters),
                 power_model=cpu_model,
             )
+        self.injector = injector
         self.updates_sent = 0
+        self.updates_stalled = 0
         self._elapsed = 0.0
 
     def tick(self, dt: float = 1.0) -> Optional[Dict[str, float]]:
         """Advance the daemon's clock; send an update when a period elapses.
 
-        Returns the utilizations sent, or None when no update was due.
+        Returns the utilizations sent, or None when no update was due
+        (including while an injected stall or crash suppresses sampling —
+        the first tick after recovery sends immediately).
         """
         self._elapsed += dt
         if self._elapsed + 1e-9 < self.period:
+            return None
+        if self.injector is not None and not self.injector.monitord_active(
+            self.machine
+        ):
+            self.updates_stalled += 1
             return None
         self._elapsed = 0.0
         return self.send_update()

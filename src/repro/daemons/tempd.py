@@ -19,8 +19,9 @@ periodically"; enable that with a ``utilization_reader``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import SensorError
 from ..freon.controller import ControllerBank
 from ..freon.policy import FreonConfig
 
@@ -59,6 +60,11 @@ class Tempd:
     utilization_reader:
         Optional callable returning component utilizations; when given,
         a STATUS message is sent every period (Freon-EC mode).
+    phase:
+        Seconds of the monitor period already elapsed at construction.
+        A daemon restarted mid-run passes ``now % monitor_period`` so its
+        wake-ups stay aligned to the original minute grid (like a
+        cron-scheduled daemon) instead of drifting by the restart time.
     """
 
     def __init__(
@@ -68,19 +74,29 @@ class Tempd:
         send: Callable[[TempdMessage], None],
         config: Optional[FreonConfig] = None,
         utilization_reader: Optional[Callable[[], Dict[str, float]]] = None,
+        phase: float = 0.0,
     ) -> None:
         self.machine = machine
         self.config = config or FreonConfig()
+        if not 0.0 <= phase < self.config.monitor_period:
+            raise ValueError("phase must be within one monitor period")
         self._read_temperatures = temperature_reader
         self._read_utilizations = utilization_reader
         self._send = send
         self._controllers = ControllerBank(kp=self.config.kp, kd=self.config.kd)
-        self._elapsed = 0.0
+        self._elapsed = phase
         #: True while admd has restrictions in place for this server.
         self.restricted = False
         #: Components currently above their high threshold.
         self.hot_components: List[str] = []
         self.messages_sent = 0
+        #: Last successful (time, readings) pair, for sensor-failure holds.
+        self._last_good: Optional[Tuple[float, Dict[str, float]]] = None
+        #: PD output of the most recent ADJUST, held during staleness.
+        self._last_output: Optional[float] = None
+        self.read_failures = 0
+        self.stale_wakes = 0
+        self.conservative_wakes = 0
 
     def tick(self, dt: float, now: float) -> List[TempdMessage]:
         """Advance the daemon clock; act when a monitor period elapses."""
@@ -92,7 +108,11 @@ class Tempd:
 
     def wake(self, now: float) -> List[TempdMessage]:
         """One wake-up: read temperatures, run the policy, send messages."""
-        temperatures = dict(self._read_temperatures())
+        try:
+            temperatures = dict(self._read_temperatures())
+        except SensorError:
+            return self._wake_without_readings(now)
+        self._last_good = (now, dict(temperatures))
         sent: List[TempdMessage] = []
         highs = {c: self.config.high(c) for c in temperatures}
         self.hot_components = [
@@ -116,6 +136,7 @@ class Tempd:
         if self.hot_components:
             output = self._controllers.combined_output(temperatures, highs)
             self.restricted = True
+            self._last_output = output
             sent.append(
                 TempdMessage(
                     type=MSG_ADJUST,
@@ -154,6 +175,52 @@ class Tempd:
                 )
             )
 
+        for message in sent:
+            self._send(message)
+        self.messages_sent += len(sent)
+        return sent
+
+    def _wake_without_readings(self, now: float) -> List[TempdMessage]:
+        """Resilience path: the sensor read failed this wake-up.
+
+        Within the staleness limit of the last good reading, hold the
+        current posture (re-assert the last PD output if restricted, do
+        nothing otherwise).  Past the limit, fail conservative: ask admd
+        to throttle this server rather than run it blind near T_h.
+        """
+        self.read_failures += 1
+        last = self._last_good
+        fresh_enough = (
+            last is not None
+            and now - last[0] <= self.config.sensor_staleness_limit + 1e-9
+        )
+        stale_temps = dict(last[1]) if last is not None else {}
+        sent: List[TempdMessage] = []
+        if fresh_enough:
+            self.stale_wakes += 1
+            if self.restricted and self._last_output is not None:
+                sent.append(
+                    TempdMessage(
+                        type=MSG_ADJUST,
+                        machine=self.machine,
+                        time=now,
+                        output=self._last_output,
+                        temperatures=stale_temps,
+                    )
+                )
+        else:
+            self.conservative_wakes += 1
+            self.restricted = True
+            self._last_output = self.config.conservative_output
+            sent.append(
+                TempdMessage(
+                    type=MSG_ADJUST,
+                    machine=self.machine,
+                    time=now,
+                    output=self.config.conservative_output,
+                    temperatures=stale_temps,
+                )
+            )
         for message in sent:
             self._send(message)
         self.messages_sent += len(sent)

@@ -22,6 +22,7 @@ import threading
 from typing import Callable, Optional, Tuple
 
 from ..errors import SensorError
+from ..faults.backoff import DAEMON_JOIN_TIMEOUT, SERVER_POLL_INTERVAL
 from .tempd import TempdMessage
 
 #: Safety bound: a Freon message must fit one comfortable datagram.
@@ -163,7 +164,7 @@ class AdmdListener:
             raise SensorError("listener already started")
         self._thread = threading.Thread(
             target=self._server.serve_forever,
-            kwargs={"poll_interval": 0.05},
+            kwargs={"poll_interval": SERVER_POLL_INTERVAL},
             daemon=True,
         )
         self._thread.start()
@@ -174,7 +175,7 @@ class AdmdListener:
         if self._thread is None:
             return
         self._server.shutdown()
-        self._thread.join(timeout=5.0)
+        self._thread.join(timeout=DAEMON_JOIN_TIMEOUT)
         self._server.server_close()
         self._thread = None
 

@@ -78,6 +78,10 @@ class FiddleError(ReproError):
     """Errors raised by the fiddle thermal-emergency tool."""
 
 
+class FaultError(ReproError):
+    """Errors in the fault-injection subsystem (specs, schedules, hooks)."""
+
+
 class SensorError(ReproError):
     """Errors in the sensor client library or sensor service."""
 

@@ -1,0 +1,53 @@
+"""repro.faults: deterministic fault injection and resilience.
+
+The paper uses Mercury to create *thermal* emergencies on demand; this
+package extends the idea to the infrastructure that observes them —
+sensors that stick or drop out, datagrams that vanish or arrive twice,
+daemons that crash mid-experiment — plus the resilience pieces (shared
+retry backoff, a daemon watchdog) that let Freon survive all of it.
+
+Layout:
+
+* :mod:`~repro.faults.model` — the typed fault catalogue
+  (:class:`FaultSpec` / :class:`FaultKind`);
+* :mod:`~repro.faults.schedule` — seeded, deterministic fault schedules
+  and the ``fault`` statement extending the fiddle-script grammar;
+* :mod:`~repro.faults.injector` — the runtime: clock-driven activation,
+  sensor/datagram/daemon hooks, :class:`LossyChannel`,
+  :class:`DaemonWatchdog`;
+* :mod:`~repro.faults.backoff` — the shared UDP retry/backoff policy.
+"""
+
+from .backoff import BackoffPolicy, DEFAULT_BACKOFF
+from .injector import (
+    ActiveFault,
+    DaemonWatchdog,
+    FaultInjector,
+    LossyChannel,
+    RestartEvent,
+)
+from .model import FaultKind, FaultSpec
+from .schedule import (
+    FaultSchedule,
+    ScheduledFault,
+    format_fault_command,
+    is_fault_command,
+    parse_fault_command,
+)
+
+__all__ = [
+    "ActiveFault",
+    "BackoffPolicy",
+    "DEFAULT_BACKOFF",
+    "DaemonWatchdog",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "LossyChannel",
+    "RestartEvent",
+    "ScheduledFault",
+    "format_fault_command",
+    "is_fault_command",
+    "parse_fault_command",
+]

@@ -1,0 +1,338 @@
+"""Runtime fault injection: hooks, the lossy channel, and the watchdog.
+
+The :class:`FaultInjector` is the single runtime authority on "what is
+broken right now".  It is driven by the simulation clock
+(:meth:`FaultInjector.advance_to`) and consulted from hook points wired
+through the stack:
+
+* :class:`~repro.sensors.server.SensorService` passes every reading
+  through :meth:`filter_sensor`;
+* the tempd -> admd datagram path runs through a :class:`LossyChannel`,
+  which asks :meth:`datagram_fate` about each message;
+* :class:`~repro.cluster.simulation.ClusterSimulation` checks
+  :meth:`daemon_up` / :meth:`monitord_active` before ticking daemons;
+* :class:`DaemonWatchdog` restarts daemons the injector reports crashed.
+
+Everything stochastic draws from one seeded RNG, so replaying the same
+fault schedule with the same seed reproduces a run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import FaultError, SensorError
+from .model import FaultKind, FaultSpec
+from .schedule import FaultSchedule, ScheduledFault
+
+#: Seconds a reordered datagram is held back, letting later ones overtake.
+REORDER_HOLD = 2.5
+
+
+@dataclass
+class ActiveFault:
+    """One fault currently in force."""
+
+    spec: FaultSpec
+    start: float
+    #: Absolute end time, or None for open-ended faults.
+    end: Optional[float]
+    #: Per-fault scratch state (e.g. the frozen stuck-at value).
+    state: Dict[str, float] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Seeded, clock-driven fault state machine."""
+
+    def __init__(
+        self,
+        schedule: Optional[FaultSchedule] = None,
+        seed: int = 0,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+        self._pending: List[ScheduledFault] = sorted(
+            schedule or [], key=lambda f: f.start
+        )
+        self._next = 0
+        self._active: List[ActiveFault] = []
+        self.now = 0.0
+        #: Audit log of (time, event) entries.
+        self.log: List[Tuple[float, str]] = []
+        #: Counters for summaries and tests.
+        self.sensor_faulted_reads = 0
+        self.sensor_dropped_reads = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def schedule(self, start: float, spec: FaultSpec) -> None:
+        """Add one fault to the pending schedule."""
+        self._pending.append(ScheduledFault(start=start, spec=spec))
+        self._pending.sort(key=lambda f: f.start)
+        if self._next > 0:
+            # Keep unfired entries ahead of the cursor consistent.
+            fired = self._pending[: self._next]
+            if any(f.start > start for f in fired):
+                raise FaultError(
+                    "cannot schedule a fault in the already-elapsed past"
+                )
+
+    def inject(self, spec: FaultSpec, now: Optional[float] = None) -> ActiveFault:
+        """Activate a fault immediately (script statements land here)."""
+        if now is None:
+            now = self.now
+        end = now + spec.duration if spec.duration is not None else None
+        active = ActiveFault(spec=spec, start=now, end=end)
+        self._active.append(active)
+        self.log.append((now, f"inject {spec.describe()}"))
+        return active
+
+    def advance_to(self, now: float) -> None:
+        """Move the clock: fire due scheduled faults, expire finished ones."""
+        self.now = now
+        while self._next < len(self._pending) and (
+            self._pending[self._next].start <= now
+        ):
+            entry = self._pending[self._next]
+            self.inject(entry.spec, now=entry.start)
+            self._next += 1
+        expired = [f for f in self._active if f.end is not None and f.end <= now]
+        for fault in expired:
+            self._active.remove(fault)
+            self.log.append((now, f"expire {fault.spec.describe()}"))
+
+    def clear(self, kind: Optional[FaultKind] = None) -> int:
+        """Deactivate faults (all, or all of one kind); returns the count."""
+        victims = [
+            f for f in self._active if kind is None or f.spec.kind is kind
+        ]
+        for fault in victims:
+            self._active.remove(fault)
+            self.log.append((self.now, f"clear {fault.spec.describe()}"))
+        return len(victims)
+
+    @property
+    def active(self) -> List[ActiveFault]:
+        """Faults currently in force (snapshot)."""
+        return list(self._active)
+
+    def _matching(self, *kinds: FaultKind) -> List[ActiveFault]:
+        return [f for f in self._active if f.spec.kind in kinds]
+
+    # -- sensor hook -------------------------------------------------------
+
+    def filter_sensor(self, machine: str, component: str, value: float) -> float:
+        """Apply active sensor faults to one reading.
+
+        Raises :class:`~repro.errors.SensorError` while a dropout fault
+        covers the sensor.
+        """
+        for fault in self._active:
+            spec = fault.spec
+            if not spec.is_sensor:
+                continue
+            if spec.machine != machine or spec.target.lower() != component.lower():
+                continue
+            self.sensor_faulted_reads += 1
+            if spec.kind is FaultKind.SENSOR_DROPOUT:
+                self.sensor_dropped_reads += 1
+                raise SensorError(
+                    f"injected dropout: sensor {component!r} on "
+                    f"{machine!r} is not responding"
+                )
+            if spec.kind is FaultKind.SENSOR_STUCK:
+                if "value" not in fault.state:
+                    fault.state["value"] = (
+                        spec.value if spec.value is not None else value
+                    )
+                value = fault.state["value"]
+            elif spec.kind is FaultKind.SENSOR_SPIKE:
+                value = value + spec.value
+            elif spec.kind is FaultKind.SENSOR_NOISE:
+                value = value + self._rng.gauss(0.0, spec.value)
+        return value
+
+    # -- network hook ------------------------------------------------------
+
+    def datagram_fate(self) -> Tuple[bool, bool, float]:
+        """Decide one datagram's fate: (dropped, duplicated, delay).
+
+        Loss wins over everything; duplication and delay compose.  The
+        delay combines fixed ``NET_DELAY`` faults with a probabilistic
+        ``NET_REORDER`` hold-back.
+        """
+        dropped = False
+        duplicated = False
+        delay = 0.0
+        for fault in self._matching(FaultKind.NET_LOSS):
+            if self._rng.random() < fault.spec.value:
+                dropped = True
+        # Keep the RNG stream position independent of outcomes: every
+        # active probabilistic fault consumes exactly one draw per
+        # datagram, so fates stay reproducible under composition.
+        for fault in self._matching(FaultKind.NET_DUP):
+            if self._rng.random() < fault.spec.value:
+                duplicated = True
+        for fault in self._matching(FaultKind.NET_REORDER):
+            if self._rng.random() < fault.spec.value:
+                delay += REORDER_HOLD
+        for fault in self._matching(FaultKind.NET_DELAY):
+            delay += fault.spec.value
+        return dropped, duplicated, delay
+
+    # -- daemon hooks ------------------------------------------------------
+
+    def daemon_up(self, machine: str, daemon: str) -> bool:
+        """False while a crash fault covers the daemon."""
+        for fault in self._matching(FaultKind.DAEMON_CRASH):
+            if fault.spec.machine == machine and fault.spec.target == daemon:
+                return False
+        return True
+
+    def crashed_daemons(self) -> List[Tuple[str, str, float]]:
+        """All crashed daemons as (machine, daemon, down-since) tuples."""
+        return [
+            (f.spec.machine, f.spec.target, f.start)
+            for f in self._matching(FaultKind.DAEMON_CRASH)
+        ]
+
+    def restart_daemon(
+        self, machine: str, daemon: str, now: Optional[float] = None
+    ) -> bool:
+        """Clear the crash fault covering a daemon (watchdog action).
+
+        ``now`` stamps the audit-log entry; the watchdog passes its own
+        clock, which may be one tick ahead of the injector's.
+        """
+        for fault in self._matching(FaultKind.DAEMON_CRASH):
+            if fault.spec.machine == machine and fault.spec.target == daemon:
+                self._active.remove(fault)
+                self.log.append(
+                    (self.now if now is None else now,
+                     f"restart {machine}/{daemon}")
+                )
+                return True
+        return False
+
+    def monitord_active(self, machine: str) -> bool:
+        """False while monitord is stalled or crashed on a machine."""
+        if not self.daemon_up(machine, "monitord"):
+            return False
+        for fault in self._matching(FaultKind.MONITORD_STALL):
+            if fault.spec.machine == machine:
+                return False
+        return True
+
+
+class LossyChannel:
+    """The tempd -> admd datagram path with injectable misbehaviour.
+
+    Wraps a ``deliver`` callable (typically ``Admd.deliver``).  Sends are
+    stamped with the injector's clock; :meth:`flush` delivers everything
+    due, in (due-time, send-order) order, so delayed datagrams really are
+    overtaken by later ones.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[object], None],
+        injector: FaultInjector,
+    ) -> None:
+        self._deliver = deliver
+        self._injector = injector
+        self._pending: List[Tuple[float, int, object]] = []
+        self._seq = 0
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def __call__(self, message: object) -> None:
+        """Send one message through the faulty network."""
+        now = self._injector.now
+        self.sent += 1
+        dropped, duplicated, delay = self._injector.datagram_fate()
+        if dropped:
+            self.dropped += 1
+            self._injector.log.append((now, "datagram dropped"))
+            return
+        if delay > 0.0:
+            self.delayed += 1
+        copies = 2 if duplicated else 1
+        if duplicated:
+            self.duplicated += 1
+        for _ in range(copies):
+            self._pending.append((now + delay, self._seq, message))
+            self._seq += 1
+
+    def flush(self, now: float) -> int:
+        """Deliver every message due at or before ``now``; returns count."""
+        if not self._pending:
+            return 0
+        due = [entry for entry in self._pending if entry[0] <= now]
+        if not due:
+            return 0
+        self._pending = [entry for entry in self._pending if entry[0] > now]
+        for _, _, message in sorted(due, key=lambda e: (e[0], e[1])):
+            self._deliver(message)
+            self.delivered += 1
+        return len(due)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages queued but not yet delivered."""
+        return len(self._pending)
+
+
+@dataclass(frozen=True)
+class RestartEvent:
+    """One watchdog-initiated daemon restart."""
+
+    time: float
+    machine: str
+    daemon: str
+
+
+class DaemonWatchdog:
+    """Detects crashed daemons and restarts them after a delay.
+
+    ``restart`` is the harness hook that actually rebuilds the daemon
+    (e.g. giving a restarted tempd a fresh controller bank); the
+    watchdog first clears the injector's crash fault, then calls it.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        restart: Callable[[str, str], None],
+        check_period: float = 5.0,
+        restart_delay: float = 10.0,
+    ) -> None:
+        if check_period <= 0.0 or restart_delay < 0.0:
+            raise FaultError("watchdog periods must be positive")
+        self._injector = injector
+        self._restart = restart
+        self.check_period = check_period
+        self.restart_delay = restart_delay
+        self._elapsed = 0.0
+        self.events: List[RestartEvent] = []
+
+    def tick(self, dt: float, now: float) -> List[RestartEvent]:
+        """Advance the watchdog clock; restart overdue daemons."""
+        self._elapsed += dt
+        if self._elapsed + 1e-9 < self.check_period:
+            return []
+        self._elapsed = 0.0
+        fired: List[RestartEvent] = []
+        for machine, daemon, since in self._injector.crashed_daemons():
+            if now - since + 1e-9 < self.restart_delay:
+                continue
+            self._injector.restart_daemon(machine, daemon, now=now)
+            self._restart(machine, daemon)
+            event = RestartEvent(time=now, machine=machine, daemon=daemon)
+            self.events.append(event)
+            fired.append(event)
+        return fired

@@ -1,0 +1,169 @@
+"""The typed catalogue of injectable faults.
+
+Mercury's pitch (paper sections 2.4 and 5) is that emulation lets you
+create "thermal emergencies" on demand; this module extends the idea to
+the *infrastructure that observes the temperatures*.  Every failure mode
+the reproduction can inject is a :class:`FaultSpec` value:
+
+**Sensor faults** (per machine + component)
+    * ``SENSOR_STUCK``   — readings freeze at a value (given, or the
+      first value seen after activation);
+    * ``SENSOR_DROPOUT`` — reads fail with :class:`~repro.errors.SensorError`;
+    * ``SENSOR_SPIKE``   — a constant offset is added to every reading;
+    * ``SENSOR_NOISE``   — extra zero-mean Gaussian noise (seeded).
+
+**Network faults** (the tempd -> admd datagram path)
+    * ``NET_LOSS``    — each datagram dropped with probability *value*;
+    * ``NET_DUP``     — each datagram duplicated with probability *value*;
+    * ``NET_REORDER`` — each datagram held back one delivery slot with
+      probability *value*, letting later datagrams overtake it;
+    * ``NET_DELAY``   — every datagram delayed by *value* seconds.
+
+**Daemon faults** (per machine + daemon name)
+    * ``DAEMON_CRASH``   — the daemon stops ticking; it stays down until
+      its duration elapses or a watchdog restarts it;
+    * ``MONITORD_STALL`` — monitord keeps running but stops sampling, so
+      the solver sees stale utilizations.
+
+Specs are plain data: :mod:`repro.faults.schedule` parses them from
+``fault`` script statements and :mod:`repro.faults.injector` gives them
+runtime behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import FaultError
+
+
+class FaultKind(enum.Enum):
+    """Every injectable failure mode."""
+
+    SENSOR_STUCK = "stuck"
+    SENSOR_DROPOUT = "dropout"
+    SENSOR_SPIKE = "spike"
+    SENSOR_NOISE = "noise"
+    NET_LOSS = "loss"
+    NET_DUP = "dup"
+    NET_REORDER = "reorder"
+    NET_DELAY = "delay"
+    DAEMON_CRASH = "crash"
+    MONITORD_STALL = "stall"
+
+
+#: Kinds targeting one sensor (machine + component).
+SENSOR_KINDS = frozenset(
+    {
+        FaultKind.SENSOR_STUCK,
+        FaultKind.SENSOR_DROPOUT,
+        FaultKind.SENSOR_SPIKE,
+        FaultKind.SENSOR_NOISE,
+    }
+)
+
+#: Kinds targeting the datagram path (no machine).
+NET_KINDS = frozenset(
+    {
+        FaultKind.NET_LOSS,
+        FaultKind.NET_DUP,
+        FaultKind.NET_REORDER,
+        FaultKind.NET_DELAY,
+    }
+)
+
+#: Kinds targeting a daemon process (machine + daemon name).
+DAEMON_KINDS = frozenset({FaultKind.DAEMON_CRASH, FaultKind.MONITORD_STALL})
+
+#: Kinds whose ``value`` is a probability in [0, 1].
+_RATE_KINDS = frozenset(
+    {FaultKind.NET_LOSS, FaultKind.NET_DUP, FaultKind.NET_REORDER}
+)
+
+#: Daemons a crash fault may name.
+DAEMON_NAMES = ("tempd", "monitord")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault, fully described.
+
+    ``machine`` and ``target`` identify what breaks (``target`` is a
+    sensor component or a daemon name; both are None for network
+    faults).  ``value`` parameterizes the fault (stuck value, spike
+    delta, noise std, loss/dup/reorder probability, delay seconds);
+    ``duration`` limits it (None = until cleared or end of run).
+    """
+
+    kind: FaultKind
+    machine: Optional[str] = None
+    target: Optional[str] = None
+    value: Optional[float] = None
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in NET_KINDS:
+            if self.machine is not None or self.target is not None:
+                raise FaultError(
+                    f"{self.kind.value} faults target the network, not a machine"
+                )
+            if self.value is None:
+                raise FaultError(f"{self.kind.value} faults need a value")
+        elif self.kind in SENSOR_KINDS:
+            if not self.machine or not self.target:
+                raise FaultError(
+                    f"{self.kind.value} faults need a machine and a component"
+                )
+            if self.kind in (FaultKind.SENSOR_SPIKE, FaultKind.SENSOR_NOISE):
+                if self.value is None:
+                    raise FaultError(f"{self.kind.value} faults need a value")
+        else:  # daemon kinds
+            if not self.machine or not self.target:
+                raise FaultError(
+                    f"{self.kind.value} faults need a machine and a daemon name"
+                )
+            if self.target not in DAEMON_NAMES:
+                raise FaultError(
+                    f"unknown daemon {self.target!r}; pick from {DAEMON_NAMES}"
+                )
+            if self.kind is FaultKind.MONITORD_STALL and self.target != "monitord":
+                raise FaultError("stall faults only apply to monitord")
+        if self.kind in _RATE_KINDS and not 0.0 <= float(self.value) <= 1.0:
+            raise FaultError(
+                f"{self.kind.value} probability must be in [0, 1], "
+                f"got {self.value}"
+            )
+        if self.kind is FaultKind.NET_DELAY and float(self.value) < 0.0:
+            raise FaultError("delay must be non-negative")
+        if self.kind is FaultKind.SENSOR_NOISE and float(self.value) < 0.0:
+            raise FaultError("noise std must be non-negative")
+        if self.duration is not None and self.duration <= 0.0:
+            raise FaultError("fault duration must be positive")
+
+    @property
+    def is_sensor(self) -> bool:
+        return self.kind in SENSOR_KINDS
+
+    @property
+    def is_network(self) -> bool:
+        return self.kind in NET_KINDS
+
+    @property
+    def is_daemon(self) -> bool:
+        return self.kind in DAEMON_KINDS
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and summaries."""
+        where = (
+            "network"
+            if self.is_network
+            else f"{self.machine}/{self.target}"
+        )
+        parts = [f"{self.kind.value} @ {where}"]
+        if self.value is not None:
+            parts.append(f"value={self.value:g}")
+        if self.duration is not None:
+            parts.append(f"for {self.duration:g}s")
+        return " ".join(parts)

@@ -14,17 +14,35 @@ accumulates simulated time; ``fiddle ...`` lines are
 ignored) and produces :class:`TimedCommand` entries.  These convert to
 :class:`~repro.core.trace.TimedEvent` objects for the offline solver, or
 are applied live by :class:`ScriptRunner` inside a simulation loop.
+
+The grammar also admits ``fault`` statements (see
+:mod:`repro.faults.schedule`), so thermal emergencies and infrastructure
+failures compose in one script::
+
+    sleep 480
+    fiddle machine1 temperature inlet 38.6
+    fault net loss 0.05
+
+Fault statements need a :class:`~repro.faults.injector.FaultInjector` at
+run time; :class:`ScriptRunner` routes them there, while the offline
+solver path (:func:`to_events`) rejects them — the offline solver has no
+sensors or daemons to break.
+
+:func:`write_script` renders timed commands back to script text;
+``parse_script(write_script(parse_script(s)))`` is the identity on the
+parsed form.
 """
 
 from __future__ import annotations
 
 import shlex
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.solver import Solver
 from ..core.trace import TimedEvent
 from ..errors import FiddleError
+from ..faults.schedule import is_fault_command, parse_fault_command
 from .tool import Fiddle
 
 
@@ -61,15 +79,45 @@ def parse_script(text: str) -> List[TimedCommand]:
             clock += delay
         elif tokens[0] == "fiddle":
             commands.append(TimedCommand(time=clock, command=line))
+        elif tokens[0] == "fault":
+            try:
+                parse_fault_command(line)  # validate eagerly, like fiddle's shape
+            except Exception as exc:
+                raise FiddleError(f"line {lineno}: {exc}") from None
+            commands.append(TimedCommand(time=clock, command=line))
         else:
             raise FiddleError(
-                f"line {lineno}: expected 'sleep' or 'fiddle', got {tokens[0]!r}"
+                f"line {lineno}: expected 'sleep', 'fiddle' or 'fault', "
+                f"got {tokens[0]!r}"
             )
     return commands
 
 
+def write_script(commands: Sequence[TimedCommand]) -> str:
+    """Render timed commands back to Figure 4 script text.
+
+    Emits a shebang, ``sleep`` lines for the gaps, and the command lines
+    in time order.  Round-trips: parsing the output reproduces the input
+    commands exactly.
+    """
+    lines = ["#!/bin/bash"]
+    clock = 0.0
+    for command in sorted(commands, key=lambda c: c.time):
+        if command.time > clock:
+            # repr() is the shortest exact form, so parsing round-trips.
+            lines.append(f"sleep {command.time - clock!r}")
+            clock = command.time
+        lines.append(command.command)
+    return "\n".join(lines) + "\n"
+
+
 def to_events(commands: Sequence[TimedCommand]) -> List[TimedEvent]:
-    """Convert timed commands into offline-solver events."""
+    """Convert timed commands into offline-solver events.
+
+    Fault statements are rejected: the offline solver has no sensors,
+    datagrams, or daemons to break — run those through
+    :class:`~repro.cluster.simulation.ClusterSimulation` instead.
+    """
 
     def make_action(command: str):
         def action(solver: Solver) -> None:
@@ -77,6 +125,12 @@ def to_events(commands: Sequence[TimedCommand]) -> List[TimedEvent]:
 
         return action
 
+    for cmd in commands:
+        if is_fault_command(cmd.command):
+            raise FiddleError(
+                f"fault statements need a running cluster simulation, not "
+                f"the offline solver: {cmd.command!r}"
+            )
     return [
         TimedEvent(time=cmd.time, action=make_action(cmd.command), label=cmd.command)
         for cmd in commands
@@ -93,13 +147,27 @@ class ScriptRunner:
 
     Call :meth:`advance_to` with the current simulated time; every
     command whose timestamp has been reached fires exactly once, in
-    order.
+    order.  ``fiddle`` commands mutate the solver; ``fault`` commands go
+    to the ``injector`` (required if the script contains any).
     """
 
-    def __init__(self, solver: Solver, commands: Sequence[TimedCommand]) -> None:
+    def __init__(
+        self,
+        solver: Solver,
+        commands: Sequence[TimedCommand],
+        injector: Optional[object] = None,
+    ) -> None:
         self._fiddle = Fiddle(solver)
         self._commands = sorted(commands, key=lambda c: c.time)
         self._next = 0
+        self._injector = injector
+        if injector is None and any(
+            is_fault_command(c.command) for c in self._commands
+        ):
+            raise FiddleError(
+                "script contains fault statements but no fault injector "
+                "was provided"
+            )
 
     @property
     def pending(self) -> int:
@@ -118,8 +186,13 @@ class ScriptRunner:
             self._next < len(self._commands)
             and self._commands[self._next].time <= time
         ):
-            command = self._commands[self._next].command
-            self._fiddle.command(command)
-            fired.append(command)
+            entry = self._commands[self._next]
+            if is_fault_command(entry.command):
+                self._injector.inject(
+                    parse_fault_command(entry.command), now=entry.time
+                )
+            else:
+                self._fiddle.command(entry.command)
+            fired.append(entry.command)
             self._next += 1
         return fired

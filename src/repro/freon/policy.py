@@ -62,6 +62,13 @@ class FreonConfig:
     stats_period: float = 5.0
     #: Default LVS weight of an unrestricted server.
     base_weight: float = 1.0
+    #: Seconds tempd keeps trusting last-known-good readings when its
+    #: sensors stop answering (hold the last PD output meanwhile).
+    sensor_staleness_limit: float = 180.0
+    #: Controller output tempd applies once readings stay unavailable
+    #: past the staleness limit: fail conservative toward throttling
+    #: (output 1.0 halves the server's load share).
+    conservative_output: float = 1.0
 
     def high(self, component: str) -> float:
         """High threshold for a component class."""

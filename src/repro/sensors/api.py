@@ -19,7 +19,8 @@ semantics: :func:`opensensor` returns a small integer descriptor,
 Two transports are supported through the ``host`` argument:
 
 * a ``(host, port)`` UDP endpoint — the real wire path, with a
-  per-descriptor socket, timeout, and bounded retries;
+  per-descriptor socket and the shared
+  :class:`~repro.faults.backoff.BackoffPolicy` retry schedule;
 * a :class:`~repro.sensors.server.SensorService` instance — the
   in-process path used by the simulation harness, where "network" calls
   become method calls (latency still counts one OS-free round-trip).
@@ -38,17 +39,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 from ..errors import SensorClosedError, SensorError
+from ..faults.backoff import DEFAULT_BACKOFF, BackoffPolicy
 from . import protocol
 from .server import SensorService
 
 #: Default machine queried when the caller does not name one (single-node
 #: setups, like the Figure 3 example).
 DEFAULT_MACHINE = "machine1"
-
-#: UDP receive timeout per attempt, seconds.
-_UDP_TIMEOUT = 0.5
-#: Number of attempts before a read fails (UDP may drop datagrams).
-_UDP_RETRIES = 3
 
 _HostType = Union[str, SensorService]
 
@@ -61,6 +58,7 @@ class _Descriptor:
     machine: str
     component: str
     request_ids: "itertools.count[int]"
+    policy: BackoffPolicy = DEFAULT_BACKOFF
 
 
 _table_lock = threading.Lock()
@@ -73,13 +71,17 @@ def opensensor(
     port: int,
     component: str,
     machine: str = DEFAULT_MACHINE,
+    policy: Optional[BackoffPolicy] = None,
 ) -> int:
     """Open a sensor on the solver at ``host``/``port``.
 
     ``host`` may be a hostname/IP (UDP transport) or a
     :class:`SensorService` (in-process transport; ``port`` is ignored).
+    ``policy`` overrides the shared UDP retry/backoff schedule.
     Returns a descriptor for :func:`readsensor`/:func:`closesensor`.
     """
+    if policy is None:
+        policy = DEFAULT_BACKOFF
     if isinstance(host, SensorService):
         descriptor = _Descriptor(
             service=host,
@@ -88,10 +90,11 @@ def opensensor(
             machine=machine,
             component=component,
             request_ids=itertools.count(1),
+            policy=policy,
         )
     else:
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        sock.settimeout(_UDP_TIMEOUT)
+        sock.settimeout(policy.base_timeout)
         descriptor = _Descriptor(
             service=None,
             sock=sock,
@@ -99,6 +102,7 @@ def opensensor(
             machine=machine,
             component=component,
             request_ids=itertools.count(1),
+            policy=policy,
         )
     with _table_lock:
         sd = next(_next_sd)
@@ -142,8 +146,10 @@ def _lookup(sd: int) -> _Descriptor:
 
 def _udp_read(descriptor: _Descriptor) -> float:
     assert descriptor.sock is not None and descriptor.address is not None
+    policy = descriptor.policy
     last_error: Optional[Exception] = None
-    for _ in range(_UDP_RETRIES):
+    for timeout in policy.timeouts():
+        descriptor.sock.settimeout(timeout)
         request_id = next(descriptor.request_ids)
         query = protocol.SensorQuery(
             request_id=request_id,
@@ -172,7 +178,7 @@ def _udp_read(descriptor: _Descriptor) -> float:
             continue
     raise SensorError(
         f"no reply from solver at {descriptor.address} after "
-        f"{_UDP_RETRIES} attempts"
+        f"{policy.attempts} attempts"
     ) from last_error
 
 
@@ -189,8 +195,9 @@ class SensorConnection:
         port: int = 0,
         component: str = "cpu",
         machine: str = DEFAULT_MACHINE,
+        policy: Optional[BackoffPolicy] = None,
     ) -> None:
-        self._sd = opensensor(host, port, component, machine)
+        self._sd = opensensor(host, port, component, machine, policy=policy)
         self._open = True
 
     def read(self) -> float:

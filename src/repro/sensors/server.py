@@ -23,24 +23,37 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
-from typing import Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
 from ..core.solver import Solver
 from ..errors import SensorError, UnknownSensorError
+from ..faults.backoff import DAEMON_JOIN_TIMEOUT, SERVER_POLL_INTERVAL
 from . import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 
 class SensorService:
-    """Thread-safe query/update facade over a solver."""
+    """Thread-safe query/update facade over a solver.
+
+    When a :class:`~repro.faults.injector.FaultInjector` is attached,
+    every reading served through :meth:`read_temperature` passes through
+    its sensor hook (stuck-at / dropout / spike / extra noise);
+    :meth:`true_temperature` bypasses faults for instrumentation that
+    must observe the physical ground truth.
+    """
 
     def __init__(
         self,
         solver: Solver,
         aliases: Optional[Mapping[str, str]] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self._solver = solver
         self._aliases = dict(aliases or {})
         self._lock = threading.RLock()
+        self.injector = injector
         #: Counters useful in tests and for ops visibility.
         self.queries_served = 0
         self.updates_applied = 0
@@ -63,11 +76,22 @@ class SensorService:
     # -- in-process face --------------------------------------------------
 
     def read_temperature(self, machine: str, component: str) -> float:
-        """Resolve aliases and read a temperature from the solver."""
+        """Resolve aliases and read a temperature from the solver.
+
+        Subject to any active sensor faults; may raise
+        :class:`~repro.errors.SensorError` during an injected dropout.
+        """
         with self._lock:
             value = self._solver.temperature(machine, self.resolve(component))
             self.queries_served += 1
+            if self.injector is not None:
+                value = self.injector.filter_sensor(machine, component, value)
             return value
+
+    def true_temperature(self, machine: str, component: str) -> float:
+        """Read the ground-truth temperature, bypassing injected faults."""
+        with self._lock:
+            return self._solver.temperature(machine, self.resolve(component))
 
     def apply_utilizations(self, machine: str, utilizations: Mapping[str, float]) -> None:
         """Apply a monitord update to the solver."""
@@ -145,7 +169,8 @@ class UdpSensorServer:
         if self._thread is not None:
             raise SensorError("server already started")
         self._thread = threading.Thread(
-            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": SERVER_POLL_INTERVAL},
             daemon=True,
         )
         self._thread.start()
@@ -156,7 +181,7 @@ class UdpSensorServer:
         if self._thread is None:
             return
         self._server.shutdown()
-        self._thread.join(timeout=5.0)
+        self._thread.join(timeout=DAEMON_JOIN_TIMEOUT)
         self._server.server_close()
         self._thread = None
 

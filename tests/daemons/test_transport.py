@@ -9,6 +9,7 @@ from repro.cluster.lvs import LoadBalancer
 from repro.daemons.admd import Admd
 from repro.daemons.tempd import MSG_ADJUST, MSG_STATUS, Tempd, TempdMessage
 from repro.daemons.transport import (
+    MAX_MESSAGE_BYTES,
     AdmdListener,
     TempdSender,
     decode_message,
@@ -56,7 +57,25 @@ class TestEncoding:
             decode_message(bad)
 
     def test_fits_one_datagram(self):
-        assert len(encode_message(sample_message())) < 4096
+        assert len(encode_message(sample_message())) < MAX_MESSAGE_BYTES
+
+    def test_oversize_message_rejected(self):
+        bloated = TempdMessage(
+            type=MSG_STATUS,
+            machine="machine1",
+            time=1.0,
+            temperatures={f"sensor{i}": float(i) for i in range(400)},
+        )
+        with pytest.raises(SensorError, match="too large"):
+            encode_message(bloated)
+
+    def test_rejects_non_mapping_temperatures(self):
+        bad = (
+            b'{"type": "adjust", "machine": "m", "time": 1, '
+            b'"output": 0, "temperatures": [1, 2], "utilizations": {}}'
+        )
+        with pytest.raises(SensorError):
+            decode_message(bad)
 
     @given(
         output=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),

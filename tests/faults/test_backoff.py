@@ -1,0 +1,50 @@
+"""Tests for the shared UDP retry/backoff policy."""
+
+import pytest
+
+from repro.faults.backoff import BackoffPolicy, DEFAULT_BACKOFF
+
+
+class TestBackoffPolicy:
+    def test_default_schedule_grows_exponentially(self):
+        policy = BackoffPolicy(attempts=4, base_timeout=0.5, multiplier=2.0,
+                               max_timeout=10.0)
+        assert list(policy.timeouts()) == [0.5, 1.0, 2.0, 4.0]
+
+    def test_max_timeout_caps_the_schedule(self):
+        policy = BackoffPolicy(attempts=5, base_timeout=1.0, multiplier=3.0,
+                               max_timeout=4.0)
+        assert list(policy.timeouts()) == [1.0, 3.0, 4.0, 4.0, 4.0]
+
+    def test_constant_schedule_with_unit_multiplier(self):
+        policy = BackoffPolicy(attempts=3, base_timeout=0.2, multiplier=1.0)
+        assert list(policy.timeouts()) == [0.2, 0.2, 0.2]
+
+    def test_total_budget(self):
+        policy = BackoffPolicy(attempts=3, base_timeout=0.5, multiplier=2.0,
+                               max_timeout=4.0)
+        assert policy.total_budget() == pytest.approx(0.5 + 1.0 + 2.0)
+
+    def test_timeout_indexing(self):
+        policy = BackoffPolicy()
+        assert policy.timeout(0) == policy.base_timeout
+        with pytest.raises(ValueError):
+            policy.timeout(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_timeout": 0.0},
+            {"base_timeout": -1.0},
+            {"max_timeout": -1.0},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_default_policy_is_bounded(self):
+        assert DEFAULT_BACKOFF.attempts == 3
+        assert DEFAULT_BACKOFF.total_budget() < 10.0

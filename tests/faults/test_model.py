@@ -1,0 +1,77 @@
+"""Tests for the typed fault catalogue."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.model import FaultKind, FaultSpec
+
+
+class TestFaultSpec:
+    def test_sensor_fault_needs_machine_and_component(self):
+        spec = FaultSpec(kind=FaultKind.SENSOR_STUCK, machine="m1",
+                         target="cpu")
+        assert spec.is_sensor and not spec.is_network and not spec.is_daemon
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.SENSOR_STUCK, machine="m1")
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.SENSOR_DROPOUT, target="cpu")
+
+    def test_spike_and_noise_need_values(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.SENSOR_SPIKE, machine="m1", target="cpu")
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.SENSOR_NOISE, machine="m1", target="cpu")
+        FaultSpec(kind=FaultKind.SENSOR_SPIKE, machine="m1", target="cpu",
+                  value=5.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.SENSOR_NOISE, machine="m1",
+                      target="cpu", value=-0.1)
+
+    def test_network_fault_takes_no_machine(self):
+        spec = FaultSpec(kind=FaultKind.NET_LOSS, value=0.05)
+        assert spec.is_network
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.NET_LOSS, machine="m1", value=0.05)
+
+    def test_network_probabilities_bounded(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.NET_LOSS, value=1.5)
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.NET_DUP, value=-0.1)
+        FaultSpec(kind=FaultKind.NET_REORDER, value=1.0)
+
+    def test_delay_must_be_non_negative(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.NET_DELAY, value=-1.0)
+        FaultSpec(kind=FaultKind.NET_DELAY, value=0.0)
+
+    def test_daemon_fault_validates_daemon_name(self):
+        FaultSpec(kind=FaultKind.DAEMON_CRASH, machine="m1", target="tempd")
+        FaultSpec(kind=FaultKind.DAEMON_CRASH, machine="m1",
+                  target="monitord")
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.DAEMON_CRASH, machine="m1",
+                      target="systemd")
+
+    def test_stall_only_applies_to_monitord(self):
+        FaultSpec(kind=FaultKind.MONITORD_STALL, machine="m1",
+                  target="monitord")
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.MONITORD_STALL, machine="m1",
+                      target="tempd")
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind=FaultKind.NET_LOSS, value=0.1, duration=0.0)
+        FaultSpec(kind=FaultKind.NET_LOSS, value=0.1, duration=60.0)
+
+    def test_describe_mentions_location_and_value(self):
+        spec = FaultSpec(kind=FaultKind.SENSOR_STUCK, machine="m2",
+                         target="disk", value=45.0, duration=600.0)
+        text = spec.describe()
+        assert "m2/disk" in text and "stuck" in text
+        assert "45" in text and "600" in text
+        net = FaultSpec(kind=FaultKind.NET_LOSS, value=0.05)
+        assert "network" in net.describe()

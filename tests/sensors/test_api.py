@@ -5,6 +5,7 @@ import pytest
 from repro.config import table1
 from repro.core.solver import Solver
 from repro.errors import SensorClosedError, SensorError
+from repro.faults.backoff import BackoffPolicy
 from repro.sensors.api import (
     SensorConnection,
     closesensor,
@@ -136,12 +137,30 @@ class TestUdpTransport:
 
     def test_no_server_times_out(self):
         # Port 1 on localhost: nothing is listening there.
-        sd = opensensor("127.0.0.1", 1, "cpu")
+        fast = BackoffPolicy(attempts=2, base_timeout=0.05, multiplier=1.0)
+        sd = opensensor("127.0.0.1", 1, "cpu", policy=fast)
         try:
             with pytest.raises(SensorError):
                 readsensor(sd)
         finally:
             closesensor(sd)
+
+    def test_retry_exhaustion_reports_attempt_count(self):
+        fast = BackoffPolicy(attempts=2, base_timeout=0.05, multiplier=1.0)
+        sd = opensensor("127.0.0.1", 1, "cpu", policy=fast)
+        try:
+            with pytest.raises(SensorError, match="2 attempts"):
+                readsensor(sd)
+        finally:
+            closesensor(sd)
+
+    def test_custom_policy_reaches_connection_wrapper(self):
+        fast = BackoffPolicy(attempts=1, base_timeout=0.05)
+        with pytest.raises(SensorError, match="1 attempts"):
+            with SensorConnection(
+                "127.0.0.1", 1, component="cpu", policy=fast
+            ) as sensor:
+                sensor.read()
 
     def test_repeated_reads(self, service):
         with UdpSensorServer(service) as server:

@@ -155,3 +155,27 @@ class TestFreon:
     def test_bad_policy_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("freon", "--policy", "cryogenics")
+
+
+class TestChaos:
+    def test_short_chaos_run(self):
+        code, output = run_cli(
+            "chaos", "--duration", "200", "--seed", "3"
+        )
+        assert code == 0
+        assert "fault seed: 3" in output
+        assert "datagrams:" in output
+        assert "inject" in output  # fault log lists the loss injection
+
+    def test_chaos_with_custom_script(self, tmp_path):
+        script = tmp_path / "storm.fiddle"
+        script.write_text(
+            "fault net loss 0.5\n"
+            "sleep 60\n"
+            "fault machine1 daemon crash tempd\n"
+        )
+        code, output = run_cli(
+            "chaos", "--duration", "150", "--script", str(script)
+        )
+        assert code == 0
+        assert "watchdog restarted machine1/tempd" in output
