@@ -24,6 +24,12 @@ from repro.machine.workloads import (
 #: The one physical machine every section 3.1 experiment runs on.
 MACHINE_SEED = 11
 
+#: Solver engine the experiment benchmarks run on.  Default is the
+#: reference python engine (the one the golden traces were generated
+#: with); export REPRO_ENGINE=compiled to rerun every figure on the
+#: vectorized NumPy engine.
+SOLVER_ENGINE = os.environ.get("REPRO_ENGINE", "python")
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
 
 

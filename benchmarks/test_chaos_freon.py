@@ -21,7 +21,7 @@ from repro.cluster.simulation import ClusterSimulation, chaos_script
 from repro.config import table1
 from repro.faults.injector import FaultInjector
 
-from .conftest import emit, series_rows
+from .conftest import SOLVER_ENGINE, emit, series_rows
 
 #: Seed for the fault RNG; seed 3 drops a real datagram mid-experiment.
 CHAOS_SEED = 3
@@ -35,6 +35,7 @@ def run_chaos(seed=CHAOS_SEED):
         policy="freon",
         fiddle_script=chaos_script(),
         injector=FaultInjector(seed=seed),
+        engine=SOLVER_ENGINE,
     )
     return sim, sim.run(2000)
 

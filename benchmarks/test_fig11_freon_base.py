@@ -13,12 +13,14 @@ import pytest
 from repro.cluster.simulation import ClusterSimulation, emergency_script
 from repro.config import table1
 
-from .conftest import emit, series_rows
+from .conftest import SOLVER_ENGINE, emit, series_rows
 
 
 @pytest.fixture(scope="module")
 def freon_result():
-    sim = ClusterSimulation(policy="freon", fiddle_script=emergency_script())
+    sim = ClusterSimulation(
+        policy="freon", fiddle_script=emergency_script(), engine=SOLVER_ENGINE
+    )
     return sim, sim.run(2000)
 
 
@@ -69,7 +71,8 @@ def test_fig11_freon_base_policy(benchmark, freon_result):
     # Timed kernel: one full 2000 s Freon experiment.
     def run_experiment():
         sim2 = ClusterSimulation(
-            policy="freon", fiddle_script=emergency_script()
+            policy="freon", fiddle_script=emergency_script(),
+            engine=SOLVER_ENGINE,
         )
         return sim2.run(2000)
 

@@ -14,12 +14,14 @@ import pytest
 from repro.cluster.simulation import ClusterSimulation, emergency_script
 from repro.config import table1
 
-from .conftest import emit, series_rows
+from .conftest import SOLVER_ENGINE, emit, series_rows
 
 
 @pytest.fixture(scope="module")
 def ec_result():
-    sim = ClusterSimulation(policy="freon-ec", fiddle_script=emergency_script())
+    sim = ClusterSimulation(
+        policy="freon-ec", fiddle_script=emergency_script(), engine=SOLVER_ENGINE
+    )
     return sim, sim.run(2000)
 
 
@@ -77,7 +79,8 @@ def test_fig12_freon_ec(benchmark, ec_result):
 
     def run_experiment():
         sim2 = ClusterSimulation(
-            policy="freon-ec", fiddle_script=emergency_script()
+            policy="freon-ec", fiddle_script=emergency_script(),
+            engine=SOLVER_ENGINE,
         )
         return sim2.run(2000)
 

@@ -6,6 +6,7 @@ compute each iteration" on the Figure 1 graphs, and readsensor() having
 of the real SCSI in-disk sensor.
 """
 
+import json
 import statistics
 import time
 
@@ -13,11 +14,12 @@ import pytest
 
 from repro.config import table1
 from repro.config.layouts import validation_cluster, validation_machine
+from repro.core.compiled import have_numpy
 from repro.core.solver import Solver
 from repro.sensors.api import SensorConnection
 from repro.sensors.server import SensorService, UdpSensorServer
 
-from .conftest import emit
+from .conftest import RESULTS_DIR, SOLVER_ENGINE, emit
 
 #: The real SCSI in-disk sensor's average access time (paper).
 SCSI_SENSOR_LATENCY = 500e-6
@@ -25,7 +27,7 @@ SCSI_SENSOR_LATENCY = 500e-6
 
 def test_sec23_solver_iteration_time(benchmark):
     layout = validation_machine()
-    solver = Solver([layout], record=False)
+    solver = Solver([layout], record=False, engine=SOLVER_ENGINE)
     solver.set_utilization("machine1", table1.CPU, 0.7)
     solver.set_utilization("machine1", table1.DISK_PLATTERS, 0.4)
 
@@ -45,7 +47,7 @@ def test_sec23_solver_iteration_time(benchmark):
 def test_sec23_cluster_iteration_time(benchmark):
     cluster = validation_cluster()
     solver = Solver(list(cluster.machines.values()), cluster=cluster,
-                    record=False)
+                    record=False, engine=SOLVER_ENGINE)
     for machine in solver.machines:
         solver.set_utilization(machine, table1.CPU, 0.7)
 
@@ -93,3 +95,67 @@ def test_sec23_readsensor_udp_latency(benchmark):
     )
     # Localhost UDP should comfortably beat the physical disk sensor.
     assert mean < 5e-3
+
+
+# ----------------------------------------------------------------------
+# engine comparison: python vs compiled ticks/sec at 1/10/40 machines
+# ----------------------------------------------------------------------
+
+#: Cluster sizes the comparison sweeps (the paper emulates large clusters
+#: by replication; 40 machines is the scale the compiled engine targets).
+COMPARISON_SIZES = (1, 10, 40)
+
+
+def _ticks_per_second(engine: str, n_machines: int) -> float:
+    """Measure steady-state solver throughput for one engine/size point."""
+    names = [f"machine{i}" for i in range(1, n_machines + 1)]
+    cluster = validation_cluster(machine_names=names)
+    solver = Solver(list(cluster.machines.values()), cluster=cluster,
+                    record=False, engine=engine)
+    for machine in names:
+        solver.set_utilization(machine, table1.CPU, 0.7)
+    for _ in range(5):  # warm up (first compiled tick pays compilation)
+        solver.step()
+    ticks = 0
+    elapsed = 0.0
+    while elapsed < 0.25:
+        start = time.perf_counter()
+        for _ in range(20):
+            solver.step()
+        elapsed += time.perf_counter() - start
+        ticks += 20
+    return ticks / elapsed
+
+
+@pytest.mark.skipif(not have_numpy(), reason="compiled engine needs numpy")
+def test_sec23_engine_comparison():
+    """Write BENCH_solver.json: python vs compiled throughput by size."""
+    results = {}
+    for n in COMPARISON_SIZES:
+        python_tps = _ticks_per_second("python", n)
+        compiled_tps = _ticks_per_second("compiled", n)
+        results[str(n)] = {
+            "machines": n,
+            "python_ticks_per_sec": python_tps,
+            "compiled_ticks_per_sec": compiled_tps,
+            "speedup": compiled_tps / python_tps,
+        }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_solver.json"
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+    lines = ["Section 2.3 — solver throughput, python vs compiled engine",
+             f"{'machines':>10} {'python t/s':>12} {'compiled t/s':>13} "
+             f"{'speedup':>9}"]
+    for n in COMPARISON_SIZES:
+        row = results[str(n)]
+        lines.append(
+            f"{n:>10} {row['python_ticks_per_sec']:>12.1f} "
+            f"{row['compiled_ticks_per_sec']:>13.1f} "
+            f"{row['speedup']:>8.2f}x"
+        )
+    emit("sec23_engine_comparison", "\n".join(lines) + "\n")
+
+    # The CI gate: at cluster scale the vectorized engine must win.
+    assert results["40"]["speedup"] > 1.0

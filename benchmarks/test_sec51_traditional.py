@@ -12,15 +12,18 @@ import pytest
 
 from repro.cluster.simulation import ClusterSimulation, emergency_script
 
-from .conftest import emit
+from .conftest import SOLVER_ENGINE, emit
 
 
 @pytest.fixture(scope="module")
 def runs():
-    freon = ClusterSimulation(policy="freon", fiddle_script=emergency_script())
+    freon = ClusterSimulation(
+        policy="freon", fiddle_script=emergency_script(), engine=SOLVER_ENGINE
+    )
     freon_result = freon.run(2000)
     trad = ClusterSimulation(
-        policy="traditional", fiddle_script=emergency_script()
+        policy="traditional", fiddle_script=emergency_script(),
+        engine=SOLVER_ENGINE,
     )
     trad_result = trad.run(2000)
     return freon_result, trad_result
@@ -59,7 +62,8 @@ def test_sec51_traditional_vs_freon(benchmark, runs):
 
     def run_experiment():
         sim = ClusterSimulation(
-            policy="traditional", fiddle_script=emergency_script()
+            policy="traditional", fiddle_script=emergency_script(),
+            engine=SOLVER_ENGINE,
         )
         return sim.run(2000)
 

@@ -37,6 +37,7 @@ from .cluster.simulation import (
     emergency_script,
 )
 from .faults.injector import FaultInjector
+from .core.solver import ENGINES
 from .core.trace import load_traces, run_offline, save_history
 from .errors import ReproError
 from .fiddle.script import events_from_script
@@ -68,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fiddle", default=None,
         help="fiddle script applying timed emergencies",
     )
+    solve.add_argument(
+        "--engine", choices=ENGINES, default="python",
+        help="solver engine (compiled = vectorized NumPy fast path)",
+    )
 
     check = sub.add_parser("check", help="validate an mdot file")
     check.add_argument("mdot", help="mdot file to validate")
@@ -96,6 +101,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-emergency", action="store_true",
         help="skip the inlet-temperature emergencies",
     )
+    freon.add_argument(
+        "--engine", choices=ENGINES, default="python",
+        help="solver engine (compiled = vectorized NumPy fast path)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -122,6 +131,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fiddle script with fault statements (default: the built-in "
              "chaos scenario: emergencies + loss + stuck sensor + tempd crash)",
     )
+    chaos.add_argument(
+        "--engine", choices=ENGINES, default="python",
+        help="solver engine (compiled = vectorized NumPy fast path)",
+    )
     return parser
 
 
@@ -142,6 +155,7 @@ def cmd_solve(args: argparse.Namespace, out) -> int:
         dt=args.dt,
         duration=args.duration,
         events=events,
+        engine=args.engine,
     )
     save_history(history, args.output)
     samples = sum(len(history.samples(m)) for m in history.machines())
@@ -197,9 +211,11 @@ def cmd_graphviz(args: argparse.Namespace, out) -> int:
 
 def cmd_freon(args: argparse.Namespace, out) -> int:
     script = None if args.no_emergency else emergency_script()
-    simulation = ClusterSimulation(policy=args.policy, fiddle_script=script)
+    simulation = ClusterSimulation(
+        policy=args.policy, fiddle_script=script, engine=args.engine
+    )
     result = simulation.run(args.duration)
-    print(f"policy: {args.policy}", file=out)
+    print(f"policy: {args.policy}  engine: {args.engine}", file=out)
     print(
         f"dropped requests: {result.drop_fraction * 100:.2f}% of "
         f"{result.total_offered:.0f}",
@@ -233,6 +249,7 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
         policy=args.policy,
         fiddle_script=script,
         injector=FaultInjector(seed=args.seed),
+        engine=args.engine,
     )
     result = simulation.run(args.duration)
     print(f"policy: {args.policy}  fault seed: {args.seed}", file=out)

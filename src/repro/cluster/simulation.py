@@ -148,6 +148,7 @@ class ClusterSimulation:
         injector: Optional[FaultInjector] = None,
         fault_seed: int = 0,
         watchdog_restart_delay: float = 10.0,
+        engine: str = "python",
     ) -> None:
         if policy not in POLICIES:
             raise ClusterError(f"unknown policy {policy!r}; pick from {POLICIES}")
@@ -162,6 +163,7 @@ class ClusterSimulation:
             cluster=cluster_layout,
             dt=dt,
             record=False,
+            engine=engine,
         )
         #: Always present; inert until a fault is scheduled or injected.
         self.injector = injector or FaultInjector(seed=fault_seed)

@@ -1,0 +1,469 @@
+"""Compiled NumPy engine for the Mercury solver.
+
+The reference engine in :mod:`repro.core.solver` walks Python dicts node
+by node, which is easy to audit against the paper's equations but costs
+a full interpreter round-trip per node per tick.  This module "compiles"
+a :class:`~repro.core.graph.MachineLayout` into flat arrays once, then
+runs the three traversals of section 2.2 as vectorized array operations,
+batching every machine that shares a layout structure into one array op.
+
+The lowering happens in two stages:
+
+* :class:`MachinePlan` (built by :func:`compile_layout`) captures the
+  *static* structure of a layout: node index maps, the topological
+  air-flow order, the per-region mixing and stream-exchange schedules,
+  the heat-edge classification (component-component / air-air), the
+  flow-propagation schedule, and per-component power-evaluation specs.
+  Machines with identical structure (same nodes, edges, thermal masses,
+  and power tables) share one plan and are batched along the machine
+  axis.
+* :class:`CompiledEngine` owns the *live* per-machine arrays — node
+  temperatures, heat-edge ``k`` values, air fractions, fan flows, power
+  scale factors, utilizations — and keeps them in sync with each
+  machine's :class:`~repro.core.state.MachineState` through the state's
+  mutation listener.  Fiddle edits that change derived quantities (air
+  fractions, fan speed) only mark the flow arrays dirty; they are
+  recompiled lazily at the next tick.
+
+Every arithmetic step mirrors the reference engine's expression order, so
+the two engines agree within 1e-9 °C per tick (see ``tests/golden`` and
+``tests/core/test_compiled_equivalence.py``).  After each tick the node
+temperatures are written back into the per-machine state dicts, so sensor
+reads, History recording, and the fiddle tool see exactly the same
+surface as with the reference engine.
+
+NumPy is optional at import time: constructing a solver with
+``engine="compiled"`` raises :class:`~repro.errors.SolverError` when it
+is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # gate the dependency: the package must import without NumPy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    np = None
+
+from .. import units
+from ..errors import SolverError
+from .graph import ClusterLayout, MachineLayout
+from .power import ConstantPowerModel, LinearPowerModel, PowerModel, TablePowerModel
+from .solver import DEFAULT_DT, Solver
+from .state import MachineState
+
+
+def have_numpy() -> bool:
+    """True when the compiled engine can actually run."""
+    return np is not None
+
+
+def _power_signature(model: PowerModel) -> Tuple:
+    """Hashable identity of a power model, for plan sharing.
+
+    Affine models (the paper's linear and constant models) are described
+    by value; table models by their breakpoints; anything else by object
+    identity, which still allows batching machines built from one layout
+    template.
+    """
+    if isinstance(model, LinearPowerModel):
+        return ("affine", model.p_base, model.p_max)
+    if isinstance(model, ConstantPowerModel):
+        return ("affine", model.watts, model.watts)
+    if isinstance(model, TablePowerModel):
+        return ("table", tuple(model._utils), tuple(model._powers))
+    return ("opaque", id(model))
+
+
+def layout_signature(layout: MachineLayout) -> Tuple:
+    """Structural signature deciding which machines share one plan."""
+    return (
+        tuple(
+            (c.name, c.mass, c.specific_heat, _power_signature(c.power_model))
+            for c in layout.components.values()
+        ),
+        tuple(layout.air_regions),
+        tuple(e.key for e in layout.heat_edges),
+        tuple((e.src, e.dst) for e in layout.air_edges),
+        layout.inlet,
+        layout.exhaust,
+        tuple(layout.air_order),
+    )
+
+
+class MachinePlan:
+    """The compiled (static) form of one machine layout.
+
+    All schedules preserve the reference engine's iteration order —
+    ``layout.air_edges`` order for mixing and flow propagation,
+    ``layout.heat_edges`` order for exchanges and conduction — so the
+    floating-point accumulation order matches the dict-loop engine.
+    """
+
+    def __init__(self, layout: MachineLayout) -> None:
+        if np is None:
+            raise SolverError(
+                "the compiled engine requires NumPy; use engine='python'"
+            )
+        self.signature = layout_signature(layout)
+        self.comp_names: Tuple[str, ...] = tuple(layout.components)
+        self.air_names: Tuple[str, ...] = tuple(layout.air_regions)
+        #: Node order of the temperature array: components, then air.
+        self.node_names: Tuple[str, ...] = self.comp_names + self.air_names
+        self.n_comps = len(self.comp_names)
+        self.n_air = len(self.air_names)
+        self.comp_index = {name: i for i, name in enumerate(self.comp_names)}
+        air_index = {name: i for i, name in enumerate(self.air_names)}
+        self.air_index = air_index
+        self.node_index = {name: i for i, name in enumerate(self.node_names)}
+        self.heat_keys = tuple(edge.key for edge in layout.heat_edges)
+        self.heat_key_index = {key: i for i, key in enumerate(self.heat_keys)}
+        self.air_edge_index = {
+            (edge.src, edge.dst): i for i, edge in enumerate(layout.air_edges)
+        }
+        self.inlet_air = air_index[layout.inlet]
+        self.exhaust_air = air_index[layout.exhaust]
+        #: Air regions (air-local indices) in topological flow order.
+        self.air_order: Tuple[int, ...] = tuple(
+            air_index[name] for name in layout.air_order
+        )
+
+        #: Per-region perfect-mixing terms: (src air idx, air-edge idx).
+        self.incoming: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        for name in layout.air_regions:
+            terms = tuple(
+                (air_index[edge.src], self.air_edge_index[(edge.src, edge.dst)])
+                for edge in layout.air_edges
+                if edge.dst == name
+            )
+            if terms:
+                self.incoming[air_index[name]] = terms
+
+        #: Flow propagation schedule: (src air, dst air, air-edge idx) in
+        #: the exact nested order of ``MachineLayout.air_flow_rates``.
+        edges_from: Dict[str, List] = {}
+        for edge in layout.air_edges:
+            edges_from.setdefault(edge.src, []).append(edge)
+        self.flow_steps: Tuple[Tuple[int, int, int], ...] = tuple(
+            (
+                air_index[edge.src],
+                air_index[edge.dst],
+                self.air_edge_index[(edge.src, edge.dst)],
+            )
+            for region in layout.air_order
+            for edge in edges_from.get(region, ())
+        )
+
+        #: Per-region stream-exchange schedule: (comp idx, heat-edge idx).
+        air_heat: Dict[int, List[Tuple[int, int]]] = {}
+        comp_comp: List[Tuple[int, int, int, float]] = []
+        air_air: List[Tuple[int, int, int]] = []
+        for edge_i, edge in enumerate(layout.heat_edges):
+            a_is_comp = edge.a in layout.components
+            b_is_comp = edge.b in layout.components
+            if a_is_comp and b_is_comp:
+                mc_a = layout.components[edge.a].heat_capacity
+                mc_b = layout.components[edge.b].heat_capacity
+                c_eff = 1.0 / (1.0 / mc_a + 1.0 / mc_b)
+                comp_comp.append(
+                    (self.comp_index[edge.a], self.comp_index[edge.b], edge_i, c_eff)
+                )
+            elif not a_is_comp and not b_is_comp:
+                air_air.append((air_index[edge.a], air_index[edge.b], edge_i))
+            else:
+                for region, other in ((edge.a, edge.b), (edge.b, edge.a)):
+                    if region in layout.air_regions and other in layout.components:
+                        air_heat.setdefault(air_index[region], []).append(
+                            (self.comp_index[other], edge_i)
+                        )
+        self.air_heat: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            region: tuple(pairs) for region, pairs in air_heat.items()
+        }
+        self.comp_comp: Tuple[Tuple[int, int, int, float], ...] = tuple(comp_comp)
+        self.air_air: Tuple[Tuple[int, int, int], ...] = tuple(air_air)
+
+        #: Per-component power evaluation: ("affine", base, span) computes
+        #: the paper's Eq. 4 vectorized; ("model", inner) falls back to
+        #: scalar calls for table/opaque models, preserving exactness.
+        specs: List[Tuple] = []
+        for component in layout.components.values():
+            model = component.power_model
+            if isinstance(model, LinearPowerModel):
+                specs.append(("affine", model.p_base, model.p_max - model.p_base))
+            elif isinstance(model, ConstantPowerModel):
+                specs.append(("affine", model.watts, 0.0))
+            else:
+                specs.append(("model", model))
+        self.power_specs: Tuple[Tuple, ...] = tuple(specs)
+
+        #: Heat capacity m*c (J/K) per component, divisor of Eq. 5.
+        self.mc = np.array(
+            [c.heat_capacity for c in layout.components.values()], dtype=float
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MachinePlan({self.n_comps} components, {self.n_air} air regions, "
+            f"{len(self.heat_keys)} heat edges)"
+        )
+
+
+_PLAN_CACHE: Dict[Tuple, MachinePlan] = {}
+_PLAN_CACHE_LIMIT = 256
+
+
+def compile_layout(layout: MachineLayout) -> MachinePlan:
+    """Lower a layout to its :class:`MachinePlan` (cached by structure).
+
+    Plans whose signature names a power model by identity ("opaque") are
+    never cached: a recycled ``id()`` could otherwise alias two different
+    models under one signature.
+    """
+    signature = layout_signature(layout)
+    if any(comp[3][0] == "opaque" for comp in signature[0]):
+        return MachinePlan(layout)
+    plan = _PLAN_CACHE.get(signature)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.clear()
+        plan = MachinePlan(layout)
+        _PLAN_CACHE[signature] = plan
+    return plan
+
+
+class _Group:
+    """All machines sharing one plan, batched along axis 0."""
+
+    def __init__(self, plan: MachinePlan, members: Sequence[Tuple[str, MachineState]]):
+        self.plan = plan
+        self.names: List[str] = [name for name, _ in members]
+        self.states: List[MachineState] = [state for _, state in members]
+        m = len(self.states)
+        self.T = np.array(
+            [[s.temperatures[n] for n in plan.node_names] for s in self.states],
+            dtype=float,
+        )
+        self.k = np.array(
+            [[s.k[key] for key in plan.heat_keys] for s in self.states], dtype=float
+        )
+        self.fractions = np.array(
+            [
+                [s.fractions[pair] for pair in plan.air_edge_index]
+                for s in self.states
+            ],
+            dtype=float,
+        )
+        self.fan = np.array([s.fan_cfm for s in self.states], dtype=float)
+        self.factor = np.array(
+            [
+                [s.power_models[c].factor for c in plan.comp_names]
+                for s in self.states
+            ],
+            dtype=float,
+        )
+        self.util = np.array(
+            [[s.utilizations[c] for c in plan.comp_names] for s in self.states],
+            dtype=float,
+        )
+        self.flows = np.zeros((m, plan.n_air))
+        self.cap = np.zeros((m, plan.n_air))
+        #: Per air region: True when every machine has positive flow
+        #: there, enabling the unmasked fast path.
+        self.all_flowing = np.zeros(plan.n_air, dtype=bool)
+        self.flows_dirty = True
+
+    def rebuild_flows(self) -> None:
+        """Recompile per-region flows and heat-capacity rates.
+
+        Mirrors ``MachineLayout.air_flow_rates`` followed by
+        ``units.air_heat_capacity_rate`` term for term.
+        """
+        plan = self.plan
+        self.flows[:] = 0.0
+        self.flows[:, plan.inlet_air] = units.cfm_to_m3s(self.fan)
+        for src_air, dst_air, edge_i in plan.flow_steps:
+            self.flows[:, dst_air] += self.flows[:, src_air] * self.fractions[:, edge_i]
+        self.cap = (units.AIR_DENSITY * self.flows) * units.AIR_SPECIFIC_HEAT
+        self.all_flowing = (self.cap > 0.0).all(axis=0)
+        self.flows_dirty = False
+
+
+class CompiledEngine:
+    """Vectorized tick engine driving a :class:`~repro.core.solver.Solver`.
+
+    Owns one :class:`_Group` per distinct layout structure and registers
+    itself as each machine state's mutation listener, so fiddle edits and
+    utilization updates land directly in the arrays (and invalidate the
+    derived flow arrays when needed) without per-tick polling.
+    """
+
+    def __init__(self, solver: Solver) -> None:
+        if np is None:
+            raise SolverError(
+                "engine='compiled' requires NumPy; use engine='python'"
+            )
+        self._solver = solver
+        by_signature: Dict[Tuple, List[Tuple[str, MachineState]]] = {}
+        plans: Dict[Tuple, MachinePlan] = {}
+        for name, state in solver.machines.items():
+            plan = compile_layout(state.layout)
+            by_signature.setdefault(plan.signature, []).append((name, state))
+            plans[plan.signature] = plan
+        self.groups: List[_Group] = [
+            _Group(plans[sig], members) for sig, members in by_signature.items()
+        ]
+        for group in self.groups:
+            for row, state in enumerate(group.states):
+                state.listener = self._listener(group, row)
+
+    # -- state synchronisation ------------------------------------------
+
+    def _listener(self, group: _Group, row: int):
+        plan = group.plan
+
+        def on_change(field: str, key, value: float) -> None:
+            if field == "temperature":
+                group.T[row, plan.node_index[key]] = value
+            elif field == "utilization":
+                group.util[row, plan.comp_index[key]] = value
+            elif field == "k":
+                group.k[row, plan.heat_key_index[key]] = value
+            elif field == "fraction":
+                group.fractions[row, plan.air_edge_index[key]] = value
+                group.flows_dirty = True
+            elif field == "fan":
+                group.fan[row] = value
+                group.flows_dirty = True
+            elif field == "power_scale":
+                group.factor[row, plan.comp_index[key]] = value
+
+        return on_change
+
+    # -- stepping --------------------------------------------------------
+
+    def tick(self, inlet_temps: Mapping[str, float]) -> None:
+        """Advance every machine one step and write temperatures back."""
+        for group in self.groups:
+            inlet = np.array([inlet_temps[name] for name in group.names])
+            self._tick_group(group, inlet)
+            for row, state in enumerate(group.states):
+                state.temperatures.update(
+                    zip(group.plan.node_names, group.T[row].tolist())
+                )
+
+    def _tick_group(self, g: _Group, inlet) -> None:
+        plan = g.plan
+        dt = self._solver.dt
+        if g.flows_dirty:
+            g.rebuild_flows()
+        T = g.T
+        n_comps = plan.n_comps
+        start = T[:, :n_comps].copy()
+        heat = np.zeros_like(start)
+        flows = g.flows
+        cap = g.cap
+
+        # --- intra-machine air traversal (advection + stream exchange) ---
+        for air_i in plan.air_order:
+            col = n_comps + air_i
+            if air_i == plan.inlet_air:
+                t_air = inlet
+            else:
+                terms = plan.incoming.get(air_i)
+                if not terms:
+                    t_air = T[:, col].copy()  # stagnant pocket
+                else:
+                    num = None
+                    den = None
+                    for src_air, edge_i in terms:
+                        w = flows[:, src_air] * g.fractions[:, edge_i]
+                        contrib = T[:, n_comps + src_air] * w
+                        num = contrib if num is None else num + contrib
+                        den = w if den is None else den + w
+                    if den.all():
+                        t_air = num / den
+                    else:
+                        mixed = den > 0.0
+                        t_air = np.where(
+                            mixed, num / np.where(mixed, den, 1.0), T[:, col]
+                        )
+            attached = plan.air_heat.get(air_i)
+            if attached:
+                cr = cap[:, air_i]
+                if g.all_flowing[air_i]:
+                    # Fast path: every machine flows here, no masking.
+                    cr_dt = cr * dt
+                    for comp_i, edge_i in attached:
+                        body = start[:, comp_i]
+                        t_out = body + (t_air - body) * np.exp(
+                            -(g.k[:, edge_i] / cr)
+                        )
+                        heat[:, comp_i] -= cr_dt * (t_out - t_air)
+                        t_air = t_out
+                else:
+                    flowing = cr > 0.0
+                    cr_safe = np.where(flowing, cr, 1.0)
+                    for comp_i, edge_i in attached:
+                        body = start[:, comp_i]
+                        t_out = body + (t_air - body) * np.exp(
+                            -(g.k[:, edge_i] / cr_safe)
+                        )
+                        q = cr * dt * (t_out - t_air)
+                        t_air = np.where(flowing, t_out, t_air)
+                        heat[:, comp_i] -= np.where(flowing, q, 0.0)
+            T[:, col] = t_air
+
+        # --- inter-component heat flow + air-air conduction ---
+        for a_i, b_i, edge_i, c_eff in plan.comp_comp:
+            q = (
+                c_eff
+                * (start[:, a_i] - start[:, b_i])
+                * -np.expm1(-g.k[:, edge_i] * dt / c_eff)
+            )
+            heat[:, a_i] -= q
+            heat[:, b_i] += q
+        for a_air, b_air, edge_i in plan.air_air:
+            mc_a = np.maximum(cap[:, a_air] * dt, 1e-9)
+            mc_b = np.maximum(cap[:, b_air] * dt, 1e-9)
+            c_eff = 1.0 / (1.0 / mc_a + 1.0 / mc_b)
+            q = (
+                c_eff
+                * (T[:, n_comps + a_air] - T[:, n_comps + b_air])
+                * -np.expm1(-g.k[:, edge_i] * dt / c_eff)
+            )
+            T[:, n_comps + a_air] -= q / mc_a
+            T[:, n_comps + b_air] += q / mc_b
+
+        # --- component self-heating and temperature update ---
+        for comp_i, spec in enumerate(plan.power_specs):
+            if spec[0] == "affine":
+                power = spec[1] + g.util[:, comp_i] * spec[2]
+            else:
+                model = spec[1]
+                power = np.array(
+                    [model.power(u) for u in g.util[:, comp_i].tolist()]
+                )
+            heat[:, comp_i] += power * g.factor[:, comp_i] * dt
+        T[:, :n_comps] = start + heat / plan.mc
+
+
+class CompiledSolver(Solver):
+    """A :class:`~repro.core.solver.Solver` preset to the compiled engine."""
+
+    def __init__(
+        self,
+        layouts: Sequence[MachineLayout],
+        cluster: Optional[ClusterLayout] = None,
+        dt: float = DEFAULT_DT,
+        initial_temperature: Optional[float] = None,
+        record: bool = True,
+    ) -> None:
+        super().__init__(
+            layouts,
+            cluster=cluster,
+            dt=dt,
+            initial_temperature=initial_temperature,
+            record=record,
+            engine="compiled",
+        )

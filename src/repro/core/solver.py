@@ -18,6 +18,21 @@ three traversals of section 2.2:
 Temperatures of every component and air region can be queried at any
 time; the fiddle tool can force temperatures and change any constant
 between ticks.  The solver is deterministic: same inputs, same outputs.
+
+Two interchangeable engines perform the per-machine traversals:
+
+* ``engine="python"`` (the default) — the reference implementation in
+  this module: per-node dict loops, easy to read and to audit against
+  the paper's equations;
+* ``engine="compiled"`` — :mod:`repro.core.compiled` lowers the layouts
+  into flat NumPy arrays and runs all machines of a step as vectorized
+  array operations.  It matches the reference engine within 1e-9 °C
+  (see ``tests/golden`` and ``tests/core/test_compiled_equivalence.py``)
+  and is the engine the large-cluster benchmarks use.
+
+Both engines share this class's public surface: sensor reads, fiddle
+mutations, ``force_temperature``, cluster source overrides, and
+:class:`~repro.core.state.History` recording behave identically.
 """
 
 from __future__ import annotations
@@ -32,6 +47,9 @@ from .state import History, MachineState, Sample
 
 #: Default solver tick, seconds ("one iteration per second by default").
 DEFAULT_DT = 1.0
+
+#: Supported solver engines.
+ENGINES = ("python", "compiled")
 
 
 class Solver:
@@ -53,6 +71,10 @@ class Solver:
     record:
         When true, a :class:`~repro.core.state.History` sample is stored
         for every machine on every tick.
+    engine:
+        ``"python"`` (reference dict-loop implementation) or
+        ``"compiled"`` (vectorized NumPy implementation from
+        :mod:`repro.core.compiled`; requires NumPy).
     """
 
     def __init__(
@@ -62,6 +84,7 @@ class Solver:
         dt: float = DEFAULT_DT,
         initial_temperature: Optional[float] = None,
         record: bool = True,
+        engine: str = "python",
     ) -> None:
         if not layouts:
             raise SolverError("at least one machine layout is required")
@@ -92,11 +115,30 @@ class Solver:
         self.history = History()
         #: Cluster-source supply-temperature overrides (fiddle).
         self._source_overrides: Dict[str, float] = {}
+        #: Live inter-machine edge fractions (fiddle can edit these).
+        self._cluster_fractions: Dict[Tuple[str, str], float] = (
+            {(e.src, e.dst): e.fraction for e in cluster.edges}
+            if cluster is not None
+            else {}
+        )
+        #: Cached perfect-mixing plan per machine: the (is_source, src,
+        #: weight) triples of `_cluster_inlet`, hoisted because the edge
+        #: set and flows are static between fiddle edits.
+        self._inlet_plans: Optional[Dict[str, List[Tuple[bool, str, float]]]] = None
         #: Exhaust temperature of each machine at the end of the previous
         #: tick; used by the inter-machine traversal.
         self._prev_exhaust: Dict[str, float] = {
             name: initial_temperature for name in self.machines
         }
+        if engine not in ENGINES:
+            raise SolverError(f"unknown engine {engine!r}; pick from {ENGINES}")
+        self.engine = engine
+        if engine == "compiled":
+            from .compiled import CompiledEngine
+
+            self._impl = CompiledEngine(self)
+        else:
+            self._impl = _PythonEngine(self)
         if record:
             self._record_all()
 
@@ -173,6 +215,20 @@ class Solver:
             raise UnknownNodeError(source)
         self._source_overrides[source] = value
 
+    def set_cluster_fraction(self, src: str, dst: str, value: float) -> None:
+        """Change an inter-machine air edge's fraction (fiddle).
+
+        Emulates rack/air-path changes at run time, e.g. a failed damper
+        sending less AC air to a machine.  Invalidates the cached
+        perfect-mixing inlet weights.
+        """
+        if self.cluster is None or (src, dst) not in self._cluster_fractions:
+            raise UnknownNodeError(f"{src}->{dst}")
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("cluster air fraction must be in [0, 1]")
+        self._cluster_fractions[(src, dst)] = value
+        self._inlet_plans = None
+
     # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
@@ -189,8 +245,7 @@ class Solver:
 
     def _tick(self) -> None:
         inlet_temps = self._inter_machine_traversal()
-        for name, state in self.machines.items():
-            self._machine_tick(state, inlet_temps[name])
+        self._impl.tick(inlet_temps)
         for name, state in self.machines.items():
             self._prev_exhaust[name] = state.temperatures[state.layout.exhaust]
         self.time += self.dt
@@ -210,26 +265,51 @@ class Solver:
                 result[name] = state.layout.inlet_temperature
         return result
 
+    def _inlet_plan(self, machine: str) -> List[Tuple[bool, str, float]]:
+        """The hoisted mixing terms feeding one machine's inlet.
+
+        Each entry is ``(is_source, src, weight)`` in cluster edge order;
+        ``weight`` is the stream's volumetric flow times the edge
+        fraction, which only changes when a fiddle edit touches the edge
+        set (see :meth:`set_cluster_fraction`), so the whole table is
+        cached rather than recomputed every tick.
+        """
+        assert self.cluster is not None
+        if self._inlet_plans is None:
+            self._inlet_plans = {}
+        plan = self._inlet_plans.get(machine)
+        if plan is None:
+            plan = []
+            for edge in self.cluster.incoming(machine):
+                fraction = self._cluster_fractions[(edge.src, edge.dst)]
+                if edge.src in self.cluster.sources:
+                    source = self.cluster.sources[edge.src]
+                    flow = source.flow_m3s
+                    if flow is None:
+                        flow = sum(
+                            units.cfm_to_m3s(m.fan_cfm)
+                            for m in self.cluster.machines.values()
+                        )
+                    plan.append((True, edge.src, flow * fraction))
+                else:  # recirculation from another machine's exhaust
+                    flow = units.cfm_to_m3s(self.cluster.machines[edge.src].fan_cfm)
+                    plan.append((False, edge.src, flow * fraction))
+            self._inlet_plans[machine] = plan
+        return plan
+
     def _cluster_inlet(self, machine: str) -> float:
         """Perfect-mixing inlet temperature from the cluster air graph."""
         assert self.cluster is not None
         temps: List[float] = []
         weights: List[float] = []
-        for edge in self.cluster.incoming(machine):
-            if edge.src in self.cluster.sources:
-                source = self.cluster.sources[edge.src]
-                temp = self._source_overrides.get(edge.src, source.supply_temperature)
-                flow = source.flow_m3s
-                if flow is None:
-                    flow = sum(
-                        units.cfm_to_m3s(m.fan_cfm)
-                        for m in self.cluster.machines.values()
-                    )
-            else:  # recirculation from another machine's exhaust
-                temp = self._prev_exhaust[edge.src]
-                flow = units.cfm_to_m3s(self.cluster.machines[edge.src].fan_cfm)
+        for is_source, src, weight in self._inlet_plan(machine):
+            if is_source:
+                source = self.cluster.sources[src]
+                temp = self._source_overrides.get(src, source.supply_temperature)
+            else:
+                temp = self._prev_exhaust[src]
             temps.append(temp)
-            weights.append(flow * edge.fraction)
+            weights.append(weight)
         if not temps:
             return self.machines[machine].layout.inlet_temperature
         return physics.mix_streams(temps, weights)
@@ -333,5 +413,17 @@ class Solver:
     def __repr__(self) -> str:
         return (
             f"Solver({len(self.machines)} machines, dt={self.dt}, "
-            f"t={self.time:.0f}s)"
+            f"t={self.time:.0f}s, engine={self.engine!r})"
         )
+
+
+class _PythonEngine:
+    """The reference engine: per-machine dict-loop traversals."""
+
+    def __init__(self, solver: Solver) -> None:
+        self._solver = solver
+
+    def tick(self, inlet_temps: Mapping[str, float]) -> None:
+        solver = self._solver
+        for name, state in solver.machines.items():
+            solver._machine_tick(state, inlet_temps[name])

@@ -14,7 +14,7 @@ arrays for plotting, persistence, or comparison against measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import UnknownNodeError
 from .graph import MachineLayout
@@ -22,10 +22,20 @@ from .power import PowerModel, ScaledPowerModel
 
 
 class MachineState:
-    """Mutable per-machine solver state (temperatures and live constants)."""
+    """Mutable per-machine solver state (temperatures and live constants).
+
+    A solver engine may attach a ``listener`` callable; every mutation made
+    through the setter methods is then reported as
+    ``listener(field, key, value)`` where ``field`` is one of
+    ``"temperature" | "k" | "fraction" | "fan" | "power_scale" |
+    "utilization"``.  The compiled engine uses this to keep its flat
+    arrays in sync (and to invalidate derived arrays) without polling.
+    """
 
     def __init__(self, layout: MachineLayout, initial_temperature: float) -> None:
         self.layout = layout
+        #: Optional mutation observer: ``listener(field, key, value)``.
+        self.listener: Optional[Callable[[str, object, float], None]] = None
         #: Current temperature (Celsius) of every component and air region.
         self.temperatures: Dict[str, float] = {
             name: initial_temperature for name in layout.node_names
@@ -68,6 +78,8 @@ class MachineState:
         if node not in self.temperatures:
             raise UnknownNodeError(node)
         self.temperatures[node] = value
+        if self.listener is not None:
+            self.listener("temperature", node, value)
 
     # -- constants ------------------------------------------------------
 
@@ -79,6 +91,8 @@ class MachineState:
         if value < 0.0:
             raise ValueError("k must be non-negative")
         self.k[key] = value
+        if self.listener is not None:
+            self.listener("k", key, value)
 
     def set_fraction(self, src: str, dst: str, value: float) -> None:
         """Change an air-flow fraction; the flow cache is invalidated."""
@@ -88,6 +102,8 @@ class MachineState:
             raise ValueError("air fraction must be in [0, 1]")
         self.fractions[(src, dst)] = value
         self._flow_cache = None
+        if self.listener is not None:
+            self.listener("fraction", (src, dst), value)
 
     def set_fan_cfm(self, value: float) -> None:
         """Change the fan speed (ft^3/min); the flow cache is invalidated."""
@@ -95,6 +111,8 @@ class MachineState:
             raise ValueError("fan flow must be positive")
         self.fan_cfm = value
         self._flow_cache = None
+        if self.listener is not None:
+            self.listener("fan", None, value)
 
     def set_power_scale(self, component: str, factor: float) -> None:
         """Scale a component's power draw (emulates DVFS / clock throttling)."""
@@ -102,6 +120,8 @@ class MachineState:
             self.power_models[component].factor = factor
         except KeyError:
             raise UnknownNodeError(component) from None
+        if self.listener is not None:
+            self.listener("power_scale", component, factor)
 
     def set_utilization(self, component: str, utilization: float) -> None:
         """Report a component utilization (normally done by monitord)."""
@@ -110,6 +130,8 @@ class MachineState:
         if not 0.0 <= utilization <= 1.0:
             raise ValueError("utilization must be in [0, 1]")
         self.utilizations[component] = utilization
+        if self.listener is not None:
+            self.listener("utilization", component, utilization)
 
     # -- derived --------------------------------------------------------
 

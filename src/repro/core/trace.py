@@ -197,12 +197,14 @@ def run_offline(
     duration: Optional[float] = None,
     initial_temperature: Optional[float] = None,
     events: Optional[Sequence["TimedEvent"]] = None,
+    engine: str = "python",
 ) -> History:
     """Replay utilization traces through a fresh solver and return history.
 
     ``events`` is an optional sequence of :class:`TimedEvent` callbacks
     (the fiddle script interpreter produces these) fired when simulated
-    time first reaches each event's timestamp.
+    time first reaches each event's timestamp.  ``engine`` selects the
+    solver implementation (``"python"`` or ``"compiled"``).
     """
     by_machine = {trace.machine: trace for trace in traces}
     missing = [l.name for l in layouts if l.name not in by_machine]
@@ -214,6 +216,7 @@ def run_offline(
         dt=dt,
         initial_temperature=initial_temperature,
         record=True,
+        engine=engine,
     )
     if duration is None:
         duration = max(trace.duration for trace in traces)

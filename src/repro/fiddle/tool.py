@@ -20,6 +20,7 @@ verb            effect
 ``fan``         change a machine's fan flow (ft^3/min)
 ``power``       scale a component's power draw (DVFS/throttling)
 ``source``      change a cluster cooling source's supply temperature
+``fraction``    (cluster) change an inter-machine air edge's fraction
 ``restore``     clear a machine's inlet override
 ==============  ====================================================
 
@@ -88,6 +89,11 @@ class Fiddle:
         self._solver.set_source_temperature(source, value)
         self._record(f"cluster source {source} {value}")
 
+    def cluster_fraction(self, src: str, dst: str, value: float) -> None:
+        """Change an inter-machine air edge's fraction (e.g. a failed damper)."""
+        self._solver.set_cluster_fraction(src, dst, value)
+        self._record(f"cluster fraction {src}|{dst} {value}")
+
     def restore(self, machine: str) -> None:
         """Clear a machine's inlet override (cooling restored)."""
         self._solver.clear_inlet_override(machine)
@@ -110,6 +116,7 @@ class Fiddle:
             fiddle <machine> power <component> <factor>
             fiddle <machine> restore
             fiddle cluster source <source> <value>
+            fiddle cluster fraction <src> <dst> <value>
 
         The leading ``fiddle`` word is optional.
         """
@@ -122,12 +129,16 @@ class Fiddle:
             raise FiddleError(f"short fiddle command: {line!r}")
         target, verb, rest = tokens[0], tokens[1], tokens[2:]
         if target == "cluster":
-            if verb != "source" or len(rest) != 2:
-                raise FiddleError(
-                    f"cluster commands are 'cluster source <name> <value>': {line!r}"
-                )
-            self.source(rest[0], _number(rest[1], line))
-            return
+            if verb == "source" and len(rest) == 2:
+                self.source(rest[0], _number(rest[1], line))
+                return
+            if verb == "fraction" and len(rest) == 3:
+                self.cluster_fraction(rest[0], rest[1], _number(rest[2], line))
+                return
+            raise FiddleError(
+                "cluster commands are 'cluster source <name> <value>' or "
+                f"'cluster fraction <src> <dst> <value>': {line!r}"
+            )
         if verb not in _VERBS:
             raise FiddleError(f"unknown fiddle verb {verb!r} in {line!r}")
         n_targets = _VERBS[verb]

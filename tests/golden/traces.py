@@ -1,0 +1,99 @@
+"""Golden-trace generation shared by the regression tests and regen tool.
+
+Two reference runs pin the solver's numerical behaviour:
+
+``fig5_cpu_calibration``
+    A single Table 1 server driven by the Figure 5 CPU-calibration
+    shape — utilization steps with idle gaps — through the offline
+    solver; every node temperature at every tick.
+
+``fig11_first120s``
+    The first 120 s of the Figure 11 Freon experiment (4 servers, the
+    diurnal trace, emergencies scripted at t=480 s so none fire inside
+    the window); per-machine CPU temperature at every tick.
+
+Both are generated with the reference ``python`` engine; the tests
+re-run them on every engine and demand agreement with the stored JSON
+within :data:`TOLERANCE` degrees.  Regenerate (after an intentional
+physics change) with ``python -m tests.golden.regen``.
+"""
+
+from pathlib import Path
+
+from repro.cluster.simulation import ClusterSimulation, emergency_script
+from repro.config import table1
+from repro.config.layouts import validation_machine
+from repro.core.trace import TracePoint, UtilizationTrace, run_offline
+
+#: Directory the golden JSON files live in.
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Maximum per-node absolute temperature disagreement (degrees C).
+TOLERANCE = 1e-9
+
+#: Figure 5 CPU-microbenchmark utilization steps, shortened for test
+#: runtime (the paper's run uses the same levels over ~14,000 s).
+FIG5_LEVELS = (0.25, 0.50, 0.75, 1.00, 0.60, 0.30)
+FIG5_BUSY = 60.0
+FIG5_IDLE = 40.0
+FIG5_DT = 1.0
+
+#: Length of the Figure 11 window.  Emergencies fire at t=480 s and the
+#: first Freon adjustments come later still, so this window exercises
+#: pure solver dynamics with the policy loop attached but quiescent.
+FIG11_SECONDS = 120.0
+
+
+def fig5_trace(engine: str = "python") -> dict:
+    """Run the Figure 5 CPU-calibration shape; all nodes, every tick."""
+    points = []
+    t = 0.0
+    for level in FIG5_LEVELS:
+        points.append(
+            TracePoint(t, {table1.CPU: level, table1.DISK_PLATTERS: 0.0})
+        )
+        t += FIG5_BUSY
+        points.append(
+            TracePoint(t, {table1.CPU: 0.0, table1.DISK_PLATTERS: 0.0})
+        )
+        t += FIG5_IDLE
+    trace = UtilizationTrace("machine1", points)
+    layout = validation_machine()
+    history = run_offline(
+        [layout], [trace], dt=FIG5_DT, duration=t, engine=engine
+    )
+    samples = history.samples("machine1")
+    nodes = sorted(samples[0].temperatures)
+    return {
+        "name": "fig5_cpu_calibration",
+        "engine": engine,
+        "dt": FIG5_DT,
+        "times": [s.time for s in samples],
+        "series": {
+            node: [s.temperatures[node] for s in samples] for node in nodes
+        },
+    }
+
+
+def fig11_trace(engine: str = "python") -> dict:
+    """Run the first 120 s of Figure 11; per-machine CPU temperature."""
+    sim = ClusterSimulation(
+        policy="freon", fiddle_script=emergency_script(), engine=engine
+    )
+    result = sim.run(FIG11_SECONDS)
+    return {
+        "name": "fig11_first120s",
+        "engine": engine,
+        "dt": sim.dt,
+        "times": result.times(),
+        "series": {
+            m: result.series(m, "cpu_temperature") for m in sim.machines
+        },
+    }
+
+
+#: name -> (generator, stored filename)
+GOLDEN_TRACES = {
+    "fig5_cpu_calibration": (fig5_trace, "fig5_cpu_calibration.json"),
+    "fig11_first120s": (fig11_trace, "fig11_first120s.json"),
+}
