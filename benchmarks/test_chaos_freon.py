@@ -20,6 +20,7 @@ import pytest
 from repro.cluster.simulation import ClusterSimulation, chaos_script
 from repro.config import table1
 from repro.faults.injector import FaultInjector
+from repro.telemetry import Telemetry
 
 from .conftest import SOLVER_ENGINE, emit, series_rows
 
@@ -30,23 +31,26 @@ CHAOS_SEED = 3
 TOLERANCE = 0.5
 
 
-def run_chaos(seed=CHAOS_SEED):
+def run_chaos(seed=CHAOS_SEED, telemetry=None):
     sim = ClusterSimulation(
         policy="freon",
         fiddle_script=chaos_script(),
         injector=FaultInjector(seed=seed),
         engine=SOLVER_ENGINE,
+        telemetry=telemetry,
     )
     return sim, sim.run(2000)
 
 
 @pytest.fixture(scope="module")
 def chaos_result():
-    return run_chaos()
+    telemetry = Telemetry()
+    sim, result = run_chaos(telemetry=telemetry)
+    return sim, result, telemetry
 
 
 def test_chaos_freon_holds_thresholds(benchmark, chaos_result):
-    sim, result = chaos_result
+    sim, result, telemetry = chaos_result
     times = result.times()
 
     temp_table = series_rows(
@@ -55,15 +59,25 @@ def test_chaos_freon_holds_thresholds(benchmark, chaos_result):
         header=("time(s)", "m1 (C)", "m2 (C)", "m3 (C)", "m4 (C)"),
         every=120,
     )
-    stats = result.datagram_stats
+    # Drop / actuation counts now come from the telemetry registry (the
+    # result object carries the same numbers; equality is asserted below).
+    registry = telemetry.registry
+    stats = {
+        fate: registry.value("freon_datagrams_total", {"fate": fate})
+        for fate in ("sent", "delivered", "dropped", "duplicated", "delayed")
+    }
+    adjustments = registry.value(
+        "freon_actuations_total", {"action": "adjust"}
+    )
     summary = (
         "Chaos replay — Figure 11 emergencies + fault storm\n"
         f"faults: 5% tempd->admd loss, machine2 disk sensor stuck at 45 C,\n"
         f"        machine1 tempd crashed at t=1060 s (watchdog restart)\n"
         f"fault log: {[(t, e) for t, e in result.fault_log]}\n"
         f"restarts:  {[(r.time, r.machine, r.daemon) for r in result.restarts]}\n"
-        f"datagrams: sent={stats['sent']} delivered={stats['delivered']} "
-        f"dropped={stats['dropped']} duplicated={stats['duplicated']}\n"
+        f"datagrams: sent={stats['sent']:g} delivered={stats['delivered']:g} "
+        f"dropped={stats['dropped']:g} duplicated={stats['duplicated']:g}\n"
+        f"adjustments: {adjustments:g}\n"
         f"dropped requests: {result.drop_fraction * 100:.2f}% (paper: 0%)\n"
         f"peak CPU temps: "
         f"{ {m: round(result.max_temperature(m), 2) for m in sim.machines} }\n"
@@ -74,6 +88,13 @@ def test_chaos_freon_holds_thresholds(benchmark, chaos_result):
 
     # The storm really happened ...
     assert stats["dropped"] >= 1
+    # ... and telemetry's mirror agrees with the channel's own counters
+    # and the admd actuation log.
+    assert stats == {k: float(v) for k, v in result.datagram_stats.items()}
+    assert adjustments == len(result.adjustments)
+    assert registry.value(
+        "watchdog_restarts_total", {"daemon": "tempd"}
+    ) == len(result.restarts)
     assert [(r.machine, r.daemon) for r in result.restarts] == [
         ("machine1", "tempd")
     ]
@@ -91,7 +112,8 @@ def test_chaos_freon_holds_thresholds(benchmark, chaos_result):
 
 
 def test_chaos_replay_is_bit_identical(chaos_result):
-    _, first = chaos_result
+    """A bare (telemetry-free) rerun matches the instrumented run."""
+    _, first, _ = chaos_result
     _, second = run_chaos()
     assert second.records == first.records
     assert second.fault_log == first.fault_log

@@ -16,15 +16,16 @@ A from-scratch Python reproduction of Heath et al., ASPLOS 2006:
   reference thermal simulator standing in for Fluent, and the LVS +
   Apache-style cluster model the evaluation needs.
 
-Quickstart::
+Quickstart (a runnable doctest — ten simulated minutes at 80% CPU load
+settle the validation machine's CPU just above 57 C):
 
-    from repro import validation_machine, Solver
-
-    layout = validation_machine()
-    solver = Solver([layout])
-    solver.set_utilization("machine1", "CPU", 0.8)
-    solver.run(600)
-    print(solver.temperature("machine1", "CPU"))
+    >>> from repro import validation_machine, Solver
+    >>> layout = validation_machine()
+    >>> solver = Solver([layout])
+    >>> solver.set_utilization("machine1", "CPU", 0.8)
+    >>> solver.run(600)
+    >>> round(solver.temperature("machine1", "CPU"), 1)
+    57.2
 
 See README.md for a tour and DESIGN.md for the system inventory.
 """

@@ -20,6 +20,14 @@ library:
     Run one of the section 5 cluster experiments (freon / freon-ec /
     traditional / local-dvfs / none) and print the outcome summary.
 
+``repro top``
+    Run an experiment with telemetry enabled and render a periodically
+    refreshed text dashboard of the live metrics.
+
+``solve``, ``freon`` and ``chaos`` accept ``--telemetry PATH``: the
+run's event/metric stream is written to ``PATH`` as JSONL and a
+Prometheus text-format snapshot to the sibling ``.prom`` file.
+
 Each subcommand is also importable and unit-testable as a function
 taking an argv list.
 """
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .cluster.simulation import (
@@ -43,6 +52,13 @@ from .errors import ReproError
 from .fiddle.script import events_from_script
 from .mdot.loader import load_file
 from .mdot.writer import to_graphviz
+from .telemetry import Telemetry
+
+#: ``repro freon --experiment`` presets: paper figure -> (policy, script).
+EXPERIMENTS = {
+    "fig11": "freon",      # base Freon under the section 5 emergencies
+    "fig12": "freon-ec",   # Freon-EC regional energy conservation
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--engine", choices=ENGINES, default="python",
         help="solver engine (compiled = vectorized NumPy fast path)",
+    )
+    solve.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write the run's telemetry as JSONL to PATH (+ .prom snapshot)",
     )
 
     check = sub.add_parser("check", help="validate an mdot file")
@@ -105,6 +125,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default="python",
         help="solver engine (compiled = vectorized NumPy fast path)",
     )
+    freon.add_argument(
+        "--experiment", choices=sorted(EXPERIMENTS), default=None,
+        help="paper-figure preset; overrides --policy "
+             "(fig11 = base Freon, fig12 = Freon-EC)",
+    )
+    freon.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write the run's telemetry as JSONL to PATH (+ .prom snapshot)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -135,7 +164,70 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default="python",
         help="solver engine (compiled = vectorized NumPy fast path)",
     )
+    chaos.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write the run's telemetry as JSONL to PATH (+ .prom snapshot)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="run an experiment and render a live telemetry dashboard",
+    )
+    top.add_argument(
+        "--policy", choices=POLICIES, default="freon",
+        help="management policy",
+    )
+    top.add_argument(
+        "--duration", type=float, default=2000.0,
+        help="simulated seconds",
+    )
+    top.add_argument(
+        "--every", type=float, default=60.0,
+        help="simulated seconds between dashboard frames",
+    )
+    top.add_argument(
+        "--width", type=int, default=80, help="dashboard width in columns"
+    )
+    top.add_argument(
+        "--plain", action="store_true",
+        help="print frames sequentially instead of clearing the screen",
+    )
+    top.add_argument(
+        "--chaos", action="store_true",
+        help="use the chaos scenario (faults) instead of the emergencies",
+    )
+    top.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection RNG seed (with --chaos)",
+    )
+    top.add_argument(
+        "--engine", choices=ENGINES, default="python",
+        help="solver engine (compiled = vectorized NumPy fast path)",
+    )
+    top.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="also write the final telemetry as JSONL to PATH (+ .prom)",
+    )
     return parser
+
+
+def _make_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """An enabled facade when ``--telemetry`` was given, else ``None``."""
+    return Telemetry() if getattr(args, "telemetry", None) else None
+
+
+def _write_telemetry(telemetry: Optional[Telemetry],
+                     args: argparse.Namespace, out) -> None:
+    """Dump JSONL + Prometheus snapshot when ``--telemetry PATH`` was given."""
+    if telemetry is None or not args.telemetry:
+        return
+    rows = telemetry.write_jsonl(args.telemetry)
+    snapshot = Path(args.telemetry).with_suffix(".prom")
+    telemetry.write_snapshot(snapshot)
+    print(
+        f"telemetry: {rows} rows -> {args.telemetry}; snapshot -> {snapshot}",
+        file=out,
+    )
 
 
 def cmd_solve(args: argparse.Namespace, out) -> int:
@@ -148,6 +240,7 @@ def cmd_solve(args: argparse.Namespace, out) -> int:
     if args.fiddle:
         with open(args.fiddle) as handle:
             events = events_from_script(handle.read())
+    telemetry = _make_telemetry(args)
     history = run_offline(
         machines,
         traces,
@@ -156,6 +249,7 @@ def cmd_solve(args: argparse.Namespace, out) -> int:
         duration=args.duration,
         events=events,
         engine=args.engine,
+        telemetry=telemetry,
     )
     save_history(history, args.output)
     samples = sum(len(history.samples(m)) for m in history.machines())
@@ -164,6 +258,7 @@ def cmd_solve(args: argparse.Namespace, out) -> int:
         f"-> {args.output}",
         file=out,
     )
+    _write_telemetry(telemetry, args, out)
     return 0
 
 
@@ -210,12 +305,18 @@ def cmd_graphviz(args: argparse.Namespace, out) -> int:
 
 
 def cmd_freon(args: argparse.Namespace, out) -> int:
+    policy = args.policy
+    if args.experiment is not None:
+        policy = EXPERIMENTS[args.experiment]
+        print(f"experiment {args.experiment}: policy {policy}", file=out)
     script = None if args.no_emergency else emergency_script()
+    telemetry = _make_telemetry(args)
     simulation = ClusterSimulation(
-        policy=args.policy, fiddle_script=script, engine=args.engine
+        policy=policy, fiddle_script=script, engine=args.engine,
+        telemetry=telemetry,
     )
     result = simulation.run(args.duration)
-    print(f"policy: {args.policy}  engine: {args.engine}", file=out)
+    print(f"policy: {policy}  engine: {args.engine}", file=out)
     print(
         f"dropped requests: {result.drop_fraction * 100:.2f}% of "
         f"{result.total_offered:.0f}",
@@ -236,6 +337,7 @@ def cmd_freon(args: argparse.Namespace, out) -> int:
         print(f"reconfigurations: {len(result.ec_events)}", file=out)
     if result.pstate_changes:
         print(f"P-state changes: {len(result.pstate_changes)}", file=out)
+    _write_telemetry(telemetry, args, out)
     return 0
 
 
@@ -245,11 +347,13 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
             script = handle.read()
     else:
         script = chaos_script(loss=args.loss)
+    telemetry = _make_telemetry(args)
     simulation = ClusterSimulation(
         policy=args.policy,
         fiddle_script=script,
         injector=FaultInjector(seed=args.seed),
         engine=args.engine,
+        telemetry=telemetry,
     )
     result = simulation.run(args.duration)
     print(f"policy: {args.policy}  fault seed: {args.seed}", file=out)
@@ -289,6 +393,41 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
             f"{conservative} conservative throttle(s)",
             file=out,
         )
+    _write_telemetry(telemetry, args, out)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace, out) -> int:
+    if args.chaos:
+        script = chaos_script()
+        injector = FaultInjector(seed=args.seed)
+    else:
+        script = emergency_script()
+        injector = None
+    telemetry = Telemetry()
+    simulation = ClusterSimulation(
+        policy=args.policy,
+        fiddle_script=script,
+        injector=injector,
+        engine=args.engine,
+        telemetry=telemetry,
+    )
+    ticks = int(round(args.duration / simulation.dt))
+    frame_every = max(1, int(round(args.every / simulation.dt)))
+    for tick in range(ticks):
+        simulation.step()
+        if (tick + 1) % frame_every == 0 or tick == ticks - 1:
+            if not args.plain:
+                print("\x1b[2J\x1b[H", end="", file=out)
+            print(telemetry.render(width=args.width), file=out)
+    result = simulation.result()
+    print(
+        f"done: policy {args.policy}, {args.duration:g}s simulated, "
+        f"dropped {result.drop_fraction * 100:.2f}% of "
+        f"{result.total_offered:.0f} requests",
+        file=out,
+    )
+    _write_telemetry(telemetry, args, out)
     return 0
 
 
@@ -298,6 +437,7 @@ _COMMANDS = {
     "graphviz": cmd_graphviz,
     "freon": cmd_freon,
     "chaos": cmd_chaos,
+    "top": cmd_top,
 }
 
 

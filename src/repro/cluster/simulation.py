@@ -40,6 +40,7 @@ from ..freon.policy import FreonConfig
 from ..freon.regions import RegionMap, two_region_split
 from ..freon.traditional import TraditionalPolicy
 from ..sensors.server import SensorService
+from ..telemetry import ensure as _ensure_telemetry
 from .lvs import LoadBalancer, ServerState
 from .tracegen import RequestTrace, diurnal_trace
 from .webserver import PowerState, WebServer
@@ -149,12 +150,15 @@ class ClusterSimulation:
         fault_seed: int = 0,
         watchdog_restart_delay: float = 10.0,
         engine: str = "python",
+        telemetry=None,
+        telemetry_sample_period: float = 5.0,
     ) -> None:
         if policy not in POLICIES:
             raise ClusterError(f"unknown policy {policy!r}; pick from {POLICIES}")
         self.policy = policy
         self.dt = dt
         self.machines = list(machines)
+        self.telemetry = _ensure_telemetry(telemetry)
         if k_overrides is None:
             k_overrides = FREON_K_OVERRIDES
         cluster_layout = validation_cluster(self.machines, k_overrides=k_overrides)
@@ -164,11 +168,17 @@ class ClusterSimulation:
             dt=dt,
             record=False,
             engine=engine,
+            telemetry=self.telemetry,
         )
         #: Always present; inert until a fault is scheduled or injected.
         self.injector = injector or FaultInjector(seed=fault_seed)
+        if self.telemetry.enabled:
+            # The injector's own log lists stay authoritative; telemetry
+            # mirrors them (and LossyChannel/watchdog read it lazily).
+            self.injector.telemetry = self.telemetry
         self.service = SensorService(
-            self.solver, aliases=table1.sensor_map(), injector=self.injector
+            self.solver, aliases=table1.sensor_map(), injector=self.injector,
+            telemetry=self.telemetry,
         )
         self.balancer = LoadBalancer(self.machines)
         self.webservers: Dict[str, WebServer] = {
@@ -181,7 +191,8 @@ class ClusterSimulation:
         self._script: Optional[ScriptRunner] = None
         if fiddle_script:
             self._script = ScriptRunner(
-                self.solver, parse_script(fiddle_script), injector=self.injector
+                self.solver, parse_script(fiddle_script),
+                injector=self.injector, telemetry=self.telemetry,
             )
         self.channel: Optional[LossyChannel] = None
         self._build_policy(regions)
@@ -194,6 +205,29 @@ class ClusterSimulation:
         self.total_offered = 0.0
         self.total_dropped = 0.0
         self.time = 0.0
+        self._sample_period = max(telemetry_sample_period, dt)
+        self._sample_elapsed = self._sample_period  # sample the first tick
+        if self.telemetry.enabled:
+            self._tel_offered = self.telemetry.counter(
+                "cluster_requests_offered_total",
+                help="Requests offered to the balancer (rate x dt).",
+            )
+            self._tel_dropped = self.telemetry.counter(
+                "cluster_requests_dropped_total",
+                help="Requests dropped for lack of capacity (rate x dt).",
+            )
+            self._tel_offered_rate = self.telemetry.gauge(
+                "cluster_offered_rate",
+                help="Offered request rate this tick, requests/second.",
+            )
+            self._tel_dropped_rate = self.telemetry.gauge(
+                "cluster_dropped_rate",
+                help="Dropped request rate this tick, requests/second.",
+            )
+            self._tel_active = self.telemetry.gauge(
+                "cluster_active_servers",
+                help="Servers currently accepting load (Figure 12's thick line).",
+            )
 
     # -- policy wiring -----------------------------------------------------
 
@@ -213,6 +247,8 @@ class ClusterSimulation:
                     apply=self._dvfs_applier(name),
                     high=self.config.high("cpu"),
                     low=self.config.low("cpu"),
+                    machine=name,
+                    telemetry=self.telemetry,
                 )
             return
         if self.policy == "traditional":
@@ -227,7 +263,8 @@ class ClusterSimulation:
             return
         if self.policy == "freon":
             self.admd = Admd(
-                self.balancer, config=self.config, turn_off=self.request_off
+                self.balancer, config=self.config, turn_off=self.request_off,
+                telemetry=self.telemetry,
             )
             ec_mode = False
         else:  # freon-ec
@@ -237,6 +274,7 @@ class ClusterSimulation:
                 regions=region_map,
                 power=self,
                 config=self.config,
+                telemetry=self.telemetry,
             )
             ec_mode = True
         # tempd -> admd datagrams traverse the (fault-injectable) channel.
@@ -248,6 +286,7 @@ class ClusterSimulation:
                 send=self.channel,
                 config=self.config,
                 utilization_reader=self._utilization_reader(name) if ec_mode else None,
+                telemetry=self.telemetry,
             )
 
     def _cpu_reader(self, name: str):
@@ -331,6 +370,7 @@ class ClusterSimulation:
             config=self.config,
             utilization_reader=old._read_utilizations,
             phase=self.time % self.config.monitor_period,
+            telemetry=self.telemetry,
         )
         replacement.restricted = old.restricted
         self.tempds[machine] = replacement
@@ -356,6 +396,7 @@ class ClusterSimulation:
         """Advance the whole cluster by one tick."""
         now = self.time
         dt = self.dt
+        self.telemetry.advance(now)
 
         # 1. fault clock, then fiddle events (thermal emergencies and
         #    fault statements both fire here).
@@ -438,7 +479,40 @@ class ClusterSimulation:
         # 7. record.
         record = self._record(now, offered, allocation.dropped_rate)
         self.records.append(record)
+        if self.telemetry.enabled:
+            self._publish_tick(record)
         return record
+
+    def _publish_tick(self, record: TickRecord) -> None:
+        """Mirror one tick into the telemetry facade.
+
+        Counters/gauges update every tick; the per-machine temperature
+        samples that make up the Figure 11/12 series are emitted to the
+        event stream every ``telemetry_sample_period`` seconds.
+        """
+        self._tel_offered.inc(record.offered_rate * self.dt)
+        if record.dropped_rate > 0.0:
+            self._tel_dropped.inc(record.dropped_rate * self.dt)
+        self._tel_offered_rate.set(record.offered_rate)
+        self._tel_dropped_rate.set(record.dropped_rate)
+        self._tel_active.set(record.active_servers)
+        self._sample_elapsed += self.dt
+        if self._sample_elapsed + 1e-9 < self._sample_period:
+            return
+        self._sample_elapsed = 0.0
+        self.telemetry.sample(
+            "cluster_dropped_rate", record.dropped_rate, "cluster",
+            active_servers=record.active_servers,
+        )
+        for name, server in record.servers.items():
+            self.telemetry.sample(
+                "server_tick", server.cpu_temperature, "cluster",
+                machine=name,
+                disk_temperature=server.disk_temperature,
+                weight=server.weight,
+                connections=server.connections,
+                state=server.state,
+            )
 
     def _record(self, now: float, offered: float, dropped: float) -> TickRecord:
         servers: Dict[str, ServerRecord] = {}

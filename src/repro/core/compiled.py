@@ -354,9 +354,18 @@ class CompiledEngine:
 
     def _tick_group(self, g: _Group, inlet) -> None:
         plan = g.plan
-        dt = self._solver.dt
+        solver = self._solver
+        dt = solver.dt
         if g.flows_dirty:
             g.rebuild_flows()
+            if solver.telemetry.enabled:
+                solver._tel_recompiles.inc()
+                solver.telemetry.event(
+                    "engine_recompile",
+                    "solver",
+                    machines=len(g.names),
+                    reason="flows_dirty",
+                )
         T = g.T
         n_comps = plan.n_comps
         start = T[:, :n_comps].copy()
@@ -458,6 +467,7 @@ class CompiledSolver(Solver):
         dt: float = DEFAULT_DT,
         initial_temperature: Optional[float] = None,
         record: bool = True,
+        telemetry=None,
     ) -> None:
         super().__init__(
             layouts,
@@ -466,4 +476,5 @@ class CompiledSolver(Solver):
             initial_temperature=initial_temperature,
             record=record,
             engine="compiled",
+            telemetry=telemetry,
         )

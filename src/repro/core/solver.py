@@ -37,10 +37,13 @@ mutations, ``force_temperature``, cluster source overrides, and
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .. import units
 from ..errors import SolverError, UnknownNodeError, UnknownSensorError
+from ..telemetry import ensure as _ensure_telemetry
+from ..telemetry.registry import LATENCY_BUCKETS
 from . import physics
 from .graph import ClusterLayout, MachineLayout
 from .state import History, MachineState, Sample
@@ -75,6 +78,11 @@ class Solver:
         ``"python"`` (reference dict-loop implementation) or
         ``"compiled"`` (vectorized NumPy implementation from
         :mod:`repro.core.compiled`; requires NumPy).
+    telemetry:
+        An optional :class:`repro.telemetry.Telemetry`; when given, the
+        solver records per-tick latency, node-update counts, and (for
+        the compiled engine) recompiles.  ``None`` means the shared
+        no-op facade — the tick hot path then pays only a flag check.
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class Solver:
         initial_temperature: Optional[float] = None,
         record: bool = True,
         engine: str = "python",
+        telemetry=None,
     ) -> None:
         if not layouts:
             raise SolverError("at least one machine layout is required")
@@ -133,6 +142,30 @@ class Solver:
         if engine not in ENGINES:
             raise SolverError(f"unknown engine {engine!r}; pick from {ENGINES}")
         self.engine = engine
+        self.telemetry = _ensure_telemetry(telemetry)
+        engine_labels = {"engine": engine}
+        self._tel_tick_hist = self.telemetry.histogram(
+            "solver_tick_seconds", engine_labels, buckets=LATENCY_BUCKETS,
+            help="Wall-clock latency of one solver tick.",
+        )
+        self._tel_ticks = self.telemetry.counter(
+            "solver_ticks_total", engine_labels,
+            help="Solver iterations performed.",
+        )
+        self._tel_nodes = self.telemetry.counter(
+            "solver_node_updates_total", engine_labels,
+            help="Node (component + air region) temperature updates.",
+        )
+        self._tel_recompiles = self.telemetry.counter(
+            "solver_recompiles_total", engine_labels,
+            help="Lazy flow-array recompiles after fiddle edits (compiled engine).",
+        )
+        self._tel_sim_time = self.telemetry.gauge(
+            "solver_sim_time_seconds", help="Current emulated time.",
+        )
+        self._n_nodes = sum(
+            len(state.temperatures) for state in self.machines.values()
+        )
         if engine == "compiled":
             from .compiled import CompiledEngine
 
@@ -244,12 +277,22 @@ class Solver:
         self.step(ticks)
 
     def _tick(self) -> None:
+        if self.telemetry.enabled:
+            tick_start = _time.perf_counter()
         inlet_temps = self._inter_machine_traversal()
         self._impl.tick(inlet_temps)
         for name, state in self.machines.items():
             self._prev_exhaust[name] = state.temperatures[state.layout.exhaust]
         self.time += self.dt
         self.iterations += 1
+        if self.telemetry.enabled:
+            # Keep the facade's sim clock current even when the solver
+            # runs standalone (offline traces, `repro solve`).
+            self.telemetry.advance(self.time)
+            self._tel_tick_hist.observe(_time.perf_counter() - tick_start)
+            self._tel_ticks.inc()
+            self._tel_nodes.inc(self._n_nodes)
+            self._tel_sim_time.set(self.time)
         if self.record:
             self._record_all()
 

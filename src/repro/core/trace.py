@@ -198,13 +198,15 @@ def run_offline(
     initial_temperature: Optional[float] = None,
     events: Optional[Sequence["TimedEvent"]] = None,
     engine: str = "python",
+    telemetry=None,
 ) -> History:
     """Replay utilization traces through a fresh solver and return history.
 
     ``events`` is an optional sequence of :class:`TimedEvent` callbacks
     (the fiddle script interpreter produces these) fired when simulated
     time first reaches each event's timestamp.  ``engine`` selects the
-    solver implementation (``"python"`` or ``"compiled"``).
+    solver implementation (``"python"`` or ``"compiled"``).  An enabled
+    ``telemetry`` facade receives the solver's per-tick metrics.
     """
     by_machine = {trace.machine: trace for trace in traces}
     missing = [l.name for l in layouts if l.name not in by_machine]
@@ -217,6 +219,7 @@ def run_offline(
         initial_temperature=initial_temperature,
         record=True,
         engine=engine,
+        telemetry=telemetry,
     )
     if duration is None:
         duration = max(trace.duration for trace in traces)

@@ -24,6 +24,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..cluster.lvs import LoadBalancer, ServerState
 from ..freon.policy import FreonConfig, weight_for_share_reduction
+from ..telemetry import ensure as _ensure_telemetry
 from .tempd import (
     MSG_ADJUST,
     MSG_REDLINE,
@@ -41,10 +42,19 @@ class Admd:
         balancer: LoadBalancer,
         config: Optional[FreonConfig] = None,
         turn_off: Optional[Callable[[str], None]] = None,
+        telemetry=None,
     ) -> None:
         self.balancer = balancer
         self.config = config or FreonConfig()
         self._turn_off = turn_off
+        self.telemetry = _ensure_telemetry(telemetry)
+        self._tel_actions = {
+            action: self.telemetry.counter(
+                "freon_actuations_total", {"action": action},
+                help="admd actuations on the load balancer, by action.",
+            )
+            for action in ("adjust", "release", "redline")
+        }
         self._stats_elapsed = 0.0
         #: Rolling (time, connections) samples per server.
         self._samples: Dict[str, Deque[Tuple[float, float]]] = {
@@ -101,22 +111,44 @@ class Admd:
         weights = {
             s.name: s.weight for s in self.balancer.active_servers()
         }
-        new_weight = weight_for_share_reduction(weights, machine, message.output)
+        new_weight = weight_for_share_reduction(
+            weights, machine, message.output, telemetry=self.telemetry
+        )
         self.balancer.set_weight(machine, new_weight)
         self.balancer.set_connection_limit(
             machine, self.average_connections(machine)
         )
         self.adjustments.append((message.time, machine, message.output))
+        self._tel_actions["adjust"].inc()
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "freon_weight", {"machine": machine},
+                help="Current LVS weight set by Freon.",
+            ).set(new_weight)
+            self.telemetry.event(
+                "freon_adjust", "admd", machine=machine,
+                output=message.output, weight=new_weight,
+            )
 
     def _handle_release(self, message: TempdMessage) -> None:
         machine = message.machine
         self.balancer.set_weight(machine, self.config.base_weight)
         self.balancer.set_connection_limit(machine, None)
         self.releases.append((message.time, machine))
+        self._tel_actions["release"].inc()
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "freon_weight", {"machine": machine},
+                help="Current LVS weight set by Freon.",
+            ).set(self.config.base_weight)
+            self.telemetry.event("freon_release", "admd", machine=machine)
 
     def _handle_redline(self, message: TempdMessage) -> None:
         machine = message.machine
         self.redlined.append((message.time, machine))
+        self._tel_actions["redline"].inc()
+        if self.telemetry.enabled:
+            self.telemetry.event("freon_redline", "admd", machine=machine)
         if self._turn_off is not None:
             self._turn_off(machine)
 

@@ -38,6 +38,7 @@ from ..machine.procfs import ProcReader
 from ..machine.server import SimulatedServer
 from ..sensors import protocol
 from ..sensors.server import SensorService
+from ..telemetry import ensure as _ensure_telemetry
 
 #: Default update period, seconds.
 DEFAULT_PERIOD = 1.0
@@ -74,6 +75,7 @@ class Monitord:
         period: float = DEFAULT_PERIOD,
         use_counters: bool = False,
         injector: Optional["FaultInjector"] = None,
+        telemetry=None,
     ) -> None:
         if period <= 0.0:
             raise ValueError("period must be positive")
@@ -102,6 +104,16 @@ class Monitord:
                 power_model=cpu_model,
             )
         self.injector = injector
+        self.telemetry = _ensure_telemetry(telemetry)
+        labels = {"machine": machine}
+        self._tel_updates = self.telemetry.counter(
+            "monitord_updates_total", labels,
+            help="Utilization updates sent to the solver.",
+        )
+        self._tel_stalled = self.telemetry.counter(
+            "monitord_stalled_total", labels,
+            help="Updates suppressed by an injected stall or crash.",
+        )
         self.updates_sent = 0
         self.updates_stalled = 0
         self._elapsed = 0.0
@@ -120,6 +132,7 @@ class Monitord:
             self.machine
         ):
             self.updates_stalled += 1
+            self._tel_stalled.inc()
             return None
         self._elapsed = 0.0
         return self.send_update()
@@ -138,6 +151,7 @@ class Monitord:
             assert self._sock is not None and self._address is not None
             self._sock.sendto(update.encode(), self._address)
         self.updates_sent += 1
+        self._tel_updates.inc()
         return utilizations
 
     def close(self) -> None:

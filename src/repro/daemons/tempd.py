@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import SensorError
 from ..freon.controller import ControllerBank
 from ..freon.policy import FreonConfig
+from ..telemetry import ensure as _ensure_telemetry
 
 #: Message types tempd emits.
 MSG_ADJUST = "adjust"
@@ -75,6 +76,7 @@ class Tempd:
         config: Optional[FreonConfig] = None,
         utilization_reader: Optional[Callable[[], Dict[str, float]]] = None,
         phase: float = 0.0,
+        telemetry=None,
     ) -> None:
         self.machine = machine
         self.config = config or FreonConfig()
@@ -85,6 +87,27 @@ class Tempd:
         self._send = send
         self._controllers = ControllerBank(kp=self.config.kp, kd=self.config.kd)
         self._elapsed = phase
+        self.telemetry = _ensure_telemetry(telemetry)
+        labels = {"machine": machine}
+        self._tel_wakes = self.telemetry.counter(
+            "tempd_wakes_total", labels, help="tempd monitor-period wake-ups.",
+        )
+        self._tel_read_failures = self.telemetry.counter(
+            "tempd_read_failures_total", labels,
+            help="Wake-ups whose sensor read failed.",
+        )
+        self._tel_stale = self.telemetry.counter(
+            "tempd_stale_wakes_total", labels,
+            help="Failed-read wake-ups holding the last-known-good posture.",
+        )
+        self._tel_conservative = self.telemetry.counter(
+            "tempd_conservative_wakes_total", labels,
+            help="Failed-read wake-ups falling back to conservative throttling.",
+        )
+        self._tel_output = self.telemetry.gauge(
+            "tempd_pd_output", labels,
+            help="Most recent PD-controller output sent to admd.",
+        )
         #: True while admd has restrictions in place for this server.
         self.restricted = False
         #: Components currently above their high threshold.
@@ -108,6 +131,7 @@ class Tempd:
 
     def wake(self, now: float) -> List[TempdMessage]:
         """One wake-up: read temperatures, run the policy, send messages."""
+        self._tel_wakes.inc()
         try:
             temperatures = dict(self._read_temperatures())
         except SensorError:
@@ -137,6 +161,7 @@ class Tempd:
             output = self._controllers.combined_output(temperatures, highs)
             self.restricted = True
             self._last_output = output
+            self._tel_output.set(output)
             sent.append(
                 TempdMessage(
                     type=MSG_ADJUST,
@@ -175,10 +200,20 @@ class Tempd:
                 )
             )
 
+        self._finish_wake(sent)
+        return sent
+
+    def _finish_wake(self, sent: List[TempdMessage]) -> None:
         for message in sent:
             self._send(message)
         self.messages_sent += len(sent)
-        return sent
+        if self.telemetry.enabled:
+            for message in sent:
+                self.telemetry.counter(
+                    "tempd_messages_total",
+                    {"machine": self.machine, "type": message.type},
+                    help="tempd messages sent to admd, by type.",
+                ).inc()
 
     def _wake_without_readings(self, now: float) -> List[TempdMessage]:
         """Resilience path: the sensor read failed this wake-up.
@@ -189,6 +224,7 @@ class Tempd:
         to throttle this server rather than run it blind near T_h.
         """
         self.read_failures += 1
+        self._tel_read_failures.inc()
         last = self._last_good
         fresh_enough = (
             last is not None
@@ -198,6 +234,12 @@ class Tempd:
         sent: List[TempdMessage] = []
         if fresh_enough:
             self.stale_wakes += 1
+            self._tel_stale.inc()
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "tempd_stale_hold", "tempd", machine=self.machine,
+                    restricted=self.restricted,
+                )
             if self.restricted and self._last_output is not None:
                 sent.append(
                     TempdMessage(
@@ -210,8 +252,16 @@ class Tempd:
                 )
         else:
             self.conservative_wakes += 1
+            self._tel_conservative.inc()
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "tempd_conservative_fallback", "tempd",
+                    machine=self.machine,
+                    output=self.config.conservative_output,
+                )
             self.restricted = True
             self._last_output = self.config.conservative_output
+            self._tel_output.set(self.config.conservative_output)
             sent.append(
                 TempdMessage(
                     type=MSG_ADJUST,
@@ -221,7 +271,5 @@ class Tempd:
                     temperatures=stale_temps,
                 )
             )
-        for message in sent:
-            self._send(message)
-        self.messages_sent += len(sent)
+        self._finish_wake(sent)
         return sent

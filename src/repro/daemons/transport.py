@@ -23,6 +23,7 @@ from typing import Callable, Optional, Tuple
 
 from ..errors import SensorError
 from ..faults.backoff import DAEMON_JOIN_TIMEOUT, SERVER_POLL_INTERVAL
+from ..telemetry import ensure as _ensure_telemetry
 from .tempd import TempdMessage
 
 #: Safety bound: a Freon message must fit one comfortable datagram.
@@ -88,14 +89,19 @@ class TempdSender:
     :class:`~repro.daemons.tempd.Tempd`.
     """
 
-    def __init__(self, address: Tuple[str, int]) -> None:
+    def __init__(self, address: Tuple[str, int], telemetry=None) -> None:
         self._address = address
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sent = 0
+        self._tel_sent = _ensure_telemetry(telemetry).counter(
+            "freon_udp_messages_sent_total",
+            help="tempd messages sent over UDP.",
+        )
 
     def __call__(self, message: TempdMessage) -> None:
         self._sock.sendto(encode_message(message), self._address)
         self.sent += 1
+        self._tel_sent.inc()
 
     def close(self) -> None:
         """Release the socket."""
@@ -116,10 +122,12 @@ class _AdmdHandler(socketserver.BaseRequestHandler):
             message = decode_message(data)
         except SensorError:
             server.malformed += 1  # type: ignore[attr-defined]
+            server.tel_malformed.inc()  # type: ignore[attr-defined]
             return
         with server.deliver_lock:  # type: ignore[attr-defined]
             server.deliver(message)  # type: ignore[attr-defined]
             server.received += 1  # type: ignore[attr-defined]
+            server.tel_received.inc()  # type: ignore[attr-defined]
 
 
 class AdmdListener:
@@ -135,12 +143,22 @@ class AdmdListener:
         deliver: Callable[[TempdMessage], None],
         host: str = "127.0.0.1",
         port: int = 0,
+        telemetry=None,
     ) -> None:
+        telemetry = _ensure_telemetry(telemetry)
         self._server = socketserver.ThreadingUDPServer((host, port), _AdmdHandler)
         self._server.deliver = deliver  # type: ignore[attr-defined]
         self._server.deliver_lock = threading.Lock()  # type: ignore[attr-defined]
         self._server.received = 0  # type: ignore[attr-defined]
         self._server.malformed = 0  # type: ignore[attr-defined]
+        self._server.tel_received = telemetry.counter(  # type: ignore[attr-defined]
+            "freon_udp_messages_received_total",
+            help="tempd messages received and delivered to admd.",
+        )
+        self._server.tel_malformed = telemetry.counter(  # type: ignore[attr-defined]
+            "freon_udp_messages_malformed_total",
+            help="UDP datagrams dropped as malformed.",
+        )
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -78,6 +78,17 @@ class FiddleError(ReproError):
     """Errors raised by the fiddle thermal-emergency tool."""
 
 
+class FiddleScriptError(FiddleError):
+    """A fiddle script line failed to parse or validate.
+
+    ``line`` is the 1-based line number within the script text.
+    """
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(message)
+        self.line = line
+
+
 class FaultError(ReproError):
     """Errors in the fault-injection subsystem (specs, schedules, hooks)."""
 
@@ -88,6 +99,10 @@ class SensorError(ReproError):
 
 class SensorClosedError(SensorError):
     """A read was attempted on a closed sensor descriptor."""
+
+
+class TelemetryError(ReproError):
+    """Errors in the observability subsystem (metrics, events, exporters)."""
 
 
 class CalibrationError(ReproError):

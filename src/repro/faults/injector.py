@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import FaultError, SensorError
+from ..telemetry import ensure as _ensure_telemetry
 from .model import FaultKind, FaultSpec
 from .schedule import FaultSchedule, ScheduledFault
 
@@ -50,6 +51,7 @@ class FaultInjector:
         self,
         schedule: Optional[FaultSchedule] = None,
         seed: int = 0,
+        telemetry=None,
     ) -> None:
         self._rng = random.Random(seed)
         self.seed = seed
@@ -59,11 +61,27 @@ class FaultInjector:
         self._next = 0
         self._active: List[ActiveFault] = []
         self.now = 0.0
-        #: Audit log of (time, event) entries.
+        #: Audit log of (time, event) entries.  Bit-identical replay
+        #: tests compare this list verbatim, so it stays authoritative;
+        #: telemetry events mirror it when a facade is attached.
         self.log: List[Tuple[float, str]] = []
+        #: Telemetry facade mirroring the audit log; the simulation
+        #: harness rebinds this when it owns an enabled facade.
+        self.telemetry = _ensure_telemetry(telemetry)
         #: Counters for summaries and tests.
         self.sensor_faulted_reads = 0
         self.sensor_dropped_reads = 0
+
+    def _note(self, time: float, text: str) -> None:
+        """Append one audit-log entry, mirrored as a telemetry event."""
+        self.log.append((time, text))
+        if self.telemetry.enabled:
+            kind = text.split(" ", 1)[0]
+            self.telemetry.counter(
+                "fault_log_entries_total", {"kind": kind},
+                help="Fault-injector audit-log entries, by kind.",
+            ).inc()
+            self.telemetry.event("fault_" + kind, "faults", detail=text)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -86,7 +104,7 @@ class FaultInjector:
         end = now + spec.duration if spec.duration is not None else None
         active = ActiveFault(spec=spec, start=now, end=end)
         self._active.append(active)
-        self.log.append((now, f"inject {spec.describe()}"))
+        self._note(now, f"inject {spec.describe()}")
         return active
 
     def advance_to(self, now: float) -> None:
@@ -101,7 +119,7 @@ class FaultInjector:
         expired = [f for f in self._active if f.end is not None and f.end <= now]
         for fault in expired:
             self._active.remove(fault)
-            self.log.append((now, f"expire {fault.spec.describe()}"))
+            self._note(now, f"expire {fault.spec.describe()}")
 
     def clear(self, kind: Optional[FaultKind] = None) -> int:
         """Deactivate faults (all, or all of one kind); returns the count."""
@@ -110,7 +128,7 @@ class FaultInjector:
         ]
         for fault in victims:
             self._active.remove(fault)
-            self.log.append((self.now, f"clear {fault.spec.describe()}"))
+            self._note(self.now, f"clear {fault.spec.describe()}")
         return len(victims)
 
     @property
@@ -209,9 +227,9 @@ class FaultInjector:
         for fault in self._matching(FaultKind.DAEMON_CRASH):
             if fault.spec.machine == machine and fault.spec.target == daemon:
                 self._active.remove(fault)
-                self.log.append(
-                    (self.now if now is None else now,
-                     f"restart {machine}/{daemon}")
+                self._note(
+                    self.now if now is None else now,
+                    f"restart {machine}/{daemon}",
                 )
                 return True
         return False
@@ -250,20 +268,33 @@ class LossyChannel:
         self.duplicated = 0
         self.delayed = 0
 
+    def _count(self, fate: str, amount: int = 1) -> None:
+        """Mirror one int counter into the injector's telemetry facade."""
+        telemetry = self._injector.telemetry
+        if telemetry.enabled:
+            telemetry.counter(
+                "freon_datagrams_total", {"fate": fate},
+                help="tempd -> admd datagrams through the lossy channel, by fate.",
+            ).inc(amount)
+
     def __call__(self, message: object) -> None:
         """Send one message through the faulty network."""
         now = self._injector.now
         self.sent += 1
+        self._count("sent")
         dropped, duplicated, delay = self._injector.datagram_fate()
         if dropped:
             self.dropped += 1
-            self._injector.log.append((now, "datagram dropped"))
+            self._count("dropped")
+            self._injector._note(now, "datagram dropped")
             return
         if delay > 0.0:
             self.delayed += 1
+            self._count("delayed")
         copies = 2 if duplicated else 1
         if duplicated:
             self.duplicated += 1
+            self._count("duplicated")
         for _ in range(copies):
             self._pending.append((now + delay, self._seq, message))
             self._seq += 1
@@ -279,6 +310,7 @@ class LossyChannel:
         for _, _, message in sorted(due, key=lambda e: (e[0], e[1])):
             self._deliver(message)
             self.delivered += 1
+        self._count("delivered", len(due))
         return len(due)
 
     @property
@@ -335,4 +367,14 @@ class DaemonWatchdog:
             event = RestartEvent(time=now, machine=machine, daemon=daemon)
             self.events.append(event)
             fired.append(event)
+            telemetry = self._injector.telemetry
+            if telemetry.enabled:
+                telemetry.counter(
+                    "watchdog_restarts_total", {"daemon": daemon},
+                    help="Daemon restarts performed by the watchdog.",
+                ).inc()
+                telemetry.event(
+                    "watchdog_restart", "watchdog",
+                    machine=machine, daemon=daemon, down_for=now - since,
+                )
         return fired

@@ -41,8 +41,9 @@ from typing import List, Optional, Sequence
 
 from ..core.solver import Solver
 from ..core.trace import TimedEvent
-from ..errors import FiddleError
+from ..errors import FaultError, FiddleError, FiddleScriptError
 from ..faults.schedule import is_fault_command, parse_fault_command
+from ..telemetry import ensure as _ensure_telemetry
 from .tool import Fiddle
 
 
@@ -67,28 +68,39 @@ def parse_script(text: str) -> List[TimedCommand]:
             continue
         if tokens[0] == "sleep":
             if len(tokens) != 2:
-                raise FiddleError(f"line {lineno}: sleep takes one argument")
+                raise FiddleScriptError(
+                    f"line {lineno}: sleep takes one argument", line=lineno
+                )
             try:
                 delay = float(tokens[1])
             except ValueError:
-                raise FiddleError(
-                    f"line {lineno}: bad sleep duration {tokens[1]!r}"
+                raise FiddleScriptError(
+                    f"line {lineno}: bad sleep duration {tokens[1]!r}",
+                    line=lineno,
                 ) from None
             if delay < 0.0:
-                raise FiddleError(f"line {lineno}: negative sleep")
+                raise FiddleScriptError(
+                    f"line {lineno}: negative sleep", line=lineno
+                )
             clock += delay
         elif tokens[0] == "fiddle":
             commands.append(TimedCommand(time=clock, command=line))
         elif tokens[0] == "fault":
             try:
                 parse_fault_command(line)  # validate eagerly, like fiddle's shape
-            except Exception as exc:
-                raise FiddleError(f"line {lineno}: {exc}") from None
+            except FaultError as exc:
+                # parse_fault_command and FaultSpec validation raise only
+                # FaultError; anything else is a genuine bug and should
+                # propagate rather than be masked as a script error.
+                raise FiddleScriptError(
+                    f"line {lineno}: {exc}", line=lineno
+                ) from None
             commands.append(TimedCommand(time=clock, command=line))
         else:
-            raise FiddleError(
+            raise FiddleScriptError(
                 f"line {lineno}: expected 'sleep', 'fiddle' or 'fault', "
-                f"got {tokens[0]!r}"
+                f"got {tokens[0]!r}",
+                line=lineno,
             )
     return commands
 
@@ -156,11 +168,13 @@ class ScriptRunner:
         solver: Solver,
         commands: Sequence[TimedCommand],
         injector: Optional[object] = None,
+        telemetry=None,
     ) -> None:
         self._fiddle = Fiddle(solver)
         self._commands = sorted(commands, key=lambda c: c.time)
         self._next = 0
         self._injector = injector
+        self.telemetry = _ensure_telemetry(telemetry)
         if injector is None and any(
             is_fault_command(c.command) for c in self._commands
         ):
@@ -193,6 +207,14 @@ class ScriptRunner:
                 )
             else:
                 self._fiddle.command(entry.command)
+                if self.telemetry.enabled:
+                    self.telemetry.counter(
+                        "fiddle_commands_total",
+                        help="fiddle script commands applied to the solver.",
+                    ).inc()
+                    self.telemetry.event(
+                        "fiddle_command", "fiddle", command=entry.command,
+                    )
             fired.append(entry.command)
             self._next += 1
         return fired

@@ -69,8 +69,12 @@ class AdmdEC(Admd):
         util_high: float = table1.EC_UTIL_HIGH,
         util_low: float = table1.EC_UTIL_LOW,
         min_active: int = 1,
+        telemetry=None,
     ) -> None:
-        super().__init__(balancer, config=config, turn_off=power.request_off)
+        super().__init__(
+            balancer, config=config, turn_off=power.request_off,
+            telemetry=telemetry,
+        )
         self.regions = regions
         self.power = power
         self.util_high = util_high
@@ -135,6 +139,16 @@ class AdmdEC(Admd):
         average = self._average_utilizations()
         projected = self._project(average)
         self._previous_average = average
+        if self.telemetry.enabled:
+            for component, value in projected.items():
+                self.telemetry.gauge(
+                    "freon_ec_projected_utilization", {"component": component},
+                    help="Two-interval projected cluster-average utilization.",
+                ).set(value)
+            self.telemetry.gauge(
+                "freon_ec_active_servers",
+                help="Servers currently accepting load.",
+            ).set(len(self.power.active_servers()))
 
         # Grow when projected demand exceeds the high threshold.
         if projected and max(projected.values()) > self.util_high:
@@ -232,3 +246,11 @@ class AdmdEC(Admd):
         self.events.append(
             EcEvent(time=time, action=action, machine=machine, reason=reason)
         )
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "freon_ec_events_total", {"action": action},
+                help="Freon-EC reconfiguration decisions, by action.",
+            ).inc()
+            self.telemetry.event(
+                f"freon_ec_{action}", "freon-ec", machine=machine, reason=reason,
+            )

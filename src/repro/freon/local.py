@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import ClusterError
+from ..telemetry import ensure as _ensure_telemetry
 
 #: A Pentium-4-era P-state ladder: (frequency ratio, power ratio).
 #: Power scales ~ f * V^2 with voltage dropping alongside frequency.
@@ -78,6 +79,8 @@ class DvfsGovernor:
         low: float = 64.0,
         pstates: Sequence[Tuple[float, float]] = DEFAULT_PSTATES,
         period: float = 5.0,
+        machine: str = "",
+        telemetry=None,
     ) -> None:
         if not pstates:
             raise ClusterError("at least one P-state is required")
@@ -99,6 +102,17 @@ class DvfsGovernor:
         self._elapsed = 0.0
         self.changes: List[PStateChange] = []
         self.time = 0.0
+        self.machine = machine
+        self.telemetry = _ensure_telemetry(telemetry)
+        labels = {"machine": machine} if machine else None
+        self._tel_changes = self.telemetry.counter(
+            "dvfs_pstate_changes_total", labels,
+            help="P-state transitions made by the local governor.",
+        )
+        self._tel_freq = self.telemetry.gauge(
+            "dvfs_frequency_ratio", labels,
+            help="Current frequency relative to nominal.",
+        )
 
     @property
     def frequency_ratio(self) -> float:
@@ -146,4 +160,12 @@ class DvfsGovernor:
                 temperature=temperature,
             )
         )
+        self._tel_changes.inc()
+        self._tel_freq.set(frequency)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "dvfs_pstate_change", "dvfs", machine=self.machine,
+                index=new_index, frequency_ratio=frequency,
+                temperature=temperature,
+            )
         return True

@@ -87,6 +87,7 @@ def weight_for_share_reduction(
     current_weights: Dict[str, float],
     hot_server: str,
     output: float,
+    telemetry=None,
 ) -> float:
     """The new weight giving ``hot_server`` 1/(output+1) of its current share.
 
@@ -96,12 +97,21 @@ def weight_for_share_reduction(
     ``w' / (W_rest + w') = s'`` gives ``w' = s' W_rest / (1 - s')``.
 
     ``current_weights`` must cover every server currently eligible for
-    load (the "accounting for the weights of all servers").
+    load (the "accounting for the weights of all servers").  An enabled
+    ``telemetry`` facade records the PD outputs this arithmetic was fed
+    (``freon_controller_output``), the raw material of Figure 11's
+    weight series.
     """
     if hot_server not in current_weights:
         raise ClusterError(f"unknown server {hot_server!r}")
     if output < 0.0:
         raise ClusterError("controller output must be non-negative")
+    if telemetry is not None and telemetry.enabled:
+        telemetry.histogram(
+            "freon_controller_output", {"machine": hot_server},
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+            help="PD-controller outputs fed to the weight arithmetic.",
+        ).observe(output)
     total = sum(current_weights.values())
     if total <= 0.0:
         raise ClusterError("total weight must be positive")

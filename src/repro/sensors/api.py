@@ -40,6 +40,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from ..errors import SensorClosedError, SensorError
 from ..faults.backoff import DEFAULT_BACKOFF, BackoffPolicy
+from ..telemetry import NULL_TELEMETRY
 from . import protocol
 from .server import SensorService
 
@@ -47,7 +48,20 @@ from .server import SensorService
 #: setups, like the Figure 3 example).
 DEFAULT_MACHINE = "machine1"
 
+#: Telemetry used by descriptors opened without an explicit facade.
+_default_telemetry = NULL_TELEMETRY
+
 _HostType = Union[str, SensorService]
+
+
+def set_default_telemetry(telemetry) -> None:
+    """Set the telemetry facade newly opened descriptors default to.
+
+    Pass ``None`` to restore the shared no-op facade.  Existing
+    descriptors keep the facade they were opened with.
+    """
+    global _default_telemetry
+    _default_telemetry = NULL_TELEMETRY if telemetry is None else telemetry
 
 
 @dataclass
@@ -59,6 +73,7 @@ class _Descriptor:
     component: str
     request_ids: "itertools.count[int]"
     policy: BackoffPolicy = DEFAULT_BACKOFF
+    telemetry: object = NULL_TELEMETRY
 
 
 _table_lock = threading.Lock()
@@ -72,16 +87,21 @@ def opensensor(
     component: str,
     machine: str = DEFAULT_MACHINE,
     policy: Optional[BackoffPolicy] = None,
+    telemetry=None,
 ) -> int:
     """Open a sensor on the solver at ``host``/``port``.
 
     ``host`` may be a hostname/IP (UDP transport) or a
     :class:`SensorService` (in-process transport; ``port`` is ignored).
-    ``policy`` overrides the shared UDP retry/backoff schedule.
+    ``policy`` overrides the shared UDP retry/backoff schedule;
+    ``telemetry`` overrides the module default set by
+    :func:`set_default_telemetry`.
     Returns a descriptor for :func:`readsensor`/:func:`closesensor`.
     """
     if policy is None:
         policy = DEFAULT_BACKOFF
+    if telemetry is None:
+        telemetry = _default_telemetry
     if isinstance(host, SensorService):
         descriptor = _Descriptor(
             service=host,
@@ -91,6 +111,7 @@ def opensensor(
             component=component,
             request_ids=itertools.count(1),
             policy=policy,
+            telemetry=telemetry,
         )
     else:
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -103,6 +124,7 @@ def opensensor(
             component=component,
             request_ids=itertools.count(1),
             policy=policy,
+            telemetry=telemetry,
         )
     with _table_lock:
         sd = next(_next_sd)
@@ -147,6 +169,12 @@ def _lookup(sd: int) -> _Descriptor:
 def _udp_read(descriptor: _Descriptor) -> float:
     assert descriptor.sock is not None and descriptor.address is not None
     policy = descriptor.policy
+    telemetry = descriptor.telemetry
+    labels = (
+        {"machine": descriptor.machine, "component": descriptor.component}
+        if telemetry.enabled
+        else None
+    )
     last_error: Optional[Exception] = None
     for timeout in policy.timeouts():
         descriptor.sock.settimeout(timeout)
@@ -156,6 +184,16 @@ def _udp_read(descriptor: _Descriptor) -> float:
             machine=descriptor.machine,
             component=descriptor.component,
         )
+        if telemetry.enabled:
+            telemetry.counter(
+                "sensor_udp_attempts_total", labels,
+                help="UDP sensor query attempts (including retries).",
+            ).inc()
+            if last_error is not None:
+                telemetry.counter(
+                    "sensor_udp_retries_total", labels,
+                    help="UDP sensor query retries after a timeout.",
+                ).inc()
         try:
             descriptor.sock.sendto(query.encode(), descriptor.address)
             while True:
@@ -175,7 +213,28 @@ def _udp_read(descriptor: _Descriptor) -> float:
                 return reply.temperature
         except socket.timeout as exc:
             last_error = exc
+            if telemetry.enabled:
+                telemetry.counter(
+                    "sensor_udp_timeouts_total", labels,
+                    help="UDP sensor attempts that timed out.",
+                ).inc()
+                telemetry.counter(
+                    "sensor_udp_backoff_seconds_total", labels,
+                    help="Seconds spent waiting on timed-out UDP attempts.",
+                ).inc(timeout)
             continue
+    if telemetry.enabled:
+        telemetry.counter(
+            "sensor_udp_failures_total", labels,
+            help="UDP sensor reads that exhausted every retry.",
+        ).inc()
+        telemetry.event(
+            "sensor_read_failed",
+            "sensors",
+            machine=descriptor.machine,
+            component=descriptor.component,
+            attempts=policy.attempts,
+        )
     raise SensorError(
         f"no reply from solver at {descriptor.address} after "
         f"{policy.attempts} attempts"
@@ -196,8 +255,11 @@ class SensorConnection:
         component: str = "cpu",
         machine: str = DEFAULT_MACHINE,
         policy: Optional[BackoffPolicy] = None,
+        telemetry=None,
     ) -> None:
-        self._sd = opensensor(host, port, component, machine, policy=policy)
+        self._sd = opensensor(
+            host, port, component, machine, policy=policy, telemetry=telemetry
+        )
         self._open = True
 
     def read(self) -> float:

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 from ..core.solver import Solver
 from ..errors import SensorError, UnknownSensorError
 from ..faults.backoff import DAEMON_JOIN_TIMEOUT, SERVER_POLL_INTERVAL
+from ..telemetry import ensure as _ensure_telemetry
 from . import protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -49,11 +50,27 @@ class SensorService:
         solver: Solver,
         aliases: Optional[Mapping[str, str]] = None,
         injector: Optional["FaultInjector"] = None,
+        telemetry=None,
     ) -> None:
         self._solver = solver
         self._aliases = dict(aliases or {})
         self._lock = threading.RLock()
         self.injector = injector
+        self.telemetry = _ensure_telemetry(telemetry)
+        self._tel_queries = self.telemetry.counter(
+            "sensor_queries_total", help="Sensor temperature queries served.",
+        )
+        self._tel_faulted = self.telemetry.counter(
+            "sensor_faulted_reads_total",
+            help="Sensor readings altered or dropped by injected faults.",
+        )
+        self._tel_updates = self.telemetry.counter(
+            "sensor_utilization_updates_total",
+            help="Monitord utilization updates applied to the solver.",
+        )
+        self._tel_errors = self.telemetry.counter(
+            "sensor_errors_total", help="Malformed or unresolvable queries.",
+        )
         #: Counters useful in tests and for ops visibility.
         self.queries_served = 0
         self.updates_applied = 0
@@ -84,8 +101,16 @@ class SensorService:
         with self._lock:
             value = self._solver.temperature(machine, self.resolve(component))
             self.queries_served += 1
+            self._tel_queries.inc()
             if self.injector is not None:
-                value = self.injector.filter_sensor(machine, component, value)
+                try:
+                    faulted = self.injector.filter_sensor(machine, component, value)
+                except SensorError:
+                    self._tel_faulted.inc()  # injected dropout
+                    raise
+                if faulted != value:
+                    self._tel_faulted.inc()
+                value = faulted
             return value
 
     def true_temperature(self, machine: str, component: str) -> float:
@@ -98,6 +123,7 @@ class SensorService:
         with self._lock:
             self._solver.set_utilizations(machine, dict(utilizations))
             self.updates_applied += 1
+            self._tel_updates.inc()
 
     def step(self, ticks: int = 1) -> None:
         """Advance the solver under the service lock."""
@@ -112,12 +138,14 @@ class SensorService:
             query = protocol.SensorQuery.decode(data)
         except SensorError:
             self.errors += 1
+            self._tel_errors.inc()
             raise
         try:
             temperature = self.read_temperature(query.machine, query.component)
             status = protocol.STATUS_OK
         except UnknownSensorError:
             self.errors += 1
+            self._tel_errors.inc()
             temperature = float("nan")
             status = protocol.STATUS_UNKNOWN_SENSOR
         return protocol.SensorReply(

@@ -1,0 +1,184 @@
+"""repro.telemetry — unified observability for the Mercury/Freon reproduction.
+
+One :class:`Telemetry` object bundles a metric :class:`~.registry.Registry`
+and an :class:`~.events.EventLog` behind a single simulation clock, so
+every layer — solver engines, sensor clients, daemons, Freon policies,
+the fault injector, and the cluster harness — reports through the same
+handle.  Figures 11/12 of the paper are time series of exactly what this
+records: temperatures, LVS weights, and dropped requests over time.
+
+Producers accept ``telemetry=None`` and fall back to the shared
+:data:`NULL_TELEMETRY`, whose registry and event log are allocation-free
+no-ops; hot paths guard optional work with ``if telemetry.enabled:`` so
+the compiled solver's throughput is untouched when observability is off
+(``benchmarks/test_telemetry_overhead.py`` enforces this).
+
+Usage::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    sim = ClusterSimulation(policy="freon", telemetry=telemetry)
+    sim.run(600)
+    telemetry.write_jsonl("out.jsonl")       # event/sample/metric stream
+    telemetry.write_snapshot("out.prom")     # Prometheus text format
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from .events import NULL_EVENT_LOG, Event, EventLog, NullEventLog
+from .exposition import (
+    dump_jsonl,
+    parse_prometheus,
+    to_prometheus,
+    write_jsonl,
+    write_snapshot,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "ensure",
+    "Registry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventLog",
+    "NullEventLog",
+    "Event",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "to_prometheus",
+    "parse_prometheus",
+    "write_snapshot",
+    "write_jsonl",
+    "dump_jsonl",
+]
+
+
+class Telemetry:
+    """An enabled registry + event log sharing one simulation clock.
+
+    The harness calls :meth:`advance` once per tick; every metric update
+    and event emitted afterwards is stamped with that simulation time
+    (wall time is stamped independently).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        clock = lambda: self.now  # noqa: E731 - shared closure over .now
+        self.registry = Registry(clock)
+        self.events = EventLog(clock)
+
+    def advance(self, now: float) -> None:
+        """Move the simulation clock to ``now`` (seconds)."""
+        self.now = now
+
+    # -- delegation, so producers need only the facade ---------------------
+
+    def counter(self, name: str, labels=None, help: str = "") -> Counter:
+        return self.registry.counter(name, labels, help)
+
+    def gauge(self, name: str, labels=None, help: str = "") -> Gauge:
+        return self.registry.gauge(name, labels, help)
+
+    def histogram(self, name: str, labels=None,
+                  buckets=DEFAULT_BUCKETS, help: str = "") -> Histogram:
+        return self.registry.histogram(name, labels, buckets, help)
+
+    def event(self, name: str, component: str = "", **attrs: Any):
+        return self.events.emit(name, component, **attrs)
+
+    def sample(self, name: str, value: float, component: str = "",
+               **attrs: Any):
+        return self.events.sample(name, value, component, **attrs)
+
+    def span(self, name: str, component: str = "", **attrs: Any):
+        return self.events.span(name, component, **attrs)
+
+    # -- export ------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The registry as a Prometheus text-format snapshot."""
+        return to_prometheus(self.registry)
+
+    def write_snapshot(self, path) -> None:
+        """Write the Prometheus snapshot to ``path``."""
+        write_snapshot(self, path)
+
+    def write_jsonl(self, path) -> int:
+        """Write the JSONL event/metric stream to ``path``."""
+        return write_jsonl(self, path)
+
+    def render(self, width: int = 80) -> str:
+        """One ``repro top`` dashboard frame."""
+        from .dashboard import render
+
+        return render(self, width)
+
+
+class NullTelemetry:
+    """The disabled facade: same surface, zero records, zero allocations."""
+
+    enabled = False
+    now = 0.0
+
+    def __init__(self) -> None:
+        self.registry = NULL_REGISTRY
+        self.events = NULL_EVENT_LOG
+
+    def advance(self, now: float) -> None:
+        pass
+
+    def counter(self, name: str, labels=None, help: str = ""):
+        return self.registry.counter(name, labels, help)
+
+    def gauge(self, name: str, labels=None, help: str = ""):
+        return self.registry.gauge(name, labels, help)
+
+    def histogram(self, name: str, labels=None,
+                  buckets=DEFAULT_BUCKETS, help: str = ""):
+        return self.registry.histogram(name, labels, buckets, help)
+
+    def event(self, name: str, component: str = "", **attrs: Any) -> None:
+        return None
+
+    def sample(self, name: str, value: float, component: str = "",
+               **attrs: Any) -> None:
+        return None
+
+    def span(self, name: str, component: str = "", **attrs: Any):
+        return self.events.span(name, component, **attrs)
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def render(self, width: int = 80) -> str:
+        from .dashboard import render
+
+        return render(self, width)
+
+
+#: The one shared disabled telemetry facade producers default to.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def ensure(telemetry: Optional[Union[Telemetry, NullTelemetry]]):
+    """``telemetry`` itself, or :data:`NULL_TELEMETRY` when ``None``."""
+    return NULL_TELEMETRY if telemetry is None else telemetry

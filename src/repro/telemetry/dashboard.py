@@ -1,0 +1,103 @@
+"""Plain-text dashboard rendering for ``repro top``.
+
+No curses: each refresh renders the whole frame as a string and the CLI
+repaints it with a cursor-home escape (or just reprints when stdout is
+not a TTY).  That keeps the dashboard usable in CI logs, pipes, and
+dumb terminals — the same trade-off ``kubectl top`` and friends make.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e12:
+        return str(int(value))
+    if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+        return f"{value:.3e}"
+    return f"{value:.3f}"
+
+
+def _fmt_labels(labels: _LabelKey) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in labels)
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render(telemetry, width: int = 80) -> str:
+    """Render one dashboard frame for ``telemetry`` as a multi-line string."""
+    lines: List[str] = []
+    title = " repro top "
+    pad = max(width - len(title), 0)
+    lines.append("=" * (pad // 2) + title + "=" * (pad - pad // 2))
+    lines.append(
+        f"sim time: {telemetry.now:>12.1f} s    "
+        f"events: {len(telemetry.events.events):>8d}    "
+        f"telemetry: {'on' if telemetry.enabled else 'off'}"
+    )
+
+    counters: List[Tuple[str, _LabelKey, float]] = []
+    gauges: List[Tuple[str, _LabelKey, float]] = []
+    histograms = []
+    for family in telemetry.registry.families():
+        for key in sorted(family.children):
+            child = family.children[key]
+            if family.kind == "histogram":
+                histograms.append((family.name, key, child))
+            elif family.kind == "counter":
+                counters.append((family.name, key, child.value))
+            else:
+                gauges.append((family.name, key, child.value))
+
+    name_w = max(
+        [len(n) for n, _, _ in counters + gauges]
+        + [len(n) for n, _, _ in histograms]
+        + [20]
+    )
+    name_w = min(name_w, max(width - 34, 20))
+
+    if gauges:
+        lines.append("")
+        lines.append("GAUGES")
+        for name, key, value in gauges:
+            lines.append(
+                f"  {name:<{name_w}} {_fmt_value(value):>12} "
+                f"{_fmt_labels(key)}"
+            )
+    if counters:
+        lines.append("")
+        lines.append("COUNTERS")
+        totals: Dict[str, float] = {}
+        for name, _, value in counters:
+            totals[name] = totals.get(name, 0.0) + value
+        for name, key, value in counters:
+            share = value / totals[name] if totals[name] else 0.0
+            lines.append(
+                f"  {name:<{name_w}} {_fmt_value(value):>12} "
+                f"[{_bar(share, 10)}] {_fmt_labels(key)}"
+            )
+    if histograms:
+        lines.append("")
+        lines.append("HISTOGRAMS            count         mean          p95")
+        for name, key, hist in histograms:
+            lines.append(
+                f"  {name:<{name_w}} {hist.count:>8d} "
+                f"{hist.mean():>12.3e} {hist.quantile(0.95):>12.3e} "
+                f"{_fmt_labels(key)}"
+            )
+
+    if not (counters or gauges or histograms):
+        lines.append("")
+        lines.append("  (no metrics recorded yet)")
+
+    lines.append("=" * width)
+    return "\n".join(line[:width] for line in lines)

@@ -1,0 +1,117 @@
+"""Structured event spans for discrete actions.
+
+Metrics aggregate; events narrate.  Every discrete action worth
+replaying — a fiddle edit, a fault injection, a Freon weight
+adjustment, a region power-off, a watchdog restart, a compiled-engine
+recompile — is emitted as one :class:`Event` carrying its component,
+both timestamps, and free-form attributes.  The JSONL exporter streams
+them in order, which is exactly the series Figures 11/12 are plotted
+from.
+
+The disabled path (:class:`NullEventLog`) records nothing and
+allocates nothing per emit.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Event:
+    """One recorded action or periodic sample.
+
+    ``kind`` is ``"event"`` for discrete actions and ``"sample"`` for
+    periodic measurements; ``duration`` is wall-clock seconds for spans,
+    ``None`` otherwise.
+    """
+
+    kind: str
+    name: str
+    component: str
+    sim_time: float
+    wall_time: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    duration: Optional[float] = None
+
+
+class EventLog:
+    """An append-only, in-order log of :class:`Event` records."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (
+            lambda: 0.0
+        )
+        self.events: List[Event] = []
+
+    def emit(self, name: str, component: str = "", **attrs: Any) -> Event:
+        """Record a discrete action."""
+        event = Event(
+            kind="event",
+            name=name,
+            component=component,
+            sim_time=self._clock(),
+            wall_time=time.time(),
+            attrs=attrs,
+        )
+        self.events.append(event)
+        return event
+
+    def sample(self, name: str, value: float, component: str = "",
+               **attrs: Any) -> Event:
+        """Record one point of a periodic time series."""
+        attrs["value"] = value
+        event = Event(
+            kind="sample",
+            name=name,
+            component=component,
+            sim_time=self._clock(),
+            wall_time=time.time(),
+            attrs=attrs,
+        )
+        self.events.append(event)
+        return event
+
+    @contextmanager
+    def span(self, name: str, component: str = "",
+             **attrs: Any) -> Iterator[Event]:
+        """Record an action with its wall-clock duration.
+
+        The event is appended on entry (so a crash mid-span still leaves
+        a record) and its ``duration`` is filled in on exit.
+        """
+        event = self.emit(name, component, **attrs)
+        start = time.perf_counter()
+        try:
+            yield event
+        finally:
+            event.duration = time.perf_counter() - start
+
+
+class NullEventLog:
+    """A disabled event log: emits vanish, spans cost nothing."""
+
+    enabled = False
+    #: Always empty; shared so reads are safe without isinstance checks.
+    events: List[Event] = []
+
+    def emit(self, name: str, component: str = "", **attrs: Any) -> None:
+        return None
+
+    def sample(self, name: str, value: float, component: str = "",
+               **attrs: Any) -> None:
+        return None
+
+    @contextmanager
+    def span(self, name: str, component: str = "",
+             **attrs: Any) -> Iterator[None]:
+        yield None
+
+
+#: The one shared disabled event log.
+NULL_EVENT_LOG = NullEventLog()

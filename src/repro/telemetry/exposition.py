@@ -1,0 +1,190 @@
+"""Exporters: Prometheus text-format snapshots and JSONL streams.
+
+Two consumers, two formats.  ``to_prometheus`` renders the registry as
+a text-format exposition snapshot (``# HELP``/``# TYPE`` headers, one
+sample per line, histogram ``_bucket``/``_sum``/``_count`` expansion)
+that any Prometheus-compatible scraper or ``promtool`` can ingest.
+``write_jsonl`` streams the event log plus a final dump of every metric
+value, one JSON object per line — the raw material for the paper's
+Figure 11/12 time series.
+
+``parse_prometheus`` is the inverse of ``to_prometheus`` for the subset
+this module emits; the round-trip test leans on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..errors import TelemetryError
+from .registry import family_samples
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            else:
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _render_labels(labels: _LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _render_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for name, labels, value in family_samples(family):
+            lines.append(
+                f"{name}{_render_labels(labels)} {_render_value(value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(text: str) -> _LabelKey:
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise TelemetryError(f"unquoted label value in {text!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                raw.append(text[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise TelemetryError(f"unterminated label value in {text!r}")
+        labels.append((name, _unescape_label_value("".join(raw))))
+        i = j + 1
+    return tuple(sorted(labels))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, _LabelKey], float]:
+    """Parse a text-format snapshot back into ``{(name, labels): value}``.
+
+    Handles the subset :func:`to_prometheus` emits — enough for the
+    exposition round-trip test to compare against the live registry.
+    """
+    samples: Dict[Tuple[str, _LabelKey], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            rest = line[line.index("{") + 1 :]
+            close = rest.rindex("}")
+            labels = _parse_labels(rest[:close])
+            value = _parse_value(rest[close + 1 :].strip())
+        else:
+            name, value_text = line.rsplit(None, 1)
+            labels = ()
+            value = _parse_value(value_text)
+        samples[(name, labels)] = value
+    return samples
+
+
+def write_snapshot(telemetry, path: Union[str, "object"]) -> None:
+    """Write a Prometheus text-format snapshot of ``telemetry`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prometheus(telemetry.registry))
+
+
+def _event_row(event) -> Dict[str, object]:
+    row = asdict(event)
+    row["type"] = row.pop("kind")
+    if row.get("duration") is None:
+        row.pop("duration", None)
+    return row
+
+
+def dump_jsonl(telemetry, stream: TextIO) -> int:
+    """Stream every event, then final metric values, as JSONL rows.
+
+    Event rows carry ``type: "event" | "sample"``; the trailing metric
+    rows carry ``type: "metric"`` with the flattened exposition samples
+    so a consumer has the end-state registry without parsing the
+    ``.prom`` snapshot.  Returns the number of rows written.
+    """
+    rows = 0
+    for event in telemetry.events.events:
+        stream.write(json.dumps(_event_row(event), sort_keys=True) + "\n")
+        rows += 1
+    for name, labels, value in telemetry.registry.samples():
+        stream.write(
+            json.dumps(
+                {
+                    "type": "metric",
+                    "name": name,
+                    "labels": dict(labels),
+                    "value": value,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        rows += 1
+    return rows
+
+
+def write_jsonl(telemetry, path: Union[str, "object"]) -> int:
+    """Write the JSONL stream for ``telemetry`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        return dump_jsonl(telemetry, fh)

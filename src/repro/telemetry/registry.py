@@ -1,0 +1,378 @@
+"""Metric primitives: counters, gauges, and histograms with label sets.
+
+A :class:`Registry` owns metric *families* (one per name); each family
+owns *children* (one per label set).  Producers hold on to a child
+handle — created once, at wiring time — and mutate it on the hot path
+with plain attribute arithmetic, so an enabled registry costs a few
+float operations per update and a disabled one (:class:`NullRegistry`)
+costs a single no-op method call and allocates nothing.
+
+Every child is timestamped on **both** clocks at each mutation: the
+simulation clock (the registry's ``clock`` callable, usually wired to
+the harness time) and the wall clock (``time.time``).  Exporters read
+both, so a Prometheus snapshot or JSONL stream can be joined either
+against simulated experiment time (the paper's Figure 11/12 x-axis) or
+against real elapsed time (profiling the reproduction itself).
+
+Metric and label names follow the Prometheus data model
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``); values are floats.  Histograms use
+cumulative ``le`` (less-or-equal) bucket semantics: an observation equal
+to a bucket's upper bound lands *in* that bucket.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from bisect import bisect_left
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+
+#: General-purpose histogram buckets (dimensionless / seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets sized for per-tick solver latencies (seconds, 10 us - 1 s).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+LabelMap = Mapping[str, str]
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[LabelMap]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing float."""
+
+    __slots__ = ("labels", "value", "sim_time", "wall_time", "_clock")
+    kind = "counter"
+
+    def __init__(self, labels: _LabelKey, clock: Callable[[], float]) -> None:
+        self.labels = labels
+        self.value = 0.0
+        self.sim_time = clock()
+        self.wall_time = time.time()
+        self._clock = clock
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0.0:
+            raise TelemetryError("counters only go up; use a gauge")
+        self.value += amount
+        self.sim_time = self._clock()
+        self.wall_time = time.time()
+
+
+class Gauge:
+    """A float that can go up and down."""
+
+    __slots__ = ("labels", "value", "sim_time", "wall_time", "_clock")
+    kind = "gauge"
+
+    def __init__(self, labels: _LabelKey, clock: Callable[[], float]) -> None:
+        self.labels = labels
+        self.value = 0.0
+        self.sim_time = clock()
+        self.wall_time = time.time()
+        self._clock = clock
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = value
+        self.sim_time = self._clock()
+        self.wall_time = time.time()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.set(self.value - amount)
+
+
+class Histogram:
+    """A distribution with cumulative ``le`` buckets, a sum, and a count."""
+
+    __slots__ = (
+        "labels", "bounds", "bucket_counts", "sum", "count",
+        "sim_time", "wall_time", "_clock",
+    )
+    kind = "histogram"
+
+    def __init__(
+        self,
+        labels: _LabelKey,
+        clock: Callable[[], float],
+        bounds: Sequence[float],
+    ) -> None:
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: Per-bucket (non-cumulative) counts; last slot is the +Inf bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.sim_time = clock()
+        self.wall_time = time.time()
+        self._clock = clock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        self.sim_time = self._clock()
+        self.wall_time = time.time()
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bucket, ending with the +Inf total."""
+        out: List[int] = []
+        running = 0
+        for n in self.bucket_counts:
+            running += n
+            out.append(running)
+        return out
+
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket upper bounds."""
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            if running >= target:
+                return bound
+        return float("inf")
+
+
+class _Family:
+    """One named metric family: kind, help text, children by label set."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "children")
+
+    def __init__(self, name: str, kind: str, help: str,
+                 bounds: Optional[Tuple[float, ...]]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.bounds = bounds
+        self.children: Dict[_LabelKey, object] = {}
+
+
+class Registry:
+    """A live collection of metric families.
+
+    ``clock`` supplies the *simulation* timestamp stamped on every
+    update (wall time is always ``time.time``).  The harness usually
+    passes a callable reading its simulated clock; the default pins the
+    simulation timestamp at 0.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (
+            lambda: 0.0
+        )
+        self._families: Dict[str, _Family] = {}
+
+    # -- metric creation ---------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str,
+                bounds: Optional[Tuple[float, ...]] = None) -> _Family:
+        if not _NAME_RE.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, bounds)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise TelemetryError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        elif kind == "histogram" and bounds is not None and family.bounds != bounds:
+            raise TelemetryError(
+                f"histogram {name!r} re-declared with different buckets"
+            )
+        return family
+
+    def counter(self, name: str, labels: Optional[LabelMap] = None,
+                help: str = "") -> Counter:
+        """The counter child for ``(name, labels)``, created on first use."""
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = Counter(key, self._clock)
+            family.children[key] = child
+        return child  # type: ignore[return-value]
+
+    def gauge(self, name: str, labels: Optional[LabelMap] = None,
+              help: str = "") -> Gauge:
+        """The gauge child for ``(name, labels)``, created on first use."""
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = Gauge(key, self._clock)
+            family.children[key] = child
+        return child  # type: ignore[return-value]
+
+    def histogram(self, name: str, labels: Optional[LabelMap] = None,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        """The histogram child for ``(name, labels)``, created on first use."""
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise TelemetryError("histograms need at least one bucket bound")
+        family = self._family(name, "histogram", help, bounds)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = Histogram(key, self._clock, family.bounds or bounds)
+            family.children[key] = child
+        return child  # type: ignore[return-value]
+
+    # -- reading -----------------------------------------------------------
+
+    def families(self) -> List[_Family]:
+        """All families, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def value(self, name: str, labels: Optional[LabelMap] = None) -> float:
+        """Current value of one counter/gauge child (0.0 if absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        child = family.children.get(_label_key(labels))
+        if child is None:
+            return 0.0
+        if isinstance(child, Histogram):
+            raise TelemetryError(f"{name!r} is a histogram; read its fields")
+        return child.value  # type: ignore[union-attr]
+
+    def total(self, name: str) -> float:
+        """Sum of one family's children (counter/gauge values, histogram counts)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        total = 0.0
+        for child in family.children.values():
+            if isinstance(child, Histogram):
+                total += child.count
+            else:
+                total += child.value  # type: ignore[union-attr]
+        return total
+
+    def samples(self) -> Iterator[Tuple[str, _LabelKey, float]]:
+        """Flatten every family into exposition-shaped samples.
+
+        Counters/gauges yield one ``(name, labels, value)`` each;
+        histograms yield cumulative ``name_bucket`` samples (with an
+        ``le`` label, ``+Inf`` last), then ``name_sum`` and
+        ``name_count``.  This is the exact sample set the Prometheus
+        exporter renders, which makes round-trip testing mechanical.
+        """
+        for family in self.families():
+            yield from family_samples(family)
+
+
+def family_samples(family: _Family) -> Iterator[Tuple[str, _LabelKey, float]]:
+    """Exposition-shaped samples for one family (see :meth:`Registry.samples`)."""
+    for key in sorted(family.children):
+        child = family.children[key]
+        if isinstance(child, Histogram):
+            cumulative = child.cumulative()
+            for bound, count in zip(child.bounds, cumulative[:-1]):
+                le = (("le", repr(bound)),)
+                yield (family.name + "_bucket", key + le, float(count))
+            yield (
+                family.name + "_bucket",
+                key + (("le", "+Inf"),),
+                float(cumulative[-1]),
+            )
+            yield (family.name + "_sum", key, child.sum)
+            yield (family.name + "_count", key, float(child.count))
+        else:
+            yield (family.name, key, child.value)  # type: ignore[union-attr]
+
+
+class _NullMetric:
+    """Shared, allocation-free stand-in for every disabled metric kind."""
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: The one null metric instance every NullRegistry call returns.
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """A disabled registry: every call is a no-op returning a shared handle.
+
+    The contract the overhead benchmark enforces: no records are kept
+    and the per-update path allocates nothing, so instrumented hot loops
+    (the compiled solver tick) pay only an attribute check.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, labels: Optional[LabelMap] = None,
+                help: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, labels: Optional[LabelMap] = None,
+              help: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(self, name: str, labels: Optional[LabelMap] = None,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  help: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def families(self) -> List[_Family]:
+        return []
+
+    def value(self, name: str, labels: Optional[LabelMap] = None) -> float:
+        return 0.0
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def samples(self) -> Iterator[Tuple[str, _LabelKey, float]]:
+        return iter(())
+
+
+#: The one shared disabled registry.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,104 @@
+"""Telemetry wiring through the cluster harness.
+
+Two contracts: an enabled facade sees every instrumented layer of a
+run, and wiring one in (or leaving it out) never perturbs the
+simulation itself — the fault log, datagram stats, and tick records
+stay bit-identical.
+"""
+
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, chaos_script
+from repro.telemetry import Telemetry
+
+DURATION = 1200.0
+
+
+@pytest.fixture(scope="module")
+def telemetry_run():
+    telemetry = Telemetry()
+    sim = ClusterSimulation(
+        policy="freon", fiddle_script=chaos_script(), telemetry=telemetry
+    )
+    result = sim.run(DURATION)
+    return telemetry, sim, result
+
+
+class TestCoverage:
+    def test_solver_layer(self, telemetry_run):
+        telemetry, _, _ = telemetry_run
+        registry = telemetry.registry
+        assert registry.total("solver_ticks_total") == DURATION
+        assert registry.total("solver_tick_seconds") == DURATION
+        assert registry.value("solver_sim_time_seconds") == DURATION
+
+    def test_sensor_layer(self, telemetry_run):
+        telemetry, _, _ = telemetry_run
+        assert telemetry.registry.total("sensor_queries_total") > 0
+        # The chaos script sticks machine2's disk sensor.
+        assert telemetry.registry.total("sensor_faulted_reads_total") > 0
+
+    def test_daemon_layer(self, telemetry_run):
+        telemetry, sim, _ = telemetry_run
+        registry = telemetry.registry
+        wakes = sum(
+            registry.value("tempd_wakes_total", {"machine": name})
+            for name in sim.machines
+        )
+        assert wakes > 0
+        assert registry.total("tempd_messages_total") > 0
+
+    def test_freon_layer(self, telemetry_run):
+        telemetry, _, result = telemetry_run
+        registry = telemetry.registry
+        assert registry.value(
+            "freon_actuations_total", {"action": "adjust"}
+        ) == len(result.adjustments)
+        stats = result.datagram_stats
+        for fate in ("sent", "delivered", "dropped"):
+            assert registry.value(
+                "freon_datagrams_total", {"fate": fate}
+            ) == stats[fate]
+
+    def test_fault_layer(self, telemetry_run):
+        telemetry, _, result = telemetry_run
+        assert telemetry.registry.total("fault_log_entries_total") == len(
+            result.fault_log
+        )
+        fault_events = [
+            e for e in telemetry.events.events if e.name.startswith("fault_")
+        ]
+        assert len(fault_events) == len(result.fault_log)
+
+    def test_cluster_layer(self, telemetry_run):
+        telemetry, _, result = telemetry_run
+        registry = telemetry.registry
+        assert registry.total("cluster_requests_offered_total") == (
+            pytest.approx(result.total_offered)
+        )
+        assert registry.total("cluster_requests_dropped_total") == (
+            pytest.approx(result.total_dropped)
+        )
+        samples = [
+            e for e in telemetry.events.events if e.name == "server_tick"
+        ]
+        assert samples, "per-machine series samples must be emitted"
+        assert {"machine", "weight", "value"} <= set(samples[0].attrs)
+
+
+class TestNonPerturbation:
+    def test_instrumented_run_is_bit_identical(self, telemetry_run):
+        _, _, instrumented = telemetry_run
+        bare = ClusterSimulation(
+            policy="freon", fiddle_script=chaos_script()
+        ).run(DURATION)
+        assert bare.fault_log == instrumented.fault_log
+        assert bare.datagram_stats == instrumented.datagram_stats
+        assert bare.adjustments == instrumented.adjustments
+        assert bare.records == instrumented.records
+
+    def test_default_is_null_telemetry(self):
+        sim = ClusterSimulation(policy="freon")
+        assert not sim.telemetry.enabled
+        assert sim.solver.telemetry is sim.telemetry
+        assert sim.injector.telemetry is sim.telemetry

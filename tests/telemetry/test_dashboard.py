@@ -1,0 +1,34 @@
+"""The `repro top` dashboard renderer."""
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+def test_render_empty_registry():
+    telemetry = Telemetry()
+    frame = telemetry.render()
+    assert "repro top" in frame
+    assert "(no metrics recorded yet)" in frame
+
+
+def test_render_shows_all_sections_and_truncates(width=60):
+    telemetry = Telemetry()
+    telemetry.advance(600.0)
+    telemetry.counter(
+        "requests_total", {"machine": "a-very-long-machine-name"}
+    ).inc(10)
+    telemetry.counter("requests_total", {"machine": "m2"}).inc(30)
+    telemetry.gauge("active_servers").set(4)
+    telemetry.histogram("tick_seconds", buckets=(0.001, 0.01)).observe(0.002)
+    telemetry.event("weight_adjust", "admd")
+    frame = telemetry.render(width=width)
+    assert all(len(line) <= width for line in frame.splitlines())
+    assert "COUNTERS" in frame
+    assert "GAUGES" in frame
+    assert "HISTOGRAMS" in frame
+    assert "requests_total" in frame
+    assert "sim" in frame  # header carries the simulation clock
+
+
+def test_render_null_telemetry():
+    frame = NULL_TELEMETRY.render()
+    assert "(no metrics recorded yet)" in frame

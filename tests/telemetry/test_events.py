@@ -1,0 +1,37 @@
+"""Event spans: discrete actions, periodic samples, duration capture."""
+
+from repro.telemetry import Telemetry
+
+
+def test_events_carry_both_clocks_and_attrs():
+    telemetry = Telemetry()
+    telemetry.advance(480.0)
+    event = telemetry.event("fiddle_command", "fiddle", command="fiddle m1 ...")
+    assert event.kind == "event"
+    assert event.sim_time == 480.0
+    assert event.wall_time > 0.0
+    assert event.attrs == {"command": "fiddle m1 ..."}
+    assert telemetry.events.events == [event]
+
+
+def test_samples_store_value_in_attrs():
+    telemetry = Telemetry()
+    sample = telemetry.sample("cpu_temperature", 64.5, "cluster", machine="m1")
+    assert sample.kind == "sample"
+    assert sample.attrs == {"machine": "m1", "value": 64.5}
+
+
+def test_span_records_duration_even_on_error():
+    telemetry = Telemetry()
+    with telemetry.span("recompile", "solver") as event:
+        assert event.duration is None
+    assert event.duration is not None and event.duration >= 0.0
+
+    try:
+        with telemetry.span("doomed", "solver") as failed:
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    # The span was appended on entry and its duration filled on unwind.
+    assert failed.duration is not None
+    assert [e.name for e in telemetry.events.events] == ["recompile", "doomed"]

@@ -1,0 +1,84 @@
+"""Prometheus exposition round-trips and the JSONL stream."""
+
+import io
+import json
+
+from repro.telemetry import Telemetry, parse_prometheus, dump_jsonl
+
+
+def _populated_telemetry() -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.advance(120.0)
+    telemetry.counter("requests_total", {"machine": "m1"}).inc(7)
+    telemetry.counter("requests_total", {"machine": "m2"}).inc(3)
+    telemetry.gauge("queue_depth", help="pending work").set(2.5)
+    h = telemetry.histogram("tick_seconds", buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.05, 1.0):
+        h.observe(value)
+    telemetry.event("weight_adjust", "admd", machine="m1", output=1.5)
+    telemetry.sample("cpu_temperature", 61.2, "cluster", machine="m1")
+    return telemetry
+
+
+def test_round_trip_matches_registry_samples():
+    telemetry = _populated_telemetry()
+    text = telemetry.to_prometheus()
+    parsed = parse_prometheus(text)
+    expected = {
+        (name, labels): value
+        for name, labels, value in telemetry.registry.samples()
+    }
+    assert parsed == expected
+
+
+def test_exposition_structure():
+    text = _populated_telemetry().to_prometheus()
+    lines = text.splitlines()
+    assert "# TYPE requests_total counter" in lines
+    assert "# HELP queue_depth pending work" in lines
+    assert 'requests_total{machine="m1"} 7' in lines
+    # Histogram expansion: cumulative buckets, +Inf last, then sum/count.
+    assert 'tick_seconds_bucket{le="0.001"} 1' in lines
+    assert 'tick_seconds_bucket{le="0.01"} 2' in lines
+    assert 'tick_seconds_bucket{le="0.1"} 3' in lines
+    assert 'tick_seconds_bucket{le="+Inf"} 4' in lines
+    assert "tick_seconds_count 4" in lines
+
+
+def test_label_values_escape_round_trip():
+    telemetry = Telemetry()
+    tricky = 'quote " backslash \\ newline \n done'
+    telemetry.counter("odd_total", {"detail": tricky}).inc()
+    parsed = parse_prometheus(telemetry.to_prometheus())
+    assert parsed[("odd_total", (("detail", tricky),))] == 1
+
+
+def test_jsonl_stream_carries_events_then_metrics():
+    telemetry = _populated_telemetry()
+    buffer = io.StringIO()
+    rows = dump_jsonl(telemetry, buffer)
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert rows == len(lines)
+    assert lines[0]["type"] == "event"
+    assert lines[0]["name"] == "weight_adjust"
+    assert lines[0]["sim_time"] == 120.0
+    assert lines[1]["type"] == "sample"
+    assert lines[1]["attrs"]["value"] == 61.2
+    metric_rows = [row for row in lines if row["type"] == "metric"]
+    assert {row["name"] for row in metric_rows} >= {
+        "requests_total", "queue_depth", "tick_seconds_bucket",
+        "tick_seconds_sum", "tick_seconds_count",
+    }
+
+
+def test_file_writers(tmp_path):
+    telemetry = _populated_telemetry()
+    jsonl = tmp_path / "out.jsonl"
+    prom = tmp_path / "out.prom"
+    rows = telemetry.write_jsonl(jsonl)
+    telemetry.write_snapshot(prom)
+    assert rows == len(jsonl.read_text().splitlines())
+    assert parse_prometheus(prom.read_text()) == {
+        (name, labels): value
+        for name, labels, value in telemetry.registry.samples()
+    }

@@ -1,0 +1,76 @@
+"""The disabled path must record nothing and allocate nothing per update.
+
+This is the contract the compiled solver's throughput rests on: with no
+telemetry wired, every producer holds the shared null singletons, and a
+metric update is one no-op method call on a ``__slots__ = ()`` object.
+``benchmarks/test_telemetry_overhead.py`` measures the wall-clock side;
+these tests pin the structural guarantees.
+"""
+
+import tracemalloc
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    ensure,
+)
+from repro.telemetry.registry import NULL_METRIC
+
+
+def test_ensure_returns_shared_singleton():
+    assert ensure(None) is NULL_TELEMETRY
+    enabled_like = object.__new__(NullTelemetry)
+    assert ensure(enabled_like) is enabled_like
+    assert not NULL_TELEMETRY.enabled
+
+
+def test_null_metrics_are_one_shared_object():
+    t = NULL_TELEMETRY
+    assert t.counter("a_total") is NULL_METRIC
+    assert t.gauge("b") is NULL_METRIC
+    assert t.histogram("c", buckets=(1.0,)) is NULL_METRIC
+    # Label sets don't fan out children on the null path.
+    assert t.counter("a_total", {"machine": "m1"}) is NULL_METRIC
+
+
+def test_null_registry_records_nothing():
+    t = NULL_TELEMETRY
+    t.counter("x_total").inc(100)
+    t.gauge("y").set(3.0)
+    t.histogram("z").observe(0.5)
+    t.event("something", "here", detail=1)
+    t.sample("series", 2.0)
+    assert t.registry.families() == []
+    assert list(t.registry.samples()) == []
+    assert t.registry.value("x_total") == 0.0
+    assert t.registry.total("x_total") == 0.0
+    assert t.events.events == []
+    assert t.to_prometheus() == ""
+
+
+def test_null_updates_allocate_nothing():
+    """Steady-state null-path updates perform zero allocations."""
+    counter = NULL_TELEMETRY.counter("hot_total")
+    gauge = NULL_TELEMETRY.gauge("hot")
+    hist = NULL_TELEMETRY.histogram("hot_seconds")
+
+    def hot_loop() -> None:
+        for _ in range(1000):
+            counter.inc()
+            gauge.set(1.0)
+            hist.observe(0.001)
+
+    hot_loop()  # warm up (method cache, code objects)
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        hot_loop()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert after - before == 0
+
+
+def test_null_span_is_reentrant_noop():
+    with NULL_TELEMETRY.span("anything") as event:
+        assert event is None

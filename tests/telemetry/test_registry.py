@@ -1,0 +1,99 @@
+"""Registry primitives: counters, gauges, histogram bucket semantics."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Registry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = Registry()
+    c = registry.counter("requests_total", help="requests")
+    c.inc()
+    c.inc(2.5)
+    assert registry.value("requests_total") == pytest.approx(3.5)
+    with pytest.raises(TelemetryError):
+        c.inc(-1.0)
+
+
+def test_counter_children_keyed_by_label_set():
+    registry = Registry()
+    a = registry.counter("hits_total", {"machine": "m1"})
+    b = registry.counter("hits_total", {"machine": "m2"})
+    assert a is not b
+    # Same labels in any order resolve to the same child.
+    c = registry.counter("hits_total", {"machine": "m1"})
+    assert a is c
+    a.inc(3)
+    b.inc(1)
+    assert registry.value("hits_total", {"machine": "m1"}) == 3
+    assert registry.total("hits_total") == 4
+
+
+def test_gauge_moves_both_ways():
+    registry = Registry()
+    g = registry.gauge("depth")
+    g.set(4.0)
+    g.dec()
+    g.inc(0.5)
+    assert registry.value("depth") == pytest.approx(3.5)
+
+
+def test_kind_conflict_rejected():
+    registry = Registry()
+    registry.counter("x_total")
+    with pytest.raises(TelemetryError):
+        registry.gauge("x_total")
+
+
+def test_invalid_metric_name_rejected():
+    registry = Registry()
+    with pytest.raises(TelemetryError):
+        registry.counter("0bad-name")
+
+
+def test_histogram_bucket_edges_are_inclusive():
+    """An observation equal to a bound lands in that bucket (le semantics)."""
+    registry = Registry()
+    h = registry.histogram("lat", buckets=(0.1, 0.5, 1.0))
+    h.observe(0.1)   # exactly on the first bound -> first bucket
+    h.observe(0.100001)  # just past it -> second bucket
+    h.observe(0.5)   # exactly on the second bound -> second bucket
+    h.observe(2.0)   # past the last bound -> +Inf bucket
+    assert h.bucket_counts == [1, 2, 0, 1]
+    assert h.cumulative() == [1, 3, 3, 4]
+    assert h.count == 4
+    assert h.sum == pytest.approx(0.1 + 0.100001 + 0.5 + 2.0)
+
+
+def test_histogram_quantile_and_mean():
+    registry = Registry()
+    h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.6, 1.5, 3.0):
+        h.observe(value)
+    assert h.mean() == pytest.approx(5.6 / 4)
+    assert h.quantile(0.5) == 1.0   # 2 of 4 observations at or below 1.0
+    assert h.quantile(1.0) == 4.0
+    h.observe(100.0)
+    assert h.quantile(1.0) == float("inf")
+    with pytest.raises(TelemetryError):
+        h.quantile(1.5)
+
+
+def test_histogram_redeclared_buckets_rejected():
+    registry = Registry()
+    registry.histogram("lat", buckets=(1.0, 2.0))
+    # Same buckets: fine (get-or-create).
+    registry.histogram("lat", buckets=(2.0, 1.0))
+    with pytest.raises(TelemetryError):
+        registry.histogram("lat", buckets=(1.0, 2.0, 3.0))
+
+
+def test_sim_clock_stamps_updates():
+    now = {"t": 0.0}
+    registry = Registry(clock=lambda: now["t"])
+    c = registry.counter("ticks_total")
+    now["t"] = 42.0
+    c.inc()
+    assert c.sim_time == 42.0
+    assert c.wall_time > 0.0

@@ -1,6 +1,7 @@
 """Tests for the command-line tools."""
 
 import io
+import json
 
 import pytest
 
@@ -156,6 +157,27 @@ class TestFreon:
         with pytest.raises(SystemExit):
             run_cli("freon", "--policy", "cryogenics")
 
+    def test_experiment_preset_with_telemetry(self, tmp_path):
+        jsonl = tmp_path / "fig11.jsonl"
+        code, output = run_cli(
+            "freon", "--experiment", "fig11", "--duration", "300",
+            "--telemetry", str(jsonl),
+        )
+        assert code == 0
+        assert "experiment fig11: policy freon" in output
+        assert "telemetry:" in output
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        metric_names = {r["name"] for r in rows if r["type"] == "metric"}
+        # The stream covers every instrumented layer.
+        assert any(n.startswith("solver_") for n in metric_names)
+        assert any(n.startswith("sensor_") for n in metric_names)
+        assert any(n.startswith("tempd_") for n in metric_names)
+        assert any(n.startswith("freon_") for n in metric_names)
+        assert any(n.startswith("cluster_") for n in metric_names)
+        assert any(r["type"] == "sample" for r in rows)
+        prom = jsonl.with_suffix(".prom")
+        assert "# TYPE solver_ticks_total counter" in prom.read_text()
+
 
 class TestChaos:
     def test_short_chaos_run(self):
@@ -179,3 +201,56 @@ class TestChaos:
         )
         assert code == 0
         assert "watchdog restarted machine1/tempd" in output
+
+    def test_chaos_telemetry_mirrors_fault_log(self, tmp_path):
+        jsonl = tmp_path / "chaos.jsonl"
+        # Long enough for the t=480 emergency plus the diurnal load rise
+        # to push a CPU over threshold, so tempd has sent ADJUST
+        # datagrams and the per-fate metric rows exist.
+        code, output = run_cli(
+            "chaos", "--duration", "1200", "--telemetry", str(jsonl),
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        fault_events = [
+            r for r in rows
+            if r["type"] == "event" and r["name"].startswith("fault_")
+        ]
+        assert fault_events, "fault injections must appear in the stream"
+        datagram_rows = [
+            r for r in rows
+            if r["type"] == "metric" and r["name"] == "freon_datagrams_total"
+        ]
+        sent = next(
+            r["value"] for r in datagram_rows if r["labels"]["fate"] == "sent"
+        )
+        assert sent > 0
+
+
+class TestTop:
+    def test_plain_dashboard_run(self):
+        code, output = run_cli(
+            "top", "--duration", "180", "--every", "90", "--plain"
+        )
+        assert code == 0
+        assert "repro top" in output
+        assert "solver_ticks_total" in output
+        assert "done: policy freon" in output
+        # No ANSI escapes in plain mode.
+        assert "\x1b[" not in output
+
+    def test_default_mode_clears_screen(self):
+        code, output = run_cli("top", "--duration", "120", "--every", "120")
+        assert code == 0
+        assert "\x1b[2J" in output
+
+    def test_chaos_mode_with_telemetry_dump(self, tmp_path):
+        jsonl = tmp_path / "top.jsonl"
+        code, output = run_cli(
+            "top", "--chaos", "--duration", "120", "--every", "60",
+            "--plain", "--telemetry", str(jsonl),
+        )
+        assert code == 0
+        assert "telemetry:" in output
+        assert jsonl.exists()
+        assert jsonl.with_suffix(".prom").exists()

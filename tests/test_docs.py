@@ -1,0 +1,11 @@
+"""The package docstring's quickstart must stay a runnable doctest."""
+
+import doctest
+
+import repro
+
+
+def test_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 1, "quickstart doctest went missing"
+    assert results.failed == 0
