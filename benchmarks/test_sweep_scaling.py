@@ -1,0 +1,100 @@
+"""Sweep-engine scaling: the Figure 11 grid across a worker pool.
+
+Runs the Figure 11 policy grid (padded with a seed axis to 8+ runs)
+serially and at increasing worker counts up to ``min(8, cpu_count())``,
+and verifies two things:
+
+* **Determinism** — every worker count produces a byte-identical merged
+  artifact (this is the hard gate and runs even on one core);
+* **Scaling** — with real parallelism available, the pool achieves a
+  speedup of at least ``MIN_EFFICIENCY x`` ideal at each measured
+  worker count (near-linear: 8 workers on an unloaded 8-core box
+  measure ~6x+; CI boxes get a conservative floor).
+
+Writes ``benchmark_results/BENCH_sweep.json`` for the CI artifact.
+"""
+
+import json
+import multiprocessing
+import time
+
+from repro.parallel import expand_grid, fig11_grid, sweep
+
+from .conftest import RESULTS_DIR, emit
+
+#: Simulated seconds per run; short — scaling, not physics, is measured.
+DURATION = 200.0
+
+#: Seed-axis padding: 5 policies x 2 seeds = 10 runs, enough to keep
+#: an 8-worker pool busy.
+SEEDS = 2
+
+#: Worker counts to measure (capped at the host's core count).
+WORKER_STEPS = (1, 2, 4, 8)
+
+#: Required fraction of ideal speedup at each worker count.
+MIN_EFFICIENCY = 0.55
+
+
+def _measure(specs, workers):
+    start = time.perf_counter()
+    artifact = sweep(specs, workers=workers)
+    return time.perf_counter() - start, artifact
+
+
+def test_sweep_scaling_gate():
+    cores = multiprocessing.cpu_count()
+    grid = fig11_grid(duration=DURATION, seeds=SEEDS)
+    specs = expand_grid(grid)
+    # Scaling steps cap at the core count, but a 2-worker pool always
+    # runs so the determinism gate exercises real fan-out even on one
+    # core (the pool just time-slices there).
+    steps = sorted({min(w, cores) for w in WORKER_STEPS} | {2})
+
+    elapsed = {}
+    artifacts = {}
+    for workers in steps:
+        elapsed[workers], artifacts[workers] = _measure(specs, workers)
+
+    serial = elapsed[1]
+    speedups = {w: serial / elapsed[w] for w in steps}
+    results = {
+        "grid_runs": len(specs),
+        "duration_per_run": DURATION,
+        "cpu_count": cores,
+        "workers": steps,
+        "elapsed_seconds": {str(w): elapsed[w] for w in steps},
+        "speedup": {str(w): speedups[w] for w in steps},
+        "min_efficiency": MIN_EFFICIENCY,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_sweep.json"
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = "\n".join(
+        f"{w:>8} {elapsed[w]:>12.2f} {speedups[w]:>9.2f}x"
+        for w in steps
+    )
+    emit(
+        "sweep_scaling",
+        f"Sweep scaling — Figure 11 grid, {len(specs)} runs x "
+        f"{DURATION:g}s, {cores} core(s)\n"
+        f"{'workers':>8} {'elapsed (s)':>12} {'speedup':>10}\n{rows}\n",
+    )
+
+    # The hard gate: identical artifacts at every worker count.
+    reference = json.dumps(artifacts[steps[0]], sort_keys=True)
+    for workers in steps[1:]:
+        assert json.dumps(artifacts[workers], sort_keys=True) == reference, (
+            f"sweep artifact at {workers} workers differs from serial"
+        )
+
+    # The scaling gate only means something with real parallelism.
+    for workers in steps:
+        if workers == 1 or workers > cores:
+            continue
+        floor = MIN_EFFICIENCY * workers
+        assert speedups[workers] >= floor, (
+            f"{workers} workers achieved {speedups[workers]:.2f}x "
+            f"(gate: >= {floor:.2f}x on {cores} cores)"
+        )

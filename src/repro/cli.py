@@ -24,6 +24,11 @@ library:
     Run an experiment with telemetry enabled and render a periodically
     refreshed text dashboard of the live metrics.
 
+``repro sweep``
+    Expand a grid spec (or a built-in preset) into a set of runs, fan
+    them across a worker pool, and write one deterministic merged
+    artifact (JSON + Prometheus snapshot).
+
 ``solve``, ``freon`` and ``chaos`` accept ``--telemetry PATH``: the
 run's event/metric stream is written to ``PATH`` as JSONL and a
 Prometheus text-format snapshot to the sibling ``.prom`` file.
@@ -35,6 +40,7 @@ taking an argv list.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -52,6 +58,8 @@ from .errors import ReproError
 from .fiddle.script import events_from_script
 from .mdot.loader import load_file
 from .mdot.writer import to_graphviz
+from .parallel import expand_grid, fig11_grid, threshold_grid, write_artifact
+from .parallel import sweep as run_sweep
 from .telemetry import Telemetry
 
 #: ``repro freon --experiment`` presets: paper figure -> (policy, script).
@@ -207,6 +215,37 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="also write the final telemetry as JSONL to PATH (+ .prom)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a grid of experiments across a worker pool",
+    )
+    sweep.add_argument(
+        "grid", nargs="?", default=None,
+        help='grid spec JSON file: {"base": {...}, "axes": {...}}',
+    )
+    sweep.add_argument(
+        "--preset", choices=("fig11", "thresholds"), default=None,
+        help="built-in grid instead of a file (fig11 = every policy "
+             "under the emergencies, thresholds = the section 5.1 "
+             "CPU-threshold sweep)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = run serially in-process)",
+    )
+    sweep.add_argument(
+        "--output", default="sweep.json", metavar="PATH",
+        help="merged artifact path (+ .prom snapshot sibling)",
+    )
+    sweep.add_argument(
+        "--duration", type=float, default=None,
+        help="override every run's simulated seconds",
+    )
+    sweep.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="simulated seconds between worker checkpoints",
     )
     return parser
 
@@ -431,6 +470,42 @@ def cmd_top(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    if (args.grid is None) == (args.preset is None):
+        print("error: pass exactly one of GRID or --preset", file=out)
+        return 2
+    if args.preset == "fig11":
+        grid = fig11_grid()
+    elif args.preset == "thresholds":
+        grid = threshold_grid()
+    else:
+        with open(args.grid) as handle:
+            grid = json.load(handle)
+    if args.duration is not None:
+        grid.setdefault("base", {})["duration"] = args.duration
+    if args.checkpoint_every is not None:
+        grid.setdefault("base", {})["checkpoint_every"] = args.checkpoint_every
+    specs = expand_grid(grid)
+    print(
+        f"sweep: {len(specs)} run(s) across {args.workers} worker(s)",
+        file=out,
+    )
+    artifact = run_sweep(specs, workers=args.workers)
+    for run in artifact["runs"]:
+        summary = run["summary"]
+        resumed = "  (resumed)" if run["resumed"] else ""
+        print(
+            f"  {run['run_id']}: dropped "
+            f"{summary['drop_fraction'] * 100:.2f}% of "
+            f"{summary['total_offered']:.0f}, "
+            f"{summary['adjustments']} adjustment(s){resumed}",
+            file=out,
+        )
+    json_path, prom_path = write_artifact(artifact, args.output)
+    print(f"artifact -> {json_path}; snapshot -> {prom_path}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "solve": cmd_solve,
     "check": cmd_check,
@@ -438,6 +513,7 @@ _COMMANDS = {
     "freon": cmd_freon,
     "chaos": cmd_chaos,
     "top": cmd_top,
+    "sweep": cmd_sweep,
 }
 
 

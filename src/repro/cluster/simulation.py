@@ -19,7 +19,7 @@ recorded, so experiments can regenerate the paper's Figure 11/12 series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..config import table1
@@ -538,6 +538,312 @@ class ClusterSimulation:
             dropped_rate=dropped,
             active_servers=len(self.active_servers()),
             servers=servers,
+        )
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    #: Checkpoint format version; bumped on incompatible layout changes.
+    CHECKPOINT_VERSION = 1
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the entire simulation as plain JSON-able data.
+
+        Captures everything :meth:`apply_checkpoint` needs to continue
+        the run bit-for-bit on a *freshly constructed* simulation built
+        with the same configuration: solver state, balancer and web
+        server state, every daemon's clocks and windows, the fault
+        injector (including its RNG stream), in-flight datagrams, the
+        fiddle-script cursor, and the per-tick records so far.
+
+        Telemetry is deliberately *not* checkpointed: a resumed run
+        re-emits metrics from the resume point; sweep workers report
+        whole-run registries, so resumed shards are compared on records
+        and temperatures (see ``tests/parallel/test_checkpoint.py``).
+        """
+        script_state = None
+        if self._script is not None:
+            script_state = {
+                "cursor": self._script._next,
+                "fiddle_log": list(self._script.fiddle.log),
+            }
+        channel_state = None
+        if self.channel is not None:
+            channel_state = self.channel.checkpoint(encode=asdict)
+        balancer_state = {
+            "total_offered": self.balancer.total_offered,
+            "total_dropped": self.balancer.total_dropped,
+            "servers": {
+                s.name: {
+                    "weight": s.weight,
+                    "connection_limit": s.connection_limit,
+                    "state": s.state.value,
+                    "active_connections": s.active_connections,
+                }
+                for s in self.balancer.servers()
+            },
+        }
+        webserver_state = {
+            name: {
+                "state": ws.state.value,
+                "boot_remaining": ws._boot_remaining,
+                "speed_factor": ws.speed_factor,
+                "load": asdict(ws.load),
+            }
+            for name, ws in self.webservers.items()
+        }
+        tempd_state = {
+            name: self._tempd_checkpoint(tempd)
+            for name, tempd in self.tempds.items()
+        }
+        admd_state = self._admd_checkpoint() if self.admd is not None else None
+        traditional_state = None
+        if self.traditional is not None:
+            traditional_state = {
+                "elapsed": self.traditional._elapsed,
+                "shutdowns": [asdict(s) for s in self.traditional.shutdowns],
+                "dead": sorted(self.traditional._dead),
+            }
+        governor_state = {
+            name: {
+                "index": g.index,
+                "elapsed": g._elapsed,
+                "time": g.time,
+                "changes": [asdict(c) for c in g.changes],
+            }
+            for name, g in self.governors.items()
+        }
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "policy": self.policy,
+            "time": self.time,
+            "total_offered": self.total_offered,
+            "total_dropped": self.total_dropped,
+            "sample_elapsed": self._sample_elapsed,
+            "solver": self.solver.checkpoint(),
+            "injector": self.injector.checkpoint(),
+            "watchdog": self.watchdog.checkpoint(),
+            "script": script_state,
+            "channel": channel_state,
+            "balancer": balancer_state,
+            "webservers": webserver_state,
+            "tempds": tempd_state,
+            "admd": admd_state,
+            "traditional": traditional_state,
+            "governors": governor_state,
+            "records": [self._record_to_dict(r) for r in self.records],
+        }
+
+    def apply_checkpoint(self, data: Mapping[str, object]) -> None:
+        """Restore a :meth:`checkpoint` onto this simulation.
+
+        The simulation must have been constructed with the same
+        configuration (policy, machines, trace, script, seeds, engine)
+        that produced the checkpoint; this method rewinds/forwards its
+        mutable state only.
+        """
+        version = data.get("version")
+        if version != self.CHECKPOINT_VERSION:
+            raise ClusterError(
+                f"checkpoint version {version!r} does not match "
+                f"{self.CHECKPOINT_VERSION}"
+            )
+        if data["policy"] != self.policy:
+            raise ClusterError(
+                f"checkpoint policy {data['policy']!r} does not match "
+                f"simulation policy {self.policy!r}"
+            )
+        self.solver.restore(data["solver"])
+        self.injector.restore(data["injector"])
+        self.watchdog.restore(data["watchdog"])
+        if self._script is not None and data["script"] is not None:
+            self._script._next = int(data["script"]["cursor"])
+            self._script.fiddle.log[:] = list(data["script"]["fiddle_log"])
+        if self.channel is not None and data["channel"] is not None:
+            self.channel.restore(
+                data["channel"], decode=lambda d: TempdMessage(**d)
+            )
+        balancer_state = data["balancer"]
+        self.balancer.total_offered = float(balancer_state["total_offered"])
+        self.balancer.total_dropped = float(balancer_state["total_dropped"])
+        for name, saved in balancer_state["servers"].items():
+            server = self.balancer.server(name)
+            server.weight = float(saved["weight"])
+            server.connection_limit = (
+                None if saved["connection_limit"] is None
+                else float(saved["connection_limit"])
+            )
+            server.state = ServerState(saved["state"])
+            server.active_connections = float(saved["active_connections"])
+        from .webserver import ServerLoad
+
+        for name, saved in data["webservers"].items():
+            ws = self.webservers[name]
+            ws.state = PowerState(saved["state"])
+            ws._boot_remaining = float(saved["boot_remaining"])
+            ws.speed_factor = float(saved["speed_factor"])
+            ws.load = ServerLoad(**saved["load"])
+        for name, saved in data["tempds"].items():
+            if name in self.tempds:
+                self._tempd_restore(self.tempds[name], saved)
+        if self.admd is not None and data["admd"] is not None:
+            self._admd_restore(data["admd"])
+        if self.traditional is not None and data["traditional"] is not None:
+            saved = data["traditional"]
+            self.traditional._elapsed = float(saved["elapsed"])
+            from ..freon.traditional import Shutdown
+
+            self.traditional.shutdowns = [
+                Shutdown(**s) for s in saved["shutdowns"]
+            ]
+            self.traditional._dead = set(saved["dead"])
+        for name, saved in data["governors"].items():
+            governor = self.governors.get(name)
+            if governor is None:
+                continue
+            # Actuation effects (power scales, speed factors) are part
+            # of the solver/webserver state restored above; only the
+            # governor's own clock and history are rebuilt here.
+            governor.index = int(saved["index"])
+            governor._elapsed = float(saved["elapsed"])
+            governor.time = float(saved["time"])
+            from ..freon.local import PStateChange
+
+            governor.changes = [PStateChange(**c) for c in saved["changes"]]
+        self.time = float(data["time"])
+        self.total_offered = float(data["total_offered"])
+        self.total_dropped = float(data["total_dropped"])
+        self._sample_elapsed = float(data["sample_elapsed"])
+        self.records = [self._record_from_dict(r) for r in data["records"]]
+
+    @staticmethod
+    def _tempd_checkpoint(tempd: Tempd) -> Dict[str, object]:
+        last_good = tempd._last_good
+        return {
+            "restricted": tempd.restricted,
+            "hot_components": list(tempd.hot_components),
+            "elapsed": tempd._elapsed,
+            "last_good": (
+                None if last_good is None
+                else [last_good[0], dict(last_good[1])]
+            ),
+            "last_output": tempd._last_output,
+            "read_failures": tempd.read_failures,
+            "stale_wakes": tempd.stale_wakes,
+            "conservative_wakes": tempd.conservative_wakes,
+            "messages_sent": tempd.messages_sent,
+            "controllers": {
+                component: controller._last_temperature
+                for component, controller
+                in tempd._controllers._controllers.items()
+            },
+        }
+
+    @staticmethod
+    def _tempd_restore(tempd: Tempd, saved: Mapping[str, object]) -> None:
+        tempd.restricted = bool(saved["restricted"])
+        tempd.hot_components = list(saved["hot_components"])
+        tempd._elapsed = float(saved["elapsed"])
+        last_good = saved["last_good"]
+        tempd._last_good = (
+            None if last_good is None
+            else (float(last_good[0]), dict(last_good[1]))
+        )
+        tempd._last_output = (
+            None if saved["last_output"] is None
+            else float(saved["last_output"])
+        )
+        tempd.read_failures = int(saved["read_failures"])
+        tempd.stale_wakes = int(saved["stale_wakes"])
+        tempd.conservative_wakes = int(saved["conservative_wakes"])
+        tempd.messages_sent = int(saved["messages_sent"])
+        for component, last in saved["controllers"].items():
+            tempd._controllers.controller(component)._last_temperature = last
+
+    def _admd_checkpoint(self) -> Dict[str, object]:
+        admd = self.admd
+        assert admd is not None
+        state: Dict[str, object] = {
+            "stats_elapsed": admd._stats_elapsed,
+            "samples": {
+                name: [[t, c] for t, c in window]
+                for name, window in admd._samples.items()
+            },
+            "adjustments": [list(a) for a in admd.adjustments],
+            "releases": [list(r) for r in admd.releases],
+            "redlined": [list(r) for r in admd.redlined],
+        }
+        if isinstance(admd, AdmdEC):
+            state["ec"] = {
+                "utilizations": {
+                    name: dict(u) for name, u in admd._utilizations.items()
+                },
+                "previous_average": (
+                    None if admd._previous_average is None
+                    else dict(admd._previous_average)
+                ),
+                "hot": dict(admd._hot),
+                "events": [asdict(e) for e in admd.events],
+                "emergencies": dict(admd.regions._emergencies),
+                "rr_index": admd.regions._rr_index,
+            }
+        return state
+
+    def _admd_restore(self, saved: Mapping[str, object]) -> None:
+        from collections import deque
+
+        admd = self.admd
+        assert admd is not None
+        admd._stats_elapsed = float(saved["stats_elapsed"])
+        for name, window in saved["samples"].items():
+            admd._samples[name] = deque(
+                (float(t), float(c)) for t, c in window
+            )
+        admd.adjustments = [
+            (float(t), str(m), float(o)) for t, m, o in saved["adjustments"]
+        ]
+        admd.releases = [(float(t), str(m)) for t, m in saved["releases"]]
+        admd.redlined = [(float(t), str(m)) for t, m in saved["redlined"]]
+        if isinstance(admd, AdmdEC) and "ec" in saved:
+            from ..freon.ec import EcEvent
+
+            ec = saved["ec"]
+            admd._utilizations = {
+                name: dict(u) for name, u in ec["utilizations"].items()
+            }
+            admd._previous_average = (
+                None if ec["previous_average"] is None
+                else dict(ec["previous_average"])
+            )
+            admd._hot = {name: bool(v) for name, v in ec["hot"].items()}
+            admd.events = [EcEvent(**e) for e in ec["events"]]
+            admd.regions._emergencies = {
+                region: int(n) for region, n in ec["emergencies"].items()
+            }
+            admd.regions._rr_index = int(ec["rr_index"])
+
+    @staticmethod
+    def _record_to_dict(record: TickRecord) -> Dict[str, object]:
+        return {
+            "time": record.time,
+            "offered_rate": record.offered_rate,
+            "dropped_rate": record.dropped_rate,
+            "active_servers": record.active_servers,
+            "servers": {
+                name: asdict(server) for name, server in record.servers.items()
+            },
+        }
+
+    @staticmethod
+    def _record_from_dict(data: Mapping[str, object]) -> TickRecord:
+        return TickRecord(
+            time=float(data["time"]),
+            offered_rate=float(data["offered_rate"]),
+            dropped_rate=float(data["dropped_rate"]),
+            active_servers=int(data["active_servers"]),
+            servers={
+                name: ServerRecord(**server)
+                for name, server in data["servers"].items()
+            },
         )
 
     def result(self) -> SimulationResult:

@@ -324,7 +324,12 @@ def calibrate(
         }
         return k_over, scales
 
+    # Track the most recent parameter vector the optimizer tried, so a
+    # failure can report *which* parameters broke the model evaluation.
+    last_x: List[float] = []
+
     def residuals(x: np.ndarray) -> np.ndarray:
+        last_x[:] = [float(v) for v in x]
         k_over, scales = unpack(x)
         out: List[float] = []
         for measurement in measurements:
@@ -343,8 +348,13 @@ def calibrate(
     x0 = np.zeros(n_k + len(fit_power))
     try:
         fit = least_squares(residuals, x0, max_nfev=max_nfev, xtol=1e-6, ftol=1e-6)
-    except Exception as exc:  # pragma: no cover - scipy internal failures
-        raise CalibrationError(f"optimizer failed: {exc}") from exc
+    except (ValueError, ArithmeticError, np.linalg.LinAlgError) as exc:
+        # Numerical failures (non-finite residuals, singular Jacobians,
+        # overflow in the model) — anything else is a real bug and must
+        # propagate rather than masquerade as a calibration problem.
+        raise CalibrationError(
+            f"optimizer failed: {exc}", parameters=tuple(last_x) or None
+        ) from exc
     k_over, scales = unpack(fit.x)
     final = residuals(fit.x)
     rmse = float(np.sqrt(np.mean(final**2))) if len(final) else 0.0

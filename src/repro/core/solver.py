@@ -438,6 +438,91 @@ class Solver:
             )
 
     # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot all mutable solver state as plain JSON-able data.
+
+        Captures everything :meth:`restore` needs to continue a run
+        bit-for-bit: the clock, per-machine temperatures and live
+        constants (k, fractions, fan, power scales, utilizations,
+        inlet overrides), cluster-level overrides, and the previous-tick
+        exhaust temperatures the inter-machine traversal reads.
+
+        :class:`~repro.core.state.History` recordings are *not*
+        checkpointed — a resumed solver records from the resume point
+        onward; callers needing the full series keep their own records
+        (as :class:`~repro.cluster.simulation.ClusterSimulation` does).
+        """
+        machines: Dict[str, object] = {}
+        for name, state in self.machines.items():
+            machines[name] = {
+                "temperatures": dict(state.temperatures),
+                "k": {f"{a}|{b}": v for (a, b), v in state.k.items()},
+                "fractions": {
+                    f"{src}|{dst}": v
+                    for (src, dst), v in state.fractions.items()
+                },
+                "fan_cfm": state.fan_cfm,
+                "inlet_override": state.inlet_override,
+                "utilizations": dict(state.utilizations),
+                "power_factors": {
+                    component: model.factor
+                    for component, model in state.power_models.items()
+                },
+            }
+        return {
+            "time": self.time,
+            "iterations": self.iterations,
+            "prev_exhaust": dict(self._prev_exhaust),
+            "source_overrides": dict(self._source_overrides),
+            "cluster_fractions": {
+                f"{src}|{dst}": v
+                for (src, dst), v in self._cluster_fractions.items()
+            },
+            "machines": machines,
+        }
+
+    def restore(self, data: Mapping[str, object]) -> None:
+        """Restore a :meth:`checkpoint` onto this solver.
+
+        The solver must have been built from the same layouts (same
+        machines, nodes, and edges).  All state is written through the
+        :class:`~repro.core.state.MachineState` setter methods, so an
+        attached engine listener (the compiled engine's array mirror)
+        observes every mutation and stays in sync.
+        """
+        for name, saved in data["machines"].items():  # type: ignore[union-attr]
+            state = self.machine(name)
+            for node, value in saved["temperatures"].items():
+                state.set_temperature(node, value)
+            for key, value in saved["k"].items():
+                a, b = key.split("|")
+                state.set_k(a, b, value)
+            for key, value in saved["fractions"].items():
+                src, dst = key.split("|")
+                state.set_fraction(src, dst, value)
+            state.set_fan_cfm(saved["fan_cfm"])
+            state.inlet_override = saved["inlet_override"]
+            for component, value in saved["utilizations"].items():
+                state.set_utilization(component, value)
+            for component, factor in saved["power_factors"].items():
+                state.set_power_scale(component, factor)
+        self.time = float(data["time"])
+        self.iterations = int(data["iterations"])
+        self._prev_exhaust = {
+            name: float(v) for name, v in data["prev_exhaust"].items()
+        }
+        self._source_overrides = {
+            name: float(v) for name, v in data["source_overrides"].items()
+        }
+        for key, value in data["cluster_fractions"].items():
+            src, dst = key.split("|")
+            if self._cluster_fractions.get((src, dst)) != value:
+                self.set_cluster_fraction(src, dst, value)
+
+    # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
 

@@ -91,7 +91,9 @@ class TempdSender:
 
     def __init__(self, address: Tuple[str, int], telemetry=None) -> None:
         self._address = address
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock: Optional[socket.socket] = socket.socket(
+            socket.AF_INET, socket.SOCK_DGRAM
+        )
         self.sent = 0
         self._tel_sent = _ensure_telemetry(telemetry).counter(
             "freon_udp_messages_sent_total",
@@ -99,13 +101,23 @@ class TempdSender:
         )
 
     def __call__(self, message: TempdMessage) -> None:
-        self._sock.sendto(encode_message(message), self._address)
+        sock = self._sock
+        if sock is None:
+            raise SensorError("send on a closed TempdSender")
+        sock.sendto(encode_message(message), self._address)
         self.sent += 1
         self._tel_sent.inc()
 
     def close(self) -> None:
-        """Release the socket."""
-        self._sock.close()
+        """Release the socket.  Idempotent: extra calls are no-ops.
+
+        The socket is detached before closing, so a concurrent ``send``
+        gets a clean :class:`SensorError` instead of racing a half-closed
+        descriptor.
+        """
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
 
     def __enter__(self) -> "TempdSender":
         return self
@@ -160,6 +172,7 @@ class AdmdListener:
             help="UDP datagrams dropped as malformed.",
         )
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -178,6 +191,8 @@ class AdmdListener:
 
     def start(self) -> "AdmdListener":
         """Start serving on a daemon thread."""
+        if self._closed:
+            raise SensorError("listener already stopped")
         if self._thread is not None:
             raise SensorError("listener already started")
         self._thread = threading.Thread(
@@ -189,13 +204,23 @@ class AdmdListener:
         return self
 
     def stop(self) -> None:
-        """Shut down and join the listener thread."""
-        if self._thread is None:
+        """Shut down, join the listener thread, and release the socket.
+
+        Idempotent and exception-safe: extra calls are no-ops, the
+        socket is always closed even if the shutdown handshake raises,
+        and a listener that was never started still releases the socket
+        it bound in ``__init__`` (so pool workers cannot leak it).
+        """
+        if self._closed:
             return
-        self._server.shutdown()
-        self._thread.join(timeout=DAEMON_JOIN_TIMEOUT)
-        self._server.server_close()
-        self._thread = None
+        self._closed = True
+        thread, self._thread = self._thread, None
+        try:
+            if thread is not None:
+                self._server.shutdown()
+                thread.join(timeout=DAEMON_JOIN_TIMEOUT)
+        finally:
+            self._server.server_close()
 
     def __enter__(self) -> "AdmdListener":
         return self.start()

@@ -106,7 +106,17 @@ class TelemetryError(ReproError):
 
 
 class CalibrationError(ReproError):
-    """Calibration could not be performed or did not converge."""
+    """Calibration could not be performed or did not converge.
+
+    ``parameters`` carries the optimizer's parameter vector at the point
+    of failure (a tuple of floats, or ``None`` when no evaluation had
+    started) so a failed fit can be reproduced and diagnosed instead of
+    silently reported as "optimizer failed".
+    """
+
+    def __init__(self, message: str, parameters=None) -> None:
+        super().__init__(message)
+        self.parameters = None if parameters is None else tuple(parameters)
 
 
 class TraceError(ReproError):
@@ -115,6 +125,10 @@ class TraceError(ReproError):
 
 class ClusterError(ReproError):
     """Errors in the cluster substrate (LVS, web servers, client)."""
+
+
+class SweepError(ReproError):
+    """Errors in the parallel sweep engine (grid specs, workers, merge)."""
 
 
 class ServerStateError(ClusterError):

@@ -243,6 +243,71 @@ class FaultInjector:
                 return False
         return True
 
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the injector as plain JSON-able data.
+
+        Fault specs round-trip through the ``fault`` statement grammar
+        (:func:`~repro.faults.schedule.format_fault_command`), and the
+        RNG state through ``random.Random.getstate()``, so a restored
+        injector continues the exact same stochastic stream.
+        """
+        from .schedule import format_fault_command
+
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "seed": self.seed,
+            "rng_state": [version, list(internal), gauss_next],
+            "now": self.now,
+            "next": self._next,
+            "pending": [
+                {"start": f.start, "command": format_fault_command(f.spec)}
+                for f in self._pending
+            ],
+            "active": [
+                {
+                    "command": format_fault_command(f.spec),
+                    "start": f.start,
+                    "end": f.end,
+                    "state": dict(f.state),
+                }
+                for f in self._active
+            ],
+            "log": [[t, text] for t, text in self.log],
+            "sensor_faulted_reads": self.sensor_faulted_reads,
+            "sensor_dropped_reads": self.sensor_dropped_reads,
+        }
+
+    def restore(self, data: Dict[str, object]) -> None:
+        """Restore a :meth:`checkpoint` onto this injector."""
+        from .schedule import parse_fault_command
+
+        version, internal, gauss_next = data["rng_state"]
+        self._rng.setstate((int(version), tuple(internal), gauss_next))
+        self.seed = int(data["seed"])
+        self.now = float(data["now"])
+        self._next = int(data["next"])
+        self._pending = [
+            ScheduledFault(
+                start=float(entry["start"]),
+                spec=parse_fault_command(entry["command"]),
+            )
+            for entry in data["pending"]
+        ]
+        self._active = [
+            ActiveFault(
+                spec=parse_fault_command(entry["command"]),
+                start=float(entry["start"]),
+                end=None if entry["end"] is None else float(entry["end"]),
+                state={k: float(v) for k, v in entry["state"].items()},
+            )
+            for entry in data["active"]
+        ]
+        self.log = [(float(t), str(text)) for t, text in data["log"]]
+        self.sensor_faulted_reads = int(data["sensor_faulted_reads"])
+        self.sensor_dropped_reads = int(data["sensor_dropped_reads"])
+
 
 class LossyChannel:
     """The tempd -> admd datagram path with injectable misbehaviour.
@@ -318,6 +383,47 @@ class LossyChannel:
         """Messages queued but not yet delivered."""
         return len(self._pending)
 
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(
+        self, encode: Callable[[object], object] = lambda m: m
+    ) -> Dict[str, object]:
+        """Snapshot counters and in-flight messages.
+
+        ``encode`` converts each queued message to JSON-able data (the
+        cluster harness passes ``dataclasses.asdict`` for
+        :class:`~repro.daemons.tempd.TempdMessage`).
+        """
+        return {
+            "pending": [
+                [due, seq, encode(message)]
+                for due, seq, message in self._pending
+            ],
+            "seq": self._seq,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+    def restore(
+        self,
+        data: Dict[str, object],
+        decode: Callable[[object], object] = lambda m: m,
+    ) -> None:
+        """Restore a :meth:`checkpoint`; ``decode`` inverts ``encode``."""
+        self._pending = [
+            (float(due), int(seq), decode(message))
+            for due, seq, message in data["pending"]
+        ]
+        self._seq = int(data["seq"])
+        self.sent = int(data["sent"])
+        self.delivered = int(data["delivered"])
+        self.dropped = int(data["dropped"])
+        self.duplicated = int(data["duplicated"])
+        self.delayed = int(data["delayed"])
+
 
 @dataclass(frozen=True)
 class RestartEvent:
@@ -378,3 +484,27 @@ class DaemonWatchdog:
                     machine=machine, daemon=daemon, down_for=now - since,
                 )
         return fired
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the watchdog clock and restart history."""
+        return {
+            "elapsed": self._elapsed,
+            "events": [
+                {"time": e.time, "machine": e.machine, "daemon": e.daemon}
+                for e in self.events
+            ],
+        }
+
+    def restore(self, data: Dict[str, object]) -> None:
+        """Restore a :meth:`checkpoint` onto this watchdog."""
+        self._elapsed = float(data["elapsed"])
+        self.events = [
+            RestartEvent(
+                time=float(e["time"]),
+                machine=str(e["machine"]),
+                daemon=str(e["daemon"]),
+            )
+            for e in data["events"]
+        ]

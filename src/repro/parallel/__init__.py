@@ -1,0 +1,58 @@
+"""repro.parallel: deterministic experiment sweeps over a worker pool.
+
+The paper's evaluation is a grid — policies x seeds x scenarios x
+cluster sizes x solver engines — and every cell is an independent,
+fully-deterministic simulation.  This package exploits that: it expands
+a *grid spec* into serializable :class:`RunSpec` runs, fans them across
+a ``multiprocessing`` pool, and merges the per-run records and telemetry
+registries into one artifact that is byte-identical no matter how many
+workers ran it (or in what order they finished).
+
+Layout:
+
+* :mod:`~repro.parallel.spec` — :class:`RunSpec` / :class:`RunResult`,
+  grid expansion, and the Figure 11 / section 5.1 presets;
+* :mod:`~repro.parallel.engine` — the worker function, checkpointed
+  execution with parent-side crash recovery, the order-independent
+  merge, and artifact serialization.
+
+Checkpoint/restore itself lives with the state it snapshots
+(``ClusterSimulation.checkpoint`` / ``apply_checkpoint``); this package
+only decides *when* to snapshot and *who* resumes.
+"""
+
+from .engine import (
+    ARTIFACT_VERSION,
+    WorkerCrash,
+    artifact_registry,
+    build_simulation,
+    execute_spec,
+    merge_results,
+    sweep,
+    write_artifact,
+)
+from .spec import (
+    SCENARIOS,
+    RunResult,
+    RunSpec,
+    expand_grid,
+    fig11_grid,
+    threshold_grid,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "SCENARIOS",
+    "RunResult",
+    "RunSpec",
+    "WorkerCrash",
+    "artifact_registry",
+    "build_simulation",
+    "execute_spec",
+    "expand_grid",
+    "fig11_grid",
+    "merge_results",
+    "sweep",
+    "threshold_grid",
+    "write_artifact",
+]

@@ -1,0 +1,246 @@
+"""The sweep engine: fan runs across workers, merge one artifact.
+
+The parent expands a grid into :class:`~repro.parallel.spec.RunSpec`
+lists, ships them to a ``multiprocessing`` pool as plain dicts, and
+merges what comes back.  Three properties make the fan-out safe:
+
+* **Determinism** — a run is a pure function of its spec (the fault RNG
+  is seeded via :func:`repro.faults.derive_seed` from the spec's seed
+  and run id), and the merge is order-independent, so any worker count
+  and any completion order produce a byte-identical artifact.
+* **Crash recovery** — workers checkpoint every ``checkpoint_every``
+  simulated seconds; a crashed run is resumed by the parent from the
+  last checkpoint instead of restarting the sweep.
+* **Plain-data boundaries** — specs, checkpoints, records, and dumped
+  telemetry registries are JSON-able dicts; no live object (solver,
+  socket, clock closure) ever crosses a process boundary.
+
+Per-run telemetry registries are merged into one
+:class:`~repro.telemetry.Registry` with a ``run`` label namespacing
+every child, so the merged Prometheus snapshot holds the whole sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.simulation import (
+    ClusterSimulation,
+    chaos_script,
+    emergency_script,
+)
+from ..errors import SweepError
+from ..faults import derive_seed
+from ..freon.policy import ComponentThresholds, FreonConfig
+from ..telemetry import (
+    Registry,
+    Telemetry,
+    dump_registry,
+    load_registry,
+    to_prometheus,
+)
+from .spec import RunResult, RunSpec
+
+#: Version tag of the merged sweep artifact layout.
+ARTIFACT_VERSION = 1
+
+#: Metric families measuring *host* performance (wall-clock durations).
+#: Every other family is a pure function of the simulation and therefore
+#: identical across processes; these vary per machine and per run, so
+#: they are dropped from sweep results to keep the merged artifact
+#: byte-identical regardless of worker count.  (They remain available
+#: in single-run tools like ``repro top``.)
+HOST_METRICS = frozenset({"solver_tick_seconds"})
+
+
+class WorkerCrash(SweepError):
+    """A worker died mid-run (test hook: ``RunSpec.crash_at``).
+
+    Carries the run's last periodic checkpoint (or ``None`` when the
+    crash predates the first one) so the parent can resume instead of
+    restarting.
+    """
+
+    def __init__(self, message: str, checkpoint: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.checkpoint = checkpoint
+
+
+def build_simulation(spec: RunSpec) -> ClusterSimulation:
+    """Construct the fully-configured simulation a spec describes.
+
+    Telemetry is always enabled: sweep workers report their whole-run
+    registry back to the parent for the merged snapshot.
+    """
+    if spec.scenario == "emergency":
+        script: Optional[str] = emergency_script()
+    elif spec.scenario == "chaos":
+        script = chaos_script(loss=spec.loss)
+    else:
+        script = None
+    config = FreonConfig()
+    if spec.cpu_high is not None:
+        config.thresholds["cpu"] = ComponentThresholds(
+            high=spec.cpu_high, low=spec.cpu_low, red=spec.cpu_high + 2.0
+        )
+    return ClusterSimulation(
+        policy=spec.policy,
+        machines=spec.machine_names(),
+        fiddle_script=script,
+        freon_config=config,
+        fault_seed=derive_seed(spec.seed, spec.run_id),
+        engine=spec.engine,
+        telemetry=Telemetry(),
+    )
+
+
+def execute_spec(
+    spec: RunSpec, checkpoint: Optional[Mapping[str, object]] = None
+) -> RunResult:
+    """Run one spec to completion, optionally resuming from a checkpoint.
+
+    Honors the spec's ``checkpoint_every`` cadence (keeping only the
+    most recent snapshot) and the test-only ``crash_at`` hook, which
+    raises :class:`WorkerCrash` carrying that snapshot.
+    """
+    simulation = build_simulation(spec)
+    resumed = checkpoint is not None
+    if resumed:
+        simulation.apply_checkpoint(checkpoint)
+    ticks = int(round(spec.duration / simulation.dt))
+    done = int(round(simulation.time / simulation.dt))
+    last: Optional[dict] = None
+    since_checkpoint = 0.0
+    for _ in range(ticks - done):
+        if spec.crash_at is not None and simulation.time >= spec.crash_at:
+            raise WorkerCrash(
+                f"injected worker crash in {spec.run_id!r} "
+                f"at t={simulation.time:g}",
+                checkpoint=last,
+            )
+        simulation.step()
+        since_checkpoint += simulation.dt
+        if spec.checkpoint_every > 0 and since_checkpoint >= spec.checkpoint_every:
+            last = simulation.checkpoint()
+            since_checkpoint = 0.0
+    outcome = simulation.result()
+    summary: Dict[str, object] = {
+        "drop_fraction": outcome.drop_fraction,
+        "total_offered": outcome.total_offered,
+        "total_dropped": outcome.total_dropped,
+        "adjustments": len(outcome.adjustments),
+        "shutdowns": len(outcome.shutdowns),
+        "ec_events": len(outcome.ec_events),
+        "pstate_changes": len(outcome.pstate_changes),
+        "restarts": len(outcome.restarts),
+        "fault_events": len(outcome.fault_log),
+        "peak_cpu": {
+            name: outcome.max_temperature(name)
+            for name in simulation.machines
+        },
+    }
+    return RunResult(
+        run_id=spec.run_id,
+        spec=spec.to_dict(),
+        summary=summary,
+        records=[simulation._record_to_dict(r) for r in simulation.records],
+        registry=[
+            family
+            for family in dump_registry(simulation.telemetry.registry)
+            if family["name"] not in HOST_METRICS
+        ],
+        resumed=resumed,
+    )
+
+
+def _worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Pool entry point: dict in, dict out (both JSON-able).
+
+    A :class:`WorkerCrash` becomes a structured failure the parent can
+    resume from; anything else propagates and fails the sweep loudly.
+    """
+    spec = RunSpec.from_dict(payload)
+    try:
+        return {"ok": execute_spec(spec).to_dict()}
+    except WorkerCrash as crash:
+        return {
+            "run_id": spec.run_id,
+            "error": str(crash),
+            "checkpoint": crash.checkpoint,
+        }
+
+
+def sweep(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+) -> Dict[str, object]:
+    """Run every spec and return the merged artifact.
+
+    ``workers > 1`` fans runs across a ``multiprocessing`` pool; the
+    serial path runs the identical worker function in-process, so both
+    paths produce byte-identical artifacts.  A run whose worker crashed
+    is resumed in the parent from its last checkpoint (the crash hook is
+    stripped on retry).
+    """
+    if not specs:
+        raise SweepError("nothing to sweep: the grid expanded to no runs")
+    ids = [s.run_id for s in specs]
+    if len(set(ids)) != len(ids):
+        raise SweepError("duplicate run_ids in sweep")
+    payloads = [s.to_dict() for s in specs]
+    if workers > 1 and len(specs) > 1:
+        with multiprocessing.Pool(min(workers, len(specs))) as pool:
+            outcomes = pool.map(_worker, payloads)
+    else:
+        outcomes = [_worker(p) for p in payloads]
+    results: List[RunResult] = []
+    for payload, outcome in zip(payloads, outcomes):
+        if "ok" in outcome:
+            results.append(RunResult.from_dict(outcome["ok"]))
+            continue
+        retry = RunSpec.from_dict({**payload, "crash_at": None})
+        results.append(execute_spec(retry, checkpoint=outcome["checkpoint"]))
+    return merge_results(results)
+
+
+def merge_results(results: Sequence[RunResult]) -> Dict[str, object]:
+    """Deterministically merge per-run results into one artifact.
+
+    Runs are ordered by ``run_id`` and registries merged under a
+    ``{"run": run_id}`` namespace label, so the artifact is independent
+    of worker count and completion order.
+    """
+    ordered = sorted(results, key=lambda r: r.run_id)
+    merged = Registry()
+    for result in ordered:
+        load_registry(result.registry, merged, labels={"run": result.run_id})
+    return {
+        "version": ARTIFACT_VERSION,
+        "runs": [r.to_dict() for r in ordered],
+        "registry": dump_registry(merged),
+    }
+
+
+def artifact_registry(artifact: Mapping[str, object]) -> Registry:
+    """Rebuild the merged registry from an artifact (for exposition)."""
+    registry = Registry()
+    load_registry(artifact["registry"], registry)
+    return registry
+
+
+def write_artifact(
+    artifact: Mapping[str, object], path
+) -> Tuple[Path, Path]:
+    """Write the artifact JSON plus its Prometheus snapshot sibling.
+
+    Serialized with sorted keys and a fixed layout, so equal artifacts
+    are byte-identical on disk.  Returns ``(json_path, prom_path)``.
+    """
+    json_path = Path(path)
+    json_path.write_text(json.dumps(artifact, sort_keys=True) + "\n")
+    prom_path = json_path.with_suffix(".prom")
+    prom_path.write_text(to_prometheus(artifact_registry(artifact)))
+    return json_path, prom_path

@@ -1,0 +1,242 @@
+"""Run specifications and grid expansion for the parallel sweep engine.
+
+A sweep is described by a *grid spec*: a JSON document with a ``base``
+mapping of :class:`RunSpec` fields shared by every run, and an ``axes``
+mapping of field name to list of values.  The cartesian product of the
+axes (taken in sorted axis-name order, so the expansion is independent
+of dict insertion order) yields one :class:`RunSpec` per combination,
+with a deterministic ``run_id`` like ``"policy=freon,seed=1"``.
+
+Example grid spec reproducing the Figure 11 policy comparison::
+
+    {
+      "base": {"scenario": "emergency", "duration": 2000.0},
+      "axes": {"policy": ["none", "freon", "traditional"]}
+    }
+
+Everything here is plain data: specs serialize to JSON-able dicts so
+they can cross a ``multiprocessing`` worker boundary, land in the merged
+sweep artifact, and be re-expanded bit-for-bit by a later process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cluster.simulation import POLICIES
+from ..config import table1
+from ..core.solver import ENGINES
+from ..errors import SweepError
+
+#: Fiddle scenarios a spec may name (see ``cluster.simulation``).
+SCENARIOS = ("emergency", "chaos", "none")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation run inside a sweep.
+
+    A spec is *complete*: two processes constructing a simulation from
+    equal specs produce bit-identical runs.  The fault RNG is seeded
+    from ``derive_seed(seed, run_id)``, so every run in a grid draws an
+    independent, reproducible stream even when the ``seed`` field is
+    shared across the whole sweep.
+    """
+
+    run_id: str
+    policy: str = "freon"
+    engine: str = "python"
+    #: Which fiddle script drives the run: the section 5 emergencies,
+    #: the chaos storm (emergencies + faults), or nothing.
+    scenario: str = "emergency"
+    duration: float = 2000.0
+    #: Base fault seed; the per-run seed is derived from it and run_id.
+    seed: int = 0
+    #: Datagram loss probability (chaos scenario only).
+    loss: float = 0.05
+    #: Cluster size; 0 means the paper's 4-machine validation cluster.
+    cluster_size: int = 0
+    #: Freon CPU threshold overrides for the section 5.1 sweep; None
+    #: keeps the Table 1 defaults (67/64, red-line high + 2).  Setting
+    #: only ``cpu_high`` keeps the Table 1 spread: ``low = high - 3``.
+    cpu_high: Optional[float] = None
+    cpu_low: Optional[float] = None
+    #: Simulated seconds between worker checkpoints; 0 disables them.
+    checkpoint_every: float = 0.0
+    #: Test-only: raise a WorkerCrash when sim time reaches this value.
+    crash_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            raise SweepError("run_id must be non-empty")
+        if self.policy not in POLICIES:
+            raise SweepError(
+                f"unknown policy {self.policy!r}; pick from {POLICIES}"
+            )
+        if self.engine not in ENGINES:
+            raise SweepError(
+                f"unknown engine {self.engine!r}; pick from {tuple(ENGINES)}"
+            )
+        if self.scenario not in SCENARIOS:
+            raise SweepError(
+                f"unknown scenario {self.scenario!r}; pick from {SCENARIOS}"
+            )
+        if self.duration <= 0:
+            raise SweepError("duration must be positive")
+        if self.cluster_size < 0:
+            raise SweepError("cluster_size must be >= 0")
+        if self.cpu_low is not None and self.cpu_high is None:
+            raise SweepError("cpu_low requires cpu_high")
+        if self.cpu_high is not None and self.cpu_low is None:
+            # Keep the Table 1 high/low spread (67/64) by default.
+            object.__setattr__(self, "cpu_low", float(self.cpu_high) - 3.0)
+        if self.cpu_high is not None and not self.cpu_low < self.cpu_high:
+            raise SweepError("cpu thresholds must satisfy low < high")
+
+    def machine_names(self) -> List[str]:
+        """The cluster machine names this spec simulates."""
+        if self.cluster_size == 0:
+            return list(table1.CLUSTER_MACHINES)
+        return [f"machine{i}" for i in range(1, self.cluster_size + 1)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able form (the worker wire format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise SweepError(f"unknown RunSpec field(s): {unknown}")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class RunResult:
+    """What one completed run hands back to the sweep parent.
+
+    Everything is plain data (the telemetry registry is carried as a
+    :func:`~repro.telemetry.dump_registry` payload) so results can be
+    pickled across the pool boundary and serialized into the artifact.
+    """
+
+    run_id: str
+    spec: Dict[str, object]
+    #: Scalar outcome summary (drop fraction, peaks, event counts).
+    summary: Dict[str, object]
+    #: Per-tick records as plain dicts (ClusterSimulation wire form).
+    records: List[dict]
+    #: dump_registry() payload of the run's whole-run telemetry.
+    registry: List[dict]
+    #: True when the run was resumed from a checkpoint after a worker
+    #: crash; its registry then covers only the resumed tail.
+    resumed: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunResult":
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise SweepError(f"unknown RunResult field(s): {unknown}")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+def _format_axis_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def expand_grid(grid: Mapping[str, object]) -> List[RunSpec]:
+    """Expand a grid spec into a deterministic list of :class:`RunSpec`.
+
+    Axes are iterated in sorted name order and each axis in its listed
+    value order, so the run list (and every ``run_id``) is a pure
+    function of the grid content.  ``run_id`` is the comma-joined
+    ``name=value`` coordinates; a grid with no axes yields the single
+    run ``"single"``.
+    """
+    unknown_keys = sorted(set(grid) - {"base", "axes"})
+    if unknown_keys:
+        raise SweepError(f"unknown grid key(s): {unknown_keys} "
+                         f"(expected 'base' and/or 'axes')")
+    base = dict(grid.get("base", {}))
+    axes = grid.get("axes", {})
+    if "run_id" in base or "run_id" in axes:
+        raise SweepError("run_id is derived from the axes; do not set it")
+    spec_fields = {f.name for f in fields(RunSpec)}
+    for source, keys in (("base", base), ("axes", axes)):
+        bad = sorted(set(keys) - spec_fields)
+        if bad:
+            raise SweepError(f"unknown RunSpec field(s) in {source}: {bad}")
+    for name, values in axes.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise SweepError(f"axis {name!r} must be a non-empty list")
+    names = sorted(axes)
+    specs: List[RunSpec] = []
+    seen: Dict[str, int] = {}
+    for combo in itertools.product(*(axes[n] for n in names)):
+        params = dict(base)
+        params.update(zip(names, combo))
+        run_id = ",".join(
+            f"{n}={_format_axis_value(v)}" for n, v in zip(names, combo)
+        ) or "single"
+        if run_id in seen:
+            raise SweepError(f"duplicate run_id {run_id!r} "
+                             f"(axis values must be distinct)")
+        seen[run_id] = 1
+        specs.append(RunSpec(run_id=run_id, **params))
+    return specs
+
+
+def fig11_grid(
+    duration: float = 2000.0,
+    seeds: int = 1,
+    engine: str = "python",
+    policies: Sequence[str] = POLICIES,
+) -> Dict[str, object]:
+    """The Figure 11 grid: every policy under the section 5 emergencies.
+
+    ``seeds > 1`` adds a seed axis (useful for scaling runs that need
+    more shards than policies); the emergencies themselves are
+    deterministic, so extra seeds only vary the fault RNG stream.
+    """
+    grid: Dict[str, object] = {
+        "base": {
+            "scenario": "emergency",
+            "duration": float(duration),
+            "engine": engine,
+        },
+        "axes": {"policy": list(policies)},
+    }
+    if seeds > 1:
+        grid["axes"]["seed"] = list(range(seeds))
+    return grid
+
+
+def threshold_grid(
+    highs: Sequence[float] = (65.0, 67.0, 69.0),
+    duration: float = 2000.0,
+    policy: str = "freon",
+) -> Dict[str, object]:
+    """The section 5.1 policy-threshold sweep grid.
+
+    Sweeps the CPU high threshold (``cpu_low`` follows at the Table 1
+    spread, ``high - 3``) to show the drop-rate/temperature trade-off
+    around the paper's 67/64 setting.
+    """
+    return {
+        "base": {
+            "scenario": "emergency",
+            "duration": float(duration),
+            "policy": policy,
+        },
+        "axes": {"cpu_high": [float(h) for h in highs]},
+    }

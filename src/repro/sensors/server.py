@@ -186,6 +186,7 @@ class UdpSensorServer:
         self._server = socketserver.ThreadingUDPServer((host, port), _UdpHandler)
         self._server.service = service  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -194,6 +195,8 @@ class UdpSensorServer:
 
     def start(self) -> "UdpSensorServer":
         """Start serving on a daemon thread."""
+        if self._closed:
+            raise SensorError("server already stopped")
         if self._thread is not None:
             raise SensorError("server already started")
         self._thread = threading.Thread(
@@ -205,13 +208,23 @@ class UdpSensorServer:
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join its thread."""
-        if self._thread is None:
+        """Shut the server down, join its thread, and release the socket.
+
+        Idempotent and exception-safe: extra calls are no-ops, the
+        socket is always closed even if the shutdown handshake raises,
+        and a server that was never started still releases the socket
+        it bound in ``__init__`` (so pool workers cannot leak it).
+        """
+        if self._closed:
             return
-        self._server.shutdown()
-        self._thread.join(timeout=DAEMON_JOIN_TIMEOUT)
-        self._server.server_close()
-        self._thread = None
+        self._closed = True
+        thread, self._thread = self._thread, None
+        try:
+            if thread is not None:
+                self._server.shutdown()
+                thread.join(timeout=DAEMON_JOIN_TIMEOUT)
+        finally:
+            self._server.server_close()
 
     def __enter__(self) -> "UdpSensorServer":
         return self.start()

@@ -45,6 +45,8 @@ from .registry import (
     Histogram,
     NullRegistry,
     Registry,
+    dump_registry,
+    load_registry,
 )
 
 __all__ = [
@@ -67,6 +69,8 @@ __all__ = [
     "write_snapshot",
     "write_jsonl",
     "dump_jsonl",
+    "dump_registry",
+    "load_registry",
 ]
 
 

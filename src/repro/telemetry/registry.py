@@ -7,12 +7,14 @@ with plain attribute arithmetic, so an enabled registry costs a few
 float operations per update and a disabled one (:class:`NullRegistry`)
 costs a single no-op method call and allocates nothing.
 
-Every child is timestamped on **both** clocks at each mutation: the
-simulation clock (the registry's ``clock`` callable, usually wired to
-the harness time) and the wall clock (``time.time``).  Exporters read
-both, so a Prometheus snapshot or JSONL stream can be joined either
-against simulated experiment time (the paper's Figure 11/12 x-axis) or
-against real elapsed time (profiling the reproduction itself).
+Every child is timestamped on the **simulation** clock at each mutation
+(the registry's ``clock`` callable, usually wired to the harness time) —
+a plain attribute read, never a syscall.  The **wall** clock is stamped
+lazily: reading a child's ``wall_time`` takes ``time.time()`` at that
+moment, so snapshots and expositions carry the observation time while
+the update hot path stays syscall-free and two runs of the same scenario
+produce byte-identical snapshot data (which is what lets the parallel
+sweep engine compare shards).
 
 Metric and label names follow the Prometheus data model
 (``[a-zA-Z_:][a-zA-Z0-9_:]*``); values are floats.  Histograms use
@@ -52,17 +54,35 @@ def _label_key(labels: Optional[LabelMap]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-class Counter:
+class _LazyWallTime:
+    """Mixin: ``wall_time`` is stamped when read, never when updated.
+
+    Update paths (``inc``/``set``/``observe``) are hot — the compiled
+    solver calls them every tick — so they must not pay a clock syscall,
+    and two runs of the same scenario must leave bit-identical metric
+    state behind.  The wall clock therefore carries *snapshot* semantics:
+    reading it answers "when was this metric observed", not "when was it
+    last updated".
+    """
+
+    __slots__ = ()
+
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock time of the read (i.e. snapshot/exposition time)."""
+        return time.time()
+
+
+class Counter(_LazyWallTime):
     """A monotonically increasing float."""
 
-    __slots__ = ("labels", "value", "sim_time", "wall_time", "_clock")
+    __slots__ = ("labels", "value", "sim_time", "_clock")
     kind = "counter"
 
     def __init__(self, labels: _LabelKey, clock: Callable[[], float]) -> None:
         self.labels = labels
         self.value = 0.0
         self.sim_time = clock()
-        self.wall_time = time.time()
         self._clock = clock
 
     def inc(self, amount: float = 1.0) -> None:
@@ -71,27 +91,24 @@ class Counter:
             raise TelemetryError("counters only go up; use a gauge")
         self.value += amount
         self.sim_time = self._clock()
-        self.wall_time = time.time()
 
 
-class Gauge:
+class Gauge(_LazyWallTime):
     """A float that can go up and down."""
 
-    __slots__ = ("labels", "value", "sim_time", "wall_time", "_clock")
+    __slots__ = ("labels", "value", "sim_time", "_clock")
     kind = "gauge"
 
     def __init__(self, labels: _LabelKey, clock: Callable[[], float]) -> None:
         self.labels = labels
         self.value = 0.0
         self.sim_time = clock()
-        self.wall_time = time.time()
         self._clock = clock
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
         self.value = value
         self.sim_time = self._clock()
-        self.wall_time = time.time()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative) to the gauge."""
@@ -102,12 +119,12 @@ class Gauge:
         self.set(self.value - amount)
 
 
-class Histogram:
+class Histogram(_LazyWallTime):
     """A distribution with cumulative ``le`` buckets, a sum, and a count."""
 
     __slots__ = (
         "labels", "bounds", "bucket_counts", "sum", "count",
-        "sim_time", "wall_time", "_clock",
+        "sim_time", "_clock",
     )
     kind = "histogram"
 
@@ -124,7 +141,6 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self.sim_time = clock()
-        self.wall_time = time.time()
         self._clock = clock
 
     def observe(self, value: float) -> None:
@@ -133,7 +149,6 @@ class Histogram:
         self.sum += value
         self.count += 1
         self.sim_time = self._clock()
-        self.wall_time = time.time()
 
     def cumulative(self) -> List[int]:
         """Cumulative counts per bucket, ending with the +Inf total."""
@@ -313,6 +328,126 @@ def family_samples(family: _Family) -> Iterator[Tuple[str, _LabelKey, float]]:
             yield (family.name + "_count", key, float(child.count))
         else:
             yield (family.name, key, child.value)  # type: ignore[union-attr]
+
+
+def dump_registry(registry: Registry) -> List[dict]:
+    """Serialize a registry into plain JSON-able data.
+
+    The shape is a sorted list of family dicts, each with sorted
+    children, so two registries holding the same metric state dump to
+    identical structures regardless of insertion order.  This is the
+    wire format sweep workers hand back to the parent process (live
+    registries hold an unpicklable clock closure).
+    """
+    out: List[dict] = []
+    for family in registry.families():
+        fam: dict = {
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "children": [],
+        }
+        if family.kind == "histogram":
+            fam["bounds"] = list(family.bounds or ())
+        for key in sorted(family.children):
+            child = family.children[key]
+            entry: dict = {
+                "labels": [list(pair) for pair in key],
+                "sim_time": child.sim_time,  # type: ignore[union-attr]
+            }
+            if isinstance(child, Histogram):
+                entry["bucket_counts"] = list(child.bucket_counts)
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+            else:
+                entry["value"] = child.value  # type: ignore[union-attr]
+            fam["children"].append(entry)
+        out.append(fam)
+    return out
+
+
+def load_registry(
+    data: Sequence[dict],
+    into: Registry,
+    labels: Optional[LabelMap] = None,
+) -> Registry:
+    """Merge a :func:`dump_registry` payload into ``into``.
+
+    ``labels`` (e.g. ``{"run": run_id}``) are added to every child's
+    label set, which is how a sweep keeps per-run children disjoint in
+    the merged registry.  Merging is deterministic and order-independent:
+    counters and histogram buckets accumulate, and a gauge keeps
+    whichever side has the greater ``(sim_time, value)`` pair, so any
+    permutation of shard payloads produces the same merged state.
+
+    Raises :class:`TelemetryError` if an extra label would overwrite a
+    label already present on a child, or if histogram bucket bounds
+    disagree.
+    """
+    extra = _label_key(labels)
+    for fam in data:
+        name, kind, help_ = fam["name"], fam["kind"], fam.get("help", "")
+        for entry in fam["children"]:
+            key: _LabelKey = tuple((str(k), str(v)) for k, v in entry["labels"])
+            if extra:
+                existing = {k for k, _ in key}
+                for label_name, _ in extra:
+                    if label_name in existing:
+                        raise TelemetryError(
+                            f"merge label {label_name!r} collides with an "
+                            f"existing label on {name!r}"
+                        )
+                key = tuple(sorted(key + extra))
+            merged = dict(key)
+            sim_time = float(entry["sim_time"])
+            if kind == "counter":
+                family = into._family(name, "counter", help_)
+                fresh = _label_key(merged) not in family.children
+                child = into.counter(name, merged, help=help_)
+                if fresh:
+                    child.value = float(entry["value"])
+                    child.sim_time = sim_time
+                else:
+                    child.value += float(entry["value"])
+                    child.sim_time = max(child.sim_time, sim_time)
+            elif kind == "gauge":
+                family = into._family(name, "gauge", help_)
+                fresh = _label_key(merged) not in family.children
+                child = into.gauge(name, merged, help=help_)
+                if fresh or (sim_time, float(entry["value"])) >= (
+                    child.sim_time, child.value
+                ):
+                    child.value = float(entry["value"])
+                    child.sim_time = sim_time
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in fam["bounds"])
+                family = into._family(name, "histogram", help_, bounds)
+                if family.bounds != bounds:
+                    raise TelemetryError(
+                        f"histogram {name!r} merged with different buckets"
+                    )
+                fresh = _label_key(merged) not in family.children
+                hist = into.histogram(name, merged, buckets=bounds, help=help_)
+                counts = [int(n) for n in entry["bucket_counts"]]
+                if len(counts) != len(hist.bucket_counts):
+                    raise TelemetryError(
+                        f"histogram {name!r} merged with mismatched bucket count"
+                    )
+                if fresh:
+                    hist.bucket_counts = counts
+                    hist.sum = float(entry["sum"])
+                    hist.count = int(entry["count"])
+                    hist.sim_time = sim_time
+                else:
+                    hist.bucket_counts = [
+                        a + b for a, b in zip(hist.bucket_counts, counts)
+                    ]
+                    hist.sum += float(entry["sum"])
+                    hist.count += int(entry["count"])
+                    hist.sim_time = max(hist.sim_time, sim_time)
+            else:
+                raise TelemetryError(f"unknown metric kind {kind!r} in dump")
+    return into
 
 
 class _NullMetric:

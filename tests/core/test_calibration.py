@@ -207,3 +207,58 @@ class TestCalibrate:
         )
         text = result.describe()
         assert "CPU" in text and "rmse" in text
+
+    def test_optimizer_failure_raises_typed_error_with_parameters(
+        self, layout, short_measurement, monkeypatch
+    ):
+        """Numerical optimizer failures surface the failing parameter vector.
+
+        Regression: this used to be a bare ``except Exception`` that
+        reduced any failure to an opaque message, so a sweep could not
+        tell a numerical blow-up from a code bug.
+        """
+        import numpy as np
+
+        import repro.core.calibration as calibration_module
+
+        def exploding_least_squares(fun, x0, **kwargs):
+            fun(np.asarray(x0) + 0.25)  # the optimizer evaluated something
+            raise ValueError("Residuals are not finite in the initial point.")
+
+        monkeypatch.setattr(
+            calibration_module, "least_squares", exploding_least_squares
+        )
+        with pytest.raises(CalibrationError) as excinfo:
+            calibrate(
+                layout,
+                [short_measurement],
+                fit_edges=[(table1.CPU, table1.CPU_AIR)],
+                dt=5.0,
+                max_nfev=3,
+            )
+        err = excinfo.value
+        assert "optimizer failed" in str(err)
+        assert err.parameters is not None
+        assert all(abs(v - 0.25) < 1e-12 for v in err.parameters)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_non_numerical_bugs_propagate(
+        self, layout, short_measurement, monkeypatch
+    ):
+        """Only numerical failures become CalibrationError; bugs propagate."""
+        import repro.core.calibration as calibration_module
+
+        def buggy_least_squares(fun, x0, **kwargs):
+            raise TypeError("someone passed the wrong argument")
+
+        monkeypatch.setattr(
+            calibration_module, "least_squares", buggy_least_squares
+        )
+        with pytest.raises(TypeError):
+            calibrate(
+                layout,
+                [short_measurement],
+                fit_edges=[(table1.CPU, table1.CPU_AIR)],
+                dt=5.0,
+                max_nfev=3,
+            )

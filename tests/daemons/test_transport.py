@@ -161,3 +161,71 @@ class TestUdpPath:
         listener = AdmdListener(lambda m: None).start()
         listener.stop()
         listener.stop()
+
+
+class TestShutdownLifecycle:
+    """Pool workers tear transports down on every path; none may leak."""
+
+    def test_start_close_close_under_traffic(self):
+        # Close while the worker thread is blocked in its recv loop, then
+        # close again: both must return cleanly and release the socket.
+        balancer = LoadBalancer(["machine1"])
+        admd = Admd(balancer)
+        listener = AdmdListener(admd.deliver).start()
+        sender = TempdSender(listener.address)
+        sender(sample_message())
+        assert _wait_for(lambda: listener.received == 1)
+        listener.stop()
+        listener.stop()
+        assert listener._server.socket.fileno() == -1
+
+    def test_stop_without_start_releases_socket(self):
+        # __init__ binds the socket; a listener that never served must
+        # still release it on stop.
+        listener = AdmdListener(lambda m: None)
+        listener.stop()
+        assert listener._server.socket.fileno() == -1
+        listener.stop()  # still idempotent
+
+    def test_start_after_stop_rejected(self):
+        listener = AdmdListener(lambda m: None).start()
+        listener.stop()
+        with pytest.raises(SensorError):
+            listener.start()
+
+    def test_stop_closes_socket_even_if_shutdown_raises(self):
+        listener = AdmdListener(lambda m: None).start()
+        original_shutdown = listener._server.shutdown
+
+        def exploding_shutdown():
+            original_shutdown()
+            raise OSError("simulated shutdown failure")
+
+        listener._server.shutdown = exploding_shutdown
+        with pytest.raises(OSError):
+            listener.stop()
+        assert listener._server.socket.fileno() == -1
+        listener.stop()  # second close after a failed one is a no-op
+
+    def test_sender_double_close_and_send_after_close(self):
+        listener = AdmdListener(lambda m: None).start()
+        try:
+            sender = TempdSender(listener.address)
+            sender(sample_message())
+            sender.close()
+            sender.close()
+            with pytest.raises(SensorError):
+                sender(sample_message())
+        finally:
+            listener.stop()
+
+    def test_in_process_delivery_survives_udp_teardown(self):
+        # The in-process transport (calling admd.deliver directly) must
+        # keep working after the UDP listener for the same admd is gone.
+        balancer = LoadBalancer(["machine1", "machine2"])
+        admd = Admd(balancer, config=FreonConfig())
+        listener = AdmdListener(admd.deliver).start()
+        listener.stop()
+        listener.stop()
+        admd.deliver(sample_message())
+        assert len(admd.adjustments) == 1

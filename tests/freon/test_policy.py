@@ -71,3 +71,41 @@ class TestWeightForShareReduction:
         weights = {m: 1.0 for m in "abcd"}
         new = weight_for_share_reduction(weights, "a", 100.0)
         assert 0.0 < new < 0.01
+
+    def test_single_server_even_with_zero_weight(self):
+        # A lone server keeps its weight verbatim no matter the output;
+        # there is nowhere to shift load.
+        assert weight_for_share_reduction({"a": 0.25}, "a", 3.0) == pytest.approx(
+            0.25
+        )
+        assert weight_for_share_reduction({"a": 2.0}, "a", 0.0) == pytest.approx(2.0)
+
+    def test_negative_output_rejected_before_any_arithmetic(self):
+        # The guard must fire even for inputs that would also trip later
+        # checks (total weight zero), proving it runs first.
+        with pytest.raises(ClusterError, match="non-negative"):
+            weight_for_share_reduction({"a": 0.0}, "a", -1e-9)
+
+    def test_zero_weight_hot_server_stays_at_zero(self):
+        # A hot server already at weight 0 has share 0; any reduction of
+        # nothing is nothing, and the arithmetic must not divide by zero.
+        weights = {"a": 0.0, "b": 1.0, "c": 1.0}
+        assert weight_for_share_reduction(weights, "a", 1.0) == 0.0
+        assert weight_for_share_reduction(weights, "a", 0.0) == 0.0
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ClusterError, match="total weight"):
+            weight_for_share_reduction({"a": 0.0, "b": 0.0}, "a", 1.0)
+
+    def test_telemetry_records_controller_output(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        weights = {"a": 1.0, "b": 1.0}
+        weight_for_share_reduction(weights, "a", 0.75, telemetry=telemetry)
+        hist = telemetry.registry.histogram(
+            "freon_controller_output", {"machine": "a"},
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+        )
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.75)

@@ -1,0 +1,147 @@
+"""Tests for the sweep engine: fan-out, determinism, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepError
+from repro.parallel import (
+    RunSpec,
+    WorkerCrash,
+    artifact_registry,
+    execute_spec,
+    expand_grid,
+    merge_results,
+    sweep,
+    write_artifact,
+)
+from repro.parallel.engine import HOST_METRICS, _worker
+
+#: A small but real grid: two policies under the emergencies, long
+#: enough to cross the t=480 inlet emergency and reach Freon's first
+#: weight adjustment (t=1020).
+GRID = {
+    "base": {"scenario": "emergency", "duration": 1100.0},
+    "axes": {"policy": ["none", "freon"]},
+}
+
+
+@pytest.fixture(scope="module")
+def serial_artifact():
+    return sweep(expand_grid(GRID), workers=1)
+
+
+class TestSweep:
+    def test_two_workers_match_serial_byte_for_byte(self, serial_artifact):
+        parallel = sweep(expand_grid(GRID), workers=2)
+        assert (
+            json.dumps(parallel, sort_keys=True)
+            == json.dumps(serial_artifact, sort_keys=True)
+        )
+
+    def test_runs_are_sorted_by_run_id(self, serial_artifact):
+        ids = [r["run_id"] for r in serial_artifact["runs"]]
+        assert ids == sorted(ids)
+
+    def test_summary_shape(self, serial_artifact):
+        by_id = {r["run_id"]: r for r in serial_artifact["runs"]}
+        freon = by_id["policy=freon"]["summary"]
+        none = by_id["policy=none"]["summary"]
+        assert freon["total_offered"] == none["total_offered"]
+        # Freon reacts to the emergency; the no-policy run does not.
+        assert freon["adjustments"] > 0
+        assert none["adjustments"] == 0
+        assert set(freon["peak_cpu"]) == {
+            "machine1", "machine2", "machine3", "machine4"
+        }
+
+    def test_host_metrics_are_excluded(self, serial_artifact):
+        names = {f["name"] for f in serial_artifact["registry"]}
+        assert not names & HOST_METRICS
+        # ...but simulation metrics made it through, run-namespaced.
+        assert "cluster_requests_offered_total" in names
+
+    def test_registry_children_namespaced_by_run(self, serial_artifact):
+        registry = artifact_registry(serial_artifact)
+        offered = registry.value(
+            "cluster_requests_offered_total", {"run": "policy=freon"}
+        )
+        summary = serial_artifact["runs"][0]["summary"]
+        assert offered == pytest.approx(summary["total_offered"])
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(SweepError, match="nothing to sweep"):
+            sweep([], workers=2)
+
+    def test_duplicate_run_ids_rejected(self):
+        spec = RunSpec(run_id="r", duration=10.0)
+        with pytest.raises(SweepError, match="duplicate"):
+            sweep([spec, spec], workers=1)
+
+    def test_write_artifact_round_trips(self, serial_artifact, tmp_path):
+        json_path, prom_path = write_artifact(
+            serial_artifact, tmp_path / "sweep.json"
+        )
+        loaded = json.loads(json_path.read_text())
+        assert loaded == json.loads(json.dumps(serial_artifact))
+        assert 'run="policy=freon"' in prom_path.read_text()
+        # Equal artifacts serialize byte-identically.
+        again, _ = write_artifact(serial_artifact, tmp_path / "again.json")
+        assert again.read_bytes() == json_path.read_bytes()
+
+
+class TestCrashRecovery:
+    CLEAN = dict(
+        policy="freon", scenario="chaos", duration=400.0, seed=5,
+        checkpoint_every=60.0,
+    )
+
+    def test_crash_hook_raises_with_last_checkpoint(self):
+        spec = RunSpec(run_id="r", crash_at=250.0, **self.CLEAN)
+        with pytest.raises(WorkerCrash) as err:
+            execute_spec(spec)
+        assert err.value.checkpoint is not None
+        assert err.value.checkpoint["time"] == 240.0
+
+    def test_worker_reports_crash_as_data(self):
+        spec = RunSpec(run_id="r", crash_at=100.0, **self.CLEAN)
+        outcome = _worker(spec.to_dict())
+        assert outcome["run_id"] == "r"
+        assert "crash" in outcome["error"]
+        assert outcome["checkpoint"]["time"] == 60.0
+
+    def test_sweep_resumes_crashed_run_from_checkpoint(self):
+        crashy = RunSpec(run_id="r", crash_at=250.0, **self.CLEAN)
+        artifact = sweep([crashy], workers=1)
+        run = artifact["runs"][0]
+        assert run["resumed"] is True
+
+        golden = execute_spec(RunSpec(run_id="r", **self.CLEAN))
+        assert run["records"] == golden.to_dict()["records"]
+        assert run["summary"] == golden.to_dict()["summary"]
+
+    def test_crash_before_first_checkpoint_restarts_from_scratch(self):
+        params = dict(self.CLEAN, checkpoint_every=300.0)
+        crashy = RunSpec(run_id="r", crash_at=100.0, **params)
+        artifact = sweep([crashy], workers=1)
+        run = artifact["runs"][0]
+        assert run["resumed"] is False
+
+        golden = execute_spec(RunSpec(run_id="r", **params))
+        assert run["records"] == golden.to_dict()["records"]
+        assert run["registry"] == golden.to_dict()["registry"]
+
+
+class TestMergeResults:
+    def test_merge_is_order_independent(self):
+        specs = expand_grid({
+            "base": {"duration": 60.0, "scenario": "none"},
+            "axes": {"policy": ["none", "freon", "traditional"]},
+        })
+        results = [execute_spec(s) for s in specs]
+        forward = merge_results(results)
+        backward = merge_results(list(reversed(results)))
+        assert (
+            json.dumps(forward, sort_keys=True)
+            == json.dumps(backward, sort_keys=True)
+        )

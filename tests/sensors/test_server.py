@@ -133,3 +133,54 @@ class TestUdpServer:
         server = UdpSensorServer(service).start()
         server.stop()
         server.stop()  # no error
+
+    def test_start_close_close_under_traffic(self, service):
+        # Close while the worker thread sits in its recv loop, twice.
+        server = UdpSensorServer(service).start()
+        host, port = server.address
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.settimeout(2.0)
+        try:
+            query = protocol.SensorQuery(7, "machine1", "cpu")
+            sock.sendto(query.encode(), (host, port))
+            sock.recvfrom(2048)
+        finally:
+            sock.close()
+        server.stop()
+        server.stop()
+        assert server._server.socket.fileno() == -1
+
+    def test_stop_without_start_releases_socket(self, service):
+        server = UdpSensorServer(service)
+        server.stop()
+        assert server._server.socket.fileno() == -1
+        server.stop()  # still idempotent
+
+    def test_start_after_stop_rejected(self, service):
+        server = UdpSensorServer(service).start()
+        server.stop()
+        with pytest.raises(SensorError):
+            server.start()
+
+    def test_stop_closes_socket_even_if_shutdown_raises(self, service):
+        server = UdpSensorServer(service).start()
+        original_shutdown = server._server.shutdown
+
+        def exploding_shutdown():
+            original_shutdown()
+            raise OSError("simulated shutdown failure")
+
+        server._server.shutdown = exploding_shutdown
+        with pytest.raises(OSError):
+            server.stop()
+        assert server._server.socket.fileno() == -1
+        server.stop()  # second close after a failed one is a no-op
+
+    def test_in_process_face_survives_udp_teardown(self, service):
+        # The in-process transport keeps serving after the UDP face closes.
+        server = UdpSensorServer(service).start()
+        server.stop()
+        server.stop()
+        query = protocol.SensorQuery(3, "machine1", "cpu")
+        reply = protocol.SensorReply.decode(service.handle_query(query.encode()))
+        assert reply.status == protocol.STATUS_OK

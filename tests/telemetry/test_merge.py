@@ -1,0 +1,137 @@
+"""Tests for registry serialization and deterministic merging."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Registry, dump_registry, load_registry
+
+
+def _registry(now=0.0):
+    state = {"now": now}
+    registry = Registry(lambda: state["now"])
+    registry._clock_state = state  # test handle to move sim time
+    return registry
+
+
+class TestDumpRegistry:
+    def test_dump_is_plain_and_sorted(self):
+        registry = _registry()
+        registry.counter("b_total", {"x": "1"}).inc(2.0)
+        registry.counter("a_total").inc()
+        registry.gauge("g").set(3.5)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        dump = dump_registry(registry)
+        assert [f["name"] for f in dump] == ["a_total", "b_total", "g", "h"]
+        hist = dump[-1]
+        assert hist["bounds"] == [1.0, 2.0]
+        assert hist["children"][0]["bucket_counts"] == [0, 1, 0]
+        assert hist["children"][0]["sum"] == 1.5
+
+    def test_dump_is_insertion_order_independent(self):
+        a, b = _registry(), _registry()
+        a.counter("x_total").inc()
+        a.gauge("y", {"m": "1"}).set(2.0)
+        b.gauge("y", {"m": "1"}).set(2.0)
+        b.counter("x_total").inc()
+        assert dump_registry(a) == dump_registry(b)
+
+    def test_dump_excludes_wall_time(self):
+        registry = _registry()
+        registry.counter("c_total").inc()
+        (family,) = dump_registry(registry)
+        assert "wall_time" not in family["children"][0]
+
+
+class TestLoadRegistry:
+    def test_round_trip(self):
+        source = _registry(now=7.0)
+        source.counter("c_total", {"m": "1"}).inc(3.0)
+        source.gauge("g").set(1.25)
+        source.histogram("h", buckets=(1.0,)).observe(0.5)
+        target = _registry()
+        load_registry(dump_registry(source), target)
+        assert dump_registry(target) == dump_registry(source)
+
+    def test_counters_accumulate(self):
+        a, b = _registry(now=1.0), _registry(now=2.0)
+        a.counter("c_total").inc(2.0)
+        b.counter("c_total").inc(3.0)
+        merged = _registry()
+        load_registry(dump_registry(a), merged)
+        load_registry(dump_registry(b), merged)
+        assert merged.value("c_total") == 5.0
+        (family,) = dump_registry(merged)
+        assert family["children"][0]["sim_time"] == 2.0
+
+    def test_gauges_keep_the_latest_sample(self):
+        a, b = _registry(now=10.0), _registry(now=5.0)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(99.0)
+        for order in ((a, b), (b, a)):
+            merged = _registry()
+            for source in order:
+                load_registry(dump_registry(source), merged)
+            assert merged.value("g") == 1.0  # newer sim_time wins
+
+    def test_histograms_accumulate_buckets(self):
+        a, b = _registry(), _registry()
+        for registry, value in ((a, 0.5), (b, 1.5)):
+            registry.histogram("h", buckets=(1.0, 2.0)).observe(value)
+        merged = _registry()
+        load_registry(dump_registry(a), merged)
+        load_registry(dump_registry(b), merged)
+        hist = merged.histogram("h", buckets=(1.0, 2.0))
+        assert hist.bucket_counts == [1, 1, 0]
+        assert hist.count == 2
+        assert hist.sum == 2.0
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a, b = _registry(), _registry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        merged = _registry()
+        load_registry(dump_registry(a), merged)
+        with pytest.raises(TelemetryError, match="buckets"):
+            load_registry(dump_registry(b), merged)
+
+    def test_extra_labels_namespace_children(self):
+        a, b = _registry(), _registry()
+        a.counter("c_total").inc(1.0)
+        b.counter("c_total").inc(2.0)
+        merged = _registry()
+        load_registry(dump_registry(a), merged, labels={"run": "a"})
+        load_registry(dump_registry(b), merged, labels={"run": "b"})
+        assert merged.value("c_total", {"run": "a"}) == 1.0
+        assert merged.value("c_total", {"run": "b"}) == 2.0
+        assert merged.total("c_total") == 3.0
+
+    def test_extra_label_collision_rejected(self):
+        source = _registry()
+        source.counter("c_total", {"run": "inner"}).inc()
+        with pytest.raises(TelemetryError, match="collides"):
+            load_registry(dump_registry(source), _registry(),
+                          labels={"run": "outer"})
+
+    def test_unknown_kind_rejected(self):
+        payload = [{
+            "name": "m", "kind": "summary", "help": "",
+            "children": [{"labels": [], "sim_time": 0.0, "value": 1.0}],
+        }]
+        with pytest.raises(TelemetryError, match="kind"):
+            load_registry(payload, _registry())
+
+    def test_merge_is_order_independent(self):
+        shards = []
+        for idx in range(3):
+            registry = _registry(now=float(idx))
+            registry.counter("c_total", {"m": "1"}).inc(idx + 1.0)
+            registry.gauge("g").set(float(idx))
+            registry.histogram("h", buckets=(1.0, 4.0)).observe(idx + 0.5)
+            shards.append(dump_registry(registry))
+        merged_forward = _registry()
+        merged_reverse = _registry()
+        for shard in shards:
+            load_registry(shard, merged_forward)
+        for shard in reversed(shards):
+            load_registry(shard, merged_reverse)
+        assert dump_registry(merged_forward) == dump_registry(merged_reverse)

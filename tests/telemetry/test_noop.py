@@ -8,13 +8,15 @@ these tests pin the structural guarantees.
 """
 
 import tracemalloc
+import types
 
 from repro.telemetry import (
     NULL_TELEMETRY,
     NullTelemetry,
     ensure,
 )
-from repro.telemetry.registry import NULL_METRIC
+import repro.telemetry.registry as registry_module
+from repro.telemetry.registry import NULL_METRIC, Registry
 
 
 def test_ensure_returns_shared_singleton():
@@ -74,3 +76,43 @@ def test_null_updates_allocate_nothing():
 def test_null_span_is_reentrant_noop():
     with NULL_TELEMETRY.span("anything") as event:
         assert event is None
+
+
+def test_enabled_updates_never_read_the_wall_clock(monkeypatch):
+    """Metric updates must not syscall: wall time is stamped at read time.
+
+    Per-update ``time.time()`` stamps made snapshot bytes nondeterministic
+    (breaking sweep shard comparison) and cost a syscall on the solver's
+    hot path, so ``wall_time`` is now a lazy property.
+    """
+    reads = {"n": 0}
+
+    def counting_time() -> float:
+        reads["n"] += 1
+        return 1234.5
+
+    fake_time = types.SimpleNamespace(time=counting_time)
+
+    reg = Registry(clock=lambda: 42.0)
+    counter = reg.counter("hot_total")
+    gauge = reg.gauge("hot")
+    hist = reg.histogram("hot_seconds", buckets=(0.1, 1.0))
+
+    monkeypatch.setattr(registry_module, "time", fake_time)
+    for _ in range(100):
+        counter.inc()
+        gauge.set(2.0)
+        gauge.inc(0.5)
+        gauge.dec(0.25)
+        hist.observe(0.05)
+    # Creating children must not stamp wall time either.
+    reg.counter("hot_total", {"machine": "m1"}).inc()
+    assert reads["n"] == 0
+
+    # Simulation timestamps still advance per update.
+    assert counter.sim_time == 42.0
+    # The wall clock is stamped lazily, at the moment of the read.
+    assert counter.wall_time == 1234.5
+    assert gauge.wall_time == 1234.5
+    assert hist.wall_time == 1234.5
+    assert reads["n"] == 3

@@ -254,3 +254,52 @@ class TestTop:
         assert "telemetry:" in output
         assert jsonl.exists()
         assert jsonl.with_suffix(".prom").exists()
+
+
+class TestSweep:
+    def test_grid_file_run(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "base": {"scenario": "none", "duration": 60.0},
+            "axes": {"policy": ["none", "freon"]},
+        }))
+        output_path = tmp_path / "sweep.json"
+        code, output = run_cli(
+            "sweep", str(grid), "--output", str(output_path),
+        )
+        assert code == 0
+        assert "sweep: 2 run(s)" in output
+        assert "policy=freon:" in output
+        artifact = json.loads(output_path.read_text())
+        assert [r["run_id"] for r in artifact["runs"]] == [
+            "policy=freon", "policy=none",
+        ]
+        assert output_path.with_suffix(".prom").exists()
+
+    def test_preset_with_overrides(self, tmp_path):
+        output_path = tmp_path / "thr.json"
+        code, output = run_cli(
+            "sweep", "--preset", "thresholds", "--duration", "60",
+            "--checkpoint-every", "30", "--output", str(output_path),
+        )
+        assert code == 0
+        assert "sweep: 3 run(s)" in output
+        artifact = json.loads(output_path.read_text())
+        specs = [r["spec"] for r in artifact["runs"]]
+        assert [s["cpu_high"] for s in specs] == [65.0, 67.0, 69.0]
+        assert all(s["duration"] == 60.0 for s in specs)
+        assert all(s["checkpoint_every"] == 30.0 for s in specs)
+
+    def test_grid_and_preset_are_mutually_exclusive(self, tmp_path):
+        code, output = run_cli("sweep")
+        assert code == 2
+        assert "exactly one" in output
+        code, output = run_cli("sweep", "grid.json", "--preset", "fig11")
+        assert code == 2
+
+    def test_bad_grid_reports_error(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({"axes": {"policyy": ["freon"]}}))
+        code, output = run_cli("sweep", str(grid))
+        assert code == 1
+        assert "unknown RunSpec field" in output
