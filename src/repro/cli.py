@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .cluster.simulation import (
+    MODES,
     POLICIES,
     ClusterSimulation,
     chaos_script,
@@ -142,6 +143,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="PATH",
         help="write the run's telemetry as JSONL to PATH (+ .prom snapshot)",
     )
+    freon.add_argument(
+        "--mode", choices=MODES, default="legacy",
+        help="event scheduling mode (event = real sub-tick datagram latency)",
+    )
+    freon.add_argument(
+        "--fast-forward", action="store_true",
+        help="skip solver work while the temperature field is converged "
+             "and every input is unchanged (idle fast-forward)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -175,6 +185,15 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="write the run's telemetry as JSONL to PATH (+ .prom snapshot)",
+    )
+    chaos.add_argument(
+        "--mode", choices=MODES, default="legacy",
+        help="event scheduling mode (event = real sub-tick datagram latency)",
+    )
+    chaos.add_argument(
+        "--fast-forward", action="store_true",
+        help="skip solver work while the temperature field is converged "
+             "and every input is unchanged (idle fast-forward)",
     )
 
     top = sub.add_parser(
@@ -352,10 +371,17 @@ def cmd_freon(args: argparse.Namespace, out) -> int:
     telemetry = _make_telemetry(args)
     simulation = ClusterSimulation(
         policy=policy, fiddle_script=script, engine=args.engine,
-        telemetry=telemetry,
+        telemetry=telemetry, mode=args.mode,
+        idle_fast_forward=args.fast_forward,
     )
     result = simulation.run(args.duration)
     print(f"policy: {policy}  engine: {args.engine}", file=out)
+    if args.fast_forward and simulation.solver.coasted_ticks:
+        print(
+            f"fast-forward: coasted {simulation.solver.coasted_ticks} of "
+            f"{len(result.records)} ticks",
+            file=out,
+        )
     print(
         f"dropped requests: {result.drop_fraction * 100:.2f}% of "
         f"{result.total_offered:.0f}",
@@ -393,9 +419,17 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
         injector=FaultInjector(seed=args.seed),
         engine=args.engine,
         telemetry=telemetry,
+        mode=args.mode,
+        idle_fast_forward=args.fast_forward,
     )
     result = simulation.run(args.duration)
     print(f"policy: {args.policy}  fault seed: {args.seed}", file=out)
+    if args.fast_forward and simulation.solver.coasted_ticks:
+        print(
+            f"fast-forward: coasted {simulation.solver.coasted_ticks} of "
+            f"{len(result.records)} ticks",
+            file=out,
+        )
     print(
         f"dropped requests: {result.drop_fraction * 100:.2f}% of "
         f"{result.total_offered:.0f}",

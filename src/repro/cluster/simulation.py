@@ -12,9 +12,17 @@ Wires together every piece of the reproduction:
 * a pluggable management policy: base Freon, Freon-EC, the traditional
   red-line shutdown, or none.
 
-The simulation advances in one-second ticks on a simulated clock; tempd
-and admd run at their paper periods (60 s and 5 s).  Every tick is
-recorded, so experiments can regenerate the paper's Figure 11/12 series.
+The simulation runs on the :mod:`repro.kernel` discrete-event scheduler:
+solver ticks, tempd/admd/monitord wake-ups (at their paper periods, 60 s
+and 5 s), traditional-policy checks, DVFS governor decisions, watchdog
+passes, datagram deliveries, fault firings, fiddle-script statements,
+and telemetry sampling are all events on one priority queue sharing one
+:class:`~repro.kernel.clock.SimClock`.  In the default legacy-compat
+mode the event priorities reproduce the original monolithic tick loop's
+ordering exactly (the golden traces under ``tests/golden`` are
+byte-identical); ``mode="event"`` additionally gives tempd -> admd
+datagrams a real sub-tick network latency.  Every tick is recorded, so
+experiments can regenerate the paper's Figure 11/12 series.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from ..freon.ec import AdmdEC
 from ..freon.policy import FreonConfig
 from ..freon.regions import RegionMap, two_region_split
 from ..freon.traditional import TraditionalPolicy
+from ..kernel import Event, EventKernel
 from ..sensors.server import SensorService
 from ..telemetry import ensure as _ensure_telemetry
 from .lvs import LoadBalancer, ServerState
@@ -60,6 +69,51 @@ FREON_K_OVERRIDES: Dict[Tuple[str, str], float] = {
 #: comparison point: each CPU manages its own temperature by stepping
 #: down P-states, with no cluster-level coordination.
 POLICIES = ("none", "freon", "freon-ec", "traditional", "local-dvfs")
+
+#: Scheduling modes.  "legacy" reproduces the original monolithic tick
+#: loop exactly (datagrams flushed once per tick, zero network latency);
+#: "event" delivers tempd -> admd datagrams as their own kernel events
+#: with a real sub-tick latency.
+MODES = ("legacy", "event")
+
+#: Event-dispatch priority bands (lower fires first at equal timestamps;
+#: the seq counter breaks remaining ties in scheduling order).  At a
+#: shared timestamp T the legacy tick loop ran: the daemon work of the
+#: tick that *ended* at T (admd LVS sample, tempd wakes, datagram flush,
+#: EC evaluation, traditional check, governors, watchdog, that tick's
+#: record), then the work of the tick that *starts* at T (fault clock,
+#: script statements, load balancing + solver step).  The bands encode
+#: exactly that order, which is how the kernel reproduces the legacy
+#: golden traces byte-for-byte.
+PRIORITY_STATS = 10
+PRIORITY_WAKE = 20
+PRIORITY_DELIVER = 30
+PRIORITY_EVALUATE = 40
+PRIORITY_POLICY = 50
+PRIORITY_GOVERNOR = 60
+PRIORITY_WATCHDOG = 70
+PRIORITY_RECORD = 80
+PRIORITY_FAULTS = 100
+PRIORITY_COMMAND = 110
+PRIORITY_SAMPLE_GATE = 115
+PRIORITY_TICK = 120
+
+#: Idle fast-forward: consecutive ticks with unchanged inputs required
+#: before probing for convergence, and the default per-tick temperature
+#: delta below which the field counts as converged.  The cluster's
+#: thermal time constant is ~450 s, so coasting at a per-tick delta of
+#: eps leaves at most ~450*eps degrees of residual transient uncaptured;
+#: the conservative default bounds that well below the golden-trace
+#: noise floor.  Runs that only care about steady state can pass a
+#: looser ``idle_epsilon`` to start coasting much earlier.
+IDLE_QUIET_TICKS = 2
+IDLE_EPSILON = 1e-6
+
+#: Failed convergence probes back off exponentially (the probe snapshots
+#: every temperature twice, which would otherwise run every quiet tick of
+#: a long, slowly-converging stretch).  The cap bounds how late coasting
+#: can engage — and a later engagement only shrinks the frozen residual.
+IDLE_PROBE_BACKOFF_MAX = 64
 
 
 @dataclass
@@ -152,13 +206,40 @@ class ClusterSimulation:
         engine: str = "python",
         telemetry=None,
         telemetry_sample_period: float = 5.0,
+        mode: str = "legacy",
+        idle_fast_forward: bool = False,
+        idle_epsilon: float = IDLE_EPSILON,
+        datagram_latency: float = 0.0005,
     ) -> None:
         if policy not in POLICIES:
             raise ClusterError(f"unknown policy {policy!r}; pick from {POLICIES}")
+        if mode not in MODES:
+            raise ClusterError(f"unknown mode {mode!r}; pick from {MODES}")
+        if dt <= 0.0:
+            raise ClusterError(f"dt must be positive, got {dt!r}")
+        if telemetry_sample_period <= 0.0:
+            raise ClusterError(
+                f"telemetry_sample_period must be positive, "
+                f"got {telemetry_sample_period!r}"
+            )
+        if datagram_latency < 0.0:
+            raise ClusterError(
+                f"datagram_latency must be non-negative, got {datagram_latency!r}"
+            )
+        if idle_epsilon <= 0.0:
+            raise ClusterError(
+                f"idle_epsilon must be positive, got {idle_epsilon!r}"
+            )
         self.policy = policy
+        self.mode = mode
         self.dt = dt
         self.machines = list(machines)
         self.telemetry = _ensure_telemetry(telemetry)
+        #: The discrete-event scheduler every time-driven layer runs on.
+        self.kernel = EventKernel()
+        # One clock: telemetry timestamps come from the kernel's SimClock.
+        self.telemetry.use_clock(self.kernel.clock)
+        self._datagram_latency = datagram_latency
         if k_overrides is None:
             k_overrides = FREON_K_OVERRIDES
         cluster_layout = validation_cluster(self.machines, k_overrides=k_overrides)
@@ -188,6 +269,11 @@ class ClusterSimulation:
             servers=len(self.machines)
         )
         self.config = freon_config or FreonConfig()
+        if self.config.monitor_period < dt:
+            raise ClusterError(
+                f"monitor_period ({self.config.monitor_period!r}) must be at "
+                f"least one tick (dt={dt!r})"
+            )
         self._script: Optional[ScriptRunner] = None
         if fiddle_script:
             self._script = ScriptRunner(
@@ -206,7 +292,24 @@ class ClusterSimulation:
         self.total_dropped = 0.0
         self.time = 0.0
         self._sample_period = max(telemetry_sample_period, dt)
-        self._sample_elapsed = self._sample_period  # sample the first tick
+        self._sample_next = False
+        self._ticks_done = 0
+        self._last_offered = 0.0
+        self._last_dropped = 0.0
+        #: Idle fast-forward (opt-in): once every input to the thermal
+        #: model has been quiet long enough and a probe step shows the
+        #: temperature field converged, the solver coasts (holds
+        #: temperatures, advances time) instead of iterating.
+        self.fast_forward = bool(idle_fast_forward)
+        self.idle_epsilon = idle_epsilon
+        self._ff_quiet = 0
+        self._ff_coasting = False
+        self._ff_dirty = True
+        self._ff_next_probe = IDLE_QUIET_TICKS
+        self._ff_backoff = 1
+        self._ff_last_utils: Dict[str, Tuple[float, float]] = {}
+        self._register_handlers()
+        self._schedule_initial_events()
         if self.telemetry.enabled:
             self._tel_offered = self.telemetry.counter(
                 "cluster_requests_offered_total",
@@ -278,7 +381,14 @@ class ClusterSimulation:
             )
             ec_mode = True
         # tempd -> admd datagrams traverse the (fault-injectable) channel.
-        self.channel = LossyChannel(self.admd.deliver, self.injector)
+        # In event mode each datagram is a real kernel event with a
+        # sub-tick network latency; legacy mode flushes once per tick.
+        self.channel = LossyChannel(
+            self.admd.deliver,
+            self.injector,
+            clock=self.kernel.clock if self.mode == "event" else None,
+            latency=self._datagram_latency if self.mode == "event" else 0.0,
+        )
         for name in self.machines:
             self.tempds[name] = Tempd(
                 machine=name,
@@ -301,6 +411,7 @@ class ClusterSimulation:
             self.solver.machine(name).set_power_scale(
                 table1.CPU, power_ratio
             )
+            self._ff_mark_dirty()
 
         return apply
 
@@ -359,6 +470,11 @@ class ClusterSimulation:
         does not survive a crash) but keeps knowledge of whether admd
         holds restrictions for its server — in a real deployment the
         supervisor hands that over from admd on reconnect.
+
+        The wake cadence needs no attention here: the kernel keeps one
+        "wake" event per machine on the monitor-period grid regardless
+        of crashes, so a restarted daemon is structurally aligned with
+        the grid rather than re-deriving a phase.
         """
         if daemon != "tempd" or machine not in self.tempds:
             return  # monitord has no in-memory state to rebuild here
@@ -369,7 +485,6 @@ class ClusterSimulation:
             send=self.channel,
             config=self.config,
             utilization_reader=old._read_utilizations,
-            phase=self.time % self.config.monitor_period,
             telemetry=self.telemetry,
         )
         replacement.restricted = old.restricted
@@ -380,31 +495,108 @@ class ClusterSimulation:
         state = self.solver.machine(name)
         for component in state.layout.components:
             state.set_power_scale(component, factor)
+        self._ff_mark_dirty()
+
+    # -- event kernel wiring ---------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        """Name every event kind the simulation schedules.
+
+        Handlers are registered unconditionally (even for kinds the
+        current policy never schedules) so a checkpointed event queue
+        can always be restored onto a freshly constructed simulation.
+        """
+        k = self.kernel
+        k.register("tick", self._ev_tick)
+        k.register("record", self._ev_record)
+        k.register("faults", self._ev_faults)
+        k.register("command", self._ev_command)
+        k.register("sample_gate", self._ev_sample_gate)
+        k.register("stats", self._ev_stats)
+        k.register("wake", self._ev_wake)
+        k.register("deliver", self._ev_deliver)
+        k.register("evaluate", self._ev_evaluate)
+        k.register("policy", self._ev_policy)
+        k.register("governor", self._ev_governor)
+        k.register("watchdog", self._ev_watchdog)
+
+    def _schedule_initial_events(self) -> None:
+        k = self.kernel
+        k.schedule(0.0, PRIORITY_FAULTS, "faults")
+        k.schedule(0.0, PRIORITY_SAMPLE_GATE, "sample_gate")
+        k.schedule(0.0, PRIORITY_TICK, "tick")
+        if self._script is not None:
+            for index, command in enumerate(self._script.commands):
+                k.schedule(
+                    command.time, PRIORITY_COMMAND, "command", {"index": index}
+                )
+        if self.admd is not None:
+            k.schedule(self.config.stats_period, PRIORITY_STATS, "stats")
+            for name in self.tempds:
+                k.schedule(
+                    self.config.monitor_period, PRIORITY_WAKE, "wake",
+                    {"machine": name},
+                )
+            if self.mode == "legacy":
+                k.schedule(self.dt, PRIORITY_DELIVER, "deliver")
+            if isinstance(self.admd, AdmdEC):
+                k.schedule(
+                    self.config.monitor_period, PRIORITY_EVALUATE, "evaluate"
+                )
+        if self.traditional is not None:
+            k.schedule(self.config.monitor_period, PRIORITY_POLICY, "policy")
+        for name, governor in self.governors.items():
+            k.schedule(
+                governor.period, PRIORITY_GOVERNOR, "governor",
+                {"machine": name},
+            )
+        k.schedule(self.watchdog.check_period, PRIORITY_WATCHDOG, "watchdog")
 
     # -- main loop ------------------------------------------------------------
 
     def run(self, duration: Optional[float] = None) -> SimulationResult:
-        """Run for ``duration`` seconds (default: the trace length)."""
+        """Run for ``duration`` more seconds (default: the trace length)."""
         if duration is None:
             duration = self.trace.duration
-        ticks = int(round(duration / self.dt))
-        for _ in range(ticks):
-            self.step()
+        self._advance_ticks(int(round(duration / self.dt)))
         return self.result()
 
     def step(self) -> TickRecord:
         """Advance the whole cluster by one tick."""
-        now = self.time
+        self._advance_ticks(1)
+        return self.records[-1]
+
+    def _advance_ticks(self, ticks: int) -> None:
+        """Dispatch events until ``ticks`` more solver ticks have run.
+
+        After the final tick, same-timestamp management events (daemon
+        wakes, deliveries, that tick's record) are drained too, so a
+        paused simulation exposes exactly the state the legacy loop
+        left behind after ``step()``.
+        """
+        target = self._ticks_done + ticks
+        while self._ticks_done < target:
+            self.kernel.run_next()
+        horizon = self.solver.time
+        while True:
+            head = self.kernel.peek()
+            if (
+                head is None
+                or head.priority >= PRIORITY_FAULTS
+                or head.time > horizon + 1e-9
+            ):
+                break
+            self.kernel.run_next()
+        self.time = self.solver.time
+
+    # -- event handlers --------------------------------------------------------
+
+    def _ev_tick(self, event: Event) -> None:
+        """One solver tick: load balancing, servers, monitord, physics."""
+        now = event.time
         dt = self.dt
-        self.telemetry.advance(now)
 
-        # 1. fault clock, then fiddle events (thermal emergencies and
-        #    fault statements both fire here).
-        self.injector.advance_to(now)
-        if self._script is not None:
-            self._script.advance_to(now)
-
-        # 2. load balancing.
+        # Load balancing.
         offered = self.trace.rate_at(now)
         capacities = {
             name: ws.capacity() for name, ws in self.webservers.items()
@@ -416,7 +608,7 @@ class ClusterSimulation:
         self.total_offered += offered * dt
         self.total_dropped += allocation.dropped_rate * dt
 
-        # 3. servers process their share; balancer stats updated.
+        # Servers process their share; balancer stats updated.
         for name, ws in self.webservers.items():
             was_draining = ws.state is PowerState.DRAINING
             load = ws.step(allocation.rates.get(name, 0.0), dt)
@@ -435,9 +627,75 @@ class ClusterSimulation:
                 if name in self.tempds:
                     self.tempds[name].restricted = False
 
-        # 4. monitord path: utilizations into the Mercury solver.  A
-        #    stalled or crashed monitord leaves the solver holding that
-        #    machine's previous utilizations (stale data, as in life).
+        # Monitord feed plus one solver advance (step, or coast when the
+        # idle fast-forward has proven the field converged).
+        self._solver_tick()
+
+        self.time = self.solver.time
+        self._last_offered = offered
+        self._last_dropped = allocation.dropped_rate
+        self._ticks_done += 1
+        self.kernel.schedule(
+            self.solver.time, PRIORITY_RECORD, "record", {"time": now}
+        )
+        self.kernel.schedule(now + dt, PRIORITY_TICK, "tick")
+
+    def _solver_tick(self) -> None:
+        if not self.fast_forward:
+            self._feed_monitord()
+            self.solver.step()
+            return
+        # One pass replaces _feed_monitord: feed the solver only when a
+        # machine's utilization actually moved (set_utilizations is
+        # idempotent, so skipping repeats changes nothing), and use the
+        # same comparison to detect input quiescence.  _ff_mark_dirty
+        # clears _ff_last_utils, so any out-of-band solver mutation
+        # forces a full re-feed on the next tick.
+        utils_changed = False
+        last = self._ff_last_utils
+        active = self.injector.monitord_active
+        feed = self.solver.set_utilizations
+        for name, ws in self.webservers.items():
+            if not active(name):
+                continue
+            load = ws.load
+            pair = (load.cpu_utilization, load.disk_utilization)
+            if last.get(name) != pair:
+                utils_changed = True
+                last[name] = pair
+                feed(
+                    name,
+                    {table1.CPU: pair[0], table1.DISK_PLATTERS: pair[1]},
+                )
+        if self._ff_dirty or utils_changed:
+            self._ff_dirty = False
+            self._ff_quiet = 0
+            self._ff_coasting = False
+            self._ff_next_probe = IDLE_QUIET_TICKS
+            self._ff_backoff = 1
+        else:
+            self._ff_quiet += 1
+        if self._ff_coasting:
+            # Inputs still quiet and the field already proved converged:
+            # hold temperatures, advance time, skip the solve.
+            self.solver.coast()
+            return
+        probe = self._ff_quiet >= self._ff_next_probe
+        before = self._ff_snapshot() if probe else None
+        self.solver.step()
+        if probe:
+            if self._ff_delta(before) <= self.idle_epsilon:
+                self._ff_coasting = True
+            else:
+                self._ff_backoff = min(
+                    self._ff_backoff * 2, IDLE_PROBE_BACKOFF_MAX
+                )
+                self._ff_next_probe = self._ff_quiet + self._ff_backoff
+
+    def _feed_monitord(self) -> None:
+        # monitord path: utilizations into the Mercury solver.  A stalled
+        # or crashed monitord leaves the solver holding that machine's
+        # previous utilizations (stale data, as in life).
         for name, ws in self.webservers.items():
             if not self.injector.monitord_active(name):
                 continue
@@ -449,39 +707,136 @@ class ClusterSimulation:
                 },
             )
 
-        # 5. temperatures advance.
-        self.solver.step()
-        self.time = self.solver.time
+    def _ff_mark_dirty(self) -> None:
+        """An input to the thermal model changed: stop any coasting."""
+        self._ff_dirty = True
+        self._ff_quiet = 0
+        self._ff_coasting = False
+        self._ff_next_probe = IDLE_QUIET_TICKS
+        self._ff_backoff = 1
+        # Forget the fed utilizations: the dirtying event may have
+        # touched solver state directly, so re-feed everything next tick.
+        self._ff_last_utils.clear()
 
-        # 6. management daemons.
-        if self.admd is not None:
-            self.admd.tick(dt, self.time)
-            for name, tempd in self.tempds.items():
-                if (
-                    self.webservers[name].state is PowerState.ACTIVE
-                    and self.injector.daemon_up(name, "tempd")
-                ):
-                    tempd.tick(dt, self.time)
-            if self.channel is not None:
-                self.channel.flush(self.time)
-            if isinstance(self.admd, AdmdEC):
-                # Reconfigure once per monitor period, after the tempds.
-                if int(round(self.time / dt)) % int(
-                    round(self.config.monitor_period / dt)
-                ) == 0:
-                    self.admd.evaluate(self.time)
-        if self.traditional is not None:
-            self.traditional.tick(dt, self.time)
-        for governor in self.governors.values():
-            governor.tick(dt)
-        self.watchdog.tick(dt, self.time)
+    def _ff_snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: dict(self.solver.machine(name).temperatures)
+            for name in self.machines
+        }
 
-        # 7. record.
-        record = self._record(now, offered, allocation.dropped_rate)
+    def _ff_delta(self, before: Dict[str, Dict[str, float]]) -> float:
+        worst = 0.0
+        for name, old in before.items():
+            for node, temp in self.solver.machine(name).temperatures.items():
+                delta = abs(temp - old.get(node, temp))
+                if delta > worst:
+                    worst = delta
+        return worst
+
+    def _ev_record(self, event: Event) -> None:
+        """Record the tick that just finished (label = its start time)."""
+        label = float(event.payload["time"])
+        record = self._record(label, self._last_offered, self._last_dropped)
         self.records.append(record)
         if self.telemetry.enabled:
-            self._publish_tick(record)
-        return record
+            # The legacy loop stamped tick metrics at the tick's start;
+            # rewind the shared clock for the publish so exposition and
+            # sample timestamps stay identical.
+            clock = self.kernel.clock
+            finish = clock.now
+            clock.advance(label)
+            try:
+                self._publish_tick(record)
+            finally:
+                clock.advance(finish)
+
+    def _ev_faults(self, event: Event) -> None:
+        before = len(self.injector.log)
+        self.injector.advance_to(event.time)
+        if len(self.injector.log) != before:
+            self._ff_mark_dirty()
+        self.kernel.schedule(event.time + self.dt, PRIORITY_FAULTS, "faults")
+
+    def _ev_command(self, event: Event) -> None:
+        self._script.fire(int(event.payload["index"]))
+        self._ff_mark_dirty()
+
+    def _ev_sample_gate(self, event: Event) -> None:
+        self._sample_next = True
+        self.kernel.schedule(
+            event.time + self._sample_period, PRIORITY_SAMPLE_GATE,
+            "sample_gate",
+        )
+
+    def _ev_stats(self, event: Event) -> None:
+        self.admd.sample(event.time)
+        self.kernel.schedule(
+            event.time + self.config.stats_period, PRIORITY_STATS, "stats"
+        )
+
+    def _ev_wake(self, event: Event) -> None:
+        name = event.payload["machine"]
+        now = event.time
+        tempd = self.tempds.get(name)
+        if (
+            tempd is not None
+            and self.webservers[name].state is PowerState.ACTIVE
+            and self.injector.daemon_up(name, "tempd")
+        ):
+            tempd.wake(now)
+            if self.mode == "event":
+                self._schedule_delivery()
+        self.kernel.schedule(
+            now + self.config.monitor_period, PRIORITY_WAKE, "wake",
+            {"machine": name},
+        )
+
+    def _ev_deliver(self, event: Event) -> None:
+        if self.channel is None:
+            return
+        self.channel.flush(event.time)
+        if self.mode == "legacy":
+            self.kernel.schedule(
+                event.time + self.dt, PRIORITY_DELIVER, "deliver"
+            )
+        else:
+            self._schedule_delivery()
+
+    def _schedule_delivery(self) -> None:
+        due = self.channel.next_due()
+        if due is not None:
+            self.kernel.schedule(
+                max(due, self.kernel.clock.now), PRIORITY_DELIVER, "deliver"
+            )
+
+    def _ev_evaluate(self, event: Event) -> None:
+        # Reconfigure once per monitor period, after the tempds.
+        self.admd.evaluate(event.time)
+        self.kernel.schedule(
+            event.time + self.config.monitor_period, PRIORITY_EVALUATE,
+            "evaluate",
+        )
+
+    def _ev_policy(self, event: Event) -> None:
+        self.traditional.check(event.time)
+        self.kernel.schedule(
+            event.time + self.config.monitor_period, PRIORITY_POLICY, "policy"
+        )
+
+    def _ev_governor(self, event: Event) -> None:
+        name = event.payload["machine"]
+        self.governors[name].wake(event.time)
+        self.kernel.schedule(
+            event.time + self.governors[name].period, PRIORITY_GOVERNOR,
+            "governor", {"machine": name},
+        )
+
+    def _ev_watchdog(self, event: Event) -> None:
+        self.watchdog.check(event.time)
+        self.kernel.schedule(
+            event.time + self.watchdog.check_period, PRIORITY_WATCHDOG,
+            "watchdog",
+        )
 
     def _publish_tick(self, record: TickRecord) -> None:
         """Mirror one tick into the telemetry facade.
@@ -496,10 +851,11 @@ class ClusterSimulation:
         self._tel_offered_rate.set(record.offered_rate)
         self._tel_dropped_rate.set(record.dropped_rate)
         self._tel_active.set(record.active_servers)
-        self._sample_elapsed += self.dt
-        if self._sample_elapsed + 1e-9 < self._sample_period:
+        # The kernel's sample-gate event arms this flag once per
+        # telemetry_sample_period; the next record publishes the series.
+        if not self._sample_next:
             return
-        self._sample_elapsed = 0.0
+        self._sample_next = False
         self.telemetry.sample(
             "cluster_dropped_rate", record.dropped_rate, "cluster",
             active_servers=record.active_servers,
@@ -543,7 +899,8 @@ class ClusterSimulation:
     # -- checkpoint / restore ------------------------------------------------
 
     #: Checkpoint format version; bumped on incompatible layout changes.
-    CHECKPOINT_VERSION = 1
+    #: Version 2 added the pending event queue (the kernel refactor).
+    CHECKPOINT_VERSION = 2
 
     def checkpoint(self) -> Dict[str, object]:
         """Snapshot the entire simulation as plain JSON-able data.
@@ -551,9 +908,11 @@ class ClusterSimulation:
         Captures everything :meth:`apply_checkpoint` needs to continue
         the run bit-for-bit on a *freshly constructed* simulation built
         with the same configuration: solver state, balancer and web
-        server state, every daemon's clocks and windows, the fault
-        injector (including its RNG stream), in-flight datagrams, the
-        fiddle-script cursor, and the per-tick records so far.
+        server state, every daemon's state, the fault injector
+        (including its RNG stream), in-flight datagrams, the
+        fiddle-script cursor, the kernel's pending event queue (wakes,
+        deliveries, script statements — all cadence lives there), and
+        the per-tick records so far.
 
         Telemetry is deliberately *not* checkpointed: a resumed run
         re-emits metrics from the resume point; sweep workers report
@@ -618,7 +977,22 @@ class ClusterSimulation:
             "time": self.time,
             "total_offered": self.total_offered,
             "total_dropped": self.total_dropped,
-            "sample_elapsed": self._sample_elapsed,
+            "ticks_done": self._ticks_done,
+            "last_offered": self._last_offered,
+            "last_dropped": self._last_dropped,
+            "sample_next": self._sample_next,
+            "kernel": self.kernel.checkpoint(),
+            "fast_forward": {
+                "dirty": self._ff_dirty,
+                "quiet": self._ff_quiet,
+                "coasting": self._ff_coasting,
+                "next_probe": self._ff_next_probe,
+                "backoff": self._ff_backoff,
+                "last_utils": {
+                    name: [cpu, disk]
+                    for name, (cpu, disk) in self._ff_last_utils.items()
+                },
+            },
             "solver": self.solver.checkpoint(),
             "injector": self.injector.checkpoint(),
             "watchdog": self.watchdog.checkpoint(),
@@ -712,7 +1086,21 @@ class ClusterSimulation:
         self.time = float(data["time"])
         self.total_offered = float(data["total_offered"])
         self.total_dropped = float(data["total_dropped"])
-        self._sample_elapsed = float(data["sample_elapsed"])
+        self._ticks_done = int(data["ticks_done"])
+        self._last_offered = float(data["last_offered"])
+        self._last_dropped = float(data["last_dropped"])
+        self._sample_next = bool(data["sample_next"])
+        ff = data["fast_forward"]
+        self._ff_dirty = bool(ff["dirty"])
+        self._ff_quiet = int(ff["quiet"])
+        self._ff_coasting = bool(ff["coasting"])
+        self._ff_next_probe = int(ff["next_probe"])
+        self._ff_backoff = int(ff["backoff"])
+        self._ff_last_utils = {
+            name: (float(pair[0]), float(pair[1]))
+            for name, pair in ff["last_utils"].items()
+        }
+        self.kernel.restore(data["kernel"])
         self.records = [self._record_from_dict(r) for r in data["records"]]
 
     @staticmethod

@@ -120,6 +120,8 @@ class Solver:
         }
         self.time = 0.0
         self.iterations = 0
+        #: Ticks skipped by :meth:`coast` (idle fast-forward).
+        self.coasted_ticks = 0
         self.record = record
         self.history = History()
         #: Cluster-source supply-temperature overrides (fiddle).
@@ -275,6 +277,30 @@ class Solver:
         """Advance the emulation by ``duration`` seconds of simulated time."""
         ticks = int(round(duration / self.dt))
         self.step(ticks)
+
+    def coast(self, ticks: int = 1) -> None:
+        """Advance the clock ``ticks`` iterations without recomputing.
+
+        The idle fast-forward path of the cluster harness calls this
+        once it has established that every input is unchanged and the
+        temperature field has converged: all node temperatures (and the
+        previous-tick exhausts the inter-machine traversal reads) are
+        held verbatim, so a later real :meth:`step` continues from
+        exactly the state a full step sequence would have reached, to
+        within the caller's convergence threshold.
+        """
+        for _ in range(ticks):
+            self.time += self.dt
+            self.coasted_ticks += 1
+            if self.telemetry.enabled:
+                self.telemetry.advance(self.time)
+                self.telemetry.counter(
+                    "solver_coasts_total", {"engine": self.engine},
+                    help="Solver ticks skipped by idle fast-forward.",
+                ).inc()
+                self._tel_sim_time.set(self.time)
+            if self.record:
+                self._record_all()
 
     def _tick(self) -> None:
         if self.telemetry.enabled:

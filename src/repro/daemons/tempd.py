@@ -61,11 +61,12 @@ class Tempd:
     utilization_reader:
         Optional callable returning component utilizations; when given,
         a STATUS message is sent every period (Freon-EC mode).
-    phase:
-        Seconds of the monitor period already elapsed at construction.
-        A daemon restarted mid-run passes ``now % monitor_period`` so its
-        wake-ups stay aligned to the original minute grid (like a
-        cron-scheduled daemon) instead of drifting by the restart time.
+
+    Inside a :class:`~repro.cluster.simulation.ClusterSimulation` the
+    event kernel schedules :meth:`wake` directly on the monitor-period
+    grid — including across daemon crashes and restarts, so alignment
+    is structural rather than re-derived.  The :meth:`tick` clock is
+    for standalone use.
     """
 
     def __init__(
@@ -75,18 +76,15 @@ class Tempd:
         send: Callable[[TempdMessage], None],
         config: Optional[FreonConfig] = None,
         utilization_reader: Optional[Callable[[], Dict[str, float]]] = None,
-        phase: float = 0.0,
         telemetry=None,
     ) -> None:
         self.machine = machine
         self.config = config or FreonConfig()
-        if not 0.0 <= phase < self.config.monitor_period:
-            raise ValueError("phase must be within one monitor period")
         self._read_temperatures = temperature_reader
         self._read_utilizations = utilization_reader
         self._send = send
         self._controllers = ControllerBank(kp=self.config.kp, kd=self.config.kd)
-        self._elapsed = phase
+        self._elapsed = 0.0
         self.telemetry = _ensure_telemetry(telemetry)
         labels = {"machine": machine}
         self._tel_wakes = self.telemetry.counter(

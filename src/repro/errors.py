@@ -89,6 +89,10 @@ class FiddleScriptError(FiddleError):
         self.line = line
 
 
+class KernelError(ReproError):
+    """Errors in the discrete-event simulation kernel (scheduling, dispatch)."""
+
+
 class FaultError(ReproError):
     """Errors in the fault-injection subsystem (specs, schedules, hooks)."""
 

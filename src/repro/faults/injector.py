@@ -316,15 +316,29 @@ class LossyChannel:
     stamped with the injector's clock; :meth:`flush` delivers everything
     due, in (due-time, send-order) order, so delayed datagrams really are
     overtaken by later ones.
+
+    ``clock`` and ``latency`` serve the event-kernel's real-latency
+    mode: with a clock attached, sends are stamped at ``clock.now``
+    (the kernel's dispatch time, which can sit between solver ticks)
+    instead of the injector's tick-grid clock, and every datagram pays
+    ``latency`` seconds of base network transit on top of any injected
+    delay.  :meth:`next_due` then tells the harness when to schedule
+    the next delivery event.
     """
 
     def __init__(
         self,
         deliver: Callable[[object], None],
         injector: FaultInjector,
+        clock=None,
+        latency: float = 0.0,
     ) -> None:
+        if latency < 0.0:
+            raise FaultError("channel latency must be non-negative")
         self._deliver = deliver
         self._injector = injector
+        self._clock = clock
+        self.latency = latency
         self._pending: List[Tuple[float, int, object]] = []
         self._seq = 0
         self.sent = 0
@@ -345,6 +359,8 @@ class LossyChannel:
     def __call__(self, message: object) -> None:
         """Send one message through the faulty network."""
         now = self._injector.now
+        if self._clock is not None:
+            now = max(now, self._clock.now)
         self.sent += 1
         self._count("sent")
         dropped, duplicated, delay = self._injector.datagram_fate()
@@ -361,7 +377,7 @@ class LossyChannel:
             self.duplicated += 1
             self._count("duplicated")
         for _ in range(copies):
-            self._pending.append((now + delay, self._seq, message))
+            self._pending.append((now + delay + self.latency, self._seq, message))
             self._seq += 1
 
     def flush(self, now: float) -> int:
@@ -382,6 +398,12 @@ class LossyChannel:
     def in_flight(self) -> int:
         """Messages queued but not yet delivered."""
         return len(self._pending)
+
+    def next_due(self) -> Optional[float]:
+        """Due time of the earliest in-flight message, or ``None``."""
+        if not self._pending:
+            return None
+        return min(entry[0] for entry in self._pending)
 
     # -- checkpoint / restore ----------------------------------------------
 
@@ -464,6 +486,10 @@ class DaemonWatchdog:
         if self._elapsed + 1e-9 < self.check_period:
             return []
         self._elapsed = 0.0
+        return self.check(now)
+
+    def check(self, now: float) -> List[RestartEvent]:
+        """One watchdog pass (the event-kernel entry point)."""
         fired: List[RestartEvent] = []
         for machine, daemon, since in self._injector.crashed_daemons():
             if now - since + 1e-9 < self.restart_delay:

@@ -189,9 +189,44 @@ class ScriptRunner:
         return len(self._commands) - self._next
 
     @property
+    def commands(self) -> List[TimedCommand]:
+        """The parsed commands, in firing order (snapshot)."""
+        return list(self._commands)
+
+    @property
     def fiddle(self) -> Fiddle:
         """The underlying Fiddle (exposes the audit log)."""
         return self._fiddle
+
+    def fire(self, index: int) -> str:
+        """Fire exactly one command (the event-kernel entry point).
+
+        Commands fire strictly in order: ``index`` must be the cursor
+        position, which the kernel guarantees because it schedules one
+        event per command with the parse order as the tie-breaker.
+        """
+        if index != self._next:
+            raise FiddleError(
+                f"script commands must fire in order: expected index "
+                f"{self._next}, got {index}"
+            )
+        entry = self._commands[index]
+        if is_fault_command(entry.command):
+            self._injector.inject(
+                parse_fault_command(entry.command), now=entry.time
+            )
+        else:
+            self._fiddle.command(entry.command)
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "fiddle_commands_total",
+                    help="fiddle script commands applied to the solver.",
+                ).inc()
+                self.telemetry.event(
+                    "fiddle_command", "fiddle", command=entry.command,
+                )
+        self._next += 1
+        return entry.command
 
     def advance_to(self, time: float) -> List[str]:
         """Fire all commands due at or before ``time``; returns them."""
@@ -200,21 +235,5 @@ class ScriptRunner:
             self._next < len(self._commands)
             and self._commands[self._next].time <= time
         ):
-            entry = self._commands[self._next]
-            if is_fault_command(entry.command):
-                self._injector.inject(
-                    parse_fault_command(entry.command), now=entry.time
-                )
-            else:
-                self._fiddle.command(entry.command)
-                if self.telemetry.enabled:
-                    self.telemetry.counter(
-                        "fiddle_commands_total",
-                        help="fiddle script commands applied to the solver.",
-                    ).inc()
-                    self.telemetry.event(
-                        "fiddle_command", "fiddle", command=entry.command,
-                    )
-            fired.append(entry.command)
-            self._next += 1
+            fired.append(self.fire(self._next))
         return fired

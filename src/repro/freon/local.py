@@ -138,6 +138,16 @@ class DvfsGovernor:
         self._elapsed = 0.0
         return self.decide()
 
+    def wake(self, now: float) -> bool:
+        """One kernel-scheduled decision at absolute time ``now``.
+
+        The event kernel owns the cadence; the governor only needs its
+        clock synchronized so recorded :class:`PStateChange` timestamps
+        stay absolute.
+        """
+        self.time = now
+        return self.decide()
+
     def decide(self) -> bool:
         """One thermostat decision; returns True on a P-state change."""
         temperature = self._read()

@@ -1,0 +1,26 @@
+"""repro.kernel — the discrete-event simulation kernel.
+
+The Mercury/Freon system is intrinsically event-driven: tempd wakes once
+a minute, admd samples LVS every five seconds, monitord reports on its
+own cadence, sensors answer in ~500 microseconds, and UDP datagrams
+arrive whenever the network delivers them.  This package provides the
+deterministic scheduler those heterogeneous cadences hang off:
+
+* :class:`~repro.kernel.clock.SimClock` — the one mutable "current
+  simulated time" shared by the kernel and the telemetry facade;
+* :class:`~repro.kernel.core.EventKernel` — a priority queue keyed on
+  ``(time, priority, seq)`` with named, payload-carrying events, so the
+  pending queue itself can be checkpointed and restored bit-exactly.
+
+:class:`~repro.cluster.simulation.ClusterSimulation` builds one kernel
+per run and registers every time-driven layer on it: solver ticks,
+daemon wakes, datagram deliveries, fault firings, fiddle-script
+statements, and telemetry sampling.  See DESIGN.md ("Event kernel") for
+the event taxonomy and the priority bands that reproduce the legacy
+tick-loop ordering exactly.
+"""
+
+from .clock import SimClock
+from .core import Event, EventKernel, Handler
+
+__all__ = ["SimClock", "EventKernel", "Event", "Handler"]

@@ -1,0 +1,34 @@
+"""The single simulation clock every layer reads.
+
+One :class:`SimClock` instance is shared by the event kernel, the
+telemetry facade, and (through them) every daemon and solver in a run.
+The kernel moves it forward as events dispatch; everything else only
+reads ``now``.  Keeping one mutable holder — instead of each subsystem
+accumulating ``elapsed += dt`` privately — is what makes heterogeneous
+cadences and checkpointing coherent: there is exactly one notion of
+"the current simulated time".
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A mutable holder of the current simulated time, in seconds."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def advance(self, now: float) -> None:
+        """Move the clock to ``now``.
+
+        No monotonicity is enforced here: checkpoint restore legitimately
+        rewinds the clock, and the solver advances it independently when
+        run standalone.  The event kernel is the component that guarantees
+        causal ordering.
+        """
+        self.now = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self.now!r})"

@@ -1,0 +1,210 @@
+"""A deterministic discrete-event scheduler for the simulation harness.
+
+The kernel holds a priority queue of :class:`Event` entries keyed on
+``(time, priority, seq)``:
+
+* ``time`` — absolute simulated seconds at which the event fires;
+* ``priority`` — orders events sharing a timestamp (lower runs first);
+  the cluster harness uses fixed priority bands so management daemons,
+  the per-tick record, and the next solver tick interleave exactly like
+  the old monolithic loop;
+* ``seq`` — a monotonically increasing insertion counter breaking the
+  remaining ties, so two events scheduled at the same (time, priority)
+  always fire in the order they were scheduled.  Determinism is total:
+  the dispatch order is a pure function of the schedule calls.
+
+Events carry a *kind* (a registered handler name) and an optional
+JSON-able *payload* instead of a callback.  That indirection is what
+makes the pending queue checkpointable: :meth:`EventKernel.checkpoint`
+serializes ``(time, priority, seq, kind, payload)`` tuples, and a
+freshly constructed simulation — which registered the same handlers —
+rebuilds the exact queue with :meth:`EventKernel.restore`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import KernelError
+from .clock import SimClock
+
+
+@dataclass
+class Event:
+    """One scheduled occurrence in the kernel's queue."""
+
+    time: float
+    priority: int
+    seq: int
+    kind: str
+    payload: Optional[dict] = None
+    #: Lazily honoured by the dispatch loop; cancelled events are
+    #: dropped when they reach the head of the queue.
+    cancelled: bool = field(default=False, compare=False)
+
+    @property
+    def key(self) -> Tuple[float, int, int]:
+        """The total dispatch order."""
+        return (self.time, self.priority, self.seq)
+
+
+#: Handler signature: receives the event being dispatched; the kernel's
+#: clock already reads the event's time.
+Handler = Callable[[Event], None]
+
+
+class EventKernel:
+    """The deterministic event queue plus its handler registry."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._handlers: Dict[str, Handler] = {}
+        #: Events dispatched over the kernel's lifetime (observability).
+        self.dispatched = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, kind: str, handler: Handler) -> None:
+        """Bind a handler to an event kind; kinds are single-owner."""
+        if kind in self._handlers:
+            raise KernelError(f"handler for kind {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    @property
+    def kinds(self) -> List[str]:
+        """Registered handler kinds, sorted."""
+        return sorted(self._handlers)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        priority: int,
+        kind: str,
+        payload: Optional[dict] = None,
+    ) -> Event:
+        """Queue one event; returns it (for :meth:`cancel`)."""
+        if kind not in self._handlers:
+            raise KernelError(f"no handler registered for kind {kind!r}")
+        if time < self.clock.now - 1e-9:
+            raise KernelError(
+                f"cannot schedule {kind!r} at t={time:g} in the past "
+                f"(now={self.clock.now:g})"
+            )
+        event = Event(time=time, priority=priority, seq=self._seq, kind=kind,
+                      payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event so it is skipped when it surfaces."""
+        event.cancelled = True
+
+    # -- inspection --------------------------------------------------------
+
+    def peek(self) -> Optional[Event]:
+        """The next live event, without dispatching it."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][3] if self._heap else None
+
+    @property
+    def pending(self) -> List[Event]:
+        """Live queued events in dispatch order (snapshot)."""
+        return sorted(
+            (entry[3] for entry in self._heap if not entry[3].cancelled),
+            key=lambda e: e.key,
+        )
+
+    def next_of(self, kind: str) -> Optional[Event]:
+        """The earliest pending event of one kind, if any."""
+        for event in self.pending:
+            if event.kind == kind:
+                return event
+        return None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run_next(self) -> Event:
+        """Dispatch the next event: advance the clock, call the handler."""
+        event = self.peek()
+        if event is None:
+            raise KernelError("event queue is empty")
+        heapq.heappop(self._heap)
+        self.clock.advance(event.time)
+        self.dispatched += 1
+        self._handlers[event.kind](event)
+        return event
+
+    def run_until(
+        self, time: float, priority: Optional[int] = None
+    ) -> int:
+        """Dispatch everything strictly before the lexicographic bound.
+
+        With ``priority=None`` every event with ``event.time < time``
+        runs; otherwise the bound is ``(event.time, event.priority) <
+        (time, priority)``, so events *at* ``time`` still run when their
+        priority is lower.  Returns the number of events dispatched.
+        """
+        count = 0
+        while True:
+            event = self.peek()
+            if event is None:
+                break
+            if priority is None:
+                if not event.time < time:
+                    break
+            elif not (event.time, event.priority) < (time, priority):
+                break
+            self.run_next()
+            count += 1
+        return count
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the pending queue as plain JSON-able data.
+
+        Cancelled events are dropped; the sequence counter is preserved
+        so a restored kernel keeps the exact same tie-breaking order for
+        both old and newly scheduled events.
+        """
+        return {
+            "now": self.clock.now,
+            "seq": self._seq,
+            "events": [
+                [e.time, e.priority, e.seq, e.kind, e.payload]
+                for e in self.pending
+            ],
+        }
+
+    def restore(self, data: Dict[str, object]) -> None:
+        """Replace the queue with a :meth:`checkpoint`'s contents.
+
+        Every serialized kind must already be registered on this kernel:
+        restore targets a freshly constructed simulation that performed
+        the same registrations.
+        """
+        events = []
+        for time, priority, seq, kind, payload in data["events"]:
+            if kind not in self._handlers:
+                raise KernelError(
+                    f"checkpoint references unregistered event kind {kind!r}"
+                )
+            events.append(
+                Event(
+                    time=float(time), priority=int(priority), seq=int(seq),
+                    kind=str(kind),
+                    payload=None if payload is None else dict(payload),
+                )
+            )
+        self._heap = [(e.time, e.priority, e.seq, e) for e in events]
+        heapq.heapify(self._heap)
+        self._seq = int(data["seq"])
+        self.clock.advance(float(data["now"]))

@@ -77,22 +77,43 @@ __all__ = [
 class Telemetry:
     """An enabled registry + event log sharing one simulation clock.
 
-    The harness calls :meth:`advance` once per tick; every metric update
-    and event emitted afterwards is stamped with that simulation time
-    (wall time is stamped independently).
+    The clock is a :class:`~repro.kernel.clock.SimClock` (or anything
+    with a mutable ``now``).  Standalone producers call :meth:`advance`
+    once per tick; a kernel-driven simulation instead hands its own
+    clock over with :meth:`use_clock`, so metric updates and events are
+    stamped with the kernel's dispatch time (wall time is stamped
+    independently).
     """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.now: float = 0.0
-        clock = lambda: self.now  # noqa: E731 - shared closure over .now
-        self.registry = Registry(clock)
-        self.events = EventLog(clock)
+    def __init__(self, clock=None) -> None:
+        from ..kernel.clock import SimClock
+
+        self._clock = clock if clock is not None else SimClock()
+        getter = lambda: self._clock.now  # noqa: E731 - reads current clock
+        self.registry = Registry(getter)
+        self.events = EventLog(getter)
+
+    @property
+    def now(self) -> float:
+        """The current simulated time, seconds."""
+        return self._clock.now
 
     def advance(self, now: float) -> None:
         """Move the simulation clock to ``now`` (seconds)."""
-        self.now = now
+        self._clock.advance(now)
+
+    def use_clock(self, clock) -> None:
+        """Adopt an external clock (the kernel's) as the time source.
+
+        The new clock is fast-forwarded to this facade's current time if
+        it is behind, so a facade that recorded before the simulation
+        was built never sees time move backwards.
+        """
+        if clock.now < self._clock.now:
+            clock.advance(self._clock.now)
+        self._clock = clock
 
     # -- delegation, so producers need only the facade ---------------------
 
@@ -148,6 +169,9 @@ class NullTelemetry:
         self.events = NULL_EVENT_LOG
 
     def advance(self, now: float) -> None:
+        pass
+
+    def use_clock(self, clock) -> None:
         pass
 
     def counter(self, name: str, labels=None, help: str = ""):

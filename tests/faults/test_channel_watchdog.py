@@ -196,22 +196,30 @@ class TestDaemonWatchdog:
 
 
 class TestRestartPhase:
-    def test_restarted_tempd_gets_aligned_phase(self):
+    def test_restarted_tempd_stays_on_the_kernel_wake_grid(self):
         sim = ClusterSimulation(policy="freon")
         machine = sim.machines[0]
         period = sim.config.monitor_period
         old = sim.tempds[machine]
         old.restricted = True
-        sim.time = 2.0 * period + 7.0  # mid-period restart moment
+        wakes_before = [
+            e for e in sim.kernel.pending
+            if e.kind == "wake" and e.payload["machine"] == machine
+        ]
 
         sim._restart_daemon(machine, "tempd")
 
         replacement = sim.tempds[machine]
         assert replacement is not old
-        # The fresh daemon wakes on the same global schedule: its elapsed
-        # clock starts at now % monitor_period, not at zero.
-        assert replacement._elapsed == pytest.approx(7.0)
-        assert 0.0 <= replacement._elapsed < period
+        # The wake cadence lives in the kernel, not the daemon: the same
+        # grid-aligned wake event still stands after the restart.
+        wakes_after = [
+            e for e in sim.kernel.pending
+            if e.kind == "wake" and e.payload["machine"] == machine
+        ]
+        assert wakes_after == wakes_before
+        assert len(wakes_after) == 1
+        assert wakes_after[0].time % period == pytest.approx(0.0)
         # admd's restrictions survive the crash (handed over on reconnect).
         assert replacement.restricted is True
         # Controller (derivative) state did not survive.

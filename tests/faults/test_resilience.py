@@ -126,37 +126,35 @@ class TestTempdLastKnownGood:
         assert messages[-1].type == "release"
         assert not daemon.restricted
 
-    def test_phase_keeps_restarted_daemon_on_the_grid(self):
+    def test_kernel_wake_events_keep_restarted_daemon_on_the_grid(self):
+        # The event kernel owns the wake cadence: one grid-aligned wake
+        # event per machine survives a daemon restart, so a replacement
+        # daemon (built mid-period, t=1070 here) wakes on the 60 s grid
+        # without any phase bookkeeping of its own.
+        from repro.kernel import EventKernel
+
         sensor = FlakySensor()
         wakes = []
+        kernel = EventKernel()
+        kernel.clock.advance(1070.0)
 
-        class Probe(Tempd):
-            def wake(self, now):
-                wakes.append(now)
-                return super().wake(now)
-
-        daemon = Probe(
+        daemon = Tempd(
             machine="m1",
             temperature_reader=sensor,
             send=lambda m: None,
             config=make_config(),
-            phase=50.0,  # restarted at t=1070, period 60 -> phase 50
         )
-        now = 1070.0
-        while now < 1300.0:
-            now += 10.0
-            daemon.tick(10.0, now)
-        assert wakes == [1080.0, 1140.0, 1200.0, 1260.0]
 
-    def test_phase_out_of_range_rejected(self):
-        with pytest.raises(ValueError):
-            Tempd(
-                machine="m1",
-                temperature_reader=FlakySensor(),
-                send=lambda m: None,
-                config=make_config(),
-                phase=60.0,
-            )
+        def on_wake(event):
+            wakes.append(event.time)
+            daemon.wake(event.time)
+            kernel.schedule(event.time + 60.0, 20, "wake")
+
+        kernel.register("wake", on_wake)
+        kernel.schedule(1080.0, 20, "wake")  # next grid point after 1070
+        while kernel.peek() is not None and kernel.peek().time < 1300.0:
+            kernel.run_next()
+        assert wakes == [1080.0, 1140.0, 1200.0, 1260.0]
 
 
 class TestMonitordStall:

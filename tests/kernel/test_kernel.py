@@ -1,0 +1,231 @@
+"""Unit tests for the discrete-event kernel (repro.kernel)."""
+
+import json
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import EventKernel, SimClock
+
+
+def make_kernel(trace=None):
+    kernel = EventKernel()
+    log = trace if trace is not None else []
+
+    def handler(event):
+        log.append((event.time, event.priority, event.kind, event.payload))
+
+    for kind in ("a", "b", "c"):
+        kernel.register(kind, handler)
+    return kernel, log
+
+
+class TestClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_rewind_allowed_for_restore(self):
+        clock = SimClock(10.0)
+        clock.advance(3.0)
+        assert clock.now == 3.0
+
+
+class TestOrdering:
+    def test_time_orders_dispatch(self):
+        kernel, log = make_kernel()
+        kernel.schedule(2.0, 0, "a")
+        kernel.schedule(1.0, 0, "b")
+        kernel.schedule(3.0, 0, "c")
+        for _ in range(3):
+            kernel.run_next()
+        assert [entry[3] is None for entry in log] == [True, True, True]
+        assert [entry[0] for entry in log] == [1.0, 2.0, 3.0]
+        assert kernel.clock.now == 3.0
+
+    def test_priority_breaks_time_ties(self):
+        kernel, log = make_kernel()
+        kernel.schedule(1.0, 20, "a")
+        kernel.schedule(1.0, 10, "b")
+        kernel.schedule(1.0, 30, "c")
+        for _ in range(3):
+            kernel.run_next()
+        assert [entry[2] for entry in log] == ["b", "a", "c"]
+
+    def test_seq_breaks_remaining_ties_in_schedule_order(self):
+        kernel, log = make_kernel()
+        for i in range(5):
+            kernel.schedule(1.0, 10, "a", {"i": i})
+        for _ in range(5):
+            kernel.run_next()
+        assert [entry[3]["i"] for entry in log] == [0, 1, 2, 3, 4]
+
+    def test_dispatch_is_a_pure_function_of_the_schedule(self):
+        # Same schedule calls -> same dispatch order, bit for bit.
+        def run():
+            kernel, log = make_kernel()
+            kernel.schedule(2.0, 1, "a")
+            kernel.schedule(1.0, 9, "b", {"x": 1})
+            kernel.schedule(1.0, 2, "c")
+            kernel.schedule(2.0, 0, "b")
+            while kernel.peek() is not None:
+                kernel.run_next()
+            return log
+
+        assert run() == run()
+
+
+class TestScheduling:
+    def test_unregistered_kind_rejected(self):
+        kernel, _ = make_kernel()
+        with pytest.raises(KernelError):
+            kernel.schedule(1.0, 0, "nope")
+
+    def test_scheduling_in_the_past_rejected(self):
+        kernel, _ = make_kernel()
+        kernel.clock.advance(10.0)
+        with pytest.raises(KernelError):
+            kernel.schedule(9.0, 0, "a")
+
+    def test_scheduling_at_now_allowed(self):
+        kernel, log = make_kernel()
+        kernel.clock.advance(10.0)
+        kernel.schedule(10.0, 0, "a")
+        kernel.run_next()
+        assert log[0][0] == 10.0
+
+    def test_duplicate_registration_rejected(self):
+        kernel, _ = make_kernel()
+        with pytest.raises(KernelError):
+            kernel.register("a", lambda event: None)
+
+    def test_run_next_on_empty_queue_raises(self):
+        kernel, _ = make_kernel()
+        with pytest.raises(KernelError):
+            kernel.run_next()
+
+    def test_handler_may_schedule_followups(self):
+        kernel, log = make_kernel()
+        fired = []
+
+        def periodic(event):
+            fired.append(event.time)
+            if event.time < 3.0:
+                kernel.schedule(event.time + 1.0, 0, "tick")
+
+        kernel.register("tick", periodic)
+        kernel.schedule(1.0, 0, "tick")
+        while kernel.peek() is not None:
+            kernel.run_next()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancel:
+    def test_cancelled_events_are_skipped(self):
+        kernel, log = make_kernel()
+        keep = kernel.schedule(1.0, 0, "a")
+        drop = kernel.schedule(2.0, 0, "b")
+        kernel.schedule(3.0, 0, "c")
+        kernel.cancel(drop)
+        while kernel.peek() is not None:
+            kernel.run_next()
+        assert [entry[2] for entry in log] == ["a", "c"]
+        assert keep.cancelled is False
+
+    def test_cancelled_events_excluded_from_pending_and_peek(self):
+        kernel, _ = make_kernel()
+        first = kernel.schedule(1.0, 0, "a")
+        kernel.schedule(2.0, 0, "b")
+        kernel.cancel(first)
+        assert kernel.peek().kind == "b"
+        assert [e.kind for e in kernel.pending] == ["b"]
+
+
+class TestInspection:
+    def test_pending_is_sorted_snapshot(self):
+        kernel, _ = make_kernel()
+        kernel.schedule(3.0, 0, "c")
+        kernel.schedule(1.0, 5, "a")
+        kernel.schedule(1.0, 2, "b")
+        assert [(e.time, e.priority) for e in kernel.pending] == [
+            (1.0, 2), (1.0, 5), (3.0, 0),
+        ]
+
+    def test_next_of_finds_earliest_of_kind(self):
+        kernel, _ = make_kernel()
+        kernel.schedule(5.0, 0, "a")
+        kernel.schedule(2.0, 0, "b")
+        kernel.schedule(3.0, 0, "a")
+        assert kernel.next_of("a").time == 3.0
+        assert kernel.next_of("nope") is None
+
+
+class TestRunUntil:
+    def test_time_bound_is_exclusive(self):
+        kernel, log = make_kernel()
+        kernel.schedule(1.0, 0, "a")
+        kernel.schedule(2.0, 0, "b")
+        kernel.schedule(2.0, 5, "c")
+        assert kernel.run_until(2.0) == 1
+        assert [entry[2] for entry in log] == ["a"]
+
+    def test_lexicographic_bound_admits_lower_priorities_at_time(self):
+        kernel, log = make_kernel()
+        kernel.schedule(2.0, 1, "a")
+        kernel.schedule(2.0, 9, "b")
+        assert kernel.run_until(2.0, priority=5) == 1
+        assert [entry[2] for entry in log] == ["a"]
+
+
+class TestCheckpoint:
+    def test_round_trip_preserves_queue_and_order(self):
+        kernel, log = make_kernel()
+        kernel.schedule(1.0, 0, "a", {"i": 0})
+        kernel.schedule(2.0, 3, "b")
+        kernel.schedule(2.0, 1, "c", {"deep": {"x": [1, 2]}})
+        kernel.run_next()  # consume the first event
+
+        snapshot = json.loads(json.dumps(kernel.checkpoint()))
+
+        replica_log = []
+        replica, _ = make_kernel(replica_log)
+        replica.restore(snapshot)
+        assert replica.clock.now == 1.0
+        while replica.peek() is not None:
+            replica.run_next()
+        assert [entry[2] for entry in replica_log] == ["c", "b"]
+        assert replica_log[0][3] == {"deep": {"x": [1, 2]}}
+
+    def test_restored_seq_counter_keeps_tiebreaks_stable(self):
+        kernel, _ = make_kernel()
+        kernel.schedule(5.0, 0, "a")
+        snapshot = kernel.checkpoint()
+
+        replica_log = []
+        replica, _ = make_kernel(replica_log)
+        replica.restore(snapshot)
+        # A post-restore schedule at the same key must fire *after* the
+        # restored event, exactly as it would have without the pause.
+        replica.schedule(5.0, 0, "b")
+        replica.run_next()
+        replica.run_next()
+        assert [entry[2] for entry in replica_log] == ["a", "b"]
+
+    def test_cancelled_events_not_checkpointed(self):
+        kernel, _ = make_kernel()
+        kernel.schedule(1.0, 0, "a")
+        dropped = kernel.schedule(2.0, 0, "b")
+        kernel.cancel(dropped)
+        snapshot = kernel.checkpoint()
+        assert [entry[3] for entry in snapshot["events"]] == ["a"]
+
+    def test_restore_rejects_unregistered_kind(self):
+        kernel, _ = make_kernel()
+        kernel.schedule(1.0, 0, "a")
+        snapshot = kernel.checkpoint()
+        snapshot["events"][0][3] = "unknown"
+        fresh, _ = make_kernel()
+        with pytest.raises(KernelError):
+            fresh.restore(snapshot)

@@ -99,6 +99,35 @@ class TestCheckpointRestore:
             _run(sim, 200)
         assert first.injector.checkpoint() == resumed.injector.checkpoint()
 
+    def test_pause_mid_tempd_period_resumes_bit_exact(self):
+        # Pause at t=90 — between the t=60 and t=120 tempd wakes and off
+        # every daemon grid except admd's 5 s stats — so the resumed run
+        # only stays aligned if the pending event queue itself was
+        # checkpointed.  Then compare bit-for-bit with an unpaused run.
+        golden = _chaos_simulation()
+        _run(golden, 240)
+
+        first = _chaos_simulation()
+        _run(first, 90)
+        state = json.loads(json.dumps(first.checkpoint()))
+        # The wake cadence must be in the snapshot, not re-derived.
+        kinds = {event[3] for event in state["kernel"]["events"]}
+        assert "wake" in kinds and "tick" in kinds
+        wakes = [e for e in state["kernel"]["events"] if e[3] == "wake"]
+        assert {w[0] for w in wakes} == {120.0}
+
+        second = _chaos_simulation()
+        second.apply_checkpoint(state)
+        _run(second, 150)
+
+        assert _temperatures(second) == _temperatures(golden)
+        assert _record_dicts(second) == _record_dicts(golden)
+        assert second.result().adjustments == golden.result().adjustments
+        assert (
+            second.kernel.checkpoint()["events"]
+            == golden.kernel.checkpoint()["events"]
+        )
+
     def test_version_mismatch_rejected(self):
         simulation = _chaos_simulation()
         state = simulation.checkpoint()

@@ -157,6 +157,29 @@ class TestFreon:
         with pytest.raises(SystemExit):
             run_cli("freon", "--policy", "cryogenics")
 
+    def test_event_mode_run(self):
+        code, output = run_cli(
+            "freon", "--policy", "freon", "--duration", "300",
+            "--mode", "event",
+        )
+        assert code == 0
+        assert "policy: freon" in output
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("freon", "--mode", "turbo")
+
+    def test_fast_forward_runs_clean(self):
+        # The default epsilon is conservative enough that a 300 s run
+        # never coasts; the flag must still run cleanly and keep the
+        # normal summary output.
+        code, output = run_cli(
+            "freon", "--policy", "none", "--duration", "300",
+            "--no-emergency", "--fast-forward",
+        )
+        assert code == 0
+        assert "peak CPU temperatures" in output
+
     def test_experiment_preset_with_telemetry(self, tmp_path):
         jsonl = tmp_path / "fig11.jsonl"
         code, output = run_cli(
