@@ -29,6 +29,12 @@ library:
     them across a worker pool, and write one deterministic merged
     artifact (JSON + Prometheus snapshot).
 
+``repro serve``
+    Run a cluster experiment as a live service: an asyncio HTTP plane
+    with a streaming dashboard at ``/``, Prometheus metrics at
+    ``/metrics``, a JSON API, and threshold alerting — real-time-paced
+    or free-running.
+
 ``solve``, ``freon`` and ``chaos`` accept ``--telemetry PATH``: the
 run's event/metric stream is written to ``PATH`` as JSONL and a
 Prometheus text-format snapshot to the sibling ``.prom`` file.
@@ -40,6 +46,7 @@ taking an argv list.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
@@ -61,7 +68,9 @@ from .mdot.loader import load_file
 from .mdot.writer import to_graphviz
 from .parallel import expand_grid, fig11_grid, threshold_grid, write_artifact
 from .parallel import sweep as run_sweep
-from .telemetry import Telemetry
+from .serve import AlertEngine, ThermalService, http_get, load_rules
+from .telemetry import CONTENT_TYPE_LATEST, Telemetry
+from .telemetry.exposition import parse_prometheus
 
 #: ``repro freon --experiment`` presets: paper figure -> (policy, script).
 EXPERIMENTS = {
@@ -265,6 +274,61 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--checkpoint-every", type=float, default=None, metavar="SECONDS",
         help="simulated seconds between worker checkpoints",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run an experiment as a live HTTP service "
+             "(dashboard, /metrics, alerts)",
+    )
+    serve.add_argument(
+        "--policy", choices=POLICIES, default="freon",
+        help="management policy",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=2000.0,
+        help="simulated seconds",
+    )
+    serve.add_argument(
+        "--pace", type=float, default=1.0,
+        help="simulated seconds per wall second (0 = free-running)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind address",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--rules", default=None, metavar="PATH",
+        help="alert rule file (TOML or JSON; default: one CPU rule at "
+             "the policy's T_h with 2 degrees of hysteresis)",
+    )
+    serve.add_argument(
+        "--frame-every", type=float, default=5.0, metavar="SECONDS",
+        help="simulated seconds between dashboard frames",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="use the chaos scenario (faults) instead of the emergencies",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection RNG seed (with --chaos)",
+    )
+    serve.add_argument(
+        "--engine", choices=ENGINES, default="python",
+        help="solver engine (compiled = vectorized NumPy fast path)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving this many wall seconds after the run completes",
+    )
+    serve.add_argument(
+        "--probe", action="store_true",
+        help="after the run, scrape the service's own /metrics and "
+             "/api endpoints and verify the round trip (CI smoke mode)",
     )
     return parser
 
@@ -540,6 +604,95 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+async def _serve_probe(service: ThermalService, out) -> int:
+    """Self-scrape for CI: verify /metrics round-trips and alerts ran."""
+    host, port = service.address
+    status, headers, body = await http_get(host, port, "/metrics")
+    families = parse_prometheus(body.decode("utf-8"))
+    content_ok = headers.get("content-type") == CONTENT_TYPE_LATEST
+    print(
+        f"probe: /metrics {status}, {len(families)} series, "
+        f"content-type {'ok' if content_ok else headers.get('content-type')}",
+        file=out,
+    )
+    status_api, _, body_api = await http_get(host, port, "/api/status")
+    summary = json.loads(body_api)
+    print(
+        f"probe: /api/status {status_api}, time {summary.get('time')}, "
+        f"alerts {summary.get('alerts')}",
+        file=out,
+    )
+    ok = (
+        status == 200 and content_ok and len(families) > 0
+        and status_api == 200 and summary.get("done") is True
+    )
+    print(f"probe: {'PASS' if ok else 'FAIL'}", file=out)
+    return 0 if ok else 1
+
+
+async def _serve_run(service: ThermalService, args: argparse.Namespace,
+                     out) -> int:
+    async with service:
+        host, port = service.address
+        print(
+            f"serving http://{host}:{port}/  "
+            f"(policy {args.policy}, pace {args.pace:g}, "
+            f"{args.duration:g}s simulated)",
+            file=out,
+        )
+        print(f"  dashboard  http://{host}:{port}/", file=out)
+        print(f"  metrics    http://{host}:{port}/metrics", file=out)
+        print(f"  stream     http://{host}:{port}/stream", file=out)
+        await service.serve(
+            duration=args.duration, pace=args.pace,
+            frame_every=args.frame_every,
+        )
+        result = service.simulation.result()
+        incidents = service.alerts.incidents
+        print(
+            f"done: dropped {result.drop_fraction * 100:.2f}% of "
+            f"{result.total_offered:.0f} requests, "
+            f"{len(incidents)} alert incident(s)",
+            file=out,
+        )
+        code = 0
+        if args.probe:
+            code = await _serve_probe(service, out)
+        if args.linger > 0.0:
+            print(f"lingering {args.linger:g}s (ctrl-c to stop)", file=out)
+            await asyncio.sleep(args.linger)
+        return code
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    if args.chaos:
+        script = chaos_script()
+        injector = FaultInjector(seed=args.seed)
+    else:
+        script = emergency_script()
+        injector = None
+    simulation = ClusterSimulation(
+        policy=args.policy,
+        fiddle_script=script,
+        injector=injector,
+        engine=args.engine,
+        telemetry=Telemetry(),
+    )
+    alerts = None
+    if args.rules is not None:
+        alerts = AlertEngine(
+            load_rules(args.rules), telemetry=simulation.telemetry
+        )
+    service = ThermalService(
+        simulation, alerts=alerts, host=args.host, port=args.port,
+    )
+    try:
+        return asyncio.run(_serve_run(service, args, out))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=out)
+        return 130
+
+
 _COMMANDS = {
     "solve": cmd_solve,
     "check": cmd_check,
@@ -548,6 +701,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "top": cmd_top,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
 }
 
 

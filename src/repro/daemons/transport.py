@@ -180,6 +180,11 @@ class AdmdListener:
         return self._server.server_address  # type: ignore[return-value]
 
     @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ephemeral ``port=0``)."""
+        return self.address[1]
+
+    @property
     def received(self) -> int:
         """Messages delivered so far."""
         return self._server.received  # type: ignore[attr-defined]

@@ -137,3 +137,11 @@ class SweepError(ReproError):
 
 class ServerStateError(ClusterError):
     """An operation was attempted on a server in an incompatible state."""
+
+
+class ServeError(ReproError):
+    """Errors in the live thermal service (HTTP plane, pacing, lifecycle)."""
+
+
+class AlertRuleError(ServeError):
+    """An alert rule (or rule file) failed to parse or validate."""

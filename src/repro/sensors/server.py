@@ -193,6 +193,11 @@ class UdpSensorServer:
         """The (host, port) the server is bound to."""
         return self._server.server_address  # type: ignore[return-value]
 
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ephemeral ``port=0``)."""
+        return self.address[1]
+
     def start(self) -> "UdpSensorServer":
         """Start serving on a daemon thread."""
         if self._closed:

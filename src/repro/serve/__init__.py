@@ -1,0 +1,61 @@
+"""repro.serve — the live thermal service.
+
+The paper's Mercury/Freon deployment is a *continuously running* system:
+sensors stream, daemons react, operators watch.  This package promotes
+the reproduction from batch runs to that shape — one asyncio process
+hosting a :class:`~repro.cluster.simulation.ClusterSimulation` on the
+:mod:`repro.kernel` event loop and serving it live:
+
+* :class:`~.service.ThermalService` — the HTTP plane: a ``/metrics``
+  Prometheus scrape endpoint, a JSON API, an SSE stream feeding the
+  self-contained HTML dashboard, and the alert API;
+* :class:`~.alerts.AlertEngine` — threshold rules over T_h with
+  hysteresis and a firing -> acknowledged -> resolved lifecycle, loaded
+  from TOML/JSON files, exported as telemetry;
+* :class:`~.datagrams.AsyncUdpSensorServer` /
+  :class:`~.datagrams.AsyncAdmdListener` — the sensor and tempd -> admd
+  wire protocols on asyncio datagram transports, so thousands of
+  concurrent sensor flows share the loop with the scrape plane.
+
+``repro serve`` on the command line wires it all together.
+"""
+
+from __future__ import annotations
+
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    Incident,
+    default_rules,
+    load_rules,
+    parse_rules,
+)
+from .datagrams import AsyncAdmdListener, AsyncUdpSensorServer
+from .http import (
+    EventStream,
+    HttpServer,
+    Request,
+    Response,
+    http_get,
+    sse_frame,
+)
+from .service import FRAME_EVERY, ThermalService
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "Incident",
+    "default_rules",
+    "load_rules",
+    "parse_rules",
+    "AsyncAdmdListener",
+    "AsyncUdpSensorServer",
+    "EventStream",
+    "HttpServer",
+    "Request",
+    "Response",
+    "http_get",
+    "sse_frame",
+    "ThermalService",
+    "FRAME_EVERY",
+]

@@ -1,0 +1,421 @@
+"""Threshold alerting over live component temperatures.
+
+Freon reacts to a crossed threshold by reshaping load; the operators in
+the loop need the complementary signal — "machine1's CPU has been over
+T_h for a minute" — delivered as an alert with a lifecycle, not a log
+line.  This module provides that plane for the live service:
+
+* :class:`AlertRule` — a declarative threshold over one component with a
+  hysteresis band (``threshold`` fires, ``clear_below`` resolves) and an
+  optional ``hold`` time the condition must persist before firing;
+* :class:`AlertEngine` — evaluates every rule against the latest sensor
+  readings on the simulation clock and drives each (rule, machine) pair
+  through the ``ok -> firing -> acknowledged -> resolved`` lifecycle;
+* :func:`load_rules` — rules from a TOML or JSON file.
+
+Alert state is itself telemetry: the engine exports an
+``alert_state{rule=...,machine=...}`` gauge (0 ok, 1 firing, 2 acked)
+plus fired/acked/resolved counters, so the alert plane shows up in the
+same ``/metrics`` scrape as the temperatures it watches.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import AlertRuleError, SensorError
+
+#: Lifecycle states of one (rule, machine) pair.
+STATE_OK = "ok"
+STATE_FIRING = "firing"
+STATE_ACKED = "acked"
+
+#: Gauge encoding of the lifecycle, exported per (rule, machine).
+STATE_VALUES = {STATE_OK: 0.0, STATE_FIRING: 1.0, STATE_ACKED: 2.0}
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.:-]*$")
+
+#: Keys a rule table/object may carry.
+_RULE_FIELDS = frozenset(
+    {"name", "component", "threshold", "clear_below", "hold", "machines"}
+)
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold rule.
+
+    ``threshold`` is the firing bound (inclusive, like Freon's T_h
+    check); ``clear_below`` is the resolve bound (exclusive).  The band
+    between them is the hysteresis: a reading inside it preserves
+    whatever state the pair is in, so a temperature dithering around T_h
+    does not flap the alert.  ``hold`` seconds of continuous exceedance
+    are required before firing (0 = fire on the first hot reading).
+    ``machines`` is the explicit target list, or ``None`` for every
+    machine the service hosts.
+    """
+
+    name: str
+    threshold: float
+    component: str = "cpu"
+    clear_below: Optional[float] = None
+    hold: float = 0.0
+    machines: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise AlertRuleError(f"invalid alert rule name {self.name!r}")
+        if self.clear_below is None:
+            object.__setattr__(self, "clear_below", self.threshold - 2.0)
+        if not self.clear_below < self.threshold:  # also rejects NaN
+            raise AlertRuleError(
+                f"rule {self.name!r}: clear_below ({self.clear_below!r}) "
+                f"must be below threshold ({self.threshold!r})"
+            )
+        if self.hold < 0.0:
+            raise AlertRuleError(
+                f"rule {self.name!r}: hold must be non-negative, "
+                f"got {self.hold!r}"
+            )
+        if self.machines is not None and not self.machines:
+            raise AlertRuleError(
+                f"rule {self.name!r}: machines must be omitted (= all) "
+                f"or non-empty"
+            )
+
+    def targets(self, machines: Sequence[str]) -> Tuple[str, ...]:
+        """The machines this rule watches, given the service's fleet."""
+        if self.machines is None:
+            return tuple(machines)
+        return self.machines
+
+
+@dataclass
+class Incident:
+    """One completed or in-flight firing of a rule on a machine."""
+
+    rule: str
+    machine: str
+    component: str
+    fired_at: float
+    value: float
+    #: Highest reading observed while the incident was open.
+    peak: float
+    acked_at: Optional[float] = None
+    resolved_at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "machine": self.machine,
+            "component": self.component,
+            "fired_at": self.fired_at,
+            "value": self.value,
+            "peak": self.peak,
+            "acked_at": self.acked_at,
+            "resolved_at": self.resolved_at,
+        }
+
+
+@dataclass
+class _PairState:
+    """Mutable lifecycle state of one (rule, machine) pair."""
+
+    state: str = STATE_OK
+    #: Simulated time the current exceedance started (for ``hold``).
+    over_since: Optional[float] = None
+    #: Last reading the engine evaluated for this pair.
+    last_value: Optional[float] = None
+    incident: Optional[Incident] = None
+
+
+#: Reader signature: (machine, component) -> temperature in Celsius.
+Reader = Callable[[str, str], float]
+
+
+class AlertEngine:
+    """Evaluates alert rules and owns every pair's lifecycle.
+
+    ``evaluate`` is called from the service's simulation loop with the
+    current simulated time and a temperature reader (normally the sensor
+    service's — a reading a fault injector is corrupting is exactly what
+    a real alerting plane would see).  A reader raising
+    :class:`~repro.errors.SensorError` (an injected dropout) leaves that
+    pair's state untouched, the same stale-data posture tempd takes.
+    """
+
+    def __init__(self, rules: Iterable[AlertRule], telemetry=None) -> None:
+        from ..telemetry import ensure as _ensure_telemetry
+
+        self.rules: List[AlertRule] = list(rules)
+        names = [rule.name for rule in self.rules]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise AlertRuleError(f"duplicate alert rule names: {dupes}")
+        self.telemetry = _ensure_telemetry(telemetry)
+        self._pairs: Dict[Tuple[str, str], _PairState] = {}
+        #: Closed and open incidents, oldest first.
+        self.incidents: List[Incident] = []
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, now: float, read: Reader, machines: Sequence[str]
+    ) -> List[Dict[str, object]]:
+        """Evaluate every rule; returns the transitions that occurred.
+
+        Each transition is a dict ``{"rule", "machine", "state", "value",
+        "time"}`` — the raw material for SSE ``alert`` frames.
+        """
+        transitions: List[Dict[str, object]] = []
+        for rule in self.rules:
+            for machine in rule.targets(machines):
+                try:
+                    value = read(machine, rule.component)
+                except SensorError:
+                    continue  # dropout: hold the current state
+                pair = self._pairs.setdefault(
+                    (rule.name, machine), _PairState()
+                )
+                pair.last_value = value
+                transition = self._step_pair(rule, machine, pair, now, value)
+                if transition is not None:
+                    transitions.append(transition)
+        return transitions
+
+    def _step_pair(
+        self,
+        rule: AlertRule,
+        machine: str,
+        pair: _PairState,
+        now: float,
+        value: float,
+    ) -> Optional[Dict[str, object]]:
+        if pair.incident is not None and value > pair.incident.peak:
+            pair.incident.peak = value
+        if pair.state == STATE_OK:
+            if value >= rule.threshold:
+                if pair.over_since is None:
+                    pair.over_since = now
+                if now - pair.over_since >= rule.hold:
+                    return self._fire(rule, machine, pair, now, value)
+            else:
+                pair.over_since = None
+            return None
+        # firing or acked: resolve only below the hysteresis floor.
+        if value < rule.clear_below:
+            return self._resolve(rule, machine, pair, now, value)
+        return None
+
+    def _fire(
+        self,
+        rule: AlertRule,
+        machine: str,
+        pair: _PairState,
+        now: float,
+        value: float,
+    ) -> Dict[str, object]:
+        pair.state = STATE_FIRING
+        pair.incident = Incident(
+            rule=rule.name,
+            machine=machine,
+            component=rule.component,
+            fired_at=now,
+            value=value,
+            peak=value,
+        )
+        self.incidents.append(pair.incident)
+        self.telemetry.counter(
+            "alerts_fired_total", {"rule": rule.name, "machine": machine},
+            help="Alert incidents opened.",
+        ).inc()
+        self._set_state_gauge(rule.name, machine, STATE_FIRING)
+        self.telemetry.event(
+            "alert_fired", "serve", rule=rule.name, machine=machine,
+            value=value,
+        )
+        return {
+            "rule": rule.name, "machine": machine, "state": STATE_FIRING,
+            "value": value, "time": now,
+        }
+
+    def _resolve(
+        self,
+        rule: AlertRule,
+        machine: str,
+        pair: _PairState,
+        now: float,
+        value: float,
+    ) -> Dict[str, object]:
+        if pair.incident is not None:
+            pair.incident.resolved_at = now
+        pair.state = STATE_OK
+        pair.over_since = None
+        pair.incident = None
+        self.telemetry.counter(
+            "alerts_resolved_total", {"rule": rule.name, "machine": machine},
+            help="Alert incidents resolved.",
+        ).inc()
+        self._set_state_gauge(rule.name, machine, STATE_OK)
+        self.telemetry.event(
+            "alert_resolved", "serve", rule=rule.name, machine=machine,
+            value=value,
+        )
+        return {
+            "rule": rule.name, "machine": machine, "state": STATE_OK,
+            "value": value, "time": now,
+        }
+
+    def _set_state_gauge(self, rule: str, machine: str, state: str) -> None:
+        self.telemetry.gauge(
+            "alert_state",
+            {"rule": rule, "machine": machine},
+            help="Alert lifecycle per rule and machine "
+                 "(0 ok, 1 firing, 2 acknowledged).",
+        ).set(STATE_VALUES[state])
+
+    # -- operator actions --------------------------------------------------
+
+    def ack(self, rule: str, machine: str, now: float) -> bool:
+        """Acknowledge a firing alert; returns whether anything changed.
+
+        An acknowledged alert stays silent while the condition persists
+        and resolves normally once the reading drops below the
+        hysteresis floor; a *new* exceedance after that resolve opens a
+        fresh (unacknowledged) incident.
+        """
+        pair = self._pairs.get((rule, machine))
+        if pair is None or pair.state != STATE_FIRING:
+            return False
+        pair.state = STATE_ACKED
+        if pair.incident is not None:
+            pair.incident.acked_at = now
+        self.telemetry.counter(
+            "alerts_acked_total", {"rule": rule, "machine": machine},
+            help="Alert incidents acknowledged.",
+        ).inc()
+        self._set_state_gauge(rule, machine, STATE_ACKED)
+        self.telemetry.event(
+            "alert_acked", "serve", rule=rule, machine=machine,
+        )
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def states(self) -> List[Dict[str, object]]:
+        """Every evaluated (rule, machine) pair's current state, sorted."""
+        out = []
+        for (rule, machine) in sorted(self._pairs):
+            pair = self._pairs[(rule, machine)]
+            out.append(
+                {
+                    "rule": rule,
+                    "machine": machine,
+                    "state": pair.state,
+                    "value": pair.last_value,
+                }
+            )
+        return out
+
+    def active(self) -> List[Incident]:
+        """Open incidents (firing or acknowledged), oldest first."""
+        return [i for i in self.incidents if i.resolved_at is None]
+
+
+# -- rule files -------------------------------------------------------------
+
+
+def _rule_from_mapping(data: object, where: str) -> AlertRule:
+    if not isinstance(data, dict):
+        raise AlertRuleError(f"{where}: rule must be a table/object")
+    unknown = sorted(set(data) - _RULE_FIELDS)
+    if unknown:
+        raise AlertRuleError(f"{where}: unknown rule fields {unknown}")
+    if "name" not in data or "threshold" not in data:
+        raise AlertRuleError(f"{where}: rule needs 'name' and 'threshold'")
+    machines = data.get("machines")
+    if machines is not None:
+        if not isinstance(machines, list) or not all(
+            isinstance(m, str) for m in machines
+        ):
+            raise AlertRuleError(f"{where}: machines must be a list of names")
+        machines = tuple(machines)
+    try:
+        return AlertRule(
+            name=str(data["name"]),
+            threshold=float(data["threshold"]),
+            component=str(data.get("component", "cpu")),
+            clear_below=(
+                None if data.get("clear_below") is None
+                else float(data["clear_below"])
+            ),
+            hold=float(data.get("hold", 0.0)),
+            machines=machines,
+        )
+    except (TypeError, ValueError) as exc:
+        raise AlertRuleError(f"{where}: {exc}") from None
+
+
+def parse_rules(data: object, source: str = "<rules>") -> List[AlertRule]:
+    """Validate a decoded rule document: ``{"rule": [...]}``/``{"rules": [...]}``."""
+    if not isinstance(data, dict):
+        raise AlertRuleError(f"{source}: rule file must be a table/object")
+    entries = data.get("rule", data.get("rules"))
+    if entries is None:
+        raise AlertRuleError(
+            f"{source}: no rules found (use [[rule]] tables in TOML or a "
+            f'"rules" array in JSON)'
+        )
+    if not isinstance(entries, list):
+        raise AlertRuleError(f"{source}: rules must be an array of tables")
+    rules = [
+        _rule_from_mapping(entry, f"{source} rule #{index + 1}")
+        for index, entry in enumerate(entries)
+    ]
+    names = [rule.name for rule in rules]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise AlertRuleError(f"{source}: duplicate alert rule names: {dupes}")
+    return rules
+
+
+def load_rules(path) -> List[AlertRule]:
+    """Load alert rules from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py<3.11 fallback
+            raise AlertRuleError(
+                f"{path}: TOML rule files need python >= 3.11 (tomllib); "
+                f"use JSON instead"
+            ) from exc
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise AlertRuleError(f"{path}: invalid TOML: {exc}") from None
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AlertRuleError(f"{path}: invalid JSON: {exc}") from None
+    return parse_rules(data, source=str(path))
+
+
+def default_rules(
+    threshold: float = 67.0, clear_below: float = 65.0
+) -> List[AlertRule]:
+    """The built-in rule set: CPU over the Freon T_h on any machine."""
+    return [
+        AlertRule(
+            name="cpu_over_threshold",
+            component="cpu",
+            threshold=threshold,
+            clear_below=clear_below,
+        )
+    ]

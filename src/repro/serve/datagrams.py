@@ -1,0 +1,224 @@
+"""Asyncio datagram transports for the sensor and tempd -> admd planes.
+
+The thread-per-datagram ``socketserver`` endpoints in
+:mod:`repro.sensors.server` and :mod:`repro.daemons.transport` are fine
+for a handful of integration-test flows, but a live service hosting one
+simulation and thousands of sensor clients wants every transport on one
+event loop: no thread hand-offs, no per-datagram locks, and the HTTP
+scrape plane sharing the same scheduler.  This module provides the
+asyncio faces of the same two wire protocols:
+
+* :class:`AsyncUdpSensorServer` — Mercury's solver-side sensor endpoint
+  (``SensorQuery`` -> ``SensorReply``, ``UtilizationUpdate`` ingest)
+  speaking the exact binary protocol of :mod:`repro.sensors.protocol`;
+* :class:`AsyncAdmdListener` — Freon's admd endpoint decoding tempd JSON
+  datagrams into :class:`~repro.daemons.tempd.TempdMessage` deliveries.
+
+Both bind ephemeral ports by default (``port=0``) and expose the
+actually-bound ``address``/``port``, so concurrent tests and services
+never collide.  The existing threaded endpoints remain for callers
+without an event loop; the wire formats are byte-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional, Tuple
+
+from ..daemons.tempd import TempdMessage
+from ..daemons.transport import decode_message
+from ..errors import SensorError, ServeError
+from ..sensors import protocol
+from ..sensors.server import SensorService
+from ..telemetry import ensure as _ensure_telemetry
+
+
+class _SensorProtocol(asyncio.DatagramProtocol):
+    """Datagram face of a :class:`SensorService` on the event loop."""
+
+    def __init__(self, owner: "AsyncUdpSensorServer") -> None:
+        self.owner = owner
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        owner = self.owner
+        owner.received += 1
+        owner._tel_received.inc()
+        try:
+            if len(data) == protocol.QUERY_SIZE:
+                reply = owner.service.handle_query(data)
+                self.transport.sendto(reply, addr)
+                owner.replied += 1
+            elif len(data) == protocol.UPDATE_SIZE:
+                owner.service.handle_update(data)
+            else:
+                # anything else: drop silently, like a real UDP service
+                owner.malformed += 1
+                owner._tel_malformed.inc()
+        except SensorError:
+            owner.malformed += 1
+            owner._tel_malformed.inc()
+
+
+class AsyncUdpSensorServer:
+    """The sensor service's UDP endpoint on the running event loop.
+
+    The wrapped :class:`SensorService` keeps its internal lock, so the
+    same service instance may simultaneously serve this endpoint, the
+    threaded :class:`~repro.sensors.server.UdpSensorServer`, and
+    in-process callers.
+
+    Use as an async context manager, or call :meth:`start`/:meth:`stop`::
+
+        server = await AsyncUdpSensorServer(service).start()
+        host, port = server.address
+        ...
+        await server.stop()
+    """
+
+    def __init__(
+        self,
+        service: SensorService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry=None,
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        telemetry = _ensure_telemetry(telemetry)
+        self._tel_received = telemetry.counter(
+            "serve_sensor_datagrams_total",
+            help="Datagrams received on the asyncio sensor endpoint.",
+        )
+        self._tel_malformed = telemetry.counter(
+            "serve_sensor_datagrams_malformed_total",
+            help="Sensor datagrams dropped as malformed or unservable.",
+        )
+        #: Plain counters for tests and ops visibility.
+        self.received = 0
+        self.replied = 0
+        self.malformed = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port); the endpoint must be started."""
+        if self._transport is None:
+            raise ServeError("sensor endpoint not started")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ephemeral ``port=0``)."""
+        return self.address[1]
+
+    async def start(self) -> "AsyncUdpSensorServer":
+        if self._transport is not None:
+            raise ServeError("sensor endpoint already started")
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _SensorProtocol(self),
+            local_addr=(self._host, self._port),
+        )
+        return self
+
+    async def stop(self) -> None:
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
+
+    async def __aenter__(self) -> "AsyncUdpSensorServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+
+class _AdmdProtocol(asyncio.DatagramProtocol):
+    """Datagram face of admd's ``deliver`` on the event loop."""
+
+    def __init__(self, owner: "AsyncAdmdListener") -> None:
+        self.owner = owner
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        owner = self.owner
+        try:
+            message = decode_message(data)
+        except SensorError:
+            owner.malformed += 1
+            owner._tel_malformed.inc()
+            return
+        # Single-threaded by construction: the event loop serializes
+        # datagrams, so no deliver lock is needed here.
+        owner.deliver(message)
+        owner.received += 1
+        owner._tel_received.inc()
+
+
+class AsyncAdmdListener:
+    """admd's UDP endpoint on the running event loop.
+
+    The telemetry counter names match the threaded
+    :class:`~repro.daemons.transport.AdmdListener`, so dashboards see one
+    message plane regardless of transport.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[TempdMessage], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry=None,
+    ) -> None:
+        self.deliver = deliver
+        self._host = host
+        self._port = port
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        telemetry = _ensure_telemetry(telemetry)
+        self._tel_received = telemetry.counter(
+            "freon_udp_messages_received_total",
+            help="tempd messages received and delivered to admd.",
+        )
+        self._tel_malformed = telemetry.counter(
+            "freon_udp_messages_malformed_total",
+            help="UDP datagrams dropped as malformed.",
+        )
+        self.received = 0
+        self.malformed = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port); the listener must be started."""
+        if self._transport is None:
+            raise ServeError("admd endpoint not started")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ephemeral ``port=0``)."""
+        return self.address[1]
+
+    async def start(self) -> "AsyncAdmdListener":
+        if self._transport is not None:
+            raise ServeError("admd endpoint already started")
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _AdmdProtocol(self),
+            local_addr=(self._host, self._port),
+        )
+        return self
+
+    async def stop(self) -> None:
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
+
+    async def __aenter__(self) -> "AsyncAdmdListener":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()

@@ -30,6 +30,7 @@ from typing import Any, Optional, Union
 
 from .events import NULL_EVENT_LOG, Event, EventLog, NullEventLog
 from .exposition import (
+    CONTENT_TYPE_LATEST,
     dump_jsonl,
     parse_prometheus,
     to_prometheus,
@@ -64,6 +65,7 @@ __all__ = [
     "Event",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",
+    "CONTENT_TYPE_LATEST",
     "to_prometheus",
     "parse_prometheus",
     "write_snapshot",

@@ -23,6 +23,10 @@ from .registry import family_samples
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 
+#: The Content-Type a scrape endpoint must answer with for the text
+#: exposition format this module renders (Prometheus text format 0.0.4).
+CONTENT_TYPE_LATEST = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

@@ -1,0 +1,235 @@
+"""The alert engine: hysteresis, hold, lifecycle, and rule files."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import AlertRuleError, SensorError
+from repro.serve import (
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    load_rules,
+    parse_rules,
+)
+from repro.serve.alerts import STATE_ACKED, STATE_FIRING, STATE_OK
+from repro.telemetry import Telemetry
+
+
+def reader(value):
+    """A temperature reader always returning ``value``."""
+    return lambda machine, component: value
+
+
+def test_fires_at_threshold_inclusive():
+    engine = AlertEngine([AlertRule(name="hot", threshold=67.0)])
+    assert engine.evaluate(0.0, reader(66.9), ["m1"]) == []
+    transitions = engine.evaluate(1.0, reader(67.0), ["m1"])
+    assert transitions == [
+        {"rule": "hot", "machine": "m1", "state": STATE_FIRING,
+         "value": 67.0, "time": 1.0}
+    ]
+    assert engine.states() == [
+        {"rule": "hot", "machine": "m1", "state": STATE_FIRING, "value": 67.0}
+    ]
+    assert len(engine.active()) == 1
+
+
+def test_hysteresis_band_preserves_state_both_ways():
+    rule = AlertRule(name="hot", threshold=67.0, clear_below=65.0)
+    engine = AlertEngine([rule])
+    # In the band while OK: stays OK (no transition).
+    assert engine.evaluate(0.0, reader(66.0), ["m1"]) == []
+    assert engine.states()[0]["state"] == STATE_OK
+    # Fire, then dither inside the band: stays firing.
+    engine.evaluate(1.0, reader(68.0), ["m1"])
+    assert engine.evaluate(2.0, reader(66.0), ["m1"]) == []
+    assert engine.states()[0]["state"] == STATE_FIRING
+    # Exactly the floor is still inside the band (resolve is exclusive).
+    assert engine.evaluate(3.0, reader(65.0), ["m1"]) == []
+    assert engine.states()[0]["state"] == STATE_FIRING
+    # Below the floor resolves.
+    transitions = engine.evaluate(4.0, reader(64.9), ["m1"])
+    assert transitions[0]["state"] == STATE_OK
+    assert engine.incidents[-1].resolved_at == 4.0
+    assert engine.active() == []
+
+
+def test_hold_requires_continuous_exceedance():
+    rule = AlertRule(name="hot", threshold=67.0, clear_below=65.0, hold=10.0)
+    engine = AlertEngine([rule])
+    assert engine.evaluate(0.0, reader(70.0), ["m1"]) == []  # hold started
+    assert engine.evaluate(5.0, reader(70.0), ["m1"]) == []  # 5s < hold
+    # A dip below the threshold resets the hold clock.
+    assert engine.evaluate(6.0, reader(66.0), ["m1"]) == []
+    assert engine.evaluate(7.0, reader(70.0), ["m1"]) == []
+    assert engine.evaluate(16.0, reader(70.0), ["m1"]) == []  # 9s < hold
+    transitions = engine.evaluate(17.0, reader(70.0), ["m1"])
+    assert transitions[0]["state"] == STATE_FIRING
+    assert transitions[0]["time"] == 17.0
+
+
+def test_ack_lifecycle_and_refire_after_resolve():
+    engine = AlertEngine([AlertRule(name="hot", threshold=67.0,
+                                    clear_below=65.0)])
+    # Cannot ack what never fired.
+    assert engine.ack("hot", "m1", 0.0) is False
+    engine.evaluate(1.0, reader(70.0), ["m1"])
+    assert engine.ack("hot", "m1", 2.0) is True
+    assert engine.states()[0]["state"] == STATE_ACKED
+    assert engine.incidents[0].acked_at == 2.0
+    # Acked is not firing: a second ack is a no-op.
+    assert engine.ack("hot", "m1", 3.0) is False
+    # Still hot: acked stays silent (no transitions).
+    assert engine.evaluate(4.0, reader(70.0), ["m1"]) == []
+    # Resolves from acked once below the floor.
+    transitions = engine.evaluate(5.0, reader(60.0), ["m1"])
+    assert transitions[0]["state"] == STATE_OK
+    # A new exceedance opens a fresh, unacknowledged incident.
+    transitions = engine.evaluate(6.0, reader(70.0), ["m1"])
+    assert transitions[0]["state"] == STATE_FIRING
+    assert len(engine.incidents) == 2
+    assert engine.incidents[1].acked_at is None
+
+
+def test_sensor_dropout_holds_state():
+    def dropout(machine, component):
+        raise SensorError("injected dropout")
+
+    engine = AlertEngine([AlertRule(name="hot", threshold=67.0)])
+    engine.evaluate(0.0, reader(70.0), ["m1"])
+    assert engine.states()[0]["state"] == STATE_FIRING
+    assert engine.evaluate(1.0, dropout, ["m1"]) == []
+    assert engine.states()[0]["state"] == STATE_FIRING
+
+
+def test_incident_tracks_peak():
+    engine = AlertEngine([AlertRule(name="hot", threshold=67.0,
+                                    clear_below=65.0)])
+    engine.evaluate(0.0, reader(68.0), ["m1"])
+    engine.evaluate(1.0, reader(72.0), ["m1"])
+    engine.evaluate(2.0, reader(69.0), ["m1"])
+    assert engine.incidents[0].peak == 72.0
+    assert engine.incidents[0].value == 68.0
+
+
+def test_rule_targets_and_per_machine_state():
+    rule = AlertRule(name="hot", threshold=67.0, machines=("m1",))
+    engine = AlertEngine([rule])
+    engine.evaluate(0.0, reader(70.0), ["m1", "m2"])
+    # Only the targeted machine is evaluated.
+    assert [s["machine"] for s in engine.states()] == ["m1"]
+
+
+def test_telemetry_export():
+    telemetry = Telemetry()
+    engine = AlertEngine(
+        [AlertRule(name="hot", threshold=67.0, clear_below=65.0)],
+        telemetry=telemetry,
+    )
+    engine.evaluate(0.0, reader(70.0), ["m1"])
+    engine.ack("hot", "m1", 1.0)
+    engine.evaluate(2.0, reader(60.0), ["m1"])
+    registry = telemetry.registry
+    labels = {"rule": "hot", "machine": "m1"}
+    assert registry.value("alerts_fired_total", labels) == 1.0
+    assert registry.value("alerts_acked_total", labels) == 1.0
+    assert registry.value("alerts_resolved_total", labels) == 1.0
+    assert registry.value("alert_state", labels) == 0.0
+
+
+def test_duplicate_rule_names_rejected():
+    with pytest.raises(AlertRuleError, match="duplicate"):
+        AlertEngine([
+            AlertRule(name="hot", threshold=67.0),
+            AlertRule(name="hot", threshold=80.0),
+        ])
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"name": "bad name", "threshold": 67.0},
+    {"name": "", "threshold": 67.0},
+    {"name": "hot", "threshold": 67.0, "clear_below": 67.0},
+    {"name": "hot", "threshold": 67.0, "clear_below": 70.0},
+    {"name": "hot", "threshold": 67.0, "clear_below": math.nan},
+    {"name": "hot", "threshold": math.nan},
+    {"name": "hot", "threshold": 67.0, "hold": -1.0},
+    {"name": "hot", "threshold": 67.0, "machines": ()},
+])
+def test_invalid_rules_rejected(kwargs):
+    with pytest.raises(AlertRuleError):
+        AlertRule(**kwargs)
+
+
+def test_default_clear_below_is_two_degrees_under():
+    rule = AlertRule(name="hot", threshold=67.0)
+    assert rule.clear_below == 65.0
+
+
+def test_default_rules():
+    (rule,) = default_rules(threshold=70.0, clear_below=68.0)
+    assert rule.name == "cpu_over_threshold"
+    assert rule.threshold == 70.0
+    assert rule.clear_below == 68.0
+
+
+# -- rule files --------------------------------------------------------------
+
+
+def test_load_rules_json(tmp_path):
+    path = tmp_path / "rules.json"
+    path.write_text(json.dumps({
+        "rules": [
+            {"name": "hot", "threshold": 67.0, "clear_below": 65.0},
+            {"name": "disk", "threshold": 55.0, "component": "disk",
+             "hold": 30.0, "machines": ["machine1"]},
+        ]
+    }))
+    rules = load_rules(path)
+    assert [r.name for r in rules] == ["hot", "disk"]
+    assert rules[1].machines == ("machine1",)
+    assert rules[1].hold == 30.0
+
+
+def test_load_rules_toml(tmp_path):
+    path = tmp_path / "rules.toml"
+    path.write_text(
+        '[[rule]]\nname = "hot"\nthreshold = 67.0\nclear_below = 65.0\n'
+        '\n[[rule]]\nname = "disk"\ncomponent = "disk"\nthreshold = 55.0\n'
+    )
+    rules = load_rules(path)
+    assert [r.name for r in rules] == ["hot", "disk"]
+    assert rules[1].component == "disk"
+
+
+@pytest.mark.parametrize("text,match", [
+    ("{bad json", "invalid JSON"),
+    ("{}", "no rules found"),
+    ('{"rules": {}}', "must be an array"),
+    ('{"rules": [42]}', "must be a table"),
+    ('{"rules": [{"name": "hot"}]}', "needs 'name' and 'threshold'"),
+    ('{"rules": [{"name": "hot", "threshold": 1, "color": "red"}]}',
+     "unknown rule fields"),
+    ('{"rules": [{"name": "hot", "threshold": 1, "machines": "m1"}]}',
+     "machines must be a list"),
+    ('{"rules": [{"name": "a", "threshold": 9}, '
+     '{"name": "a", "threshold": 9}]}', "duplicate"),
+])
+def test_rule_file_validation_errors(tmp_path, text, match):
+    path = tmp_path / "rules.json"
+    path.write_text(text)
+    with pytest.raises(AlertRuleError, match=match):
+        load_rules(path)
+
+
+def test_invalid_toml_rejected(tmp_path):
+    path = tmp_path / "rules.toml"
+    path.write_text("[[rule\n")
+    with pytest.raises(AlertRuleError, match="invalid TOML"):
+        load_rules(path)
+
+
+def test_parse_rules_rejects_non_mapping_document():
+    with pytest.raises(AlertRuleError, match="table/object"):
+        parse_rules([1, 2, 3])

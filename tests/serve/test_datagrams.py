@@ -1,0 +1,173 @@
+"""The asyncio datagram endpoints speak the existing wire protocols."""
+
+import asyncio
+
+import pytest
+
+from repro.config import table1
+from repro.config.layouts import validation_machine
+from repro.core.solver import Solver
+from repro.daemons.tempd import TempdMessage
+from repro.daemons.transport import encode_message
+from repro.errors import ServeError
+from repro.sensors.protocol import (
+    SensorQuery,
+    SensorReply,
+    STATUS_OK,
+    UtilizationUpdate,
+)
+from repro.sensors.server import SensorService
+from repro.serve import AsyncAdmdListener, AsyncUdpSensorServer
+from repro.telemetry import Telemetry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service():
+    layout = validation_machine()
+    solver = Solver([layout], record=False)
+    return layout, SensorService(solver, aliases=table1.sensor_map())
+
+
+class _Client(asyncio.DatagramProtocol):
+    """A test client capturing every reply datagram."""
+
+    def __init__(self):
+        self.replies = asyncio.Queue()
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        self.replies.put_nowait(data)
+
+
+async def _client_for(address):
+    loop = asyncio.get_running_loop()
+    protocol = _Client()
+    transport, _ = await loop.create_datagram_endpoint(
+        lambda: protocol, remote_addr=address
+    )
+    return transport, protocol
+
+
+def test_query_roundtrip_on_ephemeral_port():
+    async def scenario():
+        layout, service = make_service()
+        async with AsyncUdpSensorServer(service) as server:
+            assert server.port > 0
+            transport, client = await _client_for(server.address)
+            query = SensorQuery(
+                request_id=7, machine=layout.name, component=table1.CPU
+            )
+            transport.sendto(query.encode())
+            reply = SensorReply.decode(
+                await asyncio.wait_for(client.replies.get(), 5.0)
+            )
+            assert reply.request_id == 7
+            assert reply.status == STATUS_OK
+            assert reply.temperature > 0.0
+            assert server.received == 1
+            assert server.replied == 1
+            transport.close()
+
+    run(scenario())
+
+
+def test_update_applies_utilizations():
+    async def scenario():
+        layout, service = make_service()
+        async with AsyncUdpSensorServer(service) as server:
+            transport, client = await _client_for(server.address)
+            update = UtilizationUpdate(
+                machine=layout.name, utilizations={table1.CPU: 1.0}
+            )
+            transport.sendto(update.encode())
+            for _ in range(100):
+                if service.updates_applied:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.updates_applied == 1
+            transport.close()
+
+    run(scenario())
+
+
+def test_malformed_datagrams_counted_and_dropped():
+    async def scenario():
+        _, service = make_service()
+        telemetry = Telemetry()
+        async with AsyncUdpSensorServer(service, telemetry=telemetry) as server:
+            transport, client = await _client_for(server.address)
+            transport.sendto(b"junk")
+            # A query-sized datagram with a bad magic is also malformed.
+            transport.sendto(b"\x00" * SensorQuery(
+                request_id=0, machine="m", component="c"
+            ).encode().__len__())
+            for _ in range(100):
+                if server.malformed >= 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.malformed == 2
+            assert server.replied == 0
+            assert telemetry.registry.value(
+                "serve_sensor_datagrams_malformed_total"
+            ) == 2.0
+            transport.close()
+
+    run(scenario())
+
+
+def test_sensor_endpoint_lifecycle_errors():
+    async def scenario():
+        _, service = make_service()
+        server = AsyncUdpSensorServer(service)
+        with pytest.raises(ServeError, match="not started"):
+            server.address
+        await server.start()
+        with pytest.raises(ServeError, match="already started"):
+            await server.start()
+        await server.stop()
+        await server.stop()  # idempotent
+
+    run(scenario())
+
+
+def test_admd_listener_delivers_and_counts_malformed():
+    async def scenario():
+        got = []
+        telemetry = Telemetry()
+        async with AsyncAdmdListener(got.append, telemetry=telemetry) as admd:
+            assert admd.port > 0
+            transport, _ = await _client_for(admd.address)
+            message = TempdMessage(
+                type="report", machine="m1", time=1.0,
+                temperatures={"cpu": 60.0},
+            )
+            transport.sendto(encode_message(message))
+            transport.sendto(b"{not json")
+            for _ in range(100):
+                if got and admd.malformed:
+                    break
+                await asyncio.sleep(0.01)
+            assert len(got) == 1
+            assert got[0].machine == "m1"
+            assert got[0].temperatures == {"cpu": 60.0}
+            assert admd.received == 1
+            assert admd.malformed == 1
+            # Same family names as the threaded listener: one message
+            # plane regardless of transport.
+            assert telemetry.registry.value(
+                "freon_udp_messages_received_total"
+            ) == 1.0
+            transport.close()
+
+    run(scenario())
+
+
+def test_admd_listener_not_started_raises():
+    admd = AsyncAdmdListener(lambda message: None)
+    with pytest.raises(ServeError, match="not started"):
+        admd.address
