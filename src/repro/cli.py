@@ -264,6 +264,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = run serially in-process)",
     )
     sweep.add_argument(
+        "--strategy", choices=("auto", "batch", "fork"), default="auto",
+        help="execution strategy: batch = vectorize compiled runs "
+             "through one stacked solver, fork = one worker per run, "
+             "auto = batch when NumPy is available (all strategies "
+             "produce byte-identical artifacts)",
+    )
+    sweep.add_argument(
         "--output", default="sweep.json", metavar="PATH",
         help="merged artifact path (+ .prom snapshot sibling)",
     )
@@ -588,7 +595,8 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         f"sweep: {len(specs)} run(s) across {args.workers} worker(s)",
         file=out,
     )
-    artifact = run_sweep(specs, workers=args.workers)
+    artifact = run_sweep(specs, workers=args.workers,
+                         strategy=args.strategy)
     for run in artifact["runs"]:
         summary = run["summary"]
         resumed = "  (resumed)" if run["resumed"] else ""

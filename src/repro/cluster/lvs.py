@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ClusterError, ServerStateError
 
 #: Weight resolution: LVS weights are integers; we keep floats internally
 #: but never let an active server's weight fall below this.
 MIN_WEIGHT = 1e-3
+
+_INF = float("inf")
 
 
 class ServerState(enum.Enum):
@@ -72,6 +74,11 @@ class LoadBalancer:
         }
         self.total_dropped = 0.0
         self.total_offered = 0.0
+        #: (active servers in registration order, their weight sum),
+        #: rebuilt lazily after any state or weight change.  Membership
+        #: and weights change on management actions (a few per run);
+        #: :meth:`allocate` reads them every tick.
+        self._active_cache: Optional[Tuple[List[RealServer], float]] = None
 
     # -- administrative interface (what admd calls) ------------------------
 
@@ -82,19 +89,41 @@ class LoadBalancer:
         except KeyError:
             raise ClusterError(f"unknown real server {name!r}") from None
 
+    @property
+    def server_map(self) -> Mapping[str, RealServer]:
+        """The live name → record mapping (hot-path read access)."""
+        return self._servers
+
     def servers(self) -> "List[RealServer]":
         """All backends, in registration order."""
         return list(self._servers.values())
 
     def active_servers(self) -> "List[RealServer]":
         """Backends currently accepting new connections."""
-        return [s for s in self._servers.values() if s.state is ServerState.ACTIVE]
+        return list(self._actives()[0])
+
+    def _actives(self) -> Tuple["List[RealServer]", float]:
+        """Cached (active servers, total weight); see ``_active_cache``."""
+        cached = self._active_cache
+        if cached is None:
+            eligible = [
+                s for s in self._servers.values()
+                if s.state is ServerState.ACTIVE
+            ]
+            cached = (eligible, sum(s.weight for s in eligible))
+            self._active_cache = cached
+        return cached
+
+    def invalidate_caches(self) -> None:
+        """Drop derived caches after out-of-band mutation (restore)."""
+        self._active_cache = None
 
     def set_weight(self, name: str, weight: float) -> None:
         """Set a server's scheduling weight."""
         if weight < MIN_WEIGHT:
             weight = MIN_WEIGHT
         self.server(name).weight = weight
+        self._active_cache = None
 
     def set_connection_limit(self, name: str, limit: Optional[float]) -> None:
         """Cap (or uncap, with None) a server's concurrent connections."""
@@ -108,6 +137,7 @@ class LoadBalancer:
         if server.state is ServerState.OFF:
             raise ServerStateError(f"server {name!r} is off")
         server.state = ServerState.QUIESCING
+        self._active_cache = None
 
     def mark_off(self, name: str) -> None:
         """Record that a drained server has been shut down."""
@@ -118,10 +148,12 @@ class LoadBalancer:
                 "connections; drain before shutdown"
             )
         server.state = ServerState.OFF
+        self._active_cache = None
 
     def activate(self, name: str) -> None:
         """Start (or resume) scheduling new connections to a server."""
         self.server(name).state = ServerState.ACTIVE
+        self._active_cache = None
 
     # -- scheduling ----------------------------------------------------------
 
@@ -141,46 +173,74 @@ class LoadBalancer:
         if offered_rate < 0.0:
             raise ClusterError("offered rate must be non-negative")
         self.total_offered += offered_rate
-        eligible = self.active_servers()
-        rates: Dict[str, float] = {name: 0.0 for name in self._servers}
+        eligible, total_weight = self._actives()
+        rates: Dict[str, float] = dict.fromkeys(self._servers, 0.0)
         if not eligible or offered_rate == 0.0:
             self.total_dropped += offered_rate
             return Allocation(rates=rates, dropped_rate=offered_rate)
 
-        # Per-server hard ceiling: capacity, further capped by the
-        # connection limit translated through Little's law (L = lambda T).
-        ceiling: Dict[str, float] = {}
-        for server in eligible:
-            limit = capacity.get(server.name, float("inf"))
-            if server.connection_limit is not None:
-                t_resp = max(response_time.get(server.name, 0.0), 1e-6)
-                limit = min(limit, server.connection_limit / t_resp)
-            ceiling[server.name] = max(limit, 0.0)
-
         # Water-filling: distribute proportionally to weight; servers that
         # hit their ceiling keep the ceiling and the excess is reoffered
-        # to the rest.
+        # to the rest.  The first pass runs straight off ``eligible``
+        # (same iteration order as the open set it would seed) with each
+        # server's hard ceiling — capacity, further capped by the
+        # connection limit translated through Little's law (L = lambda T)
+        # — computed inline, so the common nobody-saturates tick builds
+        # neither the ceiling dict nor the open-set dict.
         remaining = offered_rate
-        open_set = {server.name: server.weight for server in eligible}
-        while remaining > 1e-12 and open_set:
-            total_weight = sum(open_set.values())
-            if total_weight <= 0.0:
-                break
-            saturated: List[str] = []
+        saturated: List[str] = []
+        if remaining > 1e-12 and total_weight > 0.0:
             distributed = 0.0
-            for name, weight in open_set.items():
-                share = remaining * weight / total_weight
-                headroom = ceiling[name] - rates[name]
-                take = min(share, headroom)
+            for server in eligible:
+                name = server.name
+                limit = capacity.get(name, _INF)
+                if server.connection_limit is not None:
+                    t_resp = response_time.get(name, 0.0)
+                    if t_resp < 1e-6:
+                        t_resp = 1e-6
+                    cap_rate = server.connection_limit / t_resp
+                    if cap_rate < limit:
+                        limit = cap_rate
+                share = remaining * server.weight / total_weight
+                headroom = (limit if limit > 0.0 else 0.0) - rates[name]
+                take = share if share < headroom else headroom
                 rates[name] += take
                 distributed += take
                 if share >= headroom - 1e-12:
                     saturated.append(name)
             remaining -= distributed
-            if not saturated:
-                break
+        if saturated and remaining > 1e-12:
+            ceiling: Dict[str, float] = {}
+            for server in eligible:
+                limit = capacity.get(server.name, _INF)
+                if server.connection_limit is not None:
+                    t_resp = max(response_time.get(server.name, 0.0), 1e-6)
+                    limit = min(limit, server.connection_limit / t_resp)
+                ceiling[server.name] = max(limit, 0.0)
+            open_set = {
+                server.name: server.weight for server in eligible
+            }
             for name in saturated:
                 open_set.pop(name, None)
+            while remaining > 1e-12 and open_set:
+                total_weight = sum(open_set.values())
+                if total_weight <= 0.0:
+                    break
+                saturated = []
+                distributed = 0.0
+                for name, weight in open_set.items():
+                    share = remaining * weight / total_weight
+                    headroom = ceiling[name] - rates[name]
+                    take = min(share, headroom)
+                    rates[name] += take
+                    distributed += take
+                    if share >= headroom - 1e-12:
+                        saturated.append(name)
+                remaining -= distributed
+                if not saturated:
+                    break
+                for name in saturated:
+                    open_set.pop(name, None)
         # Water-filling leaves float residue of order 1e-13; only count a
         # physically meaningful remainder as dropped load.
         dropped = remaining if remaining > 1e-9 * max(offered_rate, 1.0) else 0.0

@@ -27,8 +27,9 @@ experiments can regenerate the paper's Figure 11/12 series.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from ..config import table1
 from ..config.layouts import validation_cluster
@@ -109,6 +110,11 @@ PRIORITY_TICK = 120
 IDLE_QUIET_TICKS = 2
 IDLE_EPSILON = 1e-6
 
+#: Enum -> wire value, precomputed: ``state.value`` goes through a
+#: descriptor on every read, and the recorder reads it for every server
+#: of every tick of every sweep run.
+_POWER_STATE_VALUE = {state: state.value for state in PowerState}
+
 #: Failed convergence probes back off exponentially (the probe snapshots
 #: every temperature twice, which would otherwise run every quiet tick of
 #: a long, slowly-converging stretch).  The cap bounds how late coasting
@@ -116,9 +122,13 @@ IDLE_EPSILON = 1e-6
 IDLE_PROBE_BACKOFF_MAX = 64
 
 
-@dataclass
-class ServerRecord:
-    """One server's observables at one tick."""
+class ServerRecord(NamedTuple):
+    """One server's observables at one tick.
+
+    A ``NamedTuple`` rather than a dataclass: one is built per server
+    per tick of every run, and tuple construction is C-speed where a
+    generated ``__init__`` executes nine Python attribute stores.
+    """
 
     state: str
     rate: float
@@ -131,15 +141,18 @@ class ServerRecord:
     disk_temperature: float
 
 
-@dataclass
-class TickRecord:
+#: Wire-order field names for :meth:`ClusterSimulation._record_to_dict`.
+_SERVER_RECORD_FIELDS = ServerRecord._fields
+
+
+class TickRecord(NamedTuple):
     """One tick of the whole cluster."""
 
     time: float
     offered_rate: float
     dropped_rate: float
     active_servers: int
-    servers: Dict[str, ServerRecord] = field(default_factory=dict)
+    servers: Dict[str, ServerRecord]
 
 
 @dataclass
@@ -296,6 +309,10 @@ class ClusterSimulation:
         self._ticks_done = 0
         self._last_offered = 0.0
         self._last_dropped = 0.0
+        #: Lazy per-server ground-truth temperature readers (see
+        #: :meth:`_temperature_readers`).
+        self._temp_readers: Optional[List[Tuple[
+            Dict[str, float], str, Dict[str, float], str]]] = None
         #: Idle fast-forward (opt-in): once every input to the thermal
         #: model has been quiet long enough and a probe step shows the
         #: temperature field converged, the solver coasts (holds
@@ -569,24 +586,43 @@ class ClusterSimulation:
     def _advance_ticks(self, ticks: int) -> None:
         """Dispatch events until ``ticks`` more solver ticks have run.
 
-        After the final tick, same-timestamp management events (daemon
+        After each tick, same-timestamp management events (daemon
         wakes, deliveries, that tick's record) are drained too, so a
         paused simulation exposes exactly the state the legacy loop
-        left behind after ``step()``.
+        left behind after ``step()``.  Draining per tick dispatches the
+        exact same event sequence as draining once at the end — the
+        queue orders those events before the next tick anyway — and it
+        gives the sweep batch runner a clean interleaving point.
         """
-        target = self._ticks_done + ticks
+        for _ in range(ticks):
+            self._run_until_tick()
+            self._drain_tick_tail()
+
+    def _run_until_tick(self) -> None:
+        """Dispatch events until the next solver tick has fired."""
+        target = self._ticks_done + 1
         while self._ticks_done < target:
             self.kernel.run_next()
-        horizon = self.solver.time
-        while True:
-            head = self.kernel.peek()
-            if (
-                head is None
-                or head.priority >= PRIORITY_FAULTS
-                or head.time > horizon + 1e-9
-            ):
+
+    def _drain_tick_tail(self) -> None:
+        """Dispatch the management events closing out the last tick.
+
+        The head inspection reads the kernel's heap entries directly
+        (time and priority ride in the tuple) instead of going through
+        :meth:`EventKernel.peek`: this loop runs at least twice per
+        tick and the method-call round trip shows up in sweeps.
+        """
+        horizon = self.solver.time + 1e-9
+        kernel = self.kernel
+        heap = kernel._heap
+        while heap:
+            time, priority, _, event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if priority >= PRIORITY_FAULTS or time > horizon:
                 break
-            self.kernel.run_next()
+            kernel.run_next()
         self.time = self.solver.time
 
     # -- event handlers --------------------------------------------------------
@@ -598,27 +634,38 @@ class ClusterSimulation:
 
         # Load balancing.
         offered = self.trace.rate_at(now)
-        capacities = {
-            name: ws.capacity() for name, ws in self.webservers.items()
-        }
-        response_times = {
-            name: ws.load.response_time for name, ws in self.webservers.items()
-        }
+        capacities = {}
+        response_times = {}
+        active_ps = PowerState.ACTIVE
+        for name, ws in self.webservers.items():
+            # ws.capacity() inlined on its cached terms: this pair of
+            # dict builds runs for every server every tick.
+            capacities[name] = (
+                ws._capacity_active if ws.state is active_ps else 0.0
+            )
+            response_times[name] = ws.load.response_time
         allocation = self.balancer.allocate(offered, capacities, response_times)
         self.total_offered += offered * dt
         self.total_dropped += allocation.dropped_rate * dt
 
         # Servers process their share; balancer stats updated.
+        rates = allocation.rates
+        balancer_servers = self.balancer.server_map
+        draining = PowerState.DRAINING
+        off = PowerState.OFF
         for name, ws in self.webservers.items():
-            was_draining = ws.state is PowerState.DRAINING
-            load = ws.step(allocation.rates.get(name, 0.0), dt)
-            self.balancer.server(name).active_connections = load.connections
-            if was_draining and ws.state is PowerState.OFF:
+            was_draining = ws.state is draining
+            # rates covers every registered server (dict.fromkeys in
+            # allocate), so plain indexing is safe.
+            load = ws.step(rates[name], dt)
+            balancer_entry = balancer_servers[name]
+            balancer_entry.active_connections = load.connections
+            if was_draining and ws.state is off:
                 self.balancer.mark_off(name)
                 self._set_machine_power(name, on=False)
             if (
-                ws.state is PowerState.ACTIVE
-                and self.balancer.server(name).state is not ServerState.ACTIVE
+                ws.state is active_ps
+                and balancer_entry.state is not ServerState.ACTIVE
             ):
                 # Finished booting: rejoin the balancer, unrestricted.
                 self.balancer.activate(name)
@@ -653,10 +700,12 @@ class ClusterSimulation:
         # forces a full re-feed on the next tick.
         utils_changed = False
         last = self._ff_last_utils
-        active = self.injector.monitord_active
+        active = (
+            self.injector.monitord_active if self.injector.any_active else None
+        )
         feed = self.solver.set_utilizations
         for name, ws in self.webservers.items():
-            if not active(name):
+            if active is not None and not active(name):
                 continue
             load = ws.load
             pair = (load.cpu_utilization, load.disk_utilization)
@@ -695,17 +744,27 @@ class ClusterSimulation:
     def _feed_monitord(self) -> None:
         # monitord path: utilizations into the Mercury solver.  A stalled
         # or crashed monitord leaves the solver holding that machine's
-        # previous utilizations (stale data, as in life).
+        # previous utilizations (stale data, as in life).  Machines whose
+        # pair matches the last fed values are skipped — set_utilizations
+        # is idempotent, and _ff_mark_dirty clears _ff_last_utils on
+        # every path that can touch the solver out of band (commands,
+        # faults, power changes), forcing a full re-feed.
+        last = self._ff_last_utils
+        active = (
+            self.injector.monitord_active if self.injector.any_active else None
+        )
+        feed = self.solver.set_utilizations
         for name, ws in self.webservers.items():
-            if not self.injector.monitord_active(name):
+            if active is not None and not active(name):
                 continue
-            self.solver.set_utilizations(
-                name,
-                {
-                    table1.CPU: ws.load.cpu_utilization,
-                    table1.DISK_PLATTERS: ws.load.disk_utilization,
-                },
-            )
+            load = ws.load
+            pair = (load.cpu_utilization, load.disk_utilization)
+            if last.get(name) != pair:
+                last[name] = pair
+                feed(
+                    name,
+                    {table1.CPU: pair[0], table1.DISK_PLATTERS: pair[1]},
+                )
 
     def _ff_mark_dirty(self) -> None:
         """An input to the thermal model changed: stop any coasting."""
@@ -856,12 +915,15 @@ class ClusterSimulation:
         if not self._sample_next:
             return
         self._sample_next = False
-        self.telemetry.sample(
+        # Straight to the event log (the facade's sample() would only
+        # repack **attrs on this per-tick path).
+        sample = self.telemetry.events.sample
+        sample(
             "cluster_dropped_rate", record.dropped_rate, "cluster",
             active_servers=record.active_servers,
         )
         for name, server in record.servers.items():
-            self.telemetry.sample(
+            sample(
                 "server_tick", server.cpu_temperature, "cluster",
                 machine=name,
                 disk_temperature=server.disk_temperature,
@@ -870,31 +932,58 @@ class ClusterSimulation:
                 state=server.state,
             )
 
+    def _temperature_readers(self) -> List[Tuple[Dict[str, float], str,
+                                                 Dict[str, float], str]]:
+        """Per-server (cpu temps dict, node, disk temps dict, node).
+
+        Built once through :meth:`SensorService.true_pair` and then read
+        directly every tick: the dicts are the solver's own per-machine
+        temperature tables, mutated in place and never rebound (the same
+        invariant the sensor service's ``_true_cache`` rests on).
+        """
+        readers = self._temp_readers
+        if readers is None:
+            service = self.service
+            cache = service._true_cache
+            readers = []
+            for name in self.webservers:
+                service.true_pair(name)  # populates the cache
+                readers.append(cache[(name, "cpu")] + cache[(name, "disk")])
+            self._temp_readers = readers
+        return readers
+
     def _record(self, now: float, offered: float, dropped: float) -> TickRecord:
         servers: Dict[str, ServerRecord] = {}
-        for name, ws in self.webservers.items():
-            balancer_entry = self.balancer.server(name)
+        active = 0
+        off = PowerState.OFF
+        is_active = PowerState.ACTIVE
+        state_value = _POWER_STATE_VALUE
+        balancer_servers = self.balancer.server_map
+        readers = self._temperature_readers()
+        for (name, ws), (cpu_temps, cpu_node, disk_temps, disk_node) in zip(
+            self.webservers.items(), readers
+        ):
+            state = ws.state
+            if state is is_active:
+                active += 1
+            balancer_entry = balancer_servers[name]
+            load = ws.load
+            response_time = load.response_time
             servers[name] = ServerRecord(
-                state=ws.state.value,
-                rate=0.0 if not ws.is_on else ws.load.connections
-                / max(ws.load.response_time, 1e-9),
-                cpu_utilization=ws.load.cpu_utilization,
-                disk_utilization=ws.load.disk_utilization,
-                connections=ws.load.connections,
-                weight=balancer_entry.weight,
-                connection_limit=balancer_entry.connection_limit,
+                state_value[state],
+                0.0 if state is off else load.connections
+                / (response_time if response_time > 1e-9 else 1e-9),
+                load.cpu_utilization,
+                load.disk_utilization,
+                load.connections,
+                balancer_entry.weight,
+                balancer_entry.connection_limit,
                 # Records hold the physical ground truth, not what a
                 # possibly-faulted sensor claims.
-                cpu_temperature=self.service.true_temperature(name, "cpu"),
-                disk_temperature=self.service.true_temperature(name, "disk"),
+                cpu_temps[cpu_node],
+                disk_temps[disk_node],
             )
-        return TickRecord(
-            time=now,
-            offered_rate=offered,
-            dropped_rate=dropped,
-            active_servers=len(self.active_servers()),
-            servers=servers,
-        )
+        return TickRecord(now, offered, dropped, active, servers)
 
     # -- checkpoint / restore ------------------------------------------------
 
@@ -1048,6 +1137,7 @@ class ClusterSimulation:
             )
             server.state = ServerState(saved["state"])
             server.active_connections = float(saved["active_connections"])
+        self.balancer.invalidate_caches()
         from .webserver import ServerLoad
 
         for name, saved in data["webservers"].items():
@@ -1055,6 +1145,7 @@ class ClusterSimulation:
             ws.state = PowerState(saved["state"])
             ws._boot_remaining = float(saved["boot_remaining"])
             ws.speed_factor = float(saved["speed_factor"])
+            ws._refresh_speed_terms()
             ws.load = ServerLoad(**saved["load"])
         for name, saved in data["tempds"].items():
             if name in self.tempds:
@@ -1211,13 +1302,20 @@ class ClusterSimulation:
 
     @staticmethod
     def _record_to_dict(record: TickRecord) -> Dict[str, object]:
+        # Hot on the sweep path (every record of every run crosses it);
+        # hand-rolled instead of dataclasses.asdict, whose recursive
+        # deep-copy costs ~10x for these flat scalar records.
         return {
             "time": record.time,
             "offered_rate": record.offered_rate,
             "dropped_rate": record.dropped_rate,
             "active_servers": record.active_servers,
             "servers": {
-                name: asdict(server) for name, server in record.servers.items()
+                # ServerRecord is a NamedTuple whose field order is the
+                # wire order, so one C-level dict(zip(...)) per server
+                # replaces nine attribute reads.
+                name: dict(zip(_SERVER_RECORD_FIELDS, s))
+                for name, s in record.servers.items()
             },
         }
 

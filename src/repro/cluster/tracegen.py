@@ -18,6 +18,7 @@ real traffic without breaking repeatability.
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 from dataclasses import dataclass
@@ -42,18 +43,17 @@ class RequestTrace:
             raise ValueError("a trace needs at least one point")
         self._points = list(points)
         self._times = [p.time for p in self._points]
+        self._rates = [p.rate for p in self._points]
         for earlier, later in zip(self._points, self._points[1:]):
             if later.time <= earlier.time:
                 raise ValueError("trace points must be strictly time-sorted")
 
     def rate_at(self, time: float) -> float:
         """Offered rate at simulated time ``time`` (0 before the trace)."""
-        import bisect
-
         idx = bisect.bisect_right(self._times, time) - 1
         if idx < 0:
             return 0.0
-        return self._points[idx].rate
+        return self._rates[idx]
 
     @property
     def duration(self) -> float:

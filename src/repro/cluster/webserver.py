@@ -30,6 +30,9 @@ from ..errors import ServerStateError
 #: Response-time inflation is clamped at this factor (a loaded-but-alive
 #: server, not an infinite queue).
 _MAX_INFLATION = 10.0
+#: Its reciprocal, precomputed once (same bits as 1.0 / _MAX_INFLATION
+#: evaluated per tick, minus the per-tick division).
+_INV_MAX_INFLATION = 1.0 / _MAX_INFLATION
 
 
 @dataclass(frozen=True)
@@ -82,7 +85,7 @@ class PowerState(enum.Enum):
     DRAINING = "draining"
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerLoad:
     """One tick's observable state of a web server."""
 
@@ -112,13 +115,40 @@ class WebServer:
         #: fraction at a given rate and shrinking the capacity ceiling —
         #: the throughput cost of local throttling (section 4.3).
         self.speed_factor = 1.0
-        self.load = ServerLoad(0.0, 0.0, self.mix.base_response_time, 0.0)
+        #: The mix's demands are frozen at construction; cache them to
+        #: keep the per-tick model off the property recomputation.
+        self._cpu_demand = self.mix.cpu_demand
+        self._disk_demand = self.mix.disk_demand
+        self._base_response_time = self.mix.base_response_time
+        #: Speed-dependent terms, recomputed only when the speed factor
+        #: changes — the exact same expressions the per-tick model used
+        #: to evaluate, so the cached values are bitwise identical.
+        self._disk_bound = (
+            1.0 / self._disk_demand if self._disk_demand > 0.0
+            else float("inf")
+        )
+        self._refresh_speed_terms()
+        self.load = ServerLoad(0.0, 0.0, self._base_response_time, 0.0)
+
+    def _refresh_speed_terms(self) -> None:
+        self._cpu_bound = self.speed_factor / self._cpu_demand
+        self._base_loaded = (
+            self._cpu_demand / self.speed_factor + self._disk_demand
+        )
+        cpu_bound = self._cpu_bound
+        disk_bound = self._disk_bound
+        #: :meth:`capacity` while ACTIVE; the tick loop reads it
+        #: directly to skip the method call.
+        self._capacity_active = (
+            cpu_bound if cpu_bound < disk_bound else disk_bound
+        )
 
     def set_speed_factor(self, factor: float) -> None:
         """Set the CPU frequency ratio (0 < factor <= 1)."""
         if not 0.0 < factor <= 1.0:
             raise ValueError("speed factor must be in (0, 1]")
         self.speed_factor = factor
+        self._refresh_speed_terms()
 
     # -- power control (Freon-EC) -----------------------------------------
 
@@ -151,12 +181,7 @@ class WebServer:
         """Maximum request rate this server can absorb right now."""
         if self.state is not PowerState.ACTIVE:
             return 0.0
-        cpu_bound = self.speed_factor / self.mix.cpu_demand
-        disk_bound = (
-            1.0 / self.mix.disk_demand if self.mix.disk_demand > 0.0
-            else float("inf")
-        )
-        return min(cpu_bound, disk_bound)
+        return self._capacity_active
 
     def step(self, assigned_rate: float, dt: float) -> ServerLoad:
         """Advance one tick with ``assigned_rate`` requests/second."""
@@ -171,34 +196,35 @@ class WebServer:
             self.load = ServerLoad(
                 cpu_utilization=1.0 if self.state is PowerState.BOOTING else 0.0,
                 disk_utilization=0.6 if self.state is PowerState.BOOTING else 0.0,
-                response_time=self.mix.base_response_time,
+                response_time=self._base_response_time,
                 connections=0.0,
             )
             if self.state is PowerState.BOOTING:
                 return self.load
             assigned_rate = 0.0  # freshly active; load arrives next tick
         if self.state is PowerState.OFF:
-            self.load = ServerLoad(0.0, 0.0, self.mix.base_response_time, 0.0)
+            self.load = ServerLoad(0.0, 0.0, self._base_response_time, 0.0)
             return self.load
         if self.state is PowerState.DRAINING:
             # Existing connections finish within a response time; with
             # sub-second response times one tick drains everything.
             assigned_rate = 0.0
-        cpu = min(assigned_rate * self.mix.cpu_demand / self.speed_factor, 1.0)
-        disk = min(assigned_rate * self.mix.disk_demand, 1.0)
-        rho = max(cpu, disk)
-        inflation = min(1.0 / max(1.0 - rho, 1.0 / _MAX_INFLATION), _MAX_INFLATION)
-        base = (
-            self.mix.cpu_demand / self.speed_factor + self.mix.disk_demand
-        )
-        response_time = base * inflation
+        cpu = assigned_rate * self._cpu_demand / self.speed_factor
+        if cpu > 1.0:
+            cpu = 1.0
+        disk = assigned_rate * self._disk_demand
+        if disk > 1.0:
+            disk = 1.0
+        rho = cpu if cpu > disk else disk
+        slack = 1.0 - rho
+        if slack < _INV_MAX_INFLATION:
+            slack = _INV_MAX_INFLATION
+        inflation = 1.0 / slack
+        if inflation > _MAX_INFLATION:
+            inflation = _MAX_INFLATION
+        response_time = self._base_loaded * inflation
         connections = assigned_rate * response_time
-        self.load = ServerLoad(
-            cpu_utilization=cpu,
-            disk_utilization=disk,
-            response_time=response_time,
-            connections=connections,
-        )
+        self.load = ServerLoad(cpu, disk, response_time, connections)
         if self.state is PowerState.DRAINING and connections <= 1e-9:
             self.state = PowerState.OFF
         return self.load

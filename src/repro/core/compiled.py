@@ -289,6 +289,112 @@ class _Group:
         self.flows_dirty = False
 
 
+def tick_group(g: _Group, inlet, dt: float) -> None:
+    """Advance one batched group a single step of ``dt`` seconds.
+
+    ``inlet`` is the per-row inlet temperature array.  The caller is
+    responsible for rebuilding stale flow arrays first (see
+    :meth:`_Group.rebuild_flows`); this function is pure array math.
+
+    Every operation is elementwise along axis 0, so each row's result is
+    a pure function of that row's values — stacking more rows (more
+    machines, or more *runs* in the sweep batch engine) cannot perturb
+    any existing row bitwise.  The only cross-row reads are the
+    ``all_flowing`` / ``den.all()`` reductions, which merely select
+    between two bit-equivalent code paths for the rows that flow.
+    """
+    plan = g.plan
+    T = g.T
+    n_comps = plan.n_comps
+    start = T[:, :n_comps].copy()
+    heat = np.zeros_like(start)
+    flows = g.flows
+    cap = g.cap
+
+    # --- intra-machine air traversal (advection + stream exchange) ---
+    for air_i in plan.air_order:
+        col = n_comps + air_i
+        if air_i == plan.inlet_air:
+            t_air = inlet
+        else:
+            terms = plan.incoming.get(air_i)
+            if not terms:
+                t_air = T[:, col].copy()  # stagnant pocket
+            else:
+                num = None
+                den = None
+                for src_air, edge_i in terms:
+                    w = flows[:, src_air] * g.fractions[:, edge_i]
+                    contrib = T[:, n_comps + src_air] * w
+                    num = contrib if num is None else num + contrib
+                    den = w if den is None else den + w
+                if den.all():
+                    t_air = num / den
+                else:
+                    mixed = den > 0.0
+                    t_air = np.where(
+                        mixed, num / np.where(mixed, den, 1.0), T[:, col]
+                    )
+        attached = plan.air_heat.get(air_i)
+        if attached:
+            cr = cap[:, air_i]
+            if g.all_flowing[air_i]:
+                # Fast path: every machine flows here, no masking.
+                cr_dt = cr * dt
+                for comp_i, edge_i in attached:
+                    body = start[:, comp_i]
+                    t_out = body + (t_air - body) * np.exp(
+                        -(g.k[:, edge_i] / cr)
+                    )
+                    heat[:, comp_i] -= cr_dt * (t_out - t_air)
+                    t_air = t_out
+            else:
+                flowing = cr > 0.0
+                cr_safe = np.where(flowing, cr, 1.0)
+                for comp_i, edge_i in attached:
+                    body = start[:, comp_i]
+                    t_out = body + (t_air - body) * np.exp(
+                        -(g.k[:, edge_i] / cr_safe)
+                    )
+                    q = cr * dt * (t_out - t_air)
+                    t_air = np.where(flowing, t_out, t_air)
+                    heat[:, comp_i] -= np.where(flowing, q, 0.0)
+        T[:, col] = t_air
+
+    # --- inter-component heat flow + air-air conduction ---
+    for a_i, b_i, edge_i, c_eff in plan.comp_comp:
+        q = (
+            c_eff
+            * (start[:, a_i] - start[:, b_i])
+            * -np.expm1(-g.k[:, edge_i] * dt / c_eff)
+        )
+        heat[:, a_i] -= q
+        heat[:, b_i] += q
+    for a_air, b_air, edge_i in plan.air_air:
+        mc_a = np.maximum(cap[:, a_air] * dt, 1e-9)
+        mc_b = np.maximum(cap[:, b_air] * dt, 1e-9)
+        c_eff = 1.0 / (1.0 / mc_a + 1.0 / mc_b)
+        q = (
+            c_eff
+            * (T[:, n_comps + a_air] - T[:, n_comps + b_air])
+            * -np.expm1(-g.k[:, edge_i] * dt / c_eff)
+        )
+        T[:, n_comps + a_air] -= q / mc_a
+        T[:, n_comps + b_air] += q / mc_b
+
+    # --- component self-heating and temperature update ---
+    for comp_i, spec in enumerate(plan.power_specs):
+        if spec[0] == "affine":
+            power = spec[1] + g.util[:, comp_i] * spec[2]
+        else:
+            model = spec[1]
+            power = np.array(
+                [model.power(u) for u in g.util[:, comp_i].tolist()]
+            )
+        heat[:, comp_i] += power * g.factor[:, comp_i] * dt
+    T[:, :n_comps] = start + heat / plan.mc
+
+
 class CompiledEngine:
     """Vectorized tick engine driving a :class:`~repro.core.solver.Solver`.
 
@@ -297,6 +403,15 @@ class CompiledEngine:
     utilization updates land directly in the arrays (and invalidate the
     derived flow arrays when needed) without per-tick polling.
     """
+
+    #: The solver computes per-machine inlet temperatures and passes them
+    #: to :meth:`tick`; an engine that derives inlets itself (the sweep
+    #: batch engine) overrides this.
+    provides_inlets = False
+    #: Whether the solver should time this engine's ticks into the
+    #: ``solver_tick_seconds`` histogram (a host metric excluded from
+    #: sweep artifacts; batch members skip the measurement entirely).
+    measure_host_latency = True
 
     def __init__(self, solver: Solver) -> None:
         if np is None:
@@ -353,9 +468,7 @@ class CompiledEngine:
                 )
 
     def _tick_group(self, g: _Group, inlet) -> None:
-        plan = g.plan
         solver = self._solver
-        dt = solver.dt
         if g.flows_dirty:
             g.rebuild_flows()
             if solver.telemetry.enabled:
@@ -366,95 +479,7 @@ class CompiledEngine:
                     machines=len(g.names),
                     reason="flows_dirty",
                 )
-        T = g.T
-        n_comps = plan.n_comps
-        start = T[:, :n_comps].copy()
-        heat = np.zeros_like(start)
-        flows = g.flows
-        cap = g.cap
-
-        # --- intra-machine air traversal (advection + stream exchange) ---
-        for air_i in plan.air_order:
-            col = n_comps + air_i
-            if air_i == plan.inlet_air:
-                t_air = inlet
-            else:
-                terms = plan.incoming.get(air_i)
-                if not terms:
-                    t_air = T[:, col].copy()  # stagnant pocket
-                else:
-                    num = None
-                    den = None
-                    for src_air, edge_i in terms:
-                        w = flows[:, src_air] * g.fractions[:, edge_i]
-                        contrib = T[:, n_comps + src_air] * w
-                        num = contrib if num is None else num + contrib
-                        den = w if den is None else den + w
-                    if den.all():
-                        t_air = num / den
-                    else:
-                        mixed = den > 0.0
-                        t_air = np.where(
-                            mixed, num / np.where(mixed, den, 1.0), T[:, col]
-                        )
-            attached = plan.air_heat.get(air_i)
-            if attached:
-                cr = cap[:, air_i]
-                if g.all_flowing[air_i]:
-                    # Fast path: every machine flows here, no masking.
-                    cr_dt = cr * dt
-                    for comp_i, edge_i in attached:
-                        body = start[:, comp_i]
-                        t_out = body + (t_air - body) * np.exp(
-                            -(g.k[:, edge_i] / cr)
-                        )
-                        heat[:, comp_i] -= cr_dt * (t_out - t_air)
-                        t_air = t_out
-                else:
-                    flowing = cr > 0.0
-                    cr_safe = np.where(flowing, cr, 1.0)
-                    for comp_i, edge_i in attached:
-                        body = start[:, comp_i]
-                        t_out = body + (t_air - body) * np.exp(
-                            -(g.k[:, edge_i] / cr_safe)
-                        )
-                        q = cr * dt * (t_out - t_air)
-                        t_air = np.where(flowing, t_out, t_air)
-                        heat[:, comp_i] -= np.where(flowing, q, 0.0)
-            T[:, col] = t_air
-
-        # --- inter-component heat flow + air-air conduction ---
-        for a_i, b_i, edge_i, c_eff in plan.comp_comp:
-            q = (
-                c_eff
-                * (start[:, a_i] - start[:, b_i])
-                * -np.expm1(-g.k[:, edge_i] * dt / c_eff)
-            )
-            heat[:, a_i] -= q
-            heat[:, b_i] += q
-        for a_air, b_air, edge_i in plan.air_air:
-            mc_a = np.maximum(cap[:, a_air] * dt, 1e-9)
-            mc_b = np.maximum(cap[:, b_air] * dt, 1e-9)
-            c_eff = 1.0 / (1.0 / mc_a + 1.0 / mc_b)
-            q = (
-                c_eff
-                * (T[:, n_comps + a_air] - T[:, n_comps + b_air])
-                * -np.expm1(-g.k[:, edge_i] * dt / c_eff)
-            )
-            T[:, n_comps + a_air] -= q / mc_a
-            T[:, n_comps + b_air] += q / mc_b
-
-        # --- component self-heating and temperature update ---
-        for comp_i, spec in enumerate(plan.power_specs):
-            if spec[0] == "affine":
-                power = spec[1] + g.util[:, comp_i] * spec[2]
-            else:
-                model = spec[1]
-                power = np.array(
-                    [model.power(u) for u in g.util[:, comp_i].tolist()]
-                )
-            heat[:, comp_i] += power * g.factor[:, comp_i] * dt
-        T[:, :n_comps] = start + heat / plan.mc
+        tick_group(g, inlet, solver.dt)
 
 
 class CompiledSolver(Solver):

@@ -303,19 +303,29 @@ class Solver:
                 self._record_all()
 
     def _tick(self) -> None:
-        if self.telemetry.enabled:
+        impl = self._impl
+        measure = self.telemetry.enabled and impl.measure_host_latency
+        if measure:
             tick_start = _time.perf_counter()
-        inlet_temps = self._inter_machine_traversal()
-        self._impl.tick(inlet_temps)
-        for name, state in self.machines.items():
-            self._prev_exhaust[name] = state.temperatures[state.layout.exhaust]
+        if impl.provides_inlets:
+            # The engine (the sweep batch pool) derives inlets itself and
+            # maintains _prev_exhaust when it actually computes the tick.
+            impl.tick(None)
+        else:
+            inlet_temps = self._inter_machine_traversal()
+            impl.tick(inlet_temps)
+            for name, state in self.machines.items():
+                self._prev_exhaust[name] = state.temperatures[
+                    state.layout.exhaust
+                ]
         self.time += self.dt
         self.iterations += 1
         if self.telemetry.enabled:
             # Keep the facade's sim clock current even when the solver
             # runs standalone (offline traces, `repro solve`).
             self.telemetry.advance(self.time)
-            self._tel_tick_hist.observe(_time.perf_counter() - tick_start)
+            if measure:
+                self._tel_tick_hist.observe(_time.perf_counter() - tick_start)
             self._tel_ticks.inc()
             self._tel_nodes.inc(self._n_nodes)
             self._tel_sim_time.set(self.time)
@@ -573,6 +583,10 @@ class Solver:
 
 class _PythonEngine:
     """The reference engine: per-machine dict-loop traversals."""
+
+    #: See :class:`repro.core.compiled.CompiledEngine` for the contract.
+    provides_inlets = False
+    measure_host_latency = True
 
     def __init__(self, solver: Solver) -> None:
         self._solver = solver

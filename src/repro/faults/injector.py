@@ -116,10 +116,13 @@ class FaultInjector:
             entry = self._pending[self._next]
             self.inject(entry.spec, now=entry.start)
             self._next += 1
-        expired = [f for f in self._active if f.end is not None and f.end <= now]
-        for fault in expired:
-            self._active.remove(fault)
-            self._note(now, f"expire {fault.spec.describe()}")
+        if self._active:
+            expired = [
+                f for f in self._active if f.end is not None and f.end <= now
+            ]
+            for fault in expired:
+                self._active.remove(fault)
+                self._note(now, f"expire {fault.spec.describe()}")
 
     def clear(self, kind: Optional[FaultKind] = None) -> int:
         """Deactivate faults (all, or all of one kind); returns the count."""
@@ -137,6 +140,8 @@ class FaultInjector:
         return list(self._active)
 
     def _matching(self, *kinds: FaultKind) -> List[ActiveFault]:
+        if not self._active:  # hot path: most ticks have no faults at all
+            return []
         return [f for f in self._active if f.spec.kind in kinds]
 
     # -- sensor hook -------------------------------------------------------
@@ -234,8 +239,15 @@ class FaultInjector:
                 return True
         return False
 
+    @property
+    def any_active(self) -> bool:
+        """True while any injected fault is live (hot-path pre-check)."""
+        return bool(self._active)
+
     def monitord_active(self, machine: str) -> bool:
         """False while monitord is stalled or crashed on a machine."""
+        if not self._active:
+            return True
         if not self.daemon_up(machine, "monitord"):
             return False
         for fault in self._matching(FaultKind.MONITORD_STALL):

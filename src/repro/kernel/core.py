@@ -31,7 +31,7 @@ from ..errors import KernelError
 from .clock import SimClock
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """One scheduled occurrence in the kernel's queue."""
 
@@ -96,10 +96,10 @@ class EventKernel:
                 f"cannot schedule {kind!r} at t={time:g} in the past "
                 f"(now={self.clock.now:g})"
             )
-        event = Event(time=time, priority=priority, seq=self._seq, kind=kind,
-                      payload=payload)
-        self._seq += 1
-        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, kind, payload)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
     def cancel(self, event: Event) -> None:
@@ -133,10 +133,12 @@ class EventKernel:
 
     def run_next(self) -> Event:
         """Dispatch the next event: advance the clock, call the handler."""
-        event = self.peek()
-        if event is None:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             raise KernelError("event queue is empty")
-        heapq.heappop(self._heap)
+        event = heapq.heappop(heap)[3]
         self.clock.advance(event.time)
         self.dispatched += 1
         self._handlers[event.kind](event)

@@ -14,18 +14,30 @@ Layout:
   grid expansion, and the Figure 11 / section 5.1 presets;
 * :mod:`~repro.parallel.engine` — the worker function, checkpointed
   execution with parent-side crash recovery, the order-independent
-  merge, and artifact serialization.
+  merge, and artifact serialization;
+* :mod:`~repro.parallel.batch` — the sweep-as-batch strategy: runs
+  sharing a compiled layout signature advance in lockstep as rows of
+  one vectorized solver, byte-identical to the fork path.
 
 Checkpoint/restore itself lives with the state it snapshots
 (``ClusterSimulation.checkpoint`` / ``apply_checkpoint``); this package
 only decides *when* to snapshot and *who* resumes.
 """
 
+from .batch import (
+    BatchMember,
+    BatchPool,
+    BatchRunner,
+    partition_specs,
+    run_batch,
+)
 from .engine import (
     ARTIFACT_VERSION,
+    STRATEGIES,
     WorkerCrash,
     artifact_registry,
     build_simulation,
+    collect_result,
     execute_spec,
     merge_results,
     sweep,
@@ -42,16 +54,23 @@ from .spec import (
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "BatchMember",
+    "BatchPool",
+    "BatchRunner",
     "SCENARIOS",
+    "STRATEGIES",
     "RunResult",
     "RunSpec",
     "WorkerCrash",
     "artifact_registry",
     "build_simulation",
+    "collect_result",
     "execute_spec",
     "expand_grid",
     "fig11_grid",
     "merge_results",
+    "partition_specs",
+    "run_batch",
     "sweep",
     "threshold_grid",
     "write_artifact",

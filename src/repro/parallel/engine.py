@@ -28,10 +28,13 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster.simulation import (
+    FREON_K_OVERRIDES,
     ClusterSimulation,
     chaos_script,
     emergency_script,
 )
+from ..config.layouts import validation_cluster
+from ..core.compiled import compile_layout, have_numpy
 from ..errors import SweepError
 from ..faults import derive_seed
 from ..freon.policy import ComponentThresholds, FreonConfig
@@ -126,6 +129,19 @@ def execute_spec(
         if spec.checkpoint_every > 0 and since_checkpoint >= spec.checkpoint_every:
             last = simulation.checkpoint()
             since_checkpoint = 0.0
+    return collect_result(spec, simulation, resumed)
+
+
+def collect_result(
+    spec: RunSpec, simulation: ClusterSimulation, resumed: bool = False
+) -> RunResult:
+    """Assemble the canonical :class:`RunResult` for a finished run.
+
+    Both execution paths (per-run :func:`execute_spec` and the batched
+    runner in :mod:`repro.parallel.batch`) funnel through this single
+    function, so their results can only differ if the simulations
+    themselves diverged.
+    """
     outcome = simulation.result()
     summary: Dict[str, object] = {
         "drop_fraction": outcome.drop_fraction,
@@ -173,23 +189,20 @@ def _worker(payload: Dict[str, object]) -> Dict[str, object]:
         }
 
 
-def sweep(
-    specs: Sequence[RunSpec],
-    workers: int = 1,
-) -> Dict[str, object]:
-    """Run every spec and return the merged artifact.
+#: Valid ``sweep(..., strategy=)`` values.  ``auto`` picks ``batch``
+#: whenever NumPy is available and falls back to ``fork`` otherwise.
+STRATEGIES = ("auto", "batch", "fork")
+
+
+def _fan_out(specs: Sequence[RunSpec], workers: int) -> List[RunResult]:
+    """The fork path: one worker invocation per spec, crash-resumable.
 
     ``workers > 1`` fans runs across a ``multiprocessing`` pool; the
     serial path runs the identical worker function in-process, so both
-    paths produce byte-identical artifacts.  A run whose worker crashed
-    is resumed in the parent from its last checkpoint (the crash hook is
+    produce byte-identical results.  A run whose worker crashed is
+    resumed in the parent from its last checkpoint (the crash hook is
     stripped on retry).
     """
-    if not specs:
-        raise SweepError("nothing to sweep: the grid expanded to no runs")
-    ids = [s.run_id for s in specs]
-    if len(set(ids)) != len(ids):
-        raise SweepError("duplicate run_ids in sweep")
     payloads = [s.to_dict() for s in specs]
     if workers > 1 and len(specs) > 1:
         with multiprocessing.Pool(min(workers, len(specs))) as pool:
@@ -203,6 +216,105 @@ def sweep(
             continue
         retry = RunSpec.from_dict({**payload, "crash_at": None})
         results.append(execute_spec(retry, checkpoint=outcome["checkpoint"]))
+    return results
+
+
+#: machine-name tuple -> layout-signature key, memoized because every
+#: spec with the same cluster size reuses the same layouts.
+_SIGNATURE_CACHE: Dict[Tuple[str, ...], Tuple] = {}
+
+
+def _spec_signature(spec: RunSpec) -> Tuple:
+    """The compiled-layout signature key of a spec's cluster.
+
+    Specs with equal keys can share one batch pool (their machines stack
+    on the same compiled groups); unequal keys batch separately.
+    """
+    names = tuple(spec.machine_names())
+    key = _SIGNATURE_CACHE.get(names)
+    if key is None:
+        layout = validation_cluster(names, k_overrides=FREON_K_OVERRIDES)
+        key = tuple(
+            sorted(
+                {
+                    compile_layout(machine).signature
+                    for machine in layout.machines.values()
+                }
+            )
+        )
+        _SIGNATURE_CACHE[names] = key
+    return key
+
+
+def _signature_batches(specs: Sequence[RunSpec]) -> List[List[RunSpec]]:
+    """Group specs into batches sharing a layout signature."""
+    batches: Dict[Tuple, List[RunSpec]] = {}
+    for spec in specs:
+        batches.setdefault(_spec_signature(spec), []).append(spec)
+    return list(batches.values())
+
+
+def _batch_worker(payloads: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Pool entry point for one signature batch: dicts in, dicts out."""
+    from .batch import run_batch
+
+    specs = [RunSpec.from_dict(p) for p in payloads]
+    return [result.to_dict() for result in run_batch(specs)]
+
+
+def sweep(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    strategy: str = "auto",
+) -> Dict[str, object]:
+    """Run every spec and return the merged artifact.
+
+    ``strategy`` picks the execution path:
+
+    * ``"fork"`` — one worker invocation per run (the original path).
+    * ``"batch"`` — stack runs sharing a layout signature onto one
+      vectorized solver (:mod:`repro.parallel.batch`); runs the batch
+      cannot express fall back to the fork path.  ``workers`` then fans
+      out across signature *batches*, not runs.
+    * ``"auto"`` — ``batch`` when NumPy is available, else ``fork``.
+
+    All strategies produce byte-identical artifacts; the property-test
+    harness in ``tests/parallel/test_batch_equivalence.py`` holds them
+    to that.
+    """
+    if strategy not in STRATEGIES:
+        raise SweepError(
+            f"unknown sweep strategy {strategy!r}; pick one of {STRATEGIES}"
+        )
+    if not specs:
+        raise SweepError("nothing to sweep: the grid expanded to no runs")
+    ids = [s.run_id for s in specs]
+    if len(set(ids)) != len(ids):
+        raise SweepError("duplicate run_ids in sweep")
+    if strategy == "auto":
+        strategy = "batch" if have_numpy() else "fork"
+    if strategy == "fork":
+        return merge_results(_fan_out(specs, workers))
+
+    from .batch import partition_specs, run_batch
+
+    eligible, evicted = partition_specs(specs)
+    results: List[RunResult] = []
+    if evicted:
+        results.extend(_fan_out([spec for spec, _ in evicted], workers))
+    if eligible:
+        batches = _signature_batches(eligible)
+        if workers > 1 and len(batches) > 1:
+            payload_batches = [
+                [spec.to_dict() for spec in batch] for batch in batches
+            ]
+            with multiprocessing.Pool(min(workers, len(batches))) as pool:
+                outcome_batches = pool.map(_batch_worker, payload_batches)
+            for outcomes in outcome_batches:
+                results.extend(RunResult.from_dict(o) for o in outcomes)
+        else:
+            for batch in batches:
+                results.extend(run_batch(batch))
     return merge_results(results)
 
 

@@ -137,7 +137,22 @@ class RunResult:
     resumed: bool = False
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        """Wire/artifact form of the result.
+
+        Every field is already plain data, so this is a shallow
+        conversion: the per-tick record and registry entries are shared
+        with the result object, not deep-copied (``dataclasses.asdict``
+        recursed through every one of them, which dominated sweep
+        merge time).  Treat the returned payload as frozen.
+        """
+        return {
+            "run_id": self.run_id,
+            "spec": dict(self.spec),
+            "summary": dict(self.summary),
+            "records": list(self.records),
+            "registry": list(self.registry),
+            "resumed": self.resumed,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunResult":

@@ -54,6 +54,20 @@ class SensorService:
     ) -> None:
         self._solver = solver
         self._aliases = dict(aliases or {})
+        #: Memoized alias resolutions (the alias table is fixed at
+        #: construction, so resolution is a pure function of the name).
+        self._resolve_cache: Dict[str, str] = {}
+        #: (machine, component) -> (temperatures dict, node name) for
+        #: :meth:`true_temperature`.  MachineState.temperatures is
+        #: mutated in place and never rebound, so caching the dict
+        #: object itself is safe and skips the per-read name resolution.
+        self._true_cache: Dict[Tuple[str, str], Tuple[Dict[str, float], str]] = {}
+        #: machine -> (first, second, entry_a, entry_b) for
+        #: :meth:`true_pair`; entries are shared with ``_true_cache``.
+        self._pair_cache: Dict[
+            str, Tuple[str, str, Tuple[Dict[str, float], str],
+                       Tuple[Dict[str, float], str]]
+        ] = {}
         self._lock = threading.RLock()
         self.injector = injector
         self.telemetry = _ensure_telemetry(telemetry)
@@ -88,7 +102,14 @@ class SensorService:
 
     def resolve(self, component: str) -> str:
         """Apply the sensor alias table."""
-        return self._aliases.get(component, self._aliases.get(component.lower(), component))
+        try:
+            return self._resolve_cache[component]
+        except KeyError:
+            resolved = self._aliases.get(
+                component, self._aliases.get(component.lower(), component)
+            )
+            self._resolve_cache[component] = resolved
+            return resolved
 
     # -- in-process face --------------------------------------------------
 
@@ -115,8 +136,46 @@ class SensorService:
 
     def true_temperature(self, machine: str, component: str) -> float:
         """Read the ground-truth temperature, bypassing injected faults."""
+        entry = self._true_cache.get((machine, component))
+        if entry is None:
+            with self._lock:
+                state = self._solver.machine(machine)
+                node = self._solver._resolve_node(
+                    state, self.resolve(component)
+                )
+                self._true_cache[(machine, component)] = (
+                    state.temperatures, node,
+                )
+                return state.temperatures[node]
+        temperatures, node = entry
         with self._lock:
-            return self._solver.temperature(machine, self.resolve(component))
+            return temperatures[node]
+
+    def true_pair(
+        self, machine: str, first: str = "cpu", second: str = "disk"
+    ) -> Tuple[float, float]:
+        """Two ground-truth readings in two cached dict lookups.
+
+        The per-tick recorder reads every machine's CPU and disk
+        temperature; this pairs the reads on the cheapest possible
+        path.  Unlike the query face it takes no lock: the recorder
+        runs on the thread that steps the solver, so no concurrent
+        step can tear the pair (other threads only read).
+        """
+        pair = self._pair_cache.get(machine)
+        if pair is None or pair[0] != first or pair[1] != second:
+            values = (
+                self.true_temperature(machine, first),
+                self.true_temperature(machine, second),
+            )
+            entry_a = self._true_cache.get((machine, first))
+            entry_b = self._true_cache.get((machine, second))
+            if entry_a is not None and entry_b is not None:
+                self._pair_cache[machine] = (first, second, entry_a, entry_b)
+            return values
+        entry_a = pair[2]
+        entry_b = pair[3]
+        return entry_a[0][entry_a[1]], entry_b[0][entry_b[1]]
 
     def apply_utilizations(self, machine: str, utilizations: Mapping[str, float]) -> None:
         """Apply a monitord update to the solver."""

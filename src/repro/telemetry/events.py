@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """One recorded action or periodic sample.
 

@@ -8,6 +8,7 @@ files are always generated with the reference ``python`` engine.
 
 import json
 
+from . import sweep
 from .traces import GOLDEN_DIR, GOLDEN_TRACES
 
 
@@ -18,6 +19,7 @@ def regenerate() -> None:
         path.write_text(json.dumps(data, indent=1) + "\n")
         ticks = len(data["times"])
         print(f"wrote {path} ({len(data['series'])} series x {ticks} ticks)")
+    sweep.regenerate()
 
 
 if __name__ == "__main__":

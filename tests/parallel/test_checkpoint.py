@@ -14,6 +14,9 @@ from repro.cluster.simulation import ClusterSimulation, chaos_script
 from repro.core.compiled import have_numpy
 from repro.errors import ClusterError
 from repro.faults.injector import FaultInjector
+from repro.parallel import RunSpec, execute_spec
+from repro.parallel.batch import BatchMember, BatchRunner, run_batch
+from repro.parallel.engine import build_simulation
 
 
 def _chaos_simulation(engine="python"):
@@ -147,3 +150,89 @@ class TestCheckpointRestore:
         _run(simulation, 50)
         text = json.dumps(simulation.checkpoint())
         assert json.loads(text)["time"] == 50.0
+
+
+@pytest.mark.skipif(not have_numpy(), reason="the batched engine needs numpy")
+class TestBatchedCheckpointResume:
+    """An in-flight batched sweep pauses and resumes bit-exactly.
+
+    ``BatchRunner.checkpoints()`` promises snapshots identical to the
+    ones ``execute_spec`` would take at the same tick, so a paused
+    batch may resume on either path (and a paused sequential run may
+    resume batched) with byte-identical results.
+    """
+
+    #: Past the t=480 emergencies, so the paused state carries fiddled
+    #: inlets, Freon weight adjustments, and a drained event backlog.
+    SPLIT, DURATION = 500, 560.0
+
+    def _specs(self):
+        return [
+            RunSpec(run_id="pause-a", policy="freon", engine="compiled",
+                    scenario="emergency", duration=self.DURATION),
+            RunSpec(run_id="pause-b", policy="freon-ec", engine="compiled",
+                    scenario="chaos", duration=self.DURATION, seed=3),
+            # An inline (pool-refused) member: its checkpoints must ride
+            # the same lockstep cadence as its pooled neighbors'.
+            RunSpec(run_id="pause-c", policy="traditional", engine="python",
+                    scenario="emergency", duration=self.DURATION),
+        ]
+
+    def _paused_runner(self, specs):
+        members = [BatchMember(s, build_simulation(s)) for s in specs]
+        runner = BatchRunner(members)
+        assert runner.run_ticks(self.SPLIT) == self.SPLIT
+        return runner
+
+    def test_batched_checkpoints_equal_sequential_checkpoints(self):
+        specs = self._specs()
+        runner = self._paused_runner(specs)
+        snapshots = runner.checkpoints()
+        assert sorted(snapshots) == sorted(s.run_id for s in specs)
+        for spec in specs:
+            solo = build_simulation(spec)
+            _run(solo, self.SPLIT)
+            assert (
+                json.dumps(snapshots[spec.run_id], sort_keys=True)
+                == json.dumps(solo.checkpoint(), sort_keys=True)
+            ), f"{spec.run_id}: batched snapshot differs from sequential"
+
+    def test_paused_batch_resumes_bit_exact_on_either_path(self):
+        specs = self._specs()
+        runner = self._paused_runner(specs)
+        # The worker->parent hop serializes; force the plain-data form.
+        snapshots = json.loads(json.dumps(runner.checkpoints()))
+
+        batched = run_batch(specs, checkpoints=snapshots)
+        sequential = [
+            execute_spec(spec, checkpoint=snapshots[spec.run_id])
+            for spec in specs
+        ]
+        unpaused = [execute_spec(spec) for spec in specs]
+        for spec, via_batch, via_seq, golden in zip(
+            specs, batched, sequential, unpaused
+        ):
+            assert via_batch.resumed and via_seq.resumed
+            # Both resume paths agree byte-for-byte, registry included.
+            assert (
+                json.dumps(via_batch.to_dict(), sort_keys=True)
+                == json.dumps(via_seq.to_dict(), sort_keys=True)
+            ), f"{spec.run_id}: resume paths diverged"
+            # And the physics matches a never-paused run exactly (the
+            # registry legitimately differs: a resumed run's telemetry
+            # covers only the tail).
+            want = golden.to_dict()
+            got = via_batch.to_dict()
+            assert got["records"] == want["records"]
+            assert got["summary"] == want["summary"]
+
+    def test_sequential_pause_resumes_batched(self):
+        spec = self._specs()[0]
+        solo = build_simulation(spec)
+        _run(solo, self.SPLIT)
+        snapshot = json.loads(json.dumps(solo.checkpoint()))
+        (resumed,) = run_batch([spec], checkpoints={spec.run_id: snapshot})
+        assert resumed.resumed
+        golden = execute_spec(spec)
+        assert resumed.to_dict()["records"] == golden.to_dict()["records"]
+        assert resumed.to_dict()["summary"] == golden.to_dict()["summary"]
