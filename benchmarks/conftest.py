@@ -6,7 +6,10 @@ the figure/table data under ``benchmark_results/``, prints a summary, and
 times a representative kernel with pytest-benchmark.
 """
 
+import json
 import os
+import resource
+import sys
 from pathlib import Path
 
 import pytest
@@ -40,6 +43,34 @@ def emit(name: str, text: str) -> None:
     path.write_text(text)
     print(f"\n[{name}] written to {path}")
     print(text)
+
+
+def peak_rss_kb() -> int:
+    """The process's peak resident set size so far, in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalize so
+    every BENCH artifact records the same unit.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+def write_bench(name: str, payload: dict) -> Path:
+    """Write one BENCH_*.json artifact under benchmark_results/.
+
+    The shared writer for every benchmark's machine-readable output:
+    stamps the process's peak RSS into the payload (memory regressions
+    gate alongside throughput) and pretty-prints deterministically.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload["peak_rss_kb"] = peak_rss_kb()
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[{name}] written to {path}")
+    return path
 
 
 def series_rows(times, *columns, header=(), every=60):

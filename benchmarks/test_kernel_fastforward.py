@@ -20,13 +20,12 @@ Two scenarios on the pure-python reference engine:
 Writes ``benchmark_results/BENCH_kernel.json`` for the CI artifact.
 """
 
-import json
 import time
 
 from repro.cluster.simulation import ClusterSimulation, emergency_script
 from repro.cluster.tracegen import RequestTrace, TracePoint
 
-from .conftest import RESULTS_DIR, emit
+from .conftest import emit, write_bench
 
 #: Idle-scenario shape: a large cluster idling for an hour of sim time.
 IDLE_MACHINES = 40
@@ -123,9 +122,7 @@ def test_kernel_fastforward_gate():
             "overhead_ceiling": DENSE_OVERHEAD_CEILING,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_kernel.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("BENCH_kernel.json", results)
 
     emit(
         "kernel_fastforward",

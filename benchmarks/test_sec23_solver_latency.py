@@ -6,7 +6,6 @@ compute each iteration" on the Figure 1 graphs, and readsensor() having
 of the real SCSI in-disk sensor.
 """
 
-import json
 import statistics
 import time
 
@@ -19,7 +18,7 @@ from repro.core.solver import Solver
 from repro.sensors.api import SensorConnection
 from repro.sensors.server import SensorService, UdpSensorServer
 
-from .conftest import RESULTS_DIR, SOLVER_ENGINE, emit
+from .conftest import SOLVER_ENGINE, emit, write_bench
 
 #: The real SCSI in-disk sensor's average access time (paper).
 SCSI_SENSOR_LATENCY = 500e-6
@@ -141,9 +140,7 @@ def test_sec23_engine_comparison():
             "speedup": compiled_tps / python_tps,
         }
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_solver.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("BENCH_solver.json", results)
 
     lines = ["Section 2.3 — solver throughput, python vs compiled engine",
              f"{'machines':>10} {'python t/s':>12} {'compiled t/s':>13} "

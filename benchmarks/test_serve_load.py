@@ -18,7 +18,6 @@ Writes ``benchmark_results/BENCH_serve.json`` for the CI artifact.
 """
 
 import asyncio
-import json
 import time
 
 from repro.cluster.simulation import ClusterSimulation, emergency_script
@@ -31,7 +30,7 @@ from repro.serve import AsyncUdpSensorServer, ThermalService, http_get
 from repro.telemetry import Telemetry
 from repro.telemetry.exposition import parse_prometheus
 
-from .conftest import RESULTS_DIR, emit
+from .conftest import emit, write_bench
 
 #: Closed-loop datagram clients and how long they hammer the endpoint.
 DATAGRAM_CLIENTS = 8
@@ -158,9 +157,7 @@ def test_serve_load_gates():
             "p99_ceiling_seconds": SCRAPE_P99_CEILING,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_serve.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("BENCH_serve.json", results)
 
     emit(
         "serve_load",

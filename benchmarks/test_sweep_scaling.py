@@ -32,7 +32,7 @@ import time
 
 from repro.parallel import expand_grid, fig11_grid, sweep
 
-from .conftest import RESULTS_DIR, emit
+from .conftest import emit, write_bench
 
 #: Simulated seconds per run; short — throughput, not physics, is
 #: measured (the artifact-identity gate is what proves equivalence).
@@ -123,9 +123,7 @@ def test_sweep_batch_speedup_gate():
         "batch_speedup": speedup,
         "min_batch_speedup": MIN_BATCH_SPEEDUP,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_sweep.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("BENCH_sweep.json", results)
 
     emit(
         "sweep_scaling",

@@ -18,7 +18,6 @@ engine's throughput win survives instrumentation.
 Writes ``benchmark_results/BENCH_telemetry.json`` for the CI artifact.
 """
 
-import json
 import time
 
 import pytest
@@ -29,7 +28,7 @@ from repro.core.compiled import have_numpy
 from repro.core.solver import Solver
 from repro.telemetry import Telemetry
 
-from .conftest import RESULTS_DIR, emit
+from .conftest import emit, write_bench
 
 #: Cluster size of the gate (the scale the compiled engine targets).
 N_MACHINES = 40
@@ -95,9 +94,7 @@ def test_telemetry_overhead_gate():
         "disabled_tolerance": DISABLED_TOLERANCE,
         "enabled_tolerance": ENABLED_TOLERANCE,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_telemetry.json"
-    path.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench("BENCH_telemetry.json", results)
 
     emit(
         "telemetry_overhead",

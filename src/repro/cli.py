@@ -29,6 +29,11 @@ library:
     them across a worker pool, and write one deterministic merged
     artifact (JSON + Prometheus snapshot).
 
+``repro scale``
+    Simulate a datacenter-scale spatial topology (zones, racks,
+    cross-machine recirculation) through the flattened one-array-per-
+    tick solver; print per-zone peaks, drops, and throughput.
+
 ``repro serve``
     Run a cluster experiment as a live service: an asyncio HTTP plane
     with a streaming dashboard at ``/``, Prometheus metrics at
@@ -281,6 +286,49 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--checkpoint-every", type=float, default=None, metavar="SECONDS",
         help="simulated seconds between worker checkpoints",
+    )
+
+    scale = sub.add_parser(
+        "scale",
+        help="simulate a datacenter-scale topology with the flattened "
+             "solver (1k-10k machines)",
+    )
+    scale.add_argument(
+        "--machines", type=int, default=1000,
+        help="machines in the generated grid topology",
+    )
+    scale.add_argument(
+        "--zones", type=int, default=4,
+        help="cooling zones in the generated grid topology",
+    )
+    scale.add_argument(
+        "--machines-per-rack", type=int, default=20,
+        help="rack height of the generated grid topology",
+    )
+    scale.add_argument(
+        "--duration", type=float, default=3600.0,
+        help="simulated seconds (one compressed diurnal cycle)",
+    )
+    scale.add_argument(
+        "--topology", default=None, metavar="FILE",
+        help="topology JSON file instead of a generated grid",
+    )
+    scale.add_argument(
+        "--preset", choices=("scale1k",), default=None,
+        help="built-in experiment (scale1k = 1000 machines, 4 zones, "
+             "one 3600s diurnal cycle)",
+    )
+    scale.add_argument(
+        "--policy", choices=("freon", "none"), default="freon",
+        help="vectorized management policy",
+    )
+    scale.add_argument(
+        "--supply", type=float, default=None, metavar="CELSIUS",
+        help="override every zone's cold-aisle supply temperature",
+    )
+    scale.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write the run's telemetry as JSONL to PATH (+ .prom snapshot)",
     )
 
     serve = sub.add_parser(
@@ -672,6 +720,56 @@ async def _serve_run(service: ThermalService, args: argparse.Namespace,
         return code
 
 
+def cmd_scale(args: argparse.Namespace, out) -> int:
+    import time
+
+    from .topology import ScaleSimulation, grid_topology, load_topology
+
+    if args.preset == "scale1k":
+        args.machines, args.zones, args.duration = 1000, 4, 3600.0
+    if args.topology is not None:
+        topology = load_topology(args.topology)
+    else:
+        topology = grid_topology(
+            args.machines, zones=args.zones,
+            machines_per_rack=args.machines_per_rack,
+            zone_supplies=(
+                {f"zone{i}": args.supply for i in range(args.zones)}
+                if args.supply is not None else None
+            ),
+        )
+    telemetry = _make_telemetry(args)
+    simulation = ScaleSimulation(
+        topology, duration=args.duration, policy=args.policy,
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    summary = simulation.run()
+    elapsed = time.perf_counter() - start
+    ticks_per_sec = summary["ticks"] / elapsed if elapsed > 0 else 0.0
+    print(
+        f"scale: {summary['machines']} machines in {summary['zones']} "
+        f"zone(s), {summary['ticks']} ticks in {elapsed:.2f}s wall "
+        f"({ticks_per_sec:,.0f} ticks/s)",
+        file=out,
+    )
+    print(
+        f"  dropped {summary['drop_fraction'] * 100:.2f}% of "
+        f"{summary['offered_requests']:.0f} requests, "
+        f"{summary['throttle_events']} throttle event(s), "
+        f"{summary['throttled_machines']} machine(s) still throttled",
+        file=out,
+    )
+    for zone in sorted(summary["zone_cpu_max"]):
+        print(
+            f"  {zone}: CPU max {summary['zone_cpu_max'][zone]:.2f}C, "
+            f"mean {summary['zone_cpu_mean'][zone]:.2f}C",
+            file=out,
+        )
+    _write_telemetry(telemetry, args, out)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     if args.chaos:
         script = chaos_script()
@@ -709,6 +807,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "top": cmd_top,
     "sweep": cmd_sweep,
+    "scale": cmd_scale,
     "serve": cmd_serve,
 }
 

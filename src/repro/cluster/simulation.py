@@ -223,6 +223,7 @@ class ClusterSimulation:
         idle_fast_forward: bool = False,
         idle_epsilon: float = IDLE_EPSILON,
         datagram_latency: float = 0.0005,
+        topology=None,
     ) -> None:
         if policy not in POLICIES:
             raise ClusterError(f"unknown policy {policy!r}; pick from {POLICIES}")
@@ -246,7 +247,12 @@ class ClusterSimulation:
         self.policy = policy
         self.mode = mode
         self.dt = dt
+        if topology is not None and machines is table1.CLUSTER_MACHINES:
+            # A topology names its own machines; only an explicit machine
+            # list may disagree (and then the solver rejects the mismatch).
+            machines = topology.machines
         self.machines = list(machines)
+        self.topology = topology
         self.telemetry = _ensure_telemetry(telemetry)
         #: The discrete-event scheduler every time-driven layer runs on.
         self.kernel = EventKernel()
@@ -258,11 +264,14 @@ class ClusterSimulation:
         cluster_layout = validation_cluster(self.machines, k_overrides=k_overrides)
         self.solver = Solver(
             list(cluster_layout.machines.values()),
-            cluster=cluster_layout,
+            # Spatial topology replaces the scalar cluster coupling: the
+            # machines' inlets come from the recirculation operator.
+            cluster=None if topology is not None else cluster_layout,
             dt=dt,
             record=False,
             engine=engine,
             telemetry=self.telemetry,
+            topology=topology,
         )
         #: Always present; inert until a fault is scheduled or injected.
         self.injector = injector or FaultInjector(seed=fault_seed)

@@ -90,6 +90,47 @@ def peak_rate_for_utilization(
     return target_utilization * servers / mix.cpu_demand
 
 
+def diurnal_shape(t: float, duration: float, plateau: float = 0.75) -> float:
+    """The normalized valley-to-peak-to-valley curve at time ``t``.
+
+    The peak lands at 60% of the way through the window (the paper's
+    Figure 11 load subsides in the last quarter of the run); ``plateau``
+    flattens the top of the cosine so the afternoon peak is a broad
+    shoulder rather than an instant.  Exposed separately so the
+    flattened datacenter simulation can evaluate the same curve
+    vectorized with per-machine phase offsets.
+    """
+    peak_at = 0.6 * duration
+    if t <= peak_at:
+        # Half-cosine from valley (t=0) up to the peak and back down; the
+        # descent is steeper, like an evening drop-off.
+        phase = math.pi * (t / peak_at - 1.0)  # -pi .. 0
+    else:
+        phase = math.pi * (t - peak_at) / (0.55 * duration)  # 0 .. ~pi
+    shape = 0.5 * (1.0 + math.cos(phase))
+    return min(shape, plateau) / plateau  # flat-topped peak
+
+
+def phase_offsets(count: int, spread: float = 0.25, seed: int = 2006) -> List[float]:
+    """Deterministic per-machine diurnal phase offsets (fractions of a day).
+
+    Large clusters should not hit their diurnal peaks in lockstep: real
+    machines serve regions whose afternoons differ.  Each offset is
+    drawn in ``[0, spread)`` from its own derived RNG stream, so the
+    list is a pure function of ``(seed, index)`` — extending ``count``
+    never changes earlier offsets, and equal seeds reproduce the exact
+    same floats on any platform.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if not 0.0 <= spread <= 1.0:
+        raise ValueError("spread must be in [0, 1]")
+    return [
+        random.Random(seed * 1_000_003 + index).random() * spread
+        for index in range(count)
+    ]
+
+
 def diurnal_trace(
     duration: float = 2000.0,
     step: float = 10.0,
@@ -100,35 +141,32 @@ def diurnal_trace(
     jitter: float = 0.03,
     plateau: float = 0.75,
     seed: int = 2006,
+    phase: float = 0.0,
 ) -> RequestTrace:
     """One compressed day: valley, rise to the afternoon peak, decline.
 
-    The peak lands at 60% of the way through the window (the paper's
-    Figure 11 load subsides in the last quarter of the run).
     ``valley_fraction`` sets the overnight load relative to the peak;
-    ``plateau`` flattens the top of the cosine so the afternoon peak is a
-    broad shoulder rather than an instant, giving temperatures time to
-    settle (real afternoon peaks last hours).
+    see :func:`diurnal_shape` for the curve itself.  ``phase`` rotates
+    the whole pattern by that fraction of the window (wrapping around),
+    so per-machine traces built with :func:`phase_offsets` peak at
+    different times; ``phase=0`` reproduces the unshifted trace exactly,
+    jitter stream included.
     """
     if duration <= 0.0 or step <= 0.0:
         raise ValueError("duration and step must be positive")
     if not 0.0 < plateau <= 1.0:
         raise ValueError("plateau must be in (0, 1]")
+    if not 0.0 <= phase < 1.0:
+        raise ValueError("phase must be in [0, 1)")
     peak = peak_rate_for_utilization(peak_utilization, servers, mix)
     valley = valley_fraction * peak
     rng = random.Random(seed)
     points: List[TracePoint] = []
     t = 0.0
-    peak_at = 0.6 * duration
     while t < duration:
-        # Half-cosine from valley (t=0) up to the peak and back down; the
-        # descent is steeper, like an evening drop-off.
-        if t <= peak_at:
-            phase = math.pi * (t / peak_at - 1.0)  # -pi .. 0
-        else:
-            phase = math.pi * (t - peak_at) / (0.55 * duration)  # 0 .. ~pi
-        shape = 0.5 * (1.0 + math.cos(phase))
-        shape = min(shape, plateau) / plateau  # flat-topped peak
+        shape = diurnal_shape(
+            (t - phase * duration) % duration, duration, plateau
+        )
         base = valley + (peak - valley) * shape
         noisy = base * (1.0 + rng.uniform(-jitter, jitter))
         points.append(TracePoint(time=t, rate=max(noisy, 0.0)))

@@ -273,6 +273,36 @@ class _Group:
         self.all_flowing = np.zeros(plan.n_air, dtype=bool)
         self.flows_dirty = True
 
+    @classmethod
+    def from_template(
+        cls, plan: MachinePlan, template: MachineState, count: int
+    ) -> "_Group":
+        """Tile one template state into a ``count``-row group.
+
+        The flattened datacenter solver (:mod:`repro.topology.sim`)
+        builds its machines×nodes arrays this way: every row starts as a
+        bitwise copy of the template's values, and no per-row
+        :class:`~repro.core.state.MachineState` objects (or their dict
+        write-backs) exist at all.  ``names``/``states`` are left empty
+        on purpose — callers that tile own the row bookkeeping.
+        """
+        if count <= 0:
+            raise SolverError("from_template needs a positive row count")
+        g = cls(plan, [(template.layout.name, template)])
+        g.names = []
+        g.states = []
+        g.T = np.repeat(g.T, count, axis=0)
+        g.k = np.repeat(g.k, count, axis=0)
+        g.fractions = np.repeat(g.fractions, count, axis=0)
+        g.fan = np.repeat(g.fan, count)
+        g.factor = np.repeat(g.factor, count, axis=0)
+        g.util = np.repeat(g.util, count, axis=0)
+        g.flows = np.zeros((count, plan.n_air))
+        g.cap = np.zeros((count, plan.n_air))
+        g.all_flowing = np.zeros(plan.n_air, dtype=bool)
+        g.flows_dirty = True
+        return g
+
     def rebuild_flows(self) -> None:
         """Recompile per-region flows and heat-capacity rates.
 

@@ -83,6 +83,12 @@ class Solver:
         solver records per-tick latency, node-update counts, and (for
         the compiled engine) recompiles.  ``None`` means the shared
         no-op facade — the tick hot path then pays only a flag check.
+    topology:
+        An optional :class:`repro.topology.Topology`.  Machine inlets
+        are then the convex mix of their zone's cold-aisle supply and
+        the recirculation edges feeding them (see
+        :mod:`repro.topology.recirculation`), replacing the cluster
+        air graph; ``cluster`` and ``topology`` are mutually exclusive.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class Solver:
         record: bool = True,
         engine: str = "python",
         telemetry=None,
+        topology=None,
     ) -> None:
         if not layouts:
             raise SolverError("at least one machine layout is required")
@@ -110,8 +117,27 @@ class Solver:
                     "cluster layout machines do not match solver machines "
                     f"(missing={sorted(missing)}, extra={sorted(extra)})"
                 )
+        if topology is not None:
+            if cluster is not None:
+                raise SolverError(
+                    "pass either cluster or topology, not both"
+                )
+            missing = set(names) - set(topology.machines)
+            extra = set(topology.machines) - set(names)
+            if missing or extra:
+                raise SolverError(
+                    "topology machines do not match solver machines "
+                    f"(missing={sorted(missing)}, extra={sorted(extra)})"
+                )
         self.dt = dt
         self.cluster = cluster
+        self.topology = topology
+        if topology is not None:
+            from ..topology.recirculation import RecirculationOperator
+
+            self._topology_op = RecirculationOperator(topology)
+        else:
+            self._topology_op = None
         if initial_temperature is None:
             initial_temperature = layouts[0].inlet_temperature
         self.machines: Dict[str, MachineState] = {
@@ -264,6 +290,29 @@ class Solver:
         self._cluster_fractions[(src, dst)] = value
         self._inlet_plans = None
 
+    def set_zone_supply(self, zone: str, value: float) -> None:
+        """Override a topology zone's cold-aisle supply temperature (fiddle).
+
+        Emulates a zonal air-conditioner failure or set-point change;
+        every machine in the zone sees the new supply in its inlet mix
+        from the next tick on.
+        """
+        if self._topology_op is None:
+            raise SolverError("no topology configured")
+        self._topology_op.set_supply(zone, value)
+
+    def set_recirculation(self, src: str, dst: str, weight: float) -> None:
+        """Change a topology recirculation edge's weight (fiddle).
+
+        Emulates a containment/blanking-panel change: more or less of
+        ``src``'s exhaust re-entering ``dst``'s inlet.  The edge must
+        exist in the topology and the new incoming weights of ``dst``
+        must stay convex (sum <= 1).
+        """
+        if self._topology_op is None:
+            raise SolverError("no topology configured")
+        self._topology_op.set_weight(src, dst, weight)
+
     # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
@@ -338,6 +387,8 @@ class Solver:
         for name, state in self.machines.items():
             if state.inlet_override is not None:
                 result[name] = state.inlet_override
+            elif self._topology_op is not None:
+                result[name] = self._topology_op.inlet(name, self._prev_exhaust)
             elif self.cluster is not None:
                 result[name] = self._cluster_inlet(name)
             else:
@@ -508,7 +559,7 @@ class Solver:
                     for component, model in state.power_models.items()
                 },
             }
-        return {
+        data = {
             "time": self.time,
             "iterations": self.iterations,
             "prev_exhaust": dict(self._prev_exhaust),
@@ -519,6 +570,11 @@ class Solver:
             },
             "machines": machines,
         }
+        # The key is present only when a topology is configured, so
+        # topology-free checkpoints stay byte-identical to older ones.
+        if self._topology_op is not None:
+            data["topology"] = self._topology_op.checkpoint()
+        return data
 
     def restore(self, data: Mapping[str, object]) -> None:
         """Restore a :meth:`checkpoint` onto this solver.
@@ -557,6 +613,8 @@ class Solver:
             src, dst = key.split("|")
             if self._cluster_fractions.get((src, dst)) != value:
                 self.set_cluster_fraction(src, dst, value)
+        if self._topology_op is not None and "topology" in data:
+            self._topology_op.restore(data["topology"])
 
     # ------------------------------------------------------------------
     # recording

@@ -131,6 +131,10 @@ class ClusterError(ReproError):
     """Errors in the cluster substrate (LVS, web servers, client)."""
 
 
+class TopologyError(ReproError):
+    """Errors in the spatial topology layer (zones, racks, recirculation)."""
+
+
 class SweepError(ReproError):
     """Errors in the parallel sweep engine (grid specs, workers, merge)."""
 

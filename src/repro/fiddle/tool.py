@@ -21,6 +21,8 @@ verb            effect
 ``power``       scale a component's power draw (DVFS/throttling)
 ``source``      change a cluster cooling source's supply temperature
 ``fraction``    (cluster) change an inter-machine air edge's fraction
+``zone``        change a topology zone's cold-aisle supply temperature
+``recirculation`` change a topology recirculation edge's weight
 ``restore``     clear a machine's inlet override
 ==============  ====================================================
 
@@ -94,6 +96,16 @@ class Fiddle:
         self._solver.set_cluster_fraction(src, dst, value)
         self._record(f"cluster fraction {src}|{dst} {value}")
 
+    def zone(self, zone: str, value: float) -> None:
+        """Change a topology zone's cold-aisle supply temperature."""
+        self._solver.set_zone_supply(zone, value)
+        self._record(f"cluster zone {zone} {value}")
+
+    def recirculation(self, src: str, dst: str, value: float) -> None:
+        """Change a topology recirculation edge's weight."""
+        self._solver.set_recirculation(src, dst, value)
+        self._record(f"cluster recirculation {src}|{dst} {value}")
+
     def restore(self, machine: str) -> None:
         """Clear a machine's inlet override (cooling restored)."""
         self._solver.clear_inlet_override(machine)
@@ -117,6 +129,8 @@ class Fiddle:
             fiddle <machine> restore
             fiddle cluster source <source> <value>
             fiddle cluster fraction <src> <dst> <value>
+            fiddle cluster zone <zone> <value>
+            fiddle cluster recirculation <src> <dst> <value>
 
         The leading ``fiddle`` word is optional.
         """
@@ -135,9 +149,17 @@ class Fiddle:
             if verb == "fraction" and len(rest) == 3:
                 self.cluster_fraction(rest[0], rest[1], _number(rest[2], line))
                 return
+            if verb == "zone" and len(rest) == 2:
+                self.zone(rest[0], _number(rest[1], line))
+                return
+            if verb == "recirculation" and len(rest) == 3:
+                self.recirculation(rest[0], rest[1], _number(rest[2], line))
+                return
             raise FiddleError(
-                "cluster commands are 'cluster source <name> <value>' or "
-                f"'cluster fraction <src> <dst> <value>': {line!r}"
+                "cluster commands are 'cluster source <name> <value>', "
+                "'cluster fraction <src> <dst> <value>', "
+                "'cluster zone <zone> <value>', or "
+                f"'cluster recirculation <src> <dst> <value>': {line!r}"
             )
         if verb not in _VERBS:
             raise FiddleError(f"unknown fiddle verb {verb!r} in {line!r}")

@@ -59,6 +59,7 @@ EVICT_NO_NUMPY = "no_numpy"          #: NumPy unavailable on this host
 EVICT_OPAQUE_POWER = "opaque_power_model"  #: plan cannot batch the model
 EVICT_DT = "dt_mismatch"             #: member ticks on a different grid
 EVICT_STRUCTURAL = "structural_edit"  #: mid-run mutation outside the plan
+EVICT_TOPOLOGY = "topology"          #: spatial topology needs its own inlets
 
 
 def partition_specs(
@@ -76,6 +77,10 @@ def partition_specs(
             evicted.append((spec, EVICT_ENGINE))
         elif spec.crash_at is not None:
             evicted.append((spec, EVICT_CRASH_HOOK))
+        elif spec.topology is not None:
+            # Topology inlets come from a per-room recirculation operator;
+            # the pool's shared inter-machine pass cannot express them.
+            evicted.append((spec, EVICT_TOPOLOGY))
         elif not have_numpy():
             evicted.append((spec, EVICT_NO_NUMPY))
         else:
@@ -316,6 +321,9 @@ class BatchPool:
         """
         solver = simulation.solver
         if solver.engine != "compiled" or solver.dt != self.dt:
+            return False
+        if getattr(solver, "topology", None) is not None:
+            # Topology inlets need the solver's recirculation operator.
             return False
         plans = []
         for name, state in solver.machines.items():

@@ -97,6 +97,7 @@ def build_simulation(spec: RunSpec) -> ClusterSimulation:
         fault_seed=derive_seed(spec.seed, spec.run_id),
         engine=spec.engine,
         telemetry=Telemetry(),
+        topology=spec.load_topology(),
     )
 
 

@@ -67,6 +67,10 @@ class RunSpec:
     checkpoint_every: float = 0.0
     #: Test-only: raise a WorkerCrash when sim time reaches this value.
     crash_at: Optional[float] = None
+    #: Spatial topology as canonical Topology JSON text (hashable and
+    #: wire-safe); None runs the scalar cluster coupling.  Mutually
+    #: exclusive with ``cluster_size``: a topology names its machines.
+    topology: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.run_id:
@@ -94,16 +98,45 @@ class RunSpec:
             object.__setattr__(self, "cpu_low", float(self.cpu_high) - 3.0)
         if self.cpu_high is not None and not self.cpu_low < self.cpu_high:
             raise SweepError("cpu thresholds must satisfy low < high")
+        if self.topology is not None:
+            if self.cluster_size != 0:
+                raise SweepError(
+                    "topology and cluster_size are mutually exclusive; "
+                    "the topology names its machines"
+                )
+            # Validate eagerly so a malformed grid fails at expansion,
+            # not inside a worker process.
+            self.load_topology()
+
+    def load_topology(self):
+        """The spec's :class:`~repro.topology.model.Topology`, or None."""
+        if self.topology is None:
+            return None
+        from ..topology.model import Topology
+
+        try:
+            return Topology.from_json(self.topology)
+        except Exception as exc:
+            raise SweepError(f"invalid topology in spec: {exc}") from exc
 
     def machine_names(self) -> List[str]:
         """The cluster machine names this spec simulates."""
+        if self.topology is not None:
+            return list(self.load_topology().machines)
         if self.cluster_size == 0:
             return list(table1.CLUSTER_MACHINES)
         return [f"machine{i}" for i in range(1, self.cluster_size + 1)]
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain JSON-able form (the worker wire format)."""
-        return asdict(self)
+        """Plain JSON-able form (the worker wire format).
+
+        ``topology`` is omitted when unset so topology-free sweep
+        artifacts keep their historical bytes (golden digests).
+        """
+        data = asdict(self)
+        if data["topology"] is None:
+            del data["topology"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":

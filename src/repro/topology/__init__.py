@@ -1,0 +1,34 @@
+"""Datacenter-scale spatial topology: zones, racks, recirculation.
+
+The paper's validation runs couple machines with a single scalar
+recirculation fraction (:meth:`repro.core.solver.Solver.
+set_cluster_fraction`).  This package generalizes that to a room: a
+:class:`Topology` places every machine at a (zone, rack, slot) grid
+position, a sparse :class:`RecirculationEdge` set mixes each machine's
+inlet from its zone's cold-aisle supply and neighboring machines'
+exhausts, and :class:`FlatSolver` solves the whole room as one
+machines×nodes array per tick so 1k-10k machines stay interactive.
+"""
+
+from .model import (
+    Position,
+    RecirculationEdge,
+    Topology,
+    Zone,
+    grid_topology,
+    load_topology,
+)
+from .recirculation import RecirculationOperator
+from .sim import FlatSolver, ScaleSimulation
+
+__all__ = [
+    "Position",
+    "RecirculationEdge",
+    "Topology",
+    "Zone",
+    "grid_topology",
+    "load_topology",
+    "RecirculationOperator",
+    "FlatSolver",
+    "ScaleSimulation",
+]

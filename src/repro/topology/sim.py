@@ -1,0 +1,480 @@
+"""The flattened datacenter solve: 1k-10k machines, one array per tick.
+
+The compiled engine (:mod:`repro.core.compiled`) already batches every
+machine sharing a layout signature into one NumPy group, but it still
+pays per-machine Python costs each tick: a :class:`~repro.core.state.
+MachineState` dict write-back per machine, per-machine sensor reads,
+and per-machine daemon bookkeeping.  At 1k-10k machines those dominate.
+
+:class:`FlatSolver` drops all of it.  Every machine of a
+:class:`~repro.topology.model.Topology` shares one layout template, so
+the whole room is a single machines×nodes state array built by
+:meth:`repro.core.compiled._Group.from_template` and advanced by one
+:func:`repro.core.compiled.tick_group` call per tick — the same pure
+array kernel the per-machine engines use, so the physics agrees with
+the reference solver within the usual 1e-9 °C.  Between ticks the
+:class:`~repro.topology.recirculation.RecirculationOperator` turns the
+exhaust column into next tick's inlet vector with one sparse matvec.
+Sensor sampling is a column read; there are no per-machine objects at
+all.
+
+:class:`ScaleSimulation` wraps the flat solver in a datacenter-shaped
+workload: per-machine diurnal offered load with deterministic phase
+offsets (:func:`repro.cluster.tracegen.phase_offsets` — regional
+afternoons differ, so 10k machines do not peak in lockstep), one
+vectorized LVS-style allocation per tick
+(:func:`repro.cluster.lvs.allocate_rates`), and a vectorized Freon-like
+policy: every monitor period the CPU temperature column is compared
+against the high/low thresholds and hot machines' scheduling weights
+are halved (restored geometrically once cool).  Telemetry is per-zone:
+``scale_zone_cpu_max_celsius{zone=...}`` et al. via sort +
+``np.maximum.reduceat`` over the zone partition, plus a
+``sim_machines`` gauge.
+
+Everything checkpoints to plain JSON and restores bit-exactly,
+flattened arrays included.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+try:  # NumPy is required for the flattened path; imports stay gated
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    np = None
+
+from ..config import table1
+from ..config.layouts import validation_machine
+from ..core.compiled import _Group, compile_layout, have_numpy, tick_group
+from ..core.graph import MachineLayout
+from ..core.state import MachineState
+from ..cluster.lvs import allocate_rates
+from ..cluster.tracegen import peak_rate_for_utilization, phase_offsets
+from ..cluster.webserver import RequestMix
+from ..errors import TopologyError
+from ..telemetry import ensure as _ensure_telemetry
+from .model import Topology
+from .recirculation import RecirculationOperator
+
+#: Checkpoint format version for :class:`ScaleSimulation`.
+CHECKPOINT_VERSION = 1
+
+#: Scheduling-weight floor for throttled machines (never fully starve).
+MIN_WEIGHT = 0.05
+
+#: Multiplicative throttle/restore factors of the vectorized policy.
+THROTTLE_FACTOR = 0.5
+RESTORE_FACTOR = 1.0 / 0.9
+
+
+class FlatSolver:
+    """One machines×nodes array solving a whole topology per tick.
+
+    All machines share ``layout`` (the flattening requires one plan);
+    the row order is the topology's canonical machine order.  The
+    surface mirrors the pieces of :class:`~repro.core.solver.Solver`
+    the datacenter harness needs — column sensor reads, utilization
+    feeds, inlet overrides, checkpoint/restore — without any
+    per-machine state objects.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        layout: Optional[MachineLayout] = None,
+        dt: float = 1.0,
+        initial_temperature: Optional[float] = None,
+    ) -> None:
+        if not have_numpy():
+            raise TopologyError(
+                "the flattened solver requires NumPy"
+            )
+        if dt <= 0.0:
+            raise TopologyError("dt must be positive")
+        if layout is None:
+            layout = validation_machine("template")
+        if initial_temperature is None:
+            initial_temperature = layout.inlet_temperature
+        self.topology = topology
+        self.operator = RecirculationOperator(topology)
+        self.layout = layout
+        self.dt = dt
+        self.n = len(topology.machines)
+        self.plan = compile_layout(layout)
+        template = MachineState(layout, initial_temperature)
+        self.group = _Group.from_template(self.plan, template, self.n)
+        self._exhaust_col = self.plan.n_comps + self.plan.exhaust_air
+        self.prev_exhaust = np.full(self.n, float(initial_temperature))
+        #: Row index -> forced inlet temperature (fiddle-style override).
+        self.inlet_overrides: Dict[int, float] = {}
+        self.time = 0.0
+        self.iterations = 0
+
+    # -- access ----------------------------------------------------------
+
+    def node_column(self, node: str):
+        """The live temperature column of one node across all machines."""
+        try:
+            return self.group.T[:, self.plan.node_index[node]]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
+
+    def set_utilization(self, component: str, values) -> None:
+        """Set one component's utilization for every machine at once."""
+        try:
+            col = self.plan.comp_index[component]
+        except KeyError:
+            raise TopologyError(f"unknown component {component!r}") from None
+        self.group.util[:, col] = values
+
+    def set_inlet_override(self, machine: str, value: Optional[float]) -> None:
+        """Force (or with ``None`` release) one machine's inlet."""
+        try:
+            row = self.operator.index[machine]
+        except KeyError:
+            raise TopologyError(f"unknown machine {machine!r}") from None
+        if value is None:
+            self.inlet_overrides.pop(row, None)
+        else:
+            self.inlet_overrides[row] = float(value)
+
+    # -- stepping --------------------------------------------------------
+
+    def step(self, ticks: int = 1) -> None:
+        """Advance the whole room ``ticks`` solver iterations."""
+        g = self.group
+        for _ in range(ticks):
+            if g.flows_dirty:
+                g.rebuild_flows()
+            inlet = self.operator.inlets_array(self.prev_exhaust)
+            for row, value in self.inlet_overrides.items():
+                inlet[row] = value
+            tick_group(g, inlet, self.dt)
+            self.prev_exhaust = g.T[:, self._exhaust_col].copy()
+            self.time += self.dt
+            self.iterations += 1
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """All mutable solver state as plain JSON-able data."""
+        g = self.group
+        return {
+            "time": self.time,
+            "iterations": self.iterations,
+            "T": g.T.tolist(),
+            "util": g.util.tolist(),
+            "prev_exhaust": self.prev_exhaust.tolist(),
+            "inlet_overrides": {
+                str(row): value for row, value in self.inlet_overrides.items()
+            },
+            "topology": self.operator.checkpoint(),
+        }
+
+    def restore(self, data: Mapping[str, object]) -> None:
+        """Restore a :meth:`checkpoint` (same topology and layout).
+
+        JSON serializes floats with round-trip precision, so a restore
+        from parsed JSON reproduces every array bit-for-bit.
+        """
+        g = self.group
+        T = np.array(data["T"], dtype=float)
+        util = np.array(data["util"], dtype=float)
+        prev = np.array(data["prev_exhaust"], dtype=float)
+        if T.shape != g.T.shape or util.shape != g.util.shape:
+            raise TopologyError("checkpoint shape does not match this solver")
+        if prev.shape != self.prev_exhaust.shape:
+            raise TopologyError("checkpoint shape does not match this solver")
+        g.T[:] = T
+        g.util[:] = util
+        self.prev_exhaust = prev
+        self.inlet_overrides = {
+            int(row): float(value)
+            for row, value in data["inlet_overrides"].items()
+        }
+        self.operator.restore(data["topology"])
+        self.time = float(data["time"])
+        self.iterations = int(data["iterations"])
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatSolver({self.n} machines x "
+            f"{len(self.plan.node_names)} nodes, t={self.time:.0f}s)"
+        )
+
+
+class ScaleSimulation:
+    """A datacenter-scale workload driving one :class:`FlatSolver`.
+
+    Each tick: per-machine phase-shifted diurnal offered load, one
+    vectorized LVS allocation across the whole room, CPU/disk
+    utilizations from the allocated rates, one flattened solver tick.
+    Every ``monitor_period`` seconds the vectorized Freon-like policy
+    reads the CPU temperature column and throttles/restores scheduling
+    weights; every ``sample_period`` seconds per-zone telemetry gauges
+    are refreshed.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        duration: float = 3600.0,
+        dt: float = 1.0,
+        layout: Optional[MachineLayout] = None,
+        policy: str = "freon",
+        monitor_period: float = 4.0,
+        sample_period: float = 60.0,
+        peak_utilization: float = 0.70,
+        valley_fraction: float = 0.15,
+        plateau: float = 0.75,
+        phase_spread: float = 0.25,
+        phase_seed: int = 2006,
+        cpu_high: float = table1.T_HIGH_CPU,
+        cpu_low: float = table1.T_LOW_CPU,
+        mix: Optional[RequestMix] = None,
+        telemetry=None,
+    ) -> None:
+        if policy not in ("freon", "none"):
+            raise TopologyError(
+                f"unknown scale policy {policy!r}; pick 'freon' or 'none'"
+            )
+        if duration <= 0.0:
+            raise TopologyError("duration must be positive")
+        if monitor_period <= 0.0 or sample_period <= 0.0:
+            raise TopologyError("periods must be positive")
+        self.topology = topology
+        self.duration = float(duration)
+        self.policy = policy
+        self.monitor_period = float(monitor_period)
+        self.sample_period = float(sample_period)
+        self.cpu_high = float(cpu_high)
+        self.cpu_low = float(cpu_low)
+        self.mix = RequestMix() if mix is None else mix
+        self.solver = FlatSolver(topology, layout=layout, dt=dt)
+        n = self.solver.n
+        self.phases = np.array(
+            phase_offsets(n, spread=phase_spread, seed=phase_seed)
+        )
+        #: Per-machine peak offered rate: each machine serves its own
+        #: regional stream sized for one server at the target peak.
+        self._peak_rate = peak_rate_for_utilization(
+            peak_utilization, 1, self.mix
+        )
+        self._valley_rate = valley_fraction * self._peak_rate
+        self._plateau = float(plateau)
+        self.weights = np.ones(n)
+        self._capacity = np.full(n, self.mix.capacity())
+        self.offered_total = 0.0
+        self.dropped_total = 0.0
+        self.throttle_events = 0
+        self._monitor_ticks = max(
+            1, int(round(self.monitor_period / self.solver.dt))
+        )
+        self._sample_ticks = max(
+            1, int(round(self.sample_period / self.solver.dt))
+        )
+        # Zone partition for reduceat aggregation: rows sorted by zone
+        # id (stable, so canonical machine order breaks ties), one
+        # segment start per zone.
+        self._zone_names = list(topology.zones)
+        zone_ids = np.array(
+            [
+                self._zone_names.index(topology.positions[name].zone)
+                for name in topology.machines
+            ],
+            dtype=np.intp,
+        )
+        self._zone_sort = np.argsort(zone_ids, kind="stable")
+        sorted_ids = zone_ids[self._zone_sort]
+        self._zone_starts = np.searchsorted(
+            sorted_ids, np.arange(len(self._zone_names))
+        )
+        self._zone_counts = np.bincount(
+            zone_ids, minlength=len(self._zone_names)
+        ).astype(float)
+        self.telemetry = _ensure_telemetry(telemetry)
+        self.telemetry.gauge(
+            "sim_machines", help="Machines in the simulated datacenter.",
+        ).set(float(n))
+        self.telemetry.gauge(
+            "sim_zones", help="Cooling zones in the simulated datacenter.",
+        ).set(float(len(self._zone_names)))
+
+    # -- workload --------------------------------------------------------
+
+    def offered_rates(self, t: float):
+        """Per-machine offered request rates at simulated time ``t``.
+
+        The vectorized form of :func:`repro.cluster.tracegen.
+        diurnal_shape` with per-machine phase offsets and no jitter
+        (jitter would need a per-machine RNG stream per tick; the phase
+        spread already decorrelates the room).
+        """
+        duration = self.duration
+        tt = (t - self.phases * duration) % duration
+        peak_at = 0.6 * duration
+        ascent = tt <= peak_at
+        phase = np.where(
+            ascent,
+            math.pi * (tt / peak_at - 1.0),
+            math.pi * (tt - peak_at) / (0.55 * duration),
+        )
+        shape = 0.5 * (1.0 + np.cos(phase))
+        shape = np.minimum(shape, self._plateau) / self._plateau
+        return self._valley_rate + (self._peak_rate - self._valley_rate) * shape
+
+    # -- stepping --------------------------------------------------------
+
+    def step(self, ticks: int = 1) -> None:
+        """Advance the datacenter ``ticks`` solver ticks."""
+        solver = self.solver
+        dt = solver.dt
+        cpu_T = solver.node_column(table1.CPU)
+        for _ in range(ticks):
+            rates = self.offered_rates(solver.time)
+            offered = float(rates.sum())
+            allocated, dropped = allocate_rates(
+                offered, self.weights, self._capacity
+            )
+            self.offered_total += offered * dt
+            self.dropped_total += dropped * dt
+            solver.set_utilization(
+                table1.CPU,
+                np.minimum(allocated * self.mix.cpu_demand, 1.0),
+            )
+            solver.set_utilization(
+                table1.DISK_PLATTERS,
+                np.minimum(allocated * self.mix.disk_demand, 1.0),
+            )
+            solver.step()
+            if self.policy != "none" and (
+                solver.iterations % self._monitor_ticks == 0
+            ):
+                hot = cpu_T > self.cpu_high
+                if hot.any():
+                    self.throttle_events += int(hot.sum())
+                    self.weights = np.where(
+                        hot,
+                        np.maximum(self.weights * THROTTLE_FACTOR, MIN_WEIGHT),
+                        self.weights,
+                    )
+                cold = (~hot) & (cpu_T < self.cpu_low) & (self.weights < 1.0)
+                if cold.any():
+                    self.weights = np.where(
+                        cold,
+                        np.minimum(self.weights * RESTORE_FACTOR, 1.0),
+                        self.weights,
+                    )
+            if self.telemetry.enabled and (
+                solver.iterations % self._sample_ticks == 0
+            ):
+                self._sample()
+
+    def run(self, duration: Optional[float] = None) -> Dict[str, object]:
+        """Run for ``duration`` simulated seconds and return the summary."""
+        if duration is None:
+            duration = self.duration
+        ticks = int(round(duration / self.solver.dt))
+        self.step(ticks)
+        if self.telemetry.enabled:
+            self._sample()
+        return self.summary()
+
+    # -- observability ---------------------------------------------------
+
+    def zone_cpu_stats(self) -> Dict[str, Tuple[float, float]]:
+        """Per zone: (max, mean) CPU temperature right now."""
+        cpu_T = self.solver.node_column(table1.CPU)
+        by_zone = cpu_T[self._zone_sort]
+        maxima = np.maximum.reduceat(by_zone, self._zone_starts)
+        sums = np.add.reduceat(by_zone, self._zone_starts)
+        means = sums / self._zone_counts
+        return {
+            zone: (float(maxima[i]), float(means[i]))
+            for i, zone in enumerate(self._zone_names)
+        }
+
+    def _sample(self) -> None:
+        self.telemetry.advance(self.solver.time)
+        for zone, (peak, mean) in self.zone_cpu_stats().items():
+            labels = {"zone": zone}
+            self.telemetry.gauge(
+                "scale_zone_cpu_max_celsius", labels,
+                help="Hottest CPU temperature per cooling zone.",
+            ).set(peak)
+            self.telemetry.gauge(
+                "scale_zone_cpu_mean_celsius", labels,
+                help="Mean CPU temperature per cooling zone.",
+            ).set(mean)
+        throttled = int((self.weights < 1.0).sum())
+        self.telemetry.gauge(
+            "scale_throttled_machines",
+            help="Machines currently running at reduced scheduling weight.",
+        ).set(float(throttled))
+        self.telemetry.gauge(
+            "scale_offered_requests_total",
+            help="Cumulative offered requests.",
+        ).set(self.offered_total)
+        self.telemetry.gauge(
+            "scale_dropped_requests_total",
+            help="Cumulative dropped requests.",
+        ).set(self.dropped_total)
+
+    def summary(self) -> Dict[str, object]:
+        """Scalar outcome summary (the CLI's report)."""
+        zone_stats = self.zone_cpu_stats()
+        drop_fraction = (
+            self.dropped_total / self.offered_total
+            if self.offered_total > 0.0
+            else 0.0
+        )
+        return {
+            "machines": self.solver.n,
+            "zones": len(self._zone_names),
+            "ticks": self.solver.iterations,
+            "sim_time": self.solver.time,
+            "offered_requests": self.offered_total,
+            "dropped_requests": self.dropped_total,
+            "drop_fraction": drop_fraction,
+            "throttle_events": self.throttle_events,
+            "throttled_machines": int((self.weights < 1.0).sum()),
+            "zone_cpu_max": {z: s[0] for z, s in zone_stats.items()},
+            "zone_cpu_mean": {z: s[1] for z, s in zone_stats.items()},
+        }
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Snapshot the whole datacenter as plain JSON-able data."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "solver": self.solver.checkpoint(),
+            "weights": self.weights.tolist(),
+            "offered_total": self.offered_total,
+            "dropped_total": self.dropped_total,
+            "throttle_events": self.throttle_events,
+        }
+
+    def restore(self, data: Mapping[str, object]) -> None:
+        """Restore a :meth:`checkpoint` onto this simulation."""
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise TopologyError(
+                f"unsupported scale checkpoint version {version!r}"
+            )
+        self.solver.restore(data["solver"])
+        weights = np.array(data["weights"], dtype=float)
+        if weights.shape != self.weights.shape:
+            raise TopologyError("checkpoint shape does not match this room")
+        self.weights = weights
+        self.offered_total = float(data["offered_total"])
+        self.dropped_total = float(data["dropped_total"])
+        self.throttle_events = int(data["throttle_events"])
+
+    def __repr__(self) -> str:
+        return (
+            f"ScaleSimulation({self.solver.n} machines, "
+            f"{len(self._zone_names)} zones, policy={self.policy!r})"
+        )

@@ -8,6 +8,7 @@ from repro.cluster.tracegen import (
     constant_trace,
     diurnal_trace,
     peak_rate_for_utilization,
+    phase_offsets,
 )
 from repro.cluster.webserver import RequestMix
 
@@ -96,6 +97,47 @@ class TestDiurnalTrace:
     def test_rates_never_negative(self):
         trace = diurnal_trace(jitter=0.3, seed=9)
         assert all(p.rate >= 0.0 for p in trace._points)
+
+
+class TestPhaseOffsets:
+    def test_seed_stable(self):
+        # Same (seed, index) must reproduce the exact same floats.
+        assert phase_offsets(50) == phase_offsets(50)
+        assert phase_offsets(50, seed=7) == phase_offsets(50, seed=7)
+        assert phase_offsets(50, seed=7) != phase_offsets(50, seed=8)
+
+    def test_prefix_stable(self):
+        # Growing the room never reshuffles existing machines' phases.
+        assert phase_offsets(200)[:50] == phase_offsets(50)
+
+    def test_range_and_spread(self):
+        offsets = phase_offsets(500, spread=0.25)
+        assert all(0.0 <= value < 0.25 for value in offsets)
+        assert phase_offsets(10, spread=0.0) == [0.0] * 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            phase_offsets(-1)
+        with pytest.raises(ValueError):
+            phase_offsets(10, spread=1.5)
+
+    def test_zero_phase_is_identity(self):
+        # phase=0 must reproduce the unshifted trace bit-for-bit: the
+        # golden cluster traces were generated without the parameter.
+        a = diurnal_trace(seed=3)
+        b = diurnal_trace(seed=3, phase=0.0)
+        assert [p.rate for p in a._points] == [p.rate for p in b._points]
+
+    def test_phase_rotates_peak(self):
+        base = diurnal_trace(jitter=0.0)
+        shifted = diurnal_trace(jitter=0.0, phase=0.2)
+        # The shifted trace peaks 20% of the window later.
+        peak_t = 0.6 * base.duration
+        assert shifted.rate_at(peak_t + 0.2 * base.duration) == pytest.approx(
+            base.rate_at(peak_t), rel=0.02
+        )
+        with pytest.raises(ValueError):
+            diurnal_trace(phase=1.0)
 
 
 class TestConstantTrace:

@@ -326,3 +326,58 @@ class TestSweep:
         code, output = run_cli("sweep", str(grid))
         assert code == 1
         assert "unknown RunSpec field" in output
+
+
+class TestScale:
+    def test_generated_grid_run(self):
+        code, output = run_cli(
+            "scale", "--machines", "60", "--zones", "3",
+            "--machines-per-rack", "5", "--duration", "120",
+        )
+        assert code == 0
+        assert "scale: 60 machines in 3 zone(s), 120 ticks" in output
+        assert "zone0: CPU max" in output
+        assert "zone2: CPU max" in output
+
+    def test_topology_file_and_telemetry(self, tmp_path):
+        from repro.topology import grid_topology
+
+        room = tmp_path / "room.json"
+        room.write_text(grid_topology(20, zones=2, machines_per_rack=5).to_json())
+        telemetry_path = tmp_path / "scale.jsonl"
+        code, output = run_cli(
+            "scale", "--topology", str(room), "--duration", "90",
+            "--telemetry", str(telemetry_path),
+        )
+        assert code == 0
+        assert "scale: 20 machines in 2 zone(s)" in output
+        assert telemetry_path.exists()
+        snapshot = telemetry_path.with_suffix(".prom").read_text()
+        assert "sim_machines 20" in snapshot
+        assert 'scale_zone_cpu_max_celsius{zone="zone0"}' in snapshot
+
+    def test_supply_override_heats_room(self):
+        code_cool, out_cool = run_cli(
+            "scale", "--machines", "10", "--zones", "1",
+            "--duration", "200",
+        )
+        code_hot, out_hot = run_cli(
+            "scale", "--machines", "10", "--zones", "1",
+            "--duration", "200", "--supply", "35",
+        )
+        assert code_cool == 0 and code_hot == 0
+
+        def peak(text):
+            for line in text.splitlines():
+                if "zone0: CPU max" in line:
+                    return float(line.split("CPU max ")[1].split("C,")[0])
+            raise AssertionError(text)
+
+        assert peak(out_hot) > peak(out_cool) + 5.0
+
+    def test_missing_topology_file(self, tmp_path):
+        code, output = run_cli(
+            "scale", "--topology", str(tmp_path / "missing.json"),
+        )
+        assert code == 1
+        assert "cannot read topology file" in output

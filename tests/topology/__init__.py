@@ -1,0 +1,1 @@
+"""Tests for the datacenter spatial-topology subsystem."""

@@ -1,0 +1,169 @@
+"""Tests for the Topology model: validation, builders, serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Position,
+    RecirculationEdge,
+    Topology,
+    Zone,
+    grid_topology,
+    load_topology,
+)
+
+
+def tiny_topology(edges=()):
+    zones = [Zone("cold", 21.6), Zone("warm", 24.0)]
+    machines = ["a", "b", "c"]
+    positions = {
+        "a": Position("cold", 0, 0),
+        "b": Position("cold", 0, 1),
+        "c": Position("warm", 0, 0),
+    }
+    return Topology(machines, zones, positions, edges)
+
+
+class TestValidation:
+    def test_builds(self):
+        topo = tiny_topology([RecirculationEdge("a", "b", 0.1)])
+        assert len(topo) == 3
+        assert topo.zone_of("c") == "warm"
+        assert topo.supply_temperature("c") == 24.0
+        assert topo.zone_members() == {"cold": ["a", "b"], "warm": ["c"]}
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            Topology([], [Zone("z", 21.6)], {})
+
+    def test_rejects_duplicate_machine(self):
+        with pytest.raises(TopologyError):
+            Topology(
+                ["a", "a"], [Zone("z", 21.6)],
+                {"a": Position("z", 0, 0)},
+            )
+
+    def test_rejects_unknown_zone(self):
+        with pytest.raises(TopologyError, match="unknown zone"):
+            Topology(["a"], [Zone("z", 21.6)], {"a": Position("nope", 0, 0)})
+
+    def test_rejects_position_mismatch(self):
+        with pytest.raises(TopologyError, match="positions do not match"):
+            Topology(["a", "b"], [Zone("z", 21.6)], {"a": Position("z", 0, 0)})
+
+    def test_rejects_shared_grid_position(self):
+        with pytest.raises(TopologyError, match="share grid position"):
+            Topology(
+                ["a", "b"], [Zone("z", 21.6)],
+                {"a": Position("z", 0, 0), "b": Position("z", 0, 0)},
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError, match="itself"):
+            tiny_topology([RecirculationEdge("a", "a", 0.1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            tiny_topology(
+                [RecirculationEdge("a", "b", 0.1),
+                 RecirculationEdge("a", "b", 0.2)]
+            )
+
+    def test_rejects_unknown_edge_machine(self):
+        with pytest.raises(TopologyError, match="unknown machine"):
+            tiny_topology([RecirculationEdge("a", "ghost", 0.1)])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(TopologyError, match=">= 0"):
+            tiny_topology([RecirculationEdge("a", "b", -0.1)])
+
+    def test_rejects_overfull_inlet(self):
+        # b's incoming weights sum over 1: no supply fraction remains.
+        with pytest.raises(TopologyError, match="sum to"):
+            tiny_topology(
+                [RecirculationEdge("a", "b", 0.6),
+                 RecirculationEdge("c", "b", 0.5)]
+            )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        topo = tiny_topology(
+            [RecirculationEdge("a", "b", 0.1),
+             RecirculationEdge("b", "c", 0.05)]
+        )
+        clone = Topology.from_json(topo.to_json())
+        assert clone.machines == topo.machines
+        assert clone.positions == topo.positions
+        assert clone.recirculation == topo.recirculation
+        assert clone.zones == topo.zones
+        # Canonical: the JSON text itself round-trips byte-for-byte.
+        assert clone.to_json() == topo.to_json()
+
+    def test_rejects_unknown_keys(self):
+        data = tiny_topology().to_dict()
+        data["racks"] = []
+        with pytest.raises(TopologyError, match="unknown topology key"):
+            Topology.from_dict(data)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(TopologyError, match="invalid topology JSON"):
+            Topology.from_json("{nope")
+        with pytest.raises(TopologyError, match="must be an object"):
+            Topology.from_json("[1,2]")
+        with pytest.raises(TopologyError, match="malformed"):
+            Topology.from_dict({"zones": {"z": {}}, "machines": {}})
+
+    def test_load_topology(self, tmp_path):
+        topo = tiny_topology([RecirculationEdge("a", "b", 0.1)])
+        path = tmp_path / "room.json"
+        path.write_text(topo.to_json())
+        loaded = load_topology(str(path))
+        assert loaded.to_json() == topo.to_json()
+        with pytest.raises(TopologyError, match="cannot read"):
+            load_topology(str(tmp_path / "missing.json"))
+
+
+class TestGridTopology:
+    def test_shape(self):
+        topo = grid_topology(40, zones=2, machines_per_rack=10)
+        assert len(topo) == 40
+        assert sorted(topo.zones) == ["zone0", "zone1"]
+        members = topo.zone_members()
+        # Racks are dealt round-robin: 4 racks of 10, two per zone.
+        assert len(members["zone0"]) == 20
+        assert len(members["zone1"]) == 20
+
+    def test_deterministic(self):
+        assert (
+            grid_topology(100, zones=4).to_json()
+            == grid_topology(100, zones=4).to_json()
+        )
+
+    def test_couplings(self):
+        topo = grid_topology(40, zones=2, machines_per_rack=10,
+                             intra_rack=0.08, cross_rack=0.04)
+        weights = {(e.src, e.dst): e.weight for e in topo.recirculation}
+        # Intra-rack: slot above re-ingests the machine below it.
+        assert weights[("machine1", "machine2")] == 0.08
+        # Cross-rack: rack 3 (global) couples to rack 1 — same zone.
+        assert weights[("machine1", "machine21")] == 0.04
+        assert topo.zone_of("machine1") == topo.zone_of("machine21")
+
+    def test_zone_supplies(self):
+        topo = grid_topology(
+            10, zones=2, machines_per_rack=5,
+            zone_supplies={"zone0": 18.0, "zone1": 23.0},
+        )
+        assert topo.zones["zone0"].supply_temperature == 18.0
+        assert topo.zones["zone1"].supply_temperature == 23.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            grid_topology(0)
+        with pytest.raises(TopologyError):
+            grid_topology(10, zones=0)
+        with pytest.raises(TopologyError):
+            grid_topology(10, intra_rack=0.7, cross_rack=0.5)

@@ -1,0 +1,102 @@
+"""Tests for the datacenter-scale simulation harness."""
+
+import json
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import TopologyError
+from repro.telemetry import Telemetry, parse_prometheus
+from repro.topology import ScaleSimulation, grid_topology
+
+
+def room(n=60, zones=3):
+    return grid_topology(n, zones=zones, machines_per_rack=5)
+
+
+class TestWorkload:
+    def test_phase_offsets_decorrelate(self):
+        sim = ScaleSimulation(room(), duration=1000.0, phase_spread=0.3)
+        rates = sim.offered_rates(600.0)
+        # Machines peak at different times, so instantaneous rates vary.
+        assert rates.max() - rates.min() > 0.0
+        zero_spread = ScaleSimulation(room(), duration=1000.0,
+                                      phase_spread=0.0)
+        flat_rates = zero_spread.offered_rates(600.0)
+        assert flat_rates.max() == flat_rates.min()
+
+    def test_run_summary(self):
+        sim = ScaleSimulation(room(), duration=300.0)
+        summary = sim.run()
+        assert summary["machines"] == 60
+        assert summary["zones"] == 3
+        assert summary["ticks"] == 300
+        assert summary["offered_requests"] > 0.0
+        assert set(summary["zone_cpu_max"]) == {"zone0", "zone1", "zone2"}
+        for zone, peak in summary["zone_cpu_max"].items():
+            assert peak >= summary["zone_cpu_mean"][zone]
+
+    def test_policy_throttles_hot_room(self):
+        # A hot supply pushes CPUs over the threshold; the vectorized
+        # policy must bite (weights drop) where the no-op policy doesn't.
+        hot = grid_topology(20, zones=1, machines_per_rack=5,
+                            supply_temperature=55.0)
+        managed = ScaleSimulation(hot, duration=900.0, policy="freon")
+        managed.step(900)
+        unmanaged = ScaleSimulation(hot, duration=900.0, policy="none")
+        unmanaged.step(900)
+        assert managed.throttle_events > 0
+        assert (managed.weights < 1.0).any()
+        assert unmanaged.throttle_events == 0
+        assert (unmanaged.weights == 1.0).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError, match="policy"):
+            ScaleSimulation(room(), policy="overclock")
+        with pytest.raises(TopologyError, match="duration"):
+            ScaleSimulation(room(), duration=0.0)
+
+
+class TestTelemetry:
+    def test_zone_labels_round_trip(self):
+        telemetry = Telemetry()
+        sim = ScaleSimulation(room(), duration=240.0, telemetry=telemetry)
+        sim.run()
+        parsed = parse_prometheus(telemetry.to_prometheus())
+        # One labelled series per zone, surviving the text round trip.
+        for zone in ("zone0", "zone1", "zone2"):
+            key = ("scale_zone_cpu_max_celsius", (("zone", zone),))
+            assert key in parsed
+            assert parsed[key] > 0.0
+        assert parsed[("sim_machines", ())] == 60.0
+        assert parsed[("sim_zones", ())] == 3.0
+
+    def test_null_telemetry_costs_nothing(self):
+        sim = ScaleSimulation(room(), duration=120.0, telemetry=None)
+        sim.run()
+        assert not sim.telemetry.enabled
+
+
+class TestCheckpoint:
+    def test_bit_exact_resume(self):
+        topo = room()
+        sim = ScaleSimulation(topo, duration=600.0)
+        sim.step(250)
+        data = json.loads(json.dumps(sim.checkpoint()))
+        clone = ScaleSimulation(topo, duration=600.0)
+        clone.restore(data)
+        sim.step(150)
+        clone.step(150)
+        assert np.array_equal(sim.solver.group.T, clone.solver.group.T)
+        assert np.array_equal(sim.weights, clone.weights)
+        assert sim.offered_total == clone.offered_total
+        assert sim.dropped_total == clone.dropped_total
+        assert sim.throttle_events == clone.throttle_events
+
+    def test_version_gate(self):
+        sim = ScaleSimulation(room(), duration=60.0)
+        data = sim.checkpoint()
+        data["version"] = 99
+        with pytest.raises(TopologyError, match="version"):
+            sim.restore(data)
