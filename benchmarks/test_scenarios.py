@@ -1,0 +1,177 @@
+"""Adversarial workload scenarios: emergency cost and cloning A/B.
+
+Every scenario in :mod:`repro.cluster.scenarios` reruns the section 5
+thermal emergencies under a nastier workload than the paper's smooth
+diurnal curve — flash crowds, phase-offset multi-region load, a
+CGI-heavy request mix, and a rate-aggregated millions-of-users trace.
+For each scenario the benchmark reports the thermal-emergency
+throughput cost (dropped-request fraction) with request cloning off and
+on, plus the p99 request latency; the chaos variants rerun the same
+workloads under the full fault storm and must still pin every CPU at
+T_h.
+
+The cloning A/B gate runs separately on controlled constant loads:
+
+* **low load** — cloning must cut the p99 tail (first of d clones
+  answers in 1/d of the solo time);
+* **high load** — the shed-to-single-dispatch guard must keep served
+  throughput within a hair of the uncloned run (graceful degradation,
+  no work amplification collapse).
+"""
+
+import pytest
+
+from repro.cluster.lvs import CloningConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.tracegen import constant_trace, peak_rate_for_utilization
+from repro.config import table1
+from repro.faults.injector import FaultInjector
+
+from .conftest import SOLVER_ENGINE, emit, write_bench
+
+#: The scenarios to replay (chaos variants derived below).
+from repro.cluster.scenarios import SCENARIO_NAMES
+
+#: Allowed overshoot above T_h under faults (matches the chaos replay).
+TOLERANCE = 0.5
+
+#: Scenario horizon; covers the t=480 s emergencies and the recovery.
+DURATION = 2000.0
+
+#: Fault seed for the chaos variants; seed 3 drops a real datagram.
+CHAOS_SEED = 3
+
+
+def run_scenario(name, cloning=None):
+    sim = ClusterSimulation(
+        policy="freon",
+        scenario=name,
+        scenario_duration=DURATION,
+        engine=SOLVER_ENGINE,
+        injector=FaultInjector(seed=CHAOS_SEED),
+        cloning=cloning,
+    )
+    result = sim.run(DURATION)
+    return sim, result
+
+
+@pytest.fixture(scope="module")
+def scenario_runs():
+    """Every scenario (plain + chaos) with cloning off and on."""
+    runs = {}
+    for base in SCENARIO_NAMES:
+        for name in (base, f"{base}-chaos"):
+            runs[name] = {
+                "off": run_scenario(name),
+                "on": run_scenario(name, cloning=CloningConfig(clones=2)),
+            }
+    return runs
+
+
+def test_scenario_emergency_cost(benchmark, scenario_runs):
+    rows = []
+    results = {}
+    for name, pair in sorted(scenario_runs.items()):
+        sim_off, res_off = pair["off"]
+        sim_on, res_on = pair["on"]
+        peak_off = max(
+            res_off.max_temperature(m) for m in sim_off.machines
+        )
+        peak_on = max(res_on.max_temperature(m) for m in sim_on.machines)
+        results[name] = {
+            "drop_fraction": res_off.drop_fraction,
+            "drop_fraction_cloned": res_on.drop_fraction,
+            "p99_latency_s": res_off.p99_latency(),
+            "p99_latency_cloned_s": res_on.p99_latency(),
+            "max_cpu_temperature": peak_off,
+            "max_cpu_temperature_cloned": peak_on,
+        }
+        rows.append(
+            f"{name:>20}  drop {res_off.drop_fraction * 100:6.2f}% -> "
+            f"{res_on.drop_fraction * 100:6.2f}%  "
+            f"p99 {res_off.p99_latency() * 1000:7.2f}ms -> "
+            f"{res_on.p99_latency() * 1000:7.2f}ms  "
+            f"peak {peak_off:5.1f}C / {peak_on:5.1f}C"
+        )
+
+    emit(
+        "scenario_costs",
+        "Thermal-emergency throughput cost per adversarial scenario\n"
+        f"bound: T_h + {TOLERANCE} = {table1.T_HIGH_CPU + TOLERANCE} C "
+        "(chaos variants)\n\n" + "\n".join(rows),
+    )
+
+    # Thermal contract under adversarial load: the red-line guard caps
+    # every excursion (flash crowds can outrun the controller past T_h,
+    # but never past the protection band), and the chaos variant's fault
+    # storm must add nothing on top of its plain twin.
+    for name, row in results.items():
+        assert (
+            row["max_cpu_temperature"] <= table1.T_RED_CPU + 1.0
+        ), name
+        assert (
+            row["max_cpu_temperature_cloned"] <= table1.T_RED_CPU + 1.0
+        ), name
+    for base in SCENARIO_NAMES:
+        plain = results[base]
+        chaos = results[f"{base}-chaos"]
+        bound = max(table1.T_HIGH_CPU, plain["max_cpu_temperature"])
+        assert chaos["max_cpu_temperature"] <= bound + TOLERANCE, base
+    # Cloning's work amplification must never blow up the drop rate:
+    # the shed guard caps the cost at a small work-multiplier premium.
+    for name, row in results.items():
+        assert row["drop_fraction_cloned"] <= row["drop_fraction"] + 0.02, name
+
+    globals()["_SCENARIO_RESULTS"] = results
+    benchmark.pedantic(
+        run_scenario, args=("flash-crowd",), iterations=1, rounds=1
+    )
+
+
+def _constant_load_pair(utilization, duration=300.0):
+    rate = utilization * peak_rate_for_utilization(1.0, 4)
+    trace = constant_trace(rate, duration)
+
+    def run(cloning=None):
+        sim = ClusterSimulation(
+            policy="freon", trace=trace, fiddle_script="",
+            engine=SOLVER_ENGINE, cloning=cloning,
+        )
+        return sim.run(duration)
+
+    return run(None), run(CloningConfig(clones=2))
+
+
+def test_cloning_ab_gate(scenario_runs):
+    # Low load: far below the shed ceiling, every tick clones, and the
+    # first-of-two response halves the tail.
+    low_base, low_cloned = _constant_load_pair(0.30)
+    assert low_cloned.p99_latency() < 0.6 * low_base.p99_latency()
+    assert low_cloned.drop_fraction == low_base.drop_fraction == 0.0
+
+    # High load: above the ceiling, cloning sheds to single dispatch;
+    # served throughput must match the uncloned run (graceful, not a
+    # work-amplification collapse).
+    high_base, high_cloned = _constant_load_pair(0.95)
+    served_base = high_base.total_offered - high_base.total_dropped
+    served_cloned = high_cloned.total_offered - high_cloned.total_dropped
+    assert served_cloned >= 0.98 * served_base
+
+    payload = {
+        "engine": SOLVER_ENGINE,
+        "duration_s": DURATION,
+        "scenarios": globals().get("_SCENARIO_RESULTS", {}),
+        "cloning_ab": {
+            "low_load": {
+                "utilization": 0.30,
+                "p99_latency_s": low_base.p99_latency(),
+                "p99_latency_cloned_s": low_cloned.p99_latency(),
+            },
+            "high_load": {
+                "utilization": 0.95,
+                "served_requests": served_base,
+                "served_requests_cloned": served_cloned,
+            },
+        },
+    }
+    write_bench("BENCH_scenarios.json", payload)

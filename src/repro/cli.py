@@ -57,6 +57,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .cluster.lvs import CloningConfig
+from .cluster.scenarios import scenario_names
 from .cluster.simulation import (
     MODES,
     POLICIES,
@@ -71,16 +73,32 @@ from .errors import ReproError
 from .fiddle.script import events_from_script
 from .mdot.loader import load_file
 from .mdot.writer import to_graphviz
-from .parallel import expand_grid, fig11_grid, threshold_grid, write_artifact
+from .parallel import (
+    expand_grid,
+    fig11_grid,
+    scenario_grid,
+    threshold_grid,
+    write_artifact,
+)
 from .parallel import sweep as run_sweep
 from .serve import AlertEngine, ThermalService, http_get, load_rules
 from .telemetry import CONTENT_TYPE_LATEST, Telemetry
 from .telemetry.exposition import parse_prometheus
 
-#: ``repro freon --experiment`` presets: paper figure -> (policy, script).
+#: ``repro freon --experiment`` presets: paper figures plus the workload
+#: scenario library.  Each preset names a policy and (for scenarios)
+#: the workload bundle the simulation builds its trace/mix/faults from.
 EXPERIMENTS = {
-    "fig11": "freon",      # base Freon under the section 5 emergencies
-    "fig12": "freon-ec",   # Freon-EC regional energy conservation
+    # Base Freon under the section 5 emergencies / Freon-EC regional
+    # energy conservation, on the classic diurnal trace.
+    "fig11": {"policy": "freon", "scenario": None},
+    "fig12": {"policy": "freon-ec", "scenario": None},
+    # Adversarial workload scenarios (see repro.cluster.scenarios);
+    # every one also has a "<name>-chaos" fault-storm variant.
+    **{
+        name: {"policy": "freon", "scenario": name}
+        for name in scenario_names()
+    },
 }
 
 
@@ -150,8 +168,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     freon.add_argument(
         "--experiment", choices=sorted(EXPERIMENTS), default=None,
-        help="paper-figure preset; overrides --policy "
-             "(fig11 = base Freon, fig12 = Freon-EC)",
+        help="preset; overrides --policy (fig11 = base Freon, fig12 = "
+             "Freon-EC, others = adversarial workload scenarios; "
+             "'-chaos' variants add the fault storm)",
+    )
+    freon.add_argument(
+        "--clones", type=int, default=0, metavar="D",
+        help="clone each request to D backends, first response wins "
+             "(0 = classic single dispatch)",
+    )
+    freon.add_argument(
+        "--clone-overhead", type=float, default=0.10, metavar="BETA",
+        help="cancellation overhead per cloned loser, as a fraction of "
+             "its attained service",
     )
     freon.add_argument(
         "--telemetry", default=None, metavar="PATH",
@@ -259,10 +288,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help='grid spec JSON file: {"base": {...}, "axes": {...}}',
     )
     sweep.add_argument(
-        "--preset", choices=("fig11", "thresholds"), default=None,
+        "--preset", choices=("fig11", "thresholds", "scenarios"),
+        default=None,
         help="built-in grid instead of a file (fig11 = every policy "
              "under the emergencies, thresholds = the section 5.1 "
-             "CPU-threshold sweep)",
+             "CPU-threshold sweep, scenarios = every workload scenario "
+             "and chaos variant, cloning off/on)",
     )
     sweep.add_argument(
         "--workers", type=int, default=1,
@@ -321,6 +352,10 @@ def _build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--policy", choices=("freon", "none"), default="freon",
         help="vectorized management policy",
+    )
+    scale.add_argument(
+        "--clones", type=int, default=0, metavar="D",
+        help="request cloning degree across the room (0 = off)",
     )
     scale.add_argument(
         "--supply", type=float, default=None, metavar="CELSIUS",
@@ -483,15 +518,34 @@ def cmd_graphviz(args: argparse.Namespace, out) -> int:
 
 def cmd_freon(args: argparse.Namespace, out) -> int:
     policy = args.policy
+    scenario = None
     if args.experiment is not None:
-        policy = EXPERIMENTS[args.experiment]
-        print(f"experiment {args.experiment}: policy {policy}", file=out)
-    script = None if args.no_emergency else emergency_script()
+        preset = EXPERIMENTS[args.experiment]
+        policy = preset["policy"]
+        scenario = preset["scenario"]
+        label = scenario or "classic trace"
+        print(
+            f"experiment {args.experiment}: policy {policy} ({label})",
+            file=out,
+        )
+    if scenario is not None:
+        # A scenario brings its own fault script; --no-emergency strips
+        # it (empty string: not-None, so the scenario won't refill it).
+        script = "" if args.no_emergency else None
+    else:
+        script = None if args.no_emergency else emergency_script()
+    cloning = None
+    if args.clones:
+        cloning = CloningConfig(
+            clones=args.clones, cancel_overhead=args.clone_overhead
+        )
     telemetry = _make_telemetry(args)
     simulation = ClusterSimulation(
         policy=policy, fiddle_script=script, engine=args.engine,
         telemetry=telemetry, mode=args.mode,
         idle_fast_forward=args.fast_forward,
+        scenario=scenario, scenario_duration=args.duration,
+        cloning=cloning,
     )
     result = simulation.run(args.duration)
     print(f"policy: {policy}  engine: {args.engine}", file=out)
@@ -521,6 +575,19 @@ def cmd_freon(args: argparse.Namespace, out) -> int:
         print(f"reconfigurations: {len(result.ec_events)}", file=out)
     if result.pstate_changes:
         print(f"P-state changes: {len(result.pstate_changes)}", file=out)
+    if scenario is not None or cloning is not None:
+        print(
+            f"p99 request latency: {result.p99_latency() * 1000:.1f} ms",
+            file=out,
+        )
+    if cloning is not None:
+        scales = result.clone_latency_scales
+        shed = sum(1 for s in scales if s >= 1.0)
+        print(
+            f"cloning: d={args.clones}, shed {shed} of "
+            f"{len(scales)} tick(s)",
+            file=out,
+        )
     _write_telemetry(telemetry, args, out)
     return 0
 
@@ -631,6 +698,8 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         grid = fig11_grid()
     elif args.preset == "thresholds":
         grid = threshold_grid()
+    elif args.preset == "scenarios":
+        grid = scenario_grid()
     else:
         with open(args.grid) as handle:
             grid = json.load(handle)
@@ -739,9 +808,10 @@ def cmd_scale(args: argparse.Namespace, out) -> int:
             ),
         )
     telemetry = _make_telemetry(args)
+    cloning = CloningConfig(clones=args.clones) if args.clones else None
     simulation = ScaleSimulation(
         topology, duration=args.duration, policy=args.policy,
-        telemetry=telemetry,
+        cloning=cloning, telemetry=telemetry,
     )
     start = time.perf_counter()
     summary = simulation.run()
@@ -760,6 +830,12 @@ def cmd_scale(args: argparse.Namespace, out) -> int:
         f"{summary['throttled_machines']} machine(s) still throttled",
         file=out,
     )
+    if cloning is not None:
+        print(
+            f"  cloning d={args.clones}: {summary['clone_ticks']} cloned "
+            f"tick(s), {summary['shed_ticks']} shed tick(s)",
+            file=out,
+        )
     for zone in sorted(summary["zone_cpu_max"]):
         print(
             f"  {zone}: CPU max {summary['zone_cpu_max'][zone]:.2f}C, "

@@ -68,6 +68,71 @@ class Allocation:
     dropped_rate: float
 
 
+@dataclass(frozen=True)
+class CloningConfig:
+    """Request-cloning policy (processor-sharing cloning model).
+
+    Every request is dispatched to ``clones`` backends simultaneously;
+    the first response wins and the remaining clones are cancelled.  For
+    synchronized processor-sharing clones of exponentially distributed
+    demands the first completion arrives after ``1/clones`` of the
+    solo service time (the min of d exponentials), so cloning buys a
+    ``latency_scale`` of ``1/clones`` — at the price of extra backend
+    work: each of the ``clones - 1`` losers has attained the same
+    service as the winner and its cancellation costs a further
+    ``cancel_overhead`` fraction of that attained service, giving a
+    ``work_multiplier`` of ``1 + (clones - 1) * cancel_overhead /
+    clones``.
+
+    Cloning is worth it only while the cluster has headroom.  When the
+    cloned work would push utilization past ``utilization_ceiling`` the
+    balancer opportunistically sheds to plain single-dispatch for that
+    tick, so a loaded cluster degrades gracefully to the uncloned
+    throughput instead of collapsing under self-inflicted work.
+    """
+
+    clones: int = 2
+    cancel_overhead: float = 0.10
+    utilization_ceiling: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.clones < 1:
+            raise ClusterError("clones must be >= 1")
+        if not 0.0 <= self.cancel_overhead <= 1.0:
+            raise ClusterError("cancel_overhead must be in [0, 1]")
+        if not 0.0 < self.utilization_ceiling <= 1.0:
+            raise ClusterError("utilization_ceiling must be in (0, 1]")
+
+    @property
+    def work_multiplier(self) -> float:
+        """Backend work per request relative to single dispatch."""
+        d = self.clones
+        return 1.0 + (d - 1) * self.cancel_overhead / d
+
+    @property
+    def latency_scale(self) -> float:
+        """Response-time factor relative to single dispatch."""
+        return 1.0 / self.clones
+
+
+@dataclass(frozen=True)
+class CloneAllocation:
+    """Result of one tick of cloned load distribution.
+
+    ``rates`` are backend *work* rates (what the servers actually
+    process, inflated by the work multiplier when cloning was active
+    this tick) so downstream utilization and heat stay physical;
+    ``dropped_rate`` is back in *request* units.  ``latency_scale`` is
+    the response-time factor in effect this tick (``1/clones`` when
+    cloned, ``1.0`` when shed), and ``cloned`` says which it was.
+    """
+
+    rates: Dict[str, float]
+    dropped_rate: float
+    latency_scale: float
+    cloned: bool
+
+
 class LoadBalancer:
     """Weighted least-connections request distribution with caps."""
 
@@ -252,6 +317,65 @@ class LoadBalancer:
         self.total_dropped += dropped
         return Allocation(rates=rates, dropped_rate=dropped)
 
+    def allocate_cloned(
+        self,
+        offered_rate: float,
+        capacity: Mapping[str, float],
+        response_time: Mapping[str, float],
+        config: CloningConfig,
+    ) -> CloneAllocation:
+        """Split one tick's offered *request* rate with cloning.
+
+        Dispatches each request to ``config.clones`` backends (first
+        response wins, losers cancelled) by offering the inflated work
+        rate ``offered_rate * work_multiplier`` to :meth:`allocate`.
+        When the cloned work would exceed ``utilization_ceiling`` of the
+        active servers' aggregate capacity the tick sheds to plain
+        single dispatch instead — cloning never costs throughput.
+
+        The returned per-server ``rates`` are work rates (drive
+        utilization/heat as usual); ``dropped_rate`` and the balancer's
+        cumulative ``total_offered``/``total_dropped`` counters stay in
+        request units so :meth:`drop_fraction` keeps meaning "fraction
+        of *requests* lost" with or without cloning.
+        """
+        multiplier = config.work_multiplier
+        cloned = config.clones > 1
+        if cloned and offered_rate > 0.0:
+            eligible, _ = self._actives()
+            total_capacity = 0.0
+            for server in eligible:
+                limit = capacity.get(server.name, _INF)
+                if server.connection_limit is not None:
+                    t_resp = max(response_time.get(server.name, 0.0), 1e-6)
+                    limit = min(limit, server.connection_limit / t_resp)
+                total_capacity += max(limit, 0.0)
+            ceiling = config.utilization_ceiling * total_capacity
+            if offered_rate * multiplier > ceiling:
+                cloned = False  # opportunistic shed: no headroom to clone
+        if not cloned:
+            inner = self.allocate(offered_rate, capacity, response_time)
+            return CloneAllocation(
+                rates=inner.rates,
+                dropped_rate=inner.dropped_rate,
+                latency_scale=1.0,
+                cloned=False,
+            )
+        inner = self.allocate(
+            offered_rate * multiplier, capacity, response_time
+        )
+        # allocate() counted work units; rewind the cumulative counters
+        # to request units so drop_fraction() stays comparable.
+        dropped = inner.dropped_rate / multiplier
+        self.total_offered -= offered_rate * (multiplier - 1.0)
+        self.total_dropped -= inner.dropped_rate - dropped
+        return CloneAllocation(
+            rates=inner.rates,
+            dropped_rate=dropped,
+            latency_scale=config.latency_scale,
+            cloned=True,
+        )
+
     # -- statistics (what admd samples every few seconds) -------------------
 
     def connection_stats(self) -> Dict[str, float]:
@@ -311,3 +435,36 @@ def allocate_rates(offered_rate: float, weights, ceilings):
         remaining if remaining > 1e-9 * max(offered_rate, 1.0) else 0.0
     )
     return rates, dropped
+
+
+def allocate_rates_cloned(offered_rate, weights, ceilings, config):
+    """Vectorized cloned water-filling over a whole machine axis.
+
+    The array form of :meth:`LoadBalancer.allocate_cloned`, used by
+    :class:`repro.topology.sim.ScaleSimulation` at 1k-10k machines:
+    offer ``offered_rate * work_multiplier`` through
+    :func:`allocate_rates`, shedding to single dispatch when the cloned
+    work would exceed ``utilization_ceiling`` of the aggregate ceiling.
+    Infinite ceilings mean unbounded capacity, so cloning never sheds.
+    Returns ``(rates, dropped, latency_scale, cloned)`` with ``rates``
+    in work units and ``dropped`` in request units.
+    """
+    if np is None:
+        raise ClusterError("allocate_rates_cloned requires NumPy")
+    multiplier = config.work_multiplier
+    cloned = config.clones > 1
+    if cloned and offered_rate > 0.0:
+        ceil_arr = np.asarray(ceilings, dtype=float)
+        w_arr = np.asarray(weights, dtype=float)
+        total_capacity = float(
+            np.maximum(ceil_arr, 0.0)[w_arr > 0.0].sum()
+        )
+        if offered_rate * multiplier > config.utilization_ceiling * total_capacity:
+            cloned = False  # opportunistic shed: no headroom to clone
+    if not cloned:
+        rates, dropped = allocate_rates(offered_rate, weights, ceilings)
+        return rates, dropped, 1.0, False
+    rates, dropped = allocate_rates(
+        offered_rate * multiplier, weights, ceilings
+    )
+    return rates, dropped / multiplier, config.latency_scale, True

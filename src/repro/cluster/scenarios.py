@@ -1,0 +1,279 @@
+"""Adversarial workload scenario library.
+
+The paper's validation cluster serves one synthetic diurnal trace
+(:mod:`repro.cluster.tracegen`).  Real internet services face much
+nastier load, and a thermal manager that only survives the smooth curve
+has not been stress-tested.  This module builds the adversarial
+workloads named on the ROADMAP as ready-to-run scenarios:
+
+* **flash-crowd** — step spikes with exponential decay landing on a
+  diurnal base: a news event mid-morning and a bigger one right at the
+  afternoon peak, when the cluster has the least thermal headroom.
+* **multi-region** — the sum of several regions' diurnal curves, offset
+  by a fraction of a day each, normalized back to the target peak: load
+  never really goes away, and emergencies can land far from any single
+  region's peak.
+* **cgi-heavy** — the paper's 30% dynamic-content mix pushed to 60%:
+  each request costs far more CPU, so the same utilization arrives at a
+  much lower request rate and every dropped request is more expensive.
+* **megausers** — a rate-aggregated trace standing in for millions of
+  independent users: each user contributes a tiny Poisson request
+  stream following the diurnal shape, and the aggregate keeps the
+  1/sqrt(n) relative fluctuation of the binomial superposition
+  (Gaussian-approximated, seeded) instead of the generator's uniform
+  jitter.
+
+Every scenario carries the section 5 thermal emergency (so EXPERIMENTS
+can report the emergency throughput cost per scenario), and every
+scenario has a ``-chaos`` variant that swaps in the full fault storm
+from :func:`repro.cluster.simulation.chaos_script` — datagram loss, a
+stuck sensor, and a tempd crash — on top of the same workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ClusterError
+from .tracegen import (
+    RequestTrace,
+    TracePoint,
+    diurnal_shape,
+    diurnal_trace,
+    peak_rate_for_utilization,
+)
+from .webserver import RequestMix
+
+#: The plain scenario names; each also has a ``<name>-chaos`` variant.
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "flash-crowd",
+    "multi-region",
+    "cgi-heavy",
+    "megausers",
+)
+
+_DESCRIPTIONS = {
+    "flash-crowd": "diurnal base with step+exponential-decay load spikes",
+    "multi-region": "sum of phase-offset regional diurnals (no real valley)",
+    "cgi-heavy": "60% dynamic-content mix: costlier requests, lower rates",
+    "megausers": "rate-aggregated trace for millions of Poisson users",
+}
+
+
+def scenario_names(include_chaos: bool = True) -> Tuple[str, ...]:
+    """All scenario names, optionally with the ``-chaos`` variants."""
+    if not include_chaos:
+        return SCENARIO_NAMES
+    return SCENARIO_NAMES + tuple(f"{n}-chaos" for n in SCENARIO_NAMES)
+
+
+def is_scenario(name: str) -> bool:
+    """Whether ``name`` names a scenario (plain or chaos variant)."""
+    return _split(name)[0] in SCENARIO_NAMES
+
+
+def _split(name: str) -> Tuple[str, bool]:
+    """``"flash-crowd-chaos"`` -> ``("flash-crowd", True)``."""
+    if name.endswith("-chaos"):
+        return name[: -len("-chaos")], True
+    return name, False
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """Everything a :class:`ClusterSimulation` needs to run a scenario."""
+
+    name: str
+    description: str
+    trace: RequestTrace
+    mix: RequestMix
+    fiddle_script: str
+    chaos: bool
+
+
+# -- trace builders ---------------------------------------------------------
+
+
+def flash_crowd_trace(
+    duration: float = 2000.0,
+    servers: int = 4,
+    seed: int = 2006,
+    step: float = 10.0,
+    base_utilization: float = 0.55,
+    mix: RequestMix = RequestMix(),
+    spikes: Optional[Sequence[Tuple[float, float, float]]] = None,
+) -> RequestTrace:
+    """Step+exponential-decay spikes on a diurnal base.
+
+    ``spikes`` is a sequence of ``(at, amplitude, decay)`` fractions of
+    the window: at time ``at * duration`` the offered rate jumps by
+    ``amplitude`` times the full-cluster capacity rate and decays with
+    time constant ``decay * duration``.  The default pair is a moderate
+    mid-morning crowd and a larger one arriving at the afternoon peak.
+    """
+    if spikes is None:
+        spikes = ((0.30, 0.25, 0.05), (0.62, 0.40, 0.08))
+    base = diurnal_trace(
+        duration=duration, step=step, peak_utilization=base_utilization,
+        servers=servers, mix=mix, seed=seed,
+    )
+    capacity_rate = peak_rate_for_utilization(1.0, servers, mix)
+    points: List[TracePoint] = []
+    for point in base.points:
+        extra = 0.0
+        for at, amplitude, decay in spikes:
+            t0 = at * duration
+            if point.time >= t0:
+                extra += (
+                    amplitude * capacity_rate
+                    * math.exp(-(point.time - t0) / (decay * duration))
+                )
+        points.append(TracePoint(time=point.time, rate=point.rate + extra))
+    return RequestTrace(points)
+
+
+def multi_region_trace(
+    duration: float = 2000.0,
+    servers: int = 4,
+    seed: int = 2006,
+    step: float = 10.0,
+    regions: int = 3,
+    peak_utilization: float = 0.70,
+    mix: RequestMix = RequestMix(),
+) -> RequestTrace:
+    """Sum of ``regions`` phase-offset diurnals, renormalized.
+
+    Region ``i`` runs the diurnal curve shifted by ``i / regions`` of a
+    day (its own jitter stream), so the aggregate never drops to a true
+    valley.  The sum is rescaled so its peak still lands on
+    ``peak_utilization`` — the scenario changes the *shape*, not the
+    thermal operating point.  Relies on the descent reaching the valley
+    at the day boundary (the :func:`diurnal_shape` seam fix); with the
+    old truncated descent every wrapped region would jump at its seam.
+    """
+    if regions < 2:
+        raise ClusterError("multi-region needs at least 2 regions")
+    traces = [
+        diurnal_trace(
+            duration=duration, step=step,
+            peak_utilization=peak_utilization / regions,
+            servers=servers, mix=mix, seed=seed + index,
+            phase=index / regions,
+        )
+        for index in range(regions)
+    ]
+    grid = traces[0].points
+    summed = [
+        TracePoint(
+            time=point.time,
+            rate=sum(trace.rate_at(point.time) for trace in traces),
+        )
+        for point in grid
+    ]
+    target_peak = peak_rate_for_utilization(peak_utilization, servers, mix)
+    actual_peak = max(point.rate for point in summed)
+    scale = target_peak / actual_peak if actual_peak > 0.0 else 1.0
+    return RequestTrace(
+        [TracePoint(time=p.time, rate=p.rate * scale) for p in summed]
+    )
+
+
+def megausers_trace(
+    duration: float = 2000.0,
+    servers: int = 4,
+    seed: int = 2006,
+    step: float = 10.0,
+    users: int = 2_000_000,
+    peak_utilization: float = 0.70,
+    mix: RequestMix = RequestMix(),
+    valley_fraction: float = 0.15,
+) -> RequestTrace:
+    """Rate-aggregated diurnal trace for ``users`` independent users.
+
+    Each user issues a thin Poisson request stream whose rate follows
+    the diurnal shape (peak per-user rate = cluster peak / ``users``).
+    Superposing millions of such streams gives a Poisson aggregate, so
+    the count in one ``step`` window fluctuates with standard deviation
+    ``sqrt(mean_rate * step)`` — the seeded Gaussian approximation used
+    here, accurate to well under a percent at these rates.  Unlike the
+    generator's uniform jitter, the noise amplitude therefore *scales
+    with the load*: calm valleys and ragged peaks.
+    """
+    if users < 1:
+        raise ClusterError("megausers needs at least one user")
+    peak = peak_rate_for_utilization(peak_utilization, servers, mix)
+    valley = valley_fraction * peak
+    rng = random.Random(seed)
+    points: List[TracePoint] = []
+    t = 0.0
+    while t < duration:
+        shape = diurnal_shape(t, duration)
+        mean = valley + (peak - valley) * shape
+        sigma = math.sqrt(max(mean, 0.0) / step)
+        rate = max(mean + rng.gauss(0.0, sigma), 0.0)
+        points.append(TracePoint(time=t, rate=rate))
+        t += step
+    return RequestTrace(points)
+
+
+#: The cgi-heavy request mix: double the paper's dynamic fraction.
+CGI_HEAVY_MIX = RequestMix(dynamic_fraction=0.60)
+
+
+# -- scenario assembly ------------------------------------------------------
+
+
+def build_scenario(
+    name: str,
+    duration: float = 2000.0,
+    servers: int = 4,
+    seed: int = 2006,
+    loss: float = 0.05,
+    step: float = 10.0,
+) -> BuiltScenario:
+    """Assemble a named scenario (trace + mix + fault script).
+
+    Plain scenarios carry the section 5 thermal emergency so every run
+    reports an emergency throughput cost; ``<name>-chaos`` variants run
+    the full fault storm (datagram loss ``loss``, stuck sensor, tempd
+    crash) on the identical workload.
+    """
+    base, chaos = _split(name)
+    if base not in SCENARIO_NAMES:
+        raise ClusterError(
+            f"unknown scenario {name!r}; pick from {scenario_names()}"
+        )
+    # Lazy import: simulation.py imports this module lazily too, and the
+    # fault scripts live next to the simulation they steer.
+    from .simulation import chaos_script, emergency_script
+
+    mix = CGI_HEAVY_MIX if base == "cgi-heavy" else RequestMix()
+    if base == "flash-crowd":
+        trace = flash_crowd_trace(
+            duration=duration, servers=servers, seed=seed, step=step, mix=mix,
+        )
+    elif base == "multi-region":
+        trace = multi_region_trace(
+            duration=duration, servers=servers, seed=seed, step=step, mix=mix,
+        )
+    elif base == "megausers":
+        trace = megausers_trace(
+            duration=duration, servers=servers, seed=seed, step=step, mix=mix,
+        )
+    else:  # cgi-heavy: the paper's curve, costlier per-request mix
+        trace = diurnal_trace(
+            duration=duration, step=step, servers=servers, mix=mix, seed=seed,
+        )
+    script = chaos_script(loss=loss) if chaos else emergency_script()
+    description = _DESCRIPTIONS[base] + (" + fault storm" if chaos else "")
+    return BuiltScenario(
+        name=name,
+        description=description,
+        trace=trace,
+        mix=mix,
+        fiddle_script=script,
+        chaos=chaos,
+    )

@@ -51,7 +51,7 @@ from ..freon.traditional import TraditionalPolicy
 from ..kernel import Event, EventKernel
 from ..sensors.server import SensorService
 from ..telemetry import ensure as _ensure_telemetry
-from .lvs import LoadBalancer, ServerState
+from .lvs import CloningConfig, LoadBalancer, ServerState
 from .tracegen import RequestTrace, diurnal_trace
 from .webserver import PowerState, WebServer
 
@@ -176,6 +176,55 @@ class SimulationResult:
     restarts: List[RestartEvent] = field(default_factory=list)
     #: tempd -> admd datagram stats: sent/delivered/dropped/duplicated/delayed.
     datagram_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-tick response-time factor from request cloning (1/clones when
+    #: cloning was active, 1.0 when shed); empty when cloning is off.
+    clone_latency_scales: List[float] = field(default_factory=list)
+
+    def request_latency_series(self) -> List[float]:
+        """Per-tick mean request response time (seconds).
+
+        Derived from the recorded fluid state via Little's law — each
+        tick's mean latency is total connections / total processed rate
+        — then scaled by that tick's cloning factor (first response of
+        d clones arrives in 1/d of the solo time).  Ticks with no
+        processed load report 0.0.
+        """
+        series: List[float] = []
+        scales = self.clone_latency_scales
+        for index, record in enumerate(self.records):
+            connections = sum(
+                s.connections for s in record.servers.values()
+            )
+            rate = sum(s.rate for s in record.servers.values())
+            latency = connections / rate if rate > 1e-9 else 0.0
+            if index < len(scales):
+                latency *= scales[index]
+            series.append(latency)
+        return series
+
+    def p99_latency(self) -> float:
+        """Request-weighted 99th-percentile tick latency (seconds).
+
+        Each tick's mean latency is weighted by the request rate it
+        served, so a short overloaded burst moves the tail the way its
+        request volume deserves.
+        """
+        weighted = [
+            (latency, sum(s.rate for s in record.servers.values()))
+            for latency, record in zip(
+                self.request_latency_series(), self.records
+            )
+        ]
+        total = sum(weight for _, weight in weighted)
+        if total <= 0.0:
+            return 0.0
+        threshold = 0.99 * total
+        seen = 0.0
+        for latency, weight in sorted(weighted):
+            seen += weight
+            if seen >= threshold:
+                return latency
+        return weighted[-1][0] if weighted else 0.0
 
     def times(self) -> List[float]:
         """Tick timestamps."""
@@ -224,6 +273,11 @@ class ClusterSimulation:
         idle_epsilon: float = IDLE_EPSILON,
         datagram_latency: float = 0.0005,
         topology=None,
+        scenario: Optional[str] = None,
+        scenario_duration: float = 2000.0,
+        scenario_loss: float = 0.05,
+        mix=None,
+        cloning: Optional[CloningConfig] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ClusterError(f"unknown policy {policy!r}; pick from {POLICIES}")
@@ -253,6 +307,29 @@ class ClusterSimulation:
             machines = topology.machines
         self.machines = list(machines)
         self.topology = topology
+        #: Workload scenario (see :mod:`repro.cluster.scenarios`): fills
+        #: in the trace, request mix, and fault script unless each is
+        #: explicitly overridden.  None keeps the classic Figure 11 path
+        #: untouched (goldens are byte-identical by construction).
+        self.scenario = scenario
+        if scenario is not None:
+            from .scenarios import build_scenario
+
+            built = build_scenario(
+                scenario,
+                duration=scenario_duration,
+                servers=len(self.machines),
+                loss=scenario_loss,
+            )
+            if trace is None:
+                trace = built.trace
+            if mix is None:
+                mix = built.mix
+            if fiddle_script is None:
+                fiddle_script = built.fiddle_script
+        #: Request-cloning policy; None means classic single dispatch.
+        self.cloning = cloning
+        self._clone_scales: List[float] = []
         self.telemetry = _ensure_telemetry(telemetry)
         #: The discrete-event scheduler every time-driven layer runs on.
         self.kernel = EventKernel()
@@ -285,7 +362,8 @@ class ClusterSimulation:
         )
         self.balancer = LoadBalancer(self.machines)
         self.webservers: Dict[str, WebServer] = {
-            name: WebServer(name, boot_time=boot_time) for name in self.machines
+            name: WebServer(name, mix=mix, boot_time=boot_time)
+            for name in self.machines
         }
         self.trace = trace if trace is not None else diurnal_trace(
             servers=len(self.machines)
@@ -357,6 +435,27 @@ class ClusterSimulation:
                 "cluster_active_servers",
                 help="Servers currently accepting load (Figure 12's thick line).",
             )
+        # Scenario/cloning metrics exist only when the feature is
+        # configured: a classic run's registry dump stays byte-identical.
+        self._tel_clone_scale = None
+        self._tel_clone_shed = None
+        if self.telemetry.enabled and self.cloning is not None:
+            self._tel_clone_scale = self.telemetry.gauge(
+                "cluster_clone_latency_scale",
+                help="Response-time factor from request cloning this tick "
+                     "(1/clones when cloning, 1.0 when shed).",
+            )
+            self._tel_clone_shed = self.telemetry.counter(
+                "cluster_clone_shed_ticks_total",
+                help="Ticks where cloning shed to single dispatch for "
+                     "lack of capacity headroom.",
+            )
+        if self.telemetry.enabled and self.scenario is not None:
+            self.telemetry.gauge(
+                f"cluster_scenario_{self.scenario.replace('-', '_')}",
+                help="Marker gauge: this run executes the named workload "
+                     "scenario (1 = active).",
+            ).set(1.0)
 
     # -- policy wiring -----------------------------------------------------
 
@@ -653,7 +752,19 @@ class ClusterSimulation:
                 ws._capacity_active if ws.state is active_ps else 0.0
             )
             response_times[name] = ws.load.response_time
-        allocation = self.balancer.allocate(offered, capacities, response_times)
+        if self.cloning is None:
+            allocation = self.balancer.allocate(
+                offered, capacities, response_times
+            )
+        else:
+            allocation = self.balancer.allocate_cloned(
+                offered, capacities, response_times, self.cloning
+            )
+            self._clone_scales.append(allocation.latency_scale)
+            if self._tel_clone_scale is not None:
+                self._tel_clone_scale.set(allocation.latency_scale)
+                if not allocation.cloned and self.cloning.clones > 1:
+                    self._tel_clone_shed.inc()
         self.total_offered += offered * dt
         self.total_dropped += allocation.dropped_rate * dt
 
@@ -1069,7 +1180,7 @@ class ClusterSimulation:
             }
             for name, g in self.governors.items()
         }
-        return {
+        state: Dict[str, object] = {
             "version": self.CHECKPOINT_VERSION,
             "policy": self.policy,
             "time": self.time,
@@ -1104,6 +1215,11 @@ class ClusterSimulation:
             "governors": governor_state,
             "records": [self._record_to_dict(r) for r in self.records],
         }
+        if self.cloning is not None:
+            # Key present only when cloning is configured, so classic
+            # checkpoints keep their historical layout byte-for-byte.
+            state["clone_scales"] = list(self._clone_scales)
+        return state
 
     def apply_checkpoint(self, data: Mapping[str, object]) -> None:
         """Restore a :meth:`checkpoint` onto this simulation.
@@ -1202,6 +1318,9 @@ class ClusterSimulation:
         }
         self.kernel.restore(data["kernel"])
         self.records = [self._record_from_dict(r) for r in data["records"]]
+        self._clone_scales = [
+            float(s) for s in data.get("clone_scales", [])
+        ]
 
     @staticmethod
     def _tempd_checkpoint(tempd: Tempd) -> Dict[str, object]:
@@ -1381,6 +1500,7 @@ class ClusterSimulation:
             fault_log=list(self.injector.log),
             restarts=list(self.watchdog.events),
             datagram_stats=datagram_stats,
+            clone_latency_scales=list(self._clone_scales),
         )
 
 

@@ -56,6 +56,11 @@ class RequestTrace:
         return self._rates[idx]
 
     @property
+    def points(self) -> "List[TracePoint]":
+        """The step points, time-sorted (a copy; safe to transform)."""
+        return list(self._points)
+
+    @property
     def duration(self) -> float:
         """Timestamp of the last point."""
         return self._times[-1]
@@ -102,11 +107,16 @@ def diurnal_shape(t: float, duration: float, plateau: float = 0.75) -> float:
     """
     peak_at = 0.6 * duration
     if t <= peak_at:
-        # Half-cosine from valley (t=0) up to the peak and back down; the
-        # descent is steeper, like an evening drop-off.
+        # Half-cosine from valley (t=0) up to the peak; the descent below
+        # is steeper, like an evening drop-off.
         phase = math.pi * (t / peak_at - 1.0)  # -pi .. 0
     else:
-        phase = math.pi * (t - peak_at) / (0.55 * duration)  # 0 .. ~pi
+        # Rescaled so the descent reaches the valley (phase=pi) exactly
+        # at t=duration: phase-wrapped traces are then continuous at the
+        # day boundary (shape(duration) == shape(0) == 0).
+        phase = math.pi * (t - peak_at) / (duration - peak_at)  # 0 .. pi
+        if phase > math.pi:
+            phase = math.pi
     shape = 0.5 * (1.0 + math.cos(phase))
     return min(shape, plateau) / plateau  # flat-topped peak
 
@@ -175,9 +185,18 @@ def diurnal_trace(
 
 
 def constant_trace(rate: float, duration: float, step: float = 10.0) -> RequestTrace:
-    """A flat trace; useful for steady-state and unit tests."""
+    """A flat trace; useful for steady-state and unit tests.
+
+    The last point always lands at ``duration`` so the trace spans the
+    full requested window even when ``duration`` is not a multiple of
+    ``step`` (``total_requests()`` would otherwise undercount the tail).
+    """
     if rate < 0.0:
         raise ValueError("rate must be non-negative")
+    if duration <= 0.0 or step <= 0.0:
+        raise ValueError("duration and step must be positive")
     points = [TracePoint(time=t * step, rate=rate)
               for t in range(max(1, int(duration / step)))]
+    if points[-1].time < duration:
+        points.append(TracePoint(time=duration, rate=rate))
     return RequestTrace(points)

@@ -49,6 +49,7 @@ from .spec import (
     RunSpec,
     expand_grid,
     fig11_grid,
+    scenario_grid,
     threshold_grid,
 )
 
@@ -72,6 +73,7 @@ __all__ = [
     "partition_specs",
     "run_batch",
     "sweep",
+    "scenario_grid",
     "threshold_grid",
     "write_artifact",
 ]

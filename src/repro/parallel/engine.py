@@ -27,6 +27,7 @@ import multiprocessing
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..cluster.lvs import CloningConfig
 from ..cluster.simulation import (
     FREON_K_OVERRIDES,
     ClusterSimulation,
@@ -78,17 +79,24 @@ def build_simulation(spec: RunSpec) -> ClusterSimulation:
     Telemetry is always enabled: sweep workers report their whole-run
     registry back to the parent for the merged snapshot.
     """
+    workload = None
     if spec.scenario == "emergency":
         script: Optional[str] = emergency_script()
     elif spec.scenario == "chaos":
         script = chaos_script(loss=spec.loss)
+    elif spec.scenario == "none":
+        script = None
     else:
+        # A workload scenario from the library: the simulation builds
+        # its trace, request mix, and fault script from the name.
+        workload = spec.scenario
         script = None
     config = FreonConfig()
     if spec.cpu_high is not None:
         config.thresholds["cpu"] = ComponentThresholds(
             high=spec.cpu_high, low=spec.cpu_low, red=spec.cpu_high + 2.0
         )
+    cloning = CloningConfig(clones=spec.cloning) if spec.cloning else None
     return ClusterSimulation(
         policy=spec.policy,
         machines=spec.machine_names(),
@@ -98,6 +106,10 @@ def build_simulation(spec: RunSpec) -> ClusterSimulation:
         engine=spec.engine,
         telemetry=Telemetry(),
         topology=spec.load_topology(),
+        scenario=workload,
+        scenario_duration=spec.duration,
+        scenario_loss=spec.loss,
+        cloning=cloning,
     )
 
 
@@ -159,6 +171,16 @@ def collect_result(
             for name in simulation.machines
         },
     }
+    if spec.cloning or simulation.scenario is not None:
+        # Only scenario/cloning runs report latency: the key is absent
+        # from classic artifacts so golden digests keep their bytes.
+        summary["p99_latency"] = outcome.p99_latency()
+        if spec.cloning:
+            scales = outcome.clone_latency_scales
+            summary["clone_shed_ticks"] = sum(
+                1 for s in scales if s >= 1.0
+            )
+            summary["clone_ticks"] = sum(1 for s in scales if s < 1.0)
     return RunResult(
         run_id=spec.run_id,
         spec=spec.to_dict(),

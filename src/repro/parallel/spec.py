@@ -25,13 +25,18 @@ import itertools
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..cluster.scenarios import scenario_names
 from ..cluster.simulation import POLICIES
 from ..config import table1
 from ..core.solver import ENGINES
 from ..errors import SweepError
 
-#: Fiddle scenarios a spec may name (see ``cluster.simulation``).
-SCENARIOS = ("emergency", "chaos", "none")
+#: Fiddle scenarios a spec may name (see ``cluster.simulation``) plus
+#: the workload scenario library (see ``cluster.scenarios``): workload
+#: names select a trace/mix/fault-script bundle, the legacy three only
+#: a fiddle script on the classic diurnal trace.
+LEGACY_SCENARIOS = ("emergency", "chaos", "none")
+SCENARIOS = LEGACY_SCENARIOS + scenario_names()
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,9 @@ class RunSpec:
     #: wire-safe); None runs the scalar cluster coupling.  Mutually
     #: exclusive with ``cluster_size``: a topology names its machines.
     topology: Optional[str] = None
+    #: Request-cloning degree (clone each request to this many backends,
+    #: first response wins); 0 keeps classic single dispatch.
+    cloning: int = 0
 
     def __post_init__(self) -> None:
         if not self.run_id:
@@ -91,6 +99,8 @@ class RunSpec:
             raise SweepError("duration must be positive")
         if self.cluster_size < 0:
             raise SweepError("cluster_size must be >= 0")
+        if self.cloning < 0:
+            raise SweepError("cloning must be >= 0 (0 disables cloning)")
         if self.cpu_low is not None and self.cpu_high is None:
             raise SweepError("cpu_low requires cpu_high")
         if self.cpu_high is not None and self.cpu_low is None:
@@ -130,12 +140,15 @@ class RunSpec:
     def to_dict(self) -> Dict[str, object]:
         """Plain JSON-able form (the worker wire format).
 
-        ``topology`` is omitted when unset so topology-free sweep
-        artifacts keep their historical bytes (golden digests).
+        ``topology`` and ``cloning`` are omitted when unset so sweep
+        artifacts without them keep their historical bytes (golden
+        digests).
         """
         data = asdict(self)
         if data["topology"] is None:
             del data["topology"]
+        if data["cloning"] == 0:
+            del data["cloning"]
         return data
 
     @classmethod
@@ -287,4 +300,25 @@ def threshold_grid(
             "policy": policy,
         },
         "axes": {"cpu_high": [float(h) for h in highs]},
+    }
+
+
+def scenario_grid(
+    duration: float = 2000.0,
+    policy: str = "freon",
+    cloning: Sequence[int] = (0, 2),
+    include_chaos: bool = True,
+) -> Dict[str, object]:
+    """The workload-scenario sweep: every adversarial scenario (and its
+    chaos variant) crossed with cloning off/on.
+
+    The grid behind the EXPERIMENTS.md scenario table: per scenario, the
+    thermal-emergency throughput cost with and without request cloning.
+    """
+    return {
+        "base": {"duration": float(duration), "policy": policy},
+        "axes": {
+            "scenario": list(scenario_names(include_chaos=include_chaos)),
+            "cloning": [int(c) for c in cloning],
+        },
     }

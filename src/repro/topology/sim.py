@@ -50,7 +50,7 @@ from ..config.layouts import validation_machine
 from ..core.compiled import _Group, compile_layout, have_numpy, tick_group
 from ..core.graph import MachineLayout
 from ..core.state import MachineState
-from ..cluster.lvs import allocate_rates
+from ..cluster.lvs import CloningConfig, allocate_rates, allocate_rates_cloned
 from ..cluster.tracegen import peak_rate_for_utilization, phase_offsets
 from ..cluster.webserver import RequestMix
 from ..errors import TopologyError
@@ -234,6 +234,7 @@ class ScaleSimulation:
         cpu_high: float = table1.T_HIGH_CPU,
         cpu_low: float = table1.T_LOW_CPU,
         mix: Optional[RequestMix] = None,
+        cloning: Optional[CloningConfig] = None,
         telemetry=None,
     ) -> None:
         if policy not in ("freon", "none"):
@@ -269,6 +270,11 @@ class ScaleSimulation:
         self.offered_total = 0.0
         self.dropped_total = 0.0
         self.throttle_events = 0
+        #: Request-cloning policy; None keeps single dispatch (and the
+        #: summary/checkpoint layouts exactly as before).
+        self.cloning = cloning
+        self.clone_ticks = 0
+        self.shed_ticks = 0
         self._monitor_ticks = max(
             1, int(round(self.monitor_period / self.solver.dt))
         )
@@ -319,7 +325,7 @@ class ScaleSimulation:
         phase = np.where(
             ascent,
             math.pi * (tt / peak_at - 1.0),
-            math.pi * (tt - peak_at) / (0.55 * duration),
+            np.minimum(math.pi * (tt - peak_at) / (duration - peak_at), math.pi),
         )
         shape = 0.5 * (1.0 + np.cos(phase))
         shape = np.minimum(shape, self._plateau) / self._plateau
@@ -335,9 +341,18 @@ class ScaleSimulation:
         for _ in range(ticks):
             rates = self.offered_rates(solver.time)
             offered = float(rates.sum())
-            allocated, dropped = allocate_rates(
-                offered, self.weights, self._capacity
-            )
+            if self.cloning is None:
+                allocated, dropped = allocate_rates(
+                    offered, self.weights, self._capacity
+                )
+            else:
+                allocated, dropped, _, cloned = allocate_rates_cloned(
+                    offered, self.weights, self._capacity, self.cloning
+                )
+                if cloned:
+                    self.clone_ticks += 1
+                else:
+                    self.shed_ticks += 1
             self.offered_total += offered * dt
             self.dropped_total += dropped * dt
             solver.set_utilization(
@@ -430,7 +445,7 @@ class ScaleSimulation:
             if self.offered_total > 0.0
             else 0.0
         )
-        return {
+        summary: Dict[str, object] = {
             "machines": self.solver.n,
             "zones": len(self._zone_names),
             "ticks": self.solver.iterations,
@@ -443,12 +458,17 @@ class ScaleSimulation:
             "zone_cpu_max": {z: s[0] for z, s in zone_stats.items()},
             "zone_cpu_mean": {z: s[1] for z, s in zone_stats.items()},
         }
+        if self.cloning is not None:
+            summary["clone_ticks"] = self.clone_ticks
+            summary["shed_ticks"] = self.shed_ticks
+            summary["clone_latency_scale"] = self.cloning.latency_scale
+        return summary
 
     # -- checkpoint / restore --------------------------------------------
 
     def checkpoint(self) -> Dict[str, object]:
         """Snapshot the whole datacenter as plain JSON-able data."""
-        return {
+        state: Dict[str, object] = {
             "version": CHECKPOINT_VERSION,
             "solver": self.solver.checkpoint(),
             "weights": self.weights.tolist(),
@@ -456,6 +476,11 @@ class ScaleSimulation:
             "dropped_total": self.dropped_total,
             "throttle_events": self.throttle_events,
         }
+        if self.cloning is not None:
+            # Gated so classic checkpoints keep their historical layout.
+            state["clone_ticks"] = self.clone_ticks
+            state["shed_ticks"] = self.shed_ticks
+        return state
 
     def restore(self, data: Mapping[str, object]) -> None:
         """Restore a :meth:`checkpoint` onto this simulation."""
@@ -472,6 +497,8 @@ class ScaleSimulation:
         self.offered_total = float(data["offered_total"])
         self.dropped_total = float(data["dropped_total"])
         self.throttle_events = int(data["throttle_events"])
+        self.clone_ticks = int(data.get("clone_ticks", 0))
+        self.shed_ticks = int(data.get("shed_ticks", 0))
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,213 @@
+"""Tests for the adversarial workload scenario library."""
+
+import pytest
+
+from repro.cluster.scenarios import (
+    CGI_HEAVY_MIX,
+    SCENARIO_NAMES,
+    build_scenario,
+    flash_crowd_trace,
+    is_scenario,
+    megausers_trace,
+    multi_region_trace,
+    scenario_names,
+)
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.tracegen import diurnal_trace, peak_rate_for_utilization
+from repro.cluster.webserver import RequestMix
+from repro.errors import ClusterError
+
+
+class TestNames:
+    def test_every_base_has_a_chaos_variant(self):
+        names = scenario_names()
+        assert len(names) == 2 * len(SCENARIO_NAMES)
+        for base in SCENARIO_NAMES:
+            assert base in names
+            assert f"{base}-chaos" in names
+
+    def test_is_scenario(self):
+        assert is_scenario("flash-crowd")
+        assert is_scenario("megausers-chaos")
+        assert not is_scenario("emergency")
+        assert not is_scenario("chaos")
+
+    def test_plain_names_exclude_chaos(self):
+        assert scenario_names(include_chaos=False) == SCENARIO_NAMES
+
+
+class TestTraces:
+    def test_flash_crowd_spikes_raise_rate_above_base(self):
+        base = diurnal_trace(
+            duration=2000.0, peak_utilization=0.55, jitter=0.03, seed=2006
+        )
+        spiked = flash_crowd_trace(duration=2000.0, seed=2006)
+        # Right after the second (peak-time) spike the offered rate must
+        # exceed the base trace by a visible margin.
+        t = 0.62 * 2000.0 + 10.0
+        assert spiked.rate_at(t) > base.rate_at(t) * 1.3
+
+    def test_flash_crowd_spike_decays(self):
+        trace = flash_crowd_trace(duration=2000.0)
+        jump_t = 0.30 * 2000.0
+        assert trace.rate_at(jump_t) > trace.rate_at(jump_t - 10.0)
+
+    def test_multi_region_has_no_true_valley(self):
+        plain = diurnal_trace(duration=2000.0, jitter=0.0)
+        multi = multi_region_trace(duration=2000.0)
+        floor = min(p.rate for p in multi.points)
+        plain_floor = min(p.rate for p in plain.points)
+        assert floor > 1.5 * plain_floor
+
+    def test_multi_region_keeps_target_peak(self):
+        multi = multi_region_trace(duration=2000.0, peak_utilization=0.70)
+        target = peak_rate_for_utilization(0.70, 4)
+        assert multi.peak_rate == pytest.approx(target, rel=1e-6)
+
+    def test_multi_region_rejects_single_region(self):
+        with pytest.raises(ClusterError):
+            multi_region_trace(regions=1)
+
+    def test_megausers_noise_scales_with_load(self):
+        import statistics
+
+        from repro.cluster.tracegen import diurnal_shape
+
+        trace = megausers_trace(duration=2000.0, seed=11)
+        peak = peak_rate_for_utilization(0.70, 4)
+        valley = 0.15 * peak
+
+        def residuals(indices):
+            out = []
+            for i in indices:
+                point = trace.points[i]
+                mean = valley + (peak - valley) * diurnal_shape(
+                    point.time, 2000.0
+                )
+                out.append(point.rate - mean)
+            return out
+
+        # Poisson noise grows with the rate: the residual spread at the
+        # peak must exceed the spread at the valley.
+        valley_spread = statistics.stdev(residuals(range(0, 20)))
+        peak_spread = statistics.stdev(residuals(range(110, 130)))
+        assert peak_spread > 1.5 * valley_spread
+
+    def test_megausers_deterministic(self):
+        a = megausers_trace(seed=5)
+        b = megausers_trace(seed=5)
+        assert [p.rate for p in a.points] == [p.rate for p in b.points]
+        c = megausers_trace(seed=6)
+        assert [p.rate for p in a.points] != [p.rate for p in c.points]
+
+    def test_megausers_rejects_no_users(self):
+        with pytest.raises(ClusterError):
+            megausers_trace(users=0)
+
+
+class TestBuildScenario:
+    def test_all_names_build(self):
+        for name in scenario_names():
+            built = build_scenario(name, duration=300.0)
+            assert built.name == name
+            assert built.trace.duration > 0.0
+            assert built.fiddle_script.strip()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ClusterError):
+            build_scenario("slashdot")
+
+    def test_cgi_heavy_mix(self):
+        built = build_scenario("cgi-heavy", duration=300.0)
+        assert built.mix == CGI_HEAVY_MIX
+        assert built.mix.dynamic_fraction == pytest.approx(0.60)
+        other = build_scenario("flash-crowd", duration=300.0)
+        assert other.mix == RequestMix()
+
+    def test_chaos_variant_swaps_script(self):
+        plain = build_scenario("flash-crowd", duration=300.0)
+        chaos = build_scenario("flash-crowd-chaos", duration=300.0)
+        assert not plain.chaos and chaos.chaos
+        assert plain.fiddle_script != chaos.fiddle_script
+        assert "loss" in chaos.fiddle_script
+        # Identical workload under both scripts.
+        assert [p.rate for p in plain.trace.points] == [
+            p.rate for p in chaos.trace.points
+        ]
+
+    def test_deterministic(self):
+        a = build_scenario("megausers", duration=300.0, seed=9)
+        b = build_scenario("megausers", duration=300.0, seed=9)
+        assert [p.rate for p in a.trace.points] == [
+            p.rate for p in b.trace.points
+        ]
+
+
+class TestSimulationIntegration:
+    def test_scenario_drives_simulation(self):
+        sim = ClusterSimulation(
+            policy="freon", scenario="flash-crowd", scenario_duration=300.0
+        )
+        sim.run(120.0)
+        result = sim.result()
+        assert result.records
+        assert sim.scenario == "flash-crowd"
+
+    def test_chaos_scenario_runs(self):
+        sim = ClusterSimulation(
+            policy="freon",
+            scenario="megausers-chaos",
+            scenario_duration=300.0,
+            scenario_loss=0.10,
+        )
+        sim.run(120.0)
+        assert sim.result().records
+
+    def test_explicit_trace_wins_over_scenario(self):
+        from repro.cluster.tracegen import constant_trace
+
+        trace = constant_trace(10.0, 300.0)
+        sim = ClusterSimulation(
+            policy="freon", trace=trace, scenario="flash-crowd"
+        )
+        assert sim.trace is trace
+
+    def test_checkpoint_roundtrip_with_scenario_and_cloning(self):
+        from repro.cluster.lvs import CloningConfig
+
+        def build():
+            return ClusterSimulation(
+                policy="freon",
+                scenario="multi-region",
+                scenario_duration=300.0,
+                cloning=CloningConfig(clones=2),
+            )
+
+        first = build()
+        first.run(60.0)
+        snap = first.checkpoint()
+        resumed = build()
+        resumed.apply_checkpoint(snap)
+        first.run(60.0)
+        resumed.run(60.0)
+        assert first.result().records[-3:] == resumed.result().records[-3:]
+
+    def test_p99_latency_reported_with_cloning(self):
+        from repro.cluster.lvs import CloningConfig
+
+        base = ClusterSimulation(
+            policy="freon", scenario="flash-crowd", scenario_duration=300.0
+        )
+        base.run(120.0)
+        cloned = ClusterSimulation(
+            policy="freon",
+            scenario="flash-crowd",
+            scenario_duration=300.0,
+            cloning=CloningConfig(clones=2),
+        )
+        cloned.run(120.0)
+        p_base = base.result().p99_latency()
+        p_clone = cloned.result().p99_latency()
+        assert p_base is not None and p_clone is not None
+        # Low-load window: cloning must cut tail latency.
+        assert p_clone < p_base

@@ -149,3 +149,73 @@ class TestConstantTrace:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             constant_trace(-1.0, 100.0)
+
+
+class TestWrapSeam:
+    """The day boundary must be continuous: shape(duration) == shape(0)."""
+
+    def test_shape_reaches_valley_at_duration(self):
+        from repro.cluster.tracegen import diurnal_shape
+
+        assert diurnal_shape(2000.0, 2000.0) == pytest.approx(0.0)
+        assert diurnal_shape(0.0, 2000.0) == pytest.approx(0.0)
+
+    def test_shape_monotone_descent_to_valley(self):
+        from repro.cluster.tracegen import diurnal_shape
+
+        duration = 2000.0
+        ts = [1200.0 + 10.0 * i for i in range(81)]  # peak .. duration
+        values = [diurnal_shape(t, duration) for t in ts]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_trace_continuous_at_seam_without_jitter(self):
+        trace = diurnal_trace(duration=2000.0, jitter=0.0, seed=3)
+        eps = 1e-6
+        peak = max(p.rate for p in trace.points)
+        gap = abs(trace.rate_at(0.0) - trace.rate_at(2000.0 - eps))
+        assert gap <= 0.01 * peak
+
+    def test_jittered_seam_gap_bounded_by_jitter(self):
+        jitter = 0.05
+        trace = diurnal_trace(duration=2000.0, jitter=jitter, seed=7)
+        clean = diurnal_trace(duration=2000.0, jitter=0.0, seed=7)
+        eps = 1e-6
+        gap = abs(trace.rate_at(0.0) - trace.rate_at(2000.0 - eps))
+        # Both endpoints sit at the valley floor; the gap beyond the
+        # jitter-free seam gap is pure noise, bounded by the jitter band
+        # around the valley rate.
+        clean_gap = abs(clean.rate_at(0.0) - clean.rate_at(2000.0 - eps))
+        valley = min(p.rate for p in clean.points)
+        assert gap <= clean_gap + 2.0 * jitter * 1.1 * valley
+
+    def test_phase_offset_wraps_continuously(self):
+        trace = diurnal_trace(
+            duration=2000.0, jitter=0.0, seed=3, phase=0.5
+        )
+        # The phase-shifted trace samples the base shape mod duration;
+        # with the descent fix there is no cliff anywhere in the day.
+        rates = [trace.rate_at(float(t)) for t in range(0, 2000, 5)]
+        peak = max(rates)
+        jumps = [abs(a - b) for a, b in zip(rates, rates[1:])]
+        assert max(jumps) < 0.03 * peak  # no phase-wrap discontinuity
+
+
+class TestConstantTraceDuration:
+    def test_duration_matches_request(self):
+        trace = constant_trace(50.0, 25.0, step=10.0)
+        assert trace.duration == pytest.approx(25.0)
+
+    def test_terminal_point_emitted(self):
+        trace = constant_trace(50.0, 25.0, step=10.0)
+        times = [p.time for p in trace.points]
+        assert times[-1] == pytest.approx(25.0)
+
+    def test_total_requests_exact(self):
+        trace = constant_trace(40.0, 25.0, step=10.0)
+        assert trace.total_requests() == pytest.approx(40.0 * 25.0)
+
+    def test_rejects_nonpositive_duration_or_step(self):
+        with pytest.raises(ValueError):
+            constant_trace(50.0, 0.0)
+        with pytest.raises(ValueError):
+            constant_trace(50.0, 10.0, step=0.0)

@@ -175,3 +175,43 @@ class TestDeriveSeed:
         for base in range(20):
             seed = derive_seed(base, "run")
             assert 0 <= seed < 2 ** 63
+
+
+class TestScenarioGrid:
+    def test_covers_every_scenario_crossed_with_cloning(self):
+        from repro.cluster.scenarios import scenario_names
+        from repro.parallel import expand_grid, scenario_grid
+
+        specs = expand_grid(scenario_grid(duration=300.0))
+        names = {s.scenario for s in specs}
+        assert names == set(scenario_names())
+        assert len(specs) == len(names) * 2  # cloning off/on
+        assert {s.cloning for s in specs} == {0, 2}
+
+    def test_chaos_variants_optional(self):
+        from repro.parallel import expand_grid, scenario_grid
+
+        specs = expand_grid(scenario_grid(include_chaos=False))
+        assert all(not s.scenario.endswith("-chaos") for s in specs)
+
+    def test_cloning_field_omitted_from_wire_form_when_zero(self):
+        from repro.parallel import RunSpec
+
+        classic = RunSpec(run_id="r", cloning=0)
+        assert "cloning" not in classic.to_dict()
+        cloned = RunSpec(run_id="r", cloning=2)
+        assert cloned.to_dict()["cloning"] == 2
+        assert RunSpec.from_dict(cloned.to_dict()).cloning == 2
+
+    def test_negative_cloning_rejected(self):
+        from repro.errors import SweepError
+        from repro.parallel import RunSpec
+
+        with pytest.raises(SweepError, match="cloning"):
+            RunSpec(run_id="r", cloning=-1)
+
+    def test_workload_scenario_accepted_as_spec_scenario(self):
+        from repro.parallel import RunSpec
+
+        spec = RunSpec(run_id="r", scenario="flash-crowd-chaos")
+        assert spec.scenario == "flash-crowd-chaos"

@@ -100,3 +100,75 @@ class TestCheckpoint:
         data["version"] = 99
         with pytest.raises(TopologyError, match="version"):
             sim.restore(data)
+
+
+class TestOfferedRatesShape:
+    def test_matches_scalar_diurnal_shape(self):
+        from repro.cluster.tracegen import diurnal_shape
+
+        sim = ScaleSimulation(room(), duration=1000.0, phase_spread=0.0)
+        valley = sim._valley_rate
+        peak = sim._peak_rate
+        for t in (0.0, 137.0, 480.0, 600.0, 777.0, 950.0, 999.9):
+            rates = sim.offered_rates(t)
+            expected = valley + (peak - valley) * diurnal_shape(t, 1000.0)
+            assert rates[0] == pytest.approx(expected)
+
+    def test_continuous_at_day_boundary(self):
+        # The descent reaches the valley exactly at t=duration, so the
+        # phase-wrapped curve has no cliff at the seam.
+        sim = ScaleSimulation(room(), duration=1000.0, phase_spread=0.3)
+        eps = 1e-9
+        before = sim.offered_rates(1000.0 - eps)
+        after = sim.offered_rates(0.0)
+        assert np.allclose(before, after, rtol=1e-5, atol=1e-5)
+
+
+class TestCloning:
+    def cfg(self, **kw):
+        from repro.cluster.lvs import CloningConfig
+
+        return CloningConfig(**kw)
+
+    def test_summary_gains_clone_keys_only_when_configured(self):
+        plain = ScaleSimulation(room(), duration=120.0)
+        summary = plain.run()
+        assert "clone_ticks" not in summary
+        assert "shed_ticks" not in summary
+
+        cloned = ScaleSimulation(
+            room(), duration=120.0, cloning=self.cfg(clones=2)
+        )
+        summary = cloned.run()
+        assert summary["clone_ticks"] + summary["shed_ticks"] == 120
+        assert summary["clone_latency_scale"] == pytest.approx(0.5)
+
+    def test_low_load_room_clones_every_tick(self):
+        sim = ScaleSimulation(
+            room(), duration=120.0, cloning=self.cfg(clones=2)
+        )
+        sim.step(120)
+        # The diurnal valley sits far below the shed ceiling.
+        assert sim.clone_ticks > 0
+
+    def test_checkpoint_roundtrip_preserves_clone_counters(self):
+        topo = room()
+        cfg = self.cfg(clones=2)
+        sim = ScaleSimulation(topo, duration=600.0, cloning=cfg)
+        sim.step(200)
+        data = json.loads(json.dumps(sim.checkpoint()))
+        assert "clone_ticks" in data
+        clone = ScaleSimulation(topo, duration=600.0, cloning=cfg)
+        clone.restore(data)
+        sim.step(100)
+        clone.step(100)
+        assert sim.clone_ticks == clone.clone_ticks
+        assert sim.shed_ticks == clone.shed_ticks
+        assert sim.offered_total == clone.offered_total
+
+    def test_classic_checkpoint_has_no_clone_keys(self):
+        sim = ScaleSimulation(room(), duration=120.0)
+        sim.step(50)
+        data = sim.checkpoint()
+        assert "clone_ticks" not in data
+        assert "shed_ticks" not in data
