@@ -66,6 +66,7 @@ from .cluster.simulation import (
     chaos_script,
     emergency_script,
 )
+from .control import names as _control_names
 from .faults.injector import FaultInjector
 from .core.solver import ENGINES
 from .core.trace import load_traces, run_offline, save_history
@@ -350,8 +351,21 @@ def _build_parser() -> argparse.ArgumentParser:
              "one 3600s diurnal cycle)",
     )
     scale.add_argument(
-        "--policy", choices=("freon", "none"), default="freon",
-        help="vectorized management policy",
+        "--policy", choices=_control_names("scale"), default="freon",
+        help="management policy (any scale-capable repro.control name)",
+    )
+    scale.add_argument(
+        "--experiment",
+        choices=("emergency", "chaos") + scenario_names(),
+        default=None,
+        help="scenario preset: the section 5 inlet emergencies, the "
+             "chaos fault storm, or an adversarial workload scenario "
+             "(traces, faults, and inlet events all route through the "
+             "flattened stack)",
+    )
+    scale.add_argument(
+        "--fault-seed", type=int, default=2006,
+        help="fault-injection RNG seed for chaos experiments",
     )
     scale.add_argument(
         "--clones", type=int, default=0, metavar="D",
@@ -809,9 +823,35 @@ def cmd_scale(args: argparse.Namespace, out) -> int:
         )
     telemetry = _make_telemetry(args)
     cloning = CloningConfig(clones=args.clones) if args.clones else None
+    scenario = None
+    injector = None
+    inlet_events = None
+    if args.experiment == "emergency":
+        script = emergency_script()
+    elif args.experiment == "chaos":
+        script = chaos_script()
+    else:
+        script = None
+        if args.experiment is not None:
+            from .cluster.scenarios import build_scenario
+
+            scenario = build_scenario(
+                args.experiment, duration=args.duration,
+                servers=len(topology.machines),
+            )
+    if script is not None:
+        from .faults import FaultSchedule
+        from .topology import inlet_events_from_script
+
+        inlet_events = inlet_events_from_script(script)
+        schedule = FaultSchedule.from_script(script)
+        if len(schedule):
+            injector = FaultInjector(schedule, seed=args.fault_seed)
     simulation = ScaleSimulation(
         topology, duration=args.duration, policy=args.policy,
-        cloning=cloning, telemetry=telemetry,
+        cloning=cloning, telemetry=telemetry, scenario=scenario,
+        injector=injector, inlet_events=inlet_events,
+        fault_seed=args.fault_seed,
     )
     start = time.perf_counter()
     summary = simulation.run()
@@ -830,6 +870,12 @@ def cmd_scale(args: argparse.Namespace, out) -> int:
         f"{summary['throttled_machines']} machine(s) still throttled",
         file=out,
     )
+    line = f"  policy {summary['policy']}: {summary['active_machines']} machine(s) active"
+    if args.experiment is not None:
+        line += f", experiment {args.experiment}"
+    if "faults_logged" in summary:
+        line += f", {summary['faults_logged']} fault(s) injected"
+    print(line, file=out)
     if cloning is not None:
         print(
             f"  cloning d={args.clones}: {summary['clone_ticks']} cloned "

@@ -33,6 +33,7 @@ from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from ..config import table1
 from ..config.layouts import validation_cluster
+from ..control import names as _policy_names
 from ..core.solver import Solver
 from ..daemons.admd import Admd
 from ..daemons.tempd import Tempd, TempdMessage
@@ -66,10 +67,13 @@ FREON_K_OVERRIDES: Dict[Tuple[str, str], float] = {
     ("CPU", "CPU Air"): 0.80,
 }
 
-#: Supported management policies.  "local-dvfs" is the section 4.3
-#: comparison point: each CPU manages its own temperature by stepping
-#: down P-states, with no cluster-level coordination.
-POLICIES = ("none", "freon", "freon-ec", "traditional", "local-dvfs")
+#: Supported management policies — the cluster slice of the
+#: :mod:`repro.control` registry (the same name space the flattened
+#: :class:`~repro.topology.sim.ScaleSimulation` validates against).
+#: "local-dvfs" is the section 4.3 comparison point: each CPU manages
+#: its own temperature by stepping down P-states, with no cluster-level
+#: coordination.
+POLICIES = _policy_names("cluster")
 
 #: Scheduling modes.  "legacy" reproduces the original monolithic tick
 #: loop exactly (datagrams flushed once per tick, zero network latency);
@@ -555,6 +559,21 @@ class ClusterSimulation:
             return {"cpu": load.cpu_utilization, "disk": load.disk_utilization}
 
         return reader
+
+    # -- control-plane seam --------------------------------------------------
+
+    def state_view(self):
+        """A scalar :class:`~repro.control.ClusterStateView` over this
+        simulation, for driving unified :mod:`repro.control` policies
+        against the exact sensor/balancer/power paths the native
+        daemons use."""
+        view = getattr(self, "_state_view", None)
+        if view is None:
+            from ..control import ClusterStateView
+
+            view = ClusterStateView(self)
+            self._state_view = view
+        return view
 
     # -- PowerController interface (used by Freon-EC) -----------------------
 

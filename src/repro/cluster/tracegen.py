@@ -24,6 +24,12 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence
 
+try:  # NumPy is optional: only diurnal_shape_array needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+from ..errors import ClusterError
 from .webserver import RequestMix
 
 
@@ -119,6 +125,34 @@ def diurnal_shape(t: float, duration: float, plateau: float = 0.75) -> float:
             phase = math.pi
     shape = 0.5 * (1.0 + math.cos(phase))
     return min(shape, plateau) / plateau  # flat-topped peak
+
+
+def diurnal_shape_array(t, duration: float, plateau: float = 0.75):
+    """:func:`diurnal_shape` over an array of times, elementwise equal.
+
+    One vectorized evaluation of the same piecewise curve — identical
+    floating-point operations in identical order, so every element
+    matches the scalar function bit-for-bit (pinned by a property test
+    in ``tests/cluster/test_tracegen.py``).  The flattened datacenter
+    simulation evaluates per-machine phase-shifted copies of the curve
+    through this function.
+    """
+    if _np is None:
+        raise ClusterError("diurnal_shape_array requires NumPy")
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    if not 0.0 < plateau <= 1.0:
+        raise ValueError("plateau must be in (0, 1]")
+    tt = _np.asarray(t, dtype=float)
+    peak_at = 0.6 * duration
+    ascent = tt <= peak_at
+    phase = _np.where(
+        ascent,
+        math.pi * (tt / peak_at - 1.0),
+        _np.minimum(math.pi * (tt - peak_at) / (duration - peak_at), math.pi),
+    )
+    shape = 0.5 * (1.0 + _np.cos(phase))
+    return _np.minimum(shape, plateau) / plateau
 
 
 def phase_offsets(count: int, spread: float = 0.25, seed: int = 2006) -> List[float]:

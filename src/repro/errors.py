@@ -143,6 +143,10 @@ class ServerStateError(ClusterError):
     """An operation was attempted on a server in an incompatible state."""
 
 
+class ControlError(ReproError):
+    """Errors in the control plane (policy registry, state views)."""
+
+
 class ServeError(ReproError):
     """Errors in the live thermal service (HTTP plane, pacing, lifecycle)."""
 

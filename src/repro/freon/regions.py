@@ -33,6 +33,15 @@ class RegionMap:
         """All region names, sorted."""
         return list(self._regions)
 
+    @property
+    def rr_index(self) -> int:
+        """The round-robin cursor (exposed so policies can checkpoint it)."""
+        return self._rr_index
+
+    @rr_index.setter
+    def rr_index(self, value: int) -> None:
+        self._rr_index = int(value) % max(len(self._regions), 1)
+
     def region_of(self, server: str) -> str:
         """The region a server belongs to."""
         try:

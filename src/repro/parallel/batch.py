@@ -60,6 +60,7 @@ EVICT_OPAQUE_POWER = "opaque_power_model"  #: plan cannot batch the model
 EVICT_DT = "dt_mismatch"             #: member ticks on a different grid
 EVICT_STRUCTURAL = "structural_edit"  #: mid-run mutation outside the plan
 EVICT_TOPOLOGY = "topology"          #: spatial topology needs its own inlets
+EVICT_STACK = "scale_stack"          #: scale-stack runs are already vectorized
 
 
 def partition_specs(
@@ -73,7 +74,11 @@ def partition_specs(
     eligible: List[RunSpec] = []
     evicted: List[Tuple[RunSpec, str]] = []
     for spec in specs:
-        if spec.engine != "compiled":
+        if spec.stack != "cluster":
+            # A ScaleSimulation is one flattened solve already; the
+            # cluster batch pool has nothing to add.
+            evicted.append((spec, EVICT_STACK))
+        elif spec.engine != "compiled":
             evicted.append((spec, EVICT_ENGINE))
         elif spec.crash_at is not None:
             evicted.append((spec, EVICT_CRASH_HOOK))

@@ -73,12 +73,85 @@ class WorkerCrash(SweepError):
         self.checkpoint = checkpoint
 
 
-def build_simulation(spec: RunSpec) -> ClusterSimulation:
+def _build_scale_simulation(spec: RunSpec):
+    """Construct the flattened-datacenter run a ``stack="scale"`` spec
+    describes.
+
+    The topology comes from the spec's ``topology`` JSON when set;
+    otherwise ``cluster_size`` doubles as the size of a default grid
+    room.  Scenarios map exactly as on the cluster stack: the legacy
+    names pick a fiddle script (inlet emergencies feed the solver's
+    overrides, fault statements build an injector), workload names
+    build the full trace/mix/fault bundle.
+    """
+    from ..cluster.scenarios import build_scenario
+    from ..faults.injector import FaultInjector
+    from ..faults.schedule import FaultSchedule
+    from ..topology.model import grid_topology
+    from ..topology.sim import ScaleSimulation, inlet_events_from_script
+
+    topology = spec.load_topology()
+    if topology is None:
+        size = spec.cluster_size or len(table1_machines())
+        topology = grid_topology(size)
+    seed = derive_seed(spec.seed, spec.run_id)
+    workload = None
+    inlet_events = None
+    injector = None
+    if spec.scenario == "emergency":
+        script: Optional[str] = emergency_script()
+    elif spec.scenario == "chaos":
+        script = chaos_script(loss=spec.loss)
+    elif spec.scenario == "none":
+        script = None
+    else:
+        workload = build_scenario(
+            spec.scenario, duration=spec.duration,
+            servers=len(topology.machines), loss=spec.loss,
+        )
+        script = None
+    if script is not None:
+        inlet_events = inlet_events_from_script(script)
+        schedule = FaultSchedule.from_script(script)
+        if len(schedule):
+            injector = FaultInjector(schedule, seed=seed)
+    kwargs: Dict[str, object] = {}
+    if spec.cpu_high is not None:
+        kwargs["cpu_high"] = spec.cpu_high
+        kwargs["cpu_low"] = spec.cpu_low
+    return ScaleSimulation(
+        topology,
+        duration=spec.duration,
+        policy=spec.policy,
+        cloning=CloningConfig(clones=spec.cloning) if spec.cloning else None,
+        telemetry=Telemetry(),
+        scenario=workload,
+        injector=injector,
+        inlet_events=inlet_events,
+        fault_seed=seed,
+        **kwargs,
+    )
+
+
+def table1_machines() -> Tuple[str, ...]:
+    """The paper's default validation-cluster machine names."""
+    from ..config import table1
+
+    return tuple(table1.CLUSTER_MACHINES)
+
+
+def build_simulation(spec: RunSpec):
     """Construct the fully-configured simulation a spec describes.
 
     Telemetry is always enabled: sweep workers report their whole-run
-    registry back to the parent for the merged snapshot.
+    registry back to the parent for the merged snapshot.  Returns a
+    :class:`ClusterSimulation` or, for ``stack="scale"`` specs, a
+    :class:`~repro.topology.sim.ScaleSimulation` (both satisfy the
+    ``dt``/``time``/``step``/``checkpoint`` stepping contract
+    :func:`execute_spec` drives).
     """
+    if spec.stack == "scale":
+        return _build_scale_simulation(spec)
     workload = None
     if spec.scenario == "emergency":
         script: Optional[str] = emergency_script()
@@ -146,7 +219,7 @@ def execute_spec(
 
 
 def collect_result(
-    spec: RunSpec, simulation: ClusterSimulation, resumed: bool = False
+    spec: RunSpec, simulation, resumed: bool = False
 ) -> RunResult:
     """Assemble the canonical :class:`RunResult` for a finished run.
 
@@ -155,6 +228,21 @@ def collect_result(
     function, so their results can only differ if the simulations
     themselves diverged.
     """
+    if spec.stack == "scale":
+        # The flattened stack reports its scalar summary; there are no
+        # per-tick records (one array, not per-machine record rows).
+        return RunResult(
+            run_id=spec.run_id,
+            spec=spec.to_dict(),
+            summary=simulation.summary(),
+            records=[],
+            registry=[
+                family
+                for family in dump_registry(simulation.telemetry.registry)
+                if family["name"] not in HOST_METRICS
+            ],
+            resumed=resumed,
+        )
     outcome = simulation.result()
     summary: Dict[str, object] = {
         "drop_fraction": outcome.drop_fraction,

@@ -28,6 +28,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..cluster.scenarios import scenario_names
 from ..cluster.simulation import POLICIES
 from ..config import table1
+from ..control import STACKS
+from ..control import names as _policy_names
 from ..core.solver import ENGINES
 from ..errors import SweepError
 
@@ -79,13 +81,25 @@ class RunSpec:
     #: Request-cloning degree (clone each request to this many backends,
     #: first response wins); 0 keeps classic single dispatch.
     cloning: int = 0
+    #: Which simulation stack runs the spec: "cluster" is the per-machine
+    #: daemon stack, "scale" the flattened datacenter
+    #: (:class:`~repro.topology.sim.ScaleSimulation`).  The policy is
+    #: validated against the :mod:`repro.control` registry's names for
+    #: the chosen stack, so e.g. ``policy="emergency"`` is a scale-only
+    #: spec and ``policy="local-dvfs"`` a cluster-only one.
+    stack: str = "cluster"
 
     def __post_init__(self) -> None:
         if not self.run_id:
             raise SweepError("run_id must be non-empty")
-        if self.policy not in POLICIES:
+        if self.stack not in STACKS:
             raise SweepError(
-                f"unknown policy {self.policy!r}; pick from {POLICIES}"
+                f"unknown stack {self.stack!r}; pick from {STACKS}"
+            )
+        if self.policy not in _policy_names(self.stack):
+            raise SweepError(
+                f"unknown policy {self.policy!r} on the {self.stack!r} "
+                f"stack; pick from {_policy_names(self.stack)}"
             )
         if self.engine not in ENGINES:
             raise SweepError(
@@ -140,15 +154,17 @@ class RunSpec:
     def to_dict(self) -> Dict[str, object]:
         """Plain JSON-able form (the worker wire format).
 
-        ``topology`` and ``cloning`` are omitted when unset so sweep
-        artifacts without them keep their historical bytes (golden
-        digests).
+        ``topology``, ``cloning``, and ``stack`` are omitted when unset
+        (``stack="cluster"``) so sweep artifacts without them keep
+        their historical bytes (golden digests).
         """
         data = asdict(self)
         if data["topology"] is None:
             del data["topology"]
         if data["cloning"] == 0:
             del data["cloning"]
+        if data["stack"] == "cluster":
+            del data["stack"]
         return data
 
     @classmethod
@@ -280,6 +296,32 @@ def fig11_grid(
     if seeds > 1:
         grid["axes"]["seed"] = list(range(seeds))
     return grid
+
+
+def scale_grid(
+    machines: int = 200,
+    duration: float = 1200.0,
+    policies: Optional[Sequence[str]] = None,
+    scenario: str = "none",
+) -> Dict[str, object]:
+    """A flattened-datacenter policy comparison grid.
+
+    One :class:`~repro.topology.sim.ScaleSimulation` run per policy on
+    a ``machines``-sized grid room (``cluster_size`` doubles as the
+    room size on the scale stack).  Defaults to every scale-capable
+    registry policy.
+    """
+    if policies is None:
+        policies = _policy_names("scale")
+    return {
+        "base": {
+            "stack": "scale",
+            "scenario": scenario,
+            "duration": float(duration),
+            "cluster_size": int(machines),
+        },
+        "axes": {"policy": list(policies)},
+    }
 
 
 def threshold_grid(

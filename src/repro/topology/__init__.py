@@ -19,7 +19,7 @@ from .model import (
     load_topology,
 )
 from .recirculation import RecirculationOperator
-from .sim import FlatSolver, ScaleSimulation
+from .sim import FlatSolver, ScaleSimulation, inlet_events_from_script
 
 __all__ = [
     "Position",
@@ -31,4 +31,5 @@ __all__ = [
     "RecirculationOperator",
     "FlatSolver",
     "ScaleSimulation",
+    "inlet_events_from_script",
 ]

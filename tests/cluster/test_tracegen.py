@@ -1,11 +1,15 @@
 """Tests for the synthetic diurnal traffic trace."""
 
+import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.cluster.tracegen import (
     RequestTrace,
     TracePoint,
     constant_trace,
+    diurnal_shape,
+    diurnal_shape_array,
     diurnal_trace,
     peak_rate_for_utilization,
     phase_offsets,
@@ -219,3 +223,55 @@ class TestConstantTraceDuration:
             constant_trace(50.0, 0.0)
         with pytest.raises(ValueError):
             constant_trace(50.0, 10.0, step=0.0)
+
+
+class TestDiurnalShapeArray:
+    """The vectorized curve is elementwise *bit-equal* to the scalar one.
+
+    ``ScaleSimulation.offered_rates`` evaluates the shared curve through
+    ``diurnal_shape_array``; this pin guarantees a flattened room and a
+    scalar trace generator see the identical workload.
+    """
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1e-3, max_value=1.0),
+    )
+    def test_elementwise_equal_to_scalar(self, duration, frac, plateau):
+        t = frac * duration
+        scalar = diurnal_shape(t, duration, plateau)
+        vector = diurnal_shape_array([t], duration, plateau)
+        assert float(vector[0]) == scalar
+
+    def test_whole_day_grid_bit_equal(self):
+        duration = 86400.0
+        times = np.linspace(0.0, duration, 2001)
+        vector = diurnal_shape_array(times, duration)
+        for t, v in zip(times, vector):
+            assert float(v) == diurnal_shape(float(t), duration)
+
+    def test_seam_continuity(self):
+        # The PR 9 seam fix: the descent is clamped at phase=pi so the
+        # day boundary is continuous (shape(duration) == shape(0) == 0).
+        duration = 1000.0
+        assert float(diurnal_shape_array(0.0, duration)) == 0.0
+        assert float(diurnal_shape_array(duration, duration)) == 0.0
+        just_past = diurnal_shape_array(
+            np.array([duration * 0.999999, duration]), duration
+        )
+        assert float(just_past[1]) == 0.0
+
+    def test_scalar_input_and_shape(self):
+        out = diurnal_shape_array(500.0, 1000.0)
+        assert out.shape == ()
+        grid = diurnal_shape_array(np.zeros((3, 4)), 1000.0)
+        assert grid.shape == (3, 4)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            diurnal_shape_array([0.0], 0.0)
+        with pytest.raises(ValueError):
+            diurnal_shape_array([0.0], 100.0, plateau=0.0)
+        with pytest.raises(ValueError):
+            diurnal_shape_array([0.0], 100.0, plateau=1.5)

@@ -1,0 +1,128 @@
+"""The scalar backend: unified policies vs the native cluster daemons.
+
+The strongest claim the control-plane refactor can make on the cluster
+stack: drive a ``ClusterSimulation(policy="none")`` from the *outside*
+with a unified policy acting through :meth:`ClusterSimulation.
+state_view`, and the decisions, weights, and temperatures are
+bit-identical to the native tempd/admd daemon stack running the same
+experiment.  (The native daemons are untouched by the refactor — the
+Fig. 11/12 goldens pin that — so agreement here proves the unified
+rewrite is a faithful port, not a behavioral fork.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, emergency_script
+from repro.config import table1
+from repro.control import build
+from repro.freon.policy import FreonConfig
+
+
+def _drive_unified(policy_name, duration, fiddle_script):
+    """Run policy="none" with a unified policy over the state view.
+
+    The native daemons sample every ``stats_period`` (5 s) and wake
+    every ``monitor_period`` (60 s), both firing in a tick's tail — so
+    the external loop calls sample/wake right after the matching tick.
+    """
+    sim = ClusterSimulation(policy="none", fiddle_script=fiddle_script)
+    policy = build(policy_name, "cluster", config=FreonConfig())
+    view = sim.state_view()
+    config = policy.config
+    for _ in range(int(round(duration / sim.dt))):
+        sim.step()
+        t = sim.time
+        if t % config.stats_period == 0.0:
+            policy.sample(view, t)
+        if t % config.monitor_period == 0.0:
+            policy.wake(view, t)
+    return sim, policy
+
+
+def _cpu_temperatures(sim):
+    return np.array(
+        [sim.solver.temperature(m, table1.CPU) for m in sim.machines]
+    )
+
+
+def _weights(sim):
+    servers = sim.balancer.server_map
+    return np.array([servers[m].weight for m in sim.machines])
+
+
+class TestUnifiedFreonMatchesNative:
+    DURATION = 1500.0  # emergencies at t=480s; adjustments from ~1020s
+
+    def test_decisions_weights_temperatures_identical(self):
+        script = emergency_script()
+        native = ClusterSimulation(policy="freon", fiddle_script=script)
+        native.run(self.DURATION)
+        unified_sim, unified = _drive_unified(
+            "freon", self.DURATION, script
+        )
+
+        admd = native.admd
+        assert len(admd.adjustments) > 0, (
+            "the emergency window never tripped Freon; the parity run "
+            "exercised nothing"
+        )
+        assert unified.adjustments == admd.adjustments
+        assert unified.releases == admd.releases
+        assert unified.redlined == admd.redlined
+        assert np.array_equal(_weights(native), _weights(unified_sim))
+        assert np.abs(
+            _cpu_temperatures(native) - _cpu_temperatures(unified_sim)
+        ).max() <= 1e-9
+
+
+class TestUnifiedFreonECMatchesNative:
+    DURATION = 600.0  # EC reconfigures from the first wake at t=60s
+
+    def test_ec_events_and_temperatures_identical(self):
+        script = emergency_script()
+        native = ClusterSimulation(policy="freon-ec", fiddle_script=script)
+        native.run(self.DURATION)
+        unified_sim, unified = _drive_unified(
+            "freon-ec", self.DURATION, script
+        )
+
+        native_events = [
+            (e.time, e.action, e.machine, e.reason)
+            for e in native.admd.events
+        ]
+        unified_events = [
+            (e.time, e.action, e.machine, e.reason) for e in unified.events
+        ]
+        assert len(native_events) > 0
+        assert unified_events == native_events
+        assert np.abs(
+            _cpu_temperatures(native) - _cpu_temperatures(unified_sim)
+        ).max() <= 1e-9
+
+
+class TestClusterStateView:
+    def test_reads_match_solver_and_balancer(self):
+        sim = ClusterSimulation(policy="none")
+        sim.run(30)
+        view = sim.state_view()
+        assert view.machines == tuple(sim.machines)
+        temps = view.read_temperatures(["cpu", "disk"])
+        for i, name in enumerate(view.machines):
+            assert temps["cpu"][i] == pytest.approx(
+                sim.solver.temperature(name, table1.CPU), abs=1e-12
+            )
+        assert np.array_equal(view.weights(), _weights(sim))
+
+    def test_view_is_cached(self):
+        sim = ClusterSimulation(policy="none")
+        assert sim.state_view() is sim.state_view()
+
+    def test_mask_skips_machines(self):
+        sim = ClusterSimulation(policy="none")
+        sim.run(5)
+        view = sim.state_view()
+        mask = np.array([True, False, True, False])
+        temps = view.read_temperatures(["cpu"], mask=mask)
+        assert not np.isnan(temps["cpu"][0])
+        assert np.isnan(temps["cpu"][1])

@@ -1,0 +1,97 @@
+"""Scalar-vs-vectorized policy parity on matched single-zone rooms.
+
+Each case runs the identical room + policy on the flattened NumPy stack
+and on the per-machine reference solver (``ScalarScaleSimulation``) and
+demands the same decisions and temperatures within 1e-9 Celsius — the
+tentpole's proof that :mod:`repro.control.policies` is genuinely
+stack-independent.  Room supplies are chosen hot enough that each
+policy actually acts, so the parity covers the full observe → decide →
+actuate loop.
+"""
+
+import pytest
+
+from repro.control.parity import PARITY_TOLERANCE, compare_stacks
+
+
+def _assert_parity(report, expect_decisions):
+    assert report["max_temp_delta"] <= PARITY_TOLERANCE, report
+    assert report["max_weight_delta"] <= PARITY_TOLERANCE, report
+    assert report["decisions_match"], report
+    total = sum(report["decision_counts"].values())
+    if expect_decisions:
+        assert total > 0, (
+            "the room never got hot enough to exercise the policy: "
+            f"{report['decision_counts']}"
+        )
+    return report
+
+
+class TestPolicyParity:
+    def test_freon(self):
+        report = compare_stacks(
+            policy="freon", machines=10, duration=900.0, supply=55.0
+        )
+        _assert_parity(report, expect_decisions=True)
+        assert report["flat"]["throttle_events"] > 0
+
+    def test_freon_ec(self):
+        report = compare_stacks(
+            policy="freon-ec", machines=10, duration=900.0, supply=52.0
+        )
+        _assert_parity(report, expect_decisions=True)
+        assert report["decision_counts"]["events"] > 0
+
+    def test_traditional(self):
+        report = compare_stacks(
+            policy="traditional", machines=8, duration=900.0, supply=62.0
+        )
+        _assert_parity(report, expect_decisions=True)
+        assert report["decision_counts"]["shutdowns"] > 0
+
+    def test_emergency(self):
+        report = compare_stacks(
+            policy="emergency", machines=8, duration=900.0, supply=58.0
+        )
+        _assert_parity(report, expect_decisions=True)
+        assert report["decision_counts"]["events"] > 0
+
+    def test_none_policy_pure_solve(self):
+        report = compare_stacks(
+            policy="none", machines=8, duration=300.0, supply=45.0
+        )
+        _assert_parity(report, expect_decisions=False)
+
+
+class TestScalarRoom:
+    def test_scalar_room_rejects_custom_layout(self):
+        from repro.control.parity import ScalarRoomSolver
+        from repro.config.layouts import validation_machine
+        from repro.topology import grid_topology
+
+        with pytest.raises(Exception, match="layout"):
+            ScalarRoomSolver(
+                grid_topology(2), layout=validation_machine("template")
+            )
+
+    def test_checkpoint_round_trip(self):
+        import json
+
+        import numpy as np
+
+        from repro.control.parity import ScalarRoomSolver
+        from repro.config import table1
+        from repro.topology import grid_topology
+
+        room = ScalarRoomSolver(grid_topology(3))
+        room.set_utilization(table1.CPU, [0.2, 0.5, 0.8])
+        room.step(20)
+        saved = json.loads(json.dumps(room.checkpoint()))
+        fresh = ScalarRoomSolver(grid_topology(3))
+        fresh.restore(saved)
+        fresh.step(10)
+        room.step(10)
+        assert np.array_equal(
+            room.node_column(table1.CPU), fresh.node_column(table1.CPU)
+        )
+        assert np.array_equal(room.group.util, fresh.group.util)

@@ -1,0 +1,81 @@
+"""Unified policies at datacenter scale, under infrastructure faults.
+
+Two demonstrations the tentpole promises:
+
+* Freon-EC and fault injection run on a 1000-machine
+  :class:`ScaleSimulation` — the energy-conservation controller and the
+  chaos-style fault schedule both act through the vectorized
+  :class:`FlatStateView`, something the old hard-coded
+  ``("freon", "none")`` switch made impossible.
+* The CI chaos smoke: 200 machines with 5% tempd->admd datagram loss,
+  a stuck sensor, and a daemon crash, where Freon still holds every
+  zone's hottest CPU below ``T_h`` for the whole run.
+"""
+
+from repro.cluster.simulation import chaos_script
+from repro.config import table1
+from repro.faults import FaultInjector, FaultSchedule
+from repro.topology import (
+    ScaleSimulation,
+    grid_topology,
+    inlet_events_from_script,
+)
+
+
+def _chaos_simulation(machines, zones, policy, duration, supply, loss=0.05):
+    script = chaos_script(loss=loss)
+    injector = FaultInjector(FaultSchedule.from_script(script), seed=2006)
+    return ScaleSimulation(
+        grid_topology(machines, zones=zones, supply_temperature=supply),
+        duration=duration,
+        policy=policy,
+        injector=injector,
+        inlet_events=inlet_events_from_script(script),
+    )
+
+
+class TestThousandMachineFreonEC:
+    def test_freon_ec_with_faults_at_1k_machines(self):
+        sim = _chaos_simulation(
+            machines=1000,
+            zones=8,
+            policy="freon-ec",
+            duration=1200.0,
+            supply=23.0,
+        )
+        sim.run()
+        summary = sim.summary()
+        assert summary["machines"] == 1000
+        assert summary["policy"] == "freon-ec"
+        # The fault schedule actually fired through the vectorized view.
+        assert summary["faults_logged"] >= 1
+        # Energy conservation reconfigured the room: the diurnal valley
+        # lets EC retire a large fraction of the fleet.
+        assert len(sim.controller.events) > 0
+        assert 0 < summary["active_machines"] < 1000
+
+
+class TestChaosSmoke:
+    """The CI ``control-parity`` job's scale-path smoke."""
+
+    def test_freon_holds_th_under_5pct_loss_at_200_machines(self):
+        sim = _chaos_simulation(
+            machines=200,
+            zones=4,
+            policy="freon",
+            duration=1500.0,
+            supply=24.0,
+        )
+        sim.run()
+        summary = sim.summary()
+        assert summary["faults_logged"] >= 1
+        # Freon actuated (the inlet emergencies redline some machines)..
+        assert summary["throttle_events"] > 0
+        # ..and held the thermal line: no zone's hottest CPU ever
+        # settled above T_h, despite the datagram loss and stuck sensor.
+        hottest = max(summary["zone_cpu_max"].values())
+        assert hottest <= table1.T_HIGH_CPU, (
+            f"hottest zone CPU {hottest:.2f} C breached "
+            f"T_h={table1.T_HIGH_CPU} C under chaos"
+        )
+        assert summary["active_machines"] == 200

@@ -12,6 +12,12 @@ Two reference runs pin the solver's numerical behaviour:
     diurnal trace, emergencies scripted at t=480 s so none fire inside
     the window); per-machine CPU temperature at every tick.
 
+``fig12_first120s``
+    The same window under Freon-EC (policy ``freon-ec``): the full
+    daemon stack with the energy-conservation admission controller
+    attached.  Pins the scalar trajectory the vectorized EC replay in
+    ``tests/control/test_fig12_parity.py`` must reproduce.
+
 Both are generated with the reference ``python`` engine; the tests
 re-run them on every engine and demand agreement with the stored JSON
 within :data:`TOLERANCE` degrees.  Regenerate (after an intentional
@@ -92,8 +98,26 @@ def fig11_trace(engine: str = "python") -> dict:
     }
 
 
+def fig12_trace(engine: str = "python") -> dict:
+    """Run the first 120 s of Figure 12; per-machine CPU temperature."""
+    sim = ClusterSimulation(
+        policy="freon-ec", fiddle_script=emergency_script(), engine=engine
+    )
+    result = sim.run(FIG11_SECONDS)
+    return {
+        "name": "fig12_first120s",
+        "engine": engine,
+        "dt": sim.dt,
+        "times": result.times(),
+        "series": {
+            m: result.series(m, "cpu_temperature") for m in sim.machines
+        },
+    }
+
+
 #: name -> (generator, stored filename)
 GOLDEN_TRACES = {
     "fig5_cpu_calibration": (fig5_trace, "fig5_cpu_calibration.json"),
     "fig11_first120s": (fig11_trace, "fig11_first120s.json"),
+    "fig12_first120s": (fig12_trace, "fig12_first120s.json"),
 }
